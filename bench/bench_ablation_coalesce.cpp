@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Ablation: persist coalescing (paper Sec. IV-B, DESIGN.md Sec. 5).
+ *
+ * Because every register has a fixed slot in intRF, up to eight
+ * 64-bit outputs share one cache line and persist with a single
+ * write-back.  The same eight outputs scattered across both RF lines
+ * need two.  Atlas, for contrast, writes a 32-byte log entry per
+ * store: at most two entries per line.  This harness runs a FASE with
+ * eight register outputs under iDO with (a) packed slots 0-7 and
+ * (b) slots split 0-3/8-11, and reports flushes per FASE.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "ido/ido_runtime.h"
+
+using namespace ido;
+using namespace ido::bench;
+
+namespace {
+
+constexpr uint16_t kPacked = 0x00ff;  // slots 0..7: one RF line
+constexpr uint16_t kSplit = 0x0f0f;   // slots 0..3 and 8..11: two lines
+
+uint32_t
+define_packed(rt::RuntimeThread&, rt::RegionCtx& ctx)
+{
+    for (int i = 0; i < 8; ++i)
+        ctx.r[i] = i + 1;
+    return 1;
+}
+
+uint32_t
+define_split(rt::RuntimeThread&, rt::RegionCtx& ctx)
+{
+    for (int i = 0; i < 4; ++i) {
+        ctx.r[i] = i + 1;
+        ctx.r[i + 8] = i + 100;
+    }
+    return 1;
+}
+
+uint32_t
+consume(rt::RuntimeThread&, rt::RegionCtx&)
+{
+    return rt::kRegionEnd;
+}
+
+rt::FaseProgram
+make_program(uint32_t id, rt::RegionFn def, uint16_t mask)
+{
+    rt::FaseProgram p;
+    p.fase_id = id;
+    p.name = "ablation.coalesce";
+    p.regions = {
+        {def, "def", 0, mask, 0, 0},
+        {consume, "use", mask, 0, 0, 0},
+    };
+    return p;
+}
+
+void
+run_variant(benchmark::State& state, const rt::FaseProgram& prog)
+{
+    nvm::PersistentHeap heap({.size = 64u << 20});
+    nvm::RealDomain dom;
+    rt::RuntimeConfig cfg;
+    IdoRuntime runtime(heap, dom, cfg);
+    auto th = runtime.make_thread();
+    tls_persist_counters().clear();
+    uint64_t ops = 0;
+    for (auto _ : state) {
+        rt::RegionCtx ctx;
+        th->run_fase(prog, ctx);
+        ++ops;
+    }
+    const PersistCounters& c = tls_persist_counters();
+    state.counters["flushes/op"] =
+        benchmark::Counter(double(c.flushes) / double(ops ? ops : 1));
+    state.counters["fences/op"] =
+        benchmark::Counter(double(c.fences) / double(ops ? ops : 1));
+    persist_counters_flush_tls();
+}
+
+void
+BM_CoalescePacked(benchmark::State& state)
+{
+    static const rt::FaseProgram prog =
+        make_program(8002, define_packed, kPacked);
+    run_variant(state, prog);
+}
+
+void
+BM_CoalesceSplit(benchmark::State& state)
+{
+    static const rt::FaseProgram prog =
+        make_program(8003, define_split, kSplit);
+    run_variant(state, prog);
+}
+
+} // namespace
+
+BENCHMARK(BM_CoalescePacked);
+BENCHMARK(BM_CoalesceSplit);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Ablation: indirect locking (DESIGN.md Sec. 5).
+ *
+ * iDO's indirect lock holders let an acquire piggyback its ownership
+ * record on the following boundary fence and a release pay exactly one
+ * fence (Sec. III-B); JUSTDO's persistent-mutex protocol pays two
+ * fences per lock operation (intention + ownership); Atlas pays one
+ * ordered log append per operation plus a global sequence increment.
+ * This harness isolates a lock/unlock round trip inside a minimal
+ * FASE and reports time and persist events per round trip.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "runtime/runtime.h"
+
+using namespace ido;
+using namespace ido::bench;
+
+namespace {
+
+uint32_t
+lock_region(rt::RuntimeThread& th, rt::RegionCtx& ctx)
+{
+    th.fase_lock(ctx.r[0]);
+    return 1;
+}
+
+uint32_t
+unlock_region(rt::RuntimeThread& th, rt::RegionCtx& ctx)
+{
+    th.fase_unlock(ctx.r[0]);
+    return rt::kRegionEnd;
+}
+
+const rt::FaseProgram&
+lock_pair_program()
+{
+    static const rt::FaseProgram prog = [] {
+        rt::FaseProgram p;
+        p.fase_id = 8001;
+        p.name = "ablation.lockpair";
+        p.regions = {
+            {lock_region, "lock", 1, 0, 0, 0},
+            {unlock_region, "unlock", 1, 0, 0, 0},
+        };
+        return p;
+    }();
+    return prog;
+}
+
+void
+BM_LockRoundTrip(benchmark::State& state)
+{
+    const auto kind =
+        static_cast<baselines::RuntimeKind>(state.range(0));
+    BenchWorld world(kind, 64u << 20);
+    auto th = world.runtime->make_thread();
+    const uint64_t holder = th->nv_alloc(64);
+    th->store_u64(holder, 0);
+    persist_counters_reset_global();
+    tls_persist_counters().clear();
+    uint64_t ops = 0;
+    for (auto _ : state) {
+        rt::RegionCtx ctx;
+        ctx.r[0] = holder;
+        th->run_fase(lock_pair_program(), ctx);
+        ++ops;
+    }
+    const PersistCounters& c = tls_persist_counters();
+    state.counters["fences/op"] =
+        benchmark::Counter(double(c.fences) / double(ops ? ops : 1));
+    state.counters["flushes/op"] =
+        benchmark::Counter(double(c.flushes) / double(ops ? ops : 1));
+    state.SetLabel(baselines::runtime_kind_name(kind));
+    persist_counters_flush_tls();
+}
+
+} // namespace
+
+BENCHMARK(BM_LockRoundTrip)
+    ->Arg(static_cast<int>(baselines::RuntimeKind::kIdo))
+    ->Arg(static_cast<int>(baselines::RuntimeKind::kAtlas))
+    ->Arg(static_cast<int>(baselines::RuntimeKind::kJustdo))
+    ->Arg(static_cast<int>(baselines::RuntimeKind::kOrigin));
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Ablation: region granularity (DESIGN.md Sec. 5) -- the paper's core
+ * performance argument quantified.
+ *
+ * A FASE performing 16 persistent stores is partitioned into k
+ * regions, k in {1, 2, 4, 8, 16}.  iDO pays 2 fences per region, so
+ * its cost scales with k, not with the store count; at k = 16 (one
+ * store per region) it degenerates to store-granularity logging.
+ * Atlas and JUSTDO pay per store regardless of k, bounding the two
+ * ends of the spectrum.  This is why longer idempotent regions --
+ * "tens of instructions in our benchmarks; hundreds or even thousands
+ * in larger applications" -- translate directly into throughput.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "runtime/runtime.h"
+
+using namespace ido;
+using namespace ido::bench;
+
+namespace {
+
+constexpr uint64_t kTotalStores = 16;
+
+// ctx.r[0] = data base offset; ctx.r[1] = stores per region;
+// ctx.r[2] = number of regions.  Each region writes its own disjoint
+// line-spaced slice, so regions are trivially idempotent.
+uint32_t
+store_region(rt::RuntimeThread& th, rt::RegionCtx& ctx)
+{
+    const uint64_t idx = th.current_region();
+    const uint64_t per = ctx.r[1];
+    const uint64_t base = ctx.r[0] + idx * per * 64;
+    for (uint64_t i = 0; i < per; ++i)
+        th.store_u64(base + i * 64, idx * 1000 + i);
+    const uint64_t next = idx + 1;
+    return next < ctx.r[2] ? static_cast<uint32_t>(next)
+                           : rt::kRegionEnd;
+}
+
+rt::FaseProgram
+make_program(uint32_t id, uint32_t k)
+{
+    rt::FaseProgram p;
+    p.fase_id = id;
+    p.name = "ablation.regionsize";
+    for (uint32_t r = 0; r < k; ++r)
+        p.regions.push_back(
+            {store_region, "slice", 0x7 /*r0..r2*/, 0, 0, 0});
+    return p;
+}
+
+void
+BM_RegionGranularity(benchmark::State& state)
+{
+    const auto kind =
+        static_cast<baselines::RuntimeKind>(state.range(0));
+    const uint32_t k = static_cast<uint32_t>(state.range(1));
+    BenchWorld world(kind, 64u << 20);
+    auto th = world.runtime->make_thread();
+    const uint64_t data = th->nv_alloc(kTotalStores * 64 + 64);
+
+    static std::map<uint32_t, rt::FaseProgram> programs;
+    if (programs.find(k) == programs.end())
+        programs.emplace(k, make_program(8100 + k, k));
+    const rt::FaseProgram& prog = programs.at(k);
+
+    tls_persist_counters().clear();
+    uint64_t ops = 0;
+    for (auto _ : state) {
+        rt::RegionCtx ctx;
+        ctx.r[0] = data;
+        ctx.r[1] = kTotalStores / k;
+        ctx.r[2] = k;
+        th->run_fase(prog, ctx);
+        ++ops;
+    }
+    const PersistCounters& c = tls_persist_counters();
+    state.counters["fences/op"] =
+        benchmark::Counter(double(c.fences) / double(ops ? ops : 1));
+    state.SetLabel(std::string(baselines::runtime_kind_name(kind))
+                   + " k=" + std::to_string(k));
+    persist_counters_flush_tls();
+}
+
+} // namespace
+
+BENCHMARK(BM_RegionGranularity)
+    ->ArgsProduct({{static_cast<int>(baselines::RuntimeKind::kIdo),
+                    static_cast<int>(baselines::RuntimeKind::kAtlas),
+                    static_cast<int>(baselines::RuntimeKind::kJustdo)},
+                   {1, 2, 4, 8, 16}});
+
+BENCHMARK_MAIN();

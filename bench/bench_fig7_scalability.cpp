@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 7 reproduction: microbenchmark throughput (millions of data
+ * structure operations per second) vs. thread count for the stack,
+ * two-lock queue, hand-over-hand ordered list, and hash map, across
+ * all runtimes (the JUSTDO-paper microbenchmarks, Sec. V-B).
+ *
+ * Paper shape: iDO matches or beats every FASE-based scheme in every
+ * configuration, especially at high thread counts; Mnemosyne wins on
+ * low-parallelism structures at low thread counts (it logs no lock
+ * operations) but saturates; the hash map separates scalable (iDO)
+ * from runtime-synchronization-bound (Atlas, Mnemosyne) designs.
+ */
+#include "bench/bench_util.h"
+#include "ds/workload.h"
+
+using namespace ido;
+using namespace ido::bench;
+
+int
+main()
+{
+    const double secs = bench_seconds();
+    const ds::DsKind structures[] = {
+        ds::DsKind::kStack, ds::DsKind::kQueue,
+        ds::DsKind::kOrderedList, ds::DsKind::kHashMap};
+
+    for (const ds::DsKind s : structures) {
+        print_header(
+            (std::string("Fig.7 ") + ds::ds_kind_name(s)).c_str());
+        std::printf("%-10s %8s %10s   %s\n", "runtime", "threads",
+                    "Mops/s", "persist profile");
+        for (auto kind : baselines::all_runtime_kinds()) {
+            for (uint32_t threads : thread_sweep()) {
+                BenchWorld world(kind);
+                ds::WorkloadConfig cfg;
+                cfg.ds = s;
+                cfg.threads = threads;
+                cfg.duration_seconds = secs;
+                cfg.key_range = 512;
+                cfg.map_buckets = 64;
+                cfg.pin_threads = false;
+                const uint64_t root =
+                    ds::workload_setup(*world.runtime, cfg);
+                persist_counters_reset_global();
+                const auto result =
+                    ds::workload_run(*world.runtime, root, cfg);
+                std::printf("%-10s %8u %10.3f   %s\n",
+                            baselines::runtime_kind_name(kind),
+                            threads, result.mops(),
+                            persist_profile(result.total_ops).c_str());
+            }
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Figure 9 reproduction: sensitivity to NVM write latency.  As in the
+ * paper (and in Mnemosyne/Atlas before it), a configurable delay is
+ * inserted after each cache-line write-back to "NVM", emulating slow
+ * persistent media or a long data path; the sweep covers 20-2000 ns.
+ *
+ * Workloads reprise the paper's two data points: the
+ * insertion-intensive memcached mix and the "large" (1M-key) redis
+ * configuration.
+ *
+ * Paper shape: iDO and Atlas hold their throughput up to ~100 ns and
+ * degrade beyond; JUSTDO suffers 1.5-2x slowdown already at 20 ns
+ * because it issues so many more ordered write-backs per operation.
+ */
+#include "apps/memcached_client.h"
+#include "apps/redis_client.h"
+#include "bench/bench_util.h"
+
+using namespace ido;
+using namespace ido::bench;
+
+int
+main()
+{
+    const double secs = bench_seconds();
+    const uint32_t delays[] = {0, 20, 100, 500, 2000};
+    const baselines::RuntimeKind kinds[] = {
+        baselines::RuntimeKind::kIdo, baselines::RuntimeKind::kAtlas,
+        baselines::RuntimeKind::kJustdo};
+
+    print_header("Fig.9a memcached (insertion mix, 4 threads) vs "
+                 "NVM latency");
+    std::printf("%-10s %8s %10s\n", "runtime", "delay_ns", "Mops/s");
+    for (auto kind : kinds) {
+        for (uint32_t delay : delays) {
+            BenchWorld world(kind, 512u << 20, 0);
+            apps::MemcachedWorkloadConfig cfg;
+            cfg.threads = 4;
+            cfg.set_pct = 50;
+            cfg.duration_seconds = secs;
+            const uint64_t root =
+                apps::memcached_setup(*world.runtime, cfg);
+            world.dom.set_flush_delay_ns(delay); // measure only
+            const auto result =
+                apps::memcached_run(*world.runtime, root, cfg);
+            std::printf("%-10s %8u %10.3f\n",
+                        baselines::runtime_kind_name(kind), delay,
+                        result.mops());
+        }
+    }
+
+    print_header("Fig.9b redis (1M keys) vs NVM latency");
+    std::printf("%-10s %8s %10s\n", "runtime", "delay_ns", "Mops/s");
+    for (auto kind : kinds) {
+        for (uint32_t delay : delays) {
+            BenchWorld world(kind, 1536u << 20, 0);
+            apps::RedisWorkloadConfig cfg;
+            cfg.key_range = 1000000;
+            cfg.nbuckets = 1u << 18;
+            cfg.duration_seconds = secs;
+            const uint64_t root =
+                apps::redis_setup(*world.runtime, cfg);
+            world.dom.set_flush_delay_ns(delay); // measure only
+            const auto result =
+                apps::redis_run(*world.runtime, root, cfg);
+            std::printf("%-10s %8u %10.3f\n",
+                        baselines::runtime_kind_name(kind), delay,
+                        result.mops());
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Microbenchmarks of the substrate primitives every runtime is built
+ * from: persist fences, cache-line write-backs, transient spinlocks,
+ * the NVM allocator, the Zipf sampler, and the shadow domain's
+ * interposition overhead.  These calibrate the cost model behind the
+ * figure harnesses.
+ */
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "nvm/nv_allocator.h"
+#include "nvm/persist_domain.h"
+#include "nvm/shadow_domain.h"
+#include "runtime/indirect_lock.h"
+
+using namespace ido;
+
+namespace {
+
+void
+BM_StoreOnly(benchmark::State& state)
+{
+    nvm::PersistentHeap heap({.size = 16u << 20});
+    nvm::RealDomain dom;
+    auto* p = heap.resolve<uint64_t>(4096);
+    uint64_t v = 0;
+    for (auto _ : state)
+        dom.store_val(p, ++v);
+}
+
+void
+BM_FlushFence(benchmark::State& state)
+{
+    nvm::PersistentHeap heap({.size = 16u << 20});
+    nvm::RealDomain dom;
+    auto* p = heap.resolve<uint64_t>(4096);
+    uint64_t v = 0;
+    for (auto _ : state) {
+        dom.store_val(p, ++v);
+        dom.flush(p, 8);
+        dom.fence();
+    }
+}
+
+void
+BM_FlushFenceWithDelay(benchmark::State& state)
+{
+    nvm::PersistentHeap heap({.size = 16u << 20});
+    nvm::RealDomain dom(static_cast<uint32_t>(state.range(0)));
+    auto* p = heap.resolve<uint64_t>(4096);
+    uint64_t v = 0;
+    for (auto _ : state) {
+        dom.store_val(p, ++v);
+        dom.flush(p, 8);
+        dom.fence();
+    }
+}
+
+void
+BM_TransientLock(benchmark::State& state)
+{
+    rt::TransientLock lock;
+    for (auto _ : state) {
+        lock.lock();
+        lock.unlock();
+    }
+}
+
+void
+BM_LockTableResolve(benchmark::State& state)
+{
+    nvm::PersistentHeap heap({.size = 16u << 20});
+    rt::LockTable table;
+    auto* slot = heap.resolve<uint64_t>(4096);
+    *slot = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(&table.lock_for(slot));
+}
+
+void
+BM_NvAllocFree(benchmark::State& state)
+{
+    nvm::PersistentHeap heap({.size = 64u << 20});
+    nvm::RealDomain dom;
+    nvm::NvAllocator alloc(heap, dom);
+    for (auto _ : state) {
+        const uint64_t off = alloc.alloc(64, dom);
+        alloc.free_block(off, dom);
+    }
+}
+
+void
+BM_ZipfSample(benchmark::State& state)
+{
+    ZipfSampler zipf(1000000, 0.8);
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zipf.next(rng));
+}
+
+void
+BM_ShadowStoreLoad(benchmark::State& state)
+{
+    nvm::PersistentHeap heap({.size = 16u << 20});
+    nvm::ShadowDomain shadow(heap.base(), heap.size());
+    auto* p = heap.resolve<uint64_t>(4096);
+    uint64_t v = 0;
+    for (auto _ : state) {
+        shadow.store_val(p, ++v);
+        benchmark::DoNotOptimize(shadow.load_val(p));
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_StoreOnly);
+BENCHMARK(BM_FlushFence);
+BENCHMARK(BM_FlushFenceWithDelay)->Arg(20)->Arg(100)->Arg(500);
+BENCHMARK(BM_TransientLock);
+BENCHMARK(BM_LockTableResolve);
+BENCHMARK(BM_NvAllocFree);
+BENCHMARK(BM_ZipfSample);
+BENCHMARK(BM_ShadowStoreLoad);
+
+BENCHMARK_MAIN();

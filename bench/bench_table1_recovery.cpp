@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Table I reproduction: recovery-time ratio Atlas/iDO after killing
+ * the microbenchmarks at increasing run lengths.
+ *
+ * The paper kills after 1..50 s; scaled here (default 0.2..2 s via
+ * IDO_BENCH_SECONDS multipliers) because the mechanism is what
+ * matters: Atlas recovery must traverse its entire log volume and
+ * compute a consistent cut, so its cost grows with run length, while
+ * iDO recovery is a constant amount of work per thread (reacquire
+ * locks, restore registers, finish at most one FASE each).  The ratio
+ * therefore grows with kill time -- the paper reports up to ~400x.
+ *
+ * A "kill" is the in-process fail-stop: the crash scheduler detonates,
+ * worker threads unwind mid-FASE, and a fresh runtime instance runs
+ * recovery over the surviving heap (timed).
+ */
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "ds/workload.h"
+
+using namespace ido;
+using namespace ido::bench;
+
+namespace {
+
+/** Run the workload for `secs`, kill, and time recovery (ns). */
+uint64_t
+timed_crash_recovery(baselines::RuntimeKind kind, ds::DsKind s,
+                     double secs, size_t log_bytes)
+{
+    nvm::PersistentHeap heap({.size = 1536u << 20});
+    nvm::RealDomain dom;
+    rt::RuntimeConfig cfg;
+    cfg.log_bytes_per_thread = log_bytes;
+    auto runtime = baselines::make_runtime(kind, heap, dom, cfg);
+
+    ds::WorkloadConfig wl;
+    wl.ds = s;
+    wl.threads = 4;
+    wl.duration_seconds = secs * 1000; // effectively until the kill
+    wl.key_range = 512;
+    const uint64_t root = ds::workload_setup(*runtime, wl);
+
+    // Kill after `secs` of wall-clock work: a watchdog arms the crash
+    // scheduler so every thread unwinds at its next opportunity.
+    std::thread killer([&] {
+        Stopwatch w;
+        while (w.elapsed_seconds() < secs)
+            std::this_thread::yield();
+        runtime->crash_scheduler().arm(1);
+    });
+    ds::workload_run(*runtime, root, wl);
+    killer.join();
+
+    // Fail-stop: fresh runtime; time its recovery.
+    auto recovered = baselines::make_runtime(kind, heap, dom, cfg);
+    Stopwatch timer;
+    recovered->recover();
+    return timer.elapsed_ns();
+}
+
+} // namespace
+
+int
+main()
+{
+    const double unit = bench_seconds(); // one "paper decasecond"
+    const double kill_times[] = {unit * 0.1, unit, unit * 2,
+                                 unit * 3,   unit * 4, unit * 5};
+    const char* labels[] = {"0.1u", "1u", "2u", "3u", "4u", "5u"};
+
+    const ds::DsKind structures[] = {
+        ds::DsKind::kStack, ds::DsKind::kQueue,
+        ds::DsKind::kOrderedList, ds::DsKind::kHashMap};
+
+    print_header("Table I: recovery time ratio (Atlas / iDO)");
+    std::printf("%-12s", "kill time");
+    for (const char* l : labels)
+        std::printf(" %10s", l);
+    std::printf("\n");
+
+    for (const ds::DsKind s : structures) {
+        std::printf("%-12s", ds::ds_kind_name(s));
+        for (const double t : kill_times) {
+            // Atlas log volume scales with work; keep logs big enough
+            // that the ring does not wrap for the longest kill time (96 MB
+            // per thread covers ~0.5 Mops-seconds of entries).
+            const uint64_t atlas_ns = timed_crash_recovery(
+                baselines::RuntimeKind::kAtlas, s, t, 96u << 20);
+            const uint64_t ido_ns = timed_crash_recovery(
+                baselines::RuntimeKind::kIdo, s, t, 4u << 20);
+            std::printf(" %10.1f",
+                        double(atlas_ns) / double(ido_ns ? ido_ns : 1));
+        }
+        std::printf("\n");
+    }
+    std::printf("\n(u = %.2fs; paper kill times are 1..50s on a 64-HW-"
+                "thread machine.)\n",
+                unit);
+    return 0;
+}

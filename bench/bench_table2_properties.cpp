@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Table II reproduction: the qualitative failure-atomic-system
+ * property matrix, printed from live runtime trait introspection so
+ * the table can never drift from the implementations.
+ */
+#include "bench/bench_util.h"
+
+using namespace ido;
+using namespace ido::bench;
+
+int
+main()
+{
+    print_header("Table II: failure-atomic systems and their "
+                 "properties");
+    std::printf("%-11s | %-22s | %-11s | %-18s | %-8s | %-9s\n",
+                "System", "Region semantics", "Recovery",
+                "Logging granularity", "DepTrack",
+                "Transient$");
+    std::printf("%.*s\n", 96,
+                "---------------------------------------------------"
+                "---------------------------------------------");
+    nvm::PersistentHeap heap({.size = 16u << 20});
+    nvm::RealDomain dom;
+    rt::RuntimeConfig cfg;
+    for (auto kind : baselines::all_runtime_kinds()) {
+        auto runtime = baselines::make_runtime(kind, heap, dom, cfg);
+        const rt::RuntimeTraits t = runtime->traits();
+        std::printf("%-11s | %-22s | %-11s | %-18s | %-8s | %-9s\n",
+                    runtime->name(), t.semantics, t.recovery,
+                    t.granularity, t.dependence_tracking ? "Yes" : "No",
+                    t.transient_caches ? "Yes" : "No");
+    }
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shared scaffolding for the figure/table reproduction harnesses:
+ * world construction, runtime/thread sweeps, and paper-style table
+ * printing.  Every harness prints, alongside measured throughput, the
+ * persist-event profile per operation (fences, cache-line
+ * write-backs, log bytes) -- the deterministic, hardware-independent
+ * signature of each system's protocol that underlies the paper's
+ * performance ordering.
+ *
+ * Environment knobs:
+ *   IDO_BENCH_SECONDS   duration per configuration (default 0.3)
+ *   IDO_BENCH_THREADS   max worker threads (default: 8)
+ */
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "baselines/runtime_factory.h"
+#include "nvm/persist_domain.h"
+#include "nvm/persistent_heap.h"
+#include "stats/persist_stats.h"
+
+namespace ido::bench {
+
+inline double
+bench_seconds()
+{
+    if (const char* s = std::getenv("IDO_BENCH_SECONDS"))
+        return std::atof(s);
+    return 0.3;
+}
+
+inline std::vector<uint32_t>
+thread_sweep()
+{
+    uint32_t max_threads = 8;
+    if (const char* s = std::getenv("IDO_BENCH_THREADS"))
+        max_threads = static_cast<uint32_t>(std::atoi(s));
+    std::vector<uint32_t> sweep;
+    for (uint32_t t = 1; t <= max_threads; t *= 2)
+        sweep.push_back(t);
+    return sweep;
+}
+
+/** Heap + domain + runtime bundle for one measured configuration. */
+struct BenchWorld
+{
+    explicit BenchWorld(baselines::RuntimeKind kind,
+                        size_t heap_bytes = 512u << 20,
+                        uint32_t flush_delay_ns = 0,
+                        size_t log_bytes = 4u << 20)
+        : heap({.size = heap_bytes}), dom(flush_delay_ns)
+    {
+        rt::RuntimeConfig cfg;
+        cfg.log_bytes_per_thread = log_bytes;
+        runtime = baselines::make_runtime(kind, heap, dom, cfg);
+        persist_counters_reset_global();
+    }
+
+    nvm::PersistentHeap heap;
+    nvm::RealDomain dom;
+    std::unique_ptr<rt::Runtime> runtime;
+};
+
+/** "fences/op=12.0 flushes/op=8.1 logB/op=64" for the last run. */
+inline std::string
+persist_profile(uint64_t ops)
+{
+    const PersistCounters c = persist_counters_global();
+    char buf[128];
+    if (ops == 0)
+        ops = 1;
+    std::snprintf(buf, sizeof(buf),
+                  "fences/op=%6.2f flushes/op=%6.2f logB/op=%7.1f",
+                  double(c.fences) / double(ops),
+                  double(c.flushes) / double(ops),
+                  double(c.log_bytes) / double(ops));
+    return buf;
+}
+
+inline void
+print_header(const char* title)
+{
+    std::printf("\n=== %s ===\n", title);
+}
+
+} // namespace ido::bench

@@ -1,0 +1,92 @@
+#include "apps/memcached_client.h"
+
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "stats/persist_stats.h"
+#include "stats/region_stats.h"
+
+namespace ido::apps {
+
+std::pair<uint64_t, uint64_t>
+memcached_key(uint64_t index)
+{
+    uint64_t s = index + 0x12345;
+    const uint64_t lo = splitmix64(s);
+    const uint64_t hi = splitmix64(s);
+    return {lo, hi};
+}
+
+uint64_t
+memcached_setup(rt::Runtime& rt, const MemcachedWorkloadConfig& cfg)
+{
+    MemcachedMini::register_programs();
+    auto th = rt.make_thread();
+    const uint64_t root =
+        MemcachedMini::create(*th, cfg.nshards, cfg.nbuckets);
+    if (cfg.prefill) {
+        MemcachedMini cache(rt.heap(), root);
+        for (uint64_t i = 0; i < cfg.key_space / 2; ++i) {
+            const auto [lo, hi] = memcached_key(i);
+            cache.set(*th, lo, hi, i);
+        }
+    }
+    persist_counters_flush_tls();
+    return root;
+}
+
+MemcachedWorkloadResult
+memcached_run(rt::Runtime& rt, uint64_t root_off,
+              const MemcachedWorkloadConfig& cfg)
+{
+    std::vector<std::thread> threads;
+    std::vector<uint64_t> ops(cfg.threads, 0), hits(cfg.threads, 0);
+    Stopwatch clock;
+    for (uint32_t t = 0; t < cfg.threads; ++t) {
+        threads.emplace_back([&, t] {
+            auto th = rt.make_thread();
+            MemcachedMini cache(rt.heap(), root_off);
+            Rng rng(cfg.seed + 7919 * (t + 1));
+            const bool count_mode = cfg.ops_per_thread != 0;
+            uint64_t value = 0;
+            try {
+                for (;;) {
+                    if (count_mode) {
+                        if (ops[t] >= cfg.ops_per_thread)
+                            break;
+                    } else if ((ops[t] & 63) == 0
+                               && clock.elapsed_seconds()
+                                      >= cfg.duration_seconds) {
+                        break;
+                    }
+                    const uint64_t idx =
+                        rng.next_below(cfg.key_space);
+                    const auto [lo, hi] = memcached_key(idx);
+                    if (rng.percent(cfg.set_pct)) {
+                        cache.set(*th, lo, hi, rng.next());
+                    } else if (cache.get(*th, lo, hi, &value)) {
+                        hits[t]++;
+                    }
+                    ops[t]++;
+                }
+            } catch (const rt::SimCrashException&) {
+                // fail-stop (crash tests)
+            }
+            persist_counters_flush_tls();
+            RegionStatsCollector::instance().flush_tls();
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+    MemcachedWorkloadResult result;
+    result.seconds = clock.elapsed_seconds();
+    for (uint32_t t = 0; t < cfg.threads; ++t) {
+        result.total_ops += ops[t];
+        result.hits += hits[t];
+    }
+    return result;
+}
+
+} // namespace ido::apps

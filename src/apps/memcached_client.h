@@ -1,0 +1,60 @@
+/**
+ * @file
+ * memaslap-style load generator for memcached_mini (paper Sec. V-A):
+ * client threads issue requests with uniformly distributed 16-byte
+ * keys and 8-byte values, in either the insertion-intensive mix
+ * (50% set / 50% get) or the search-intensive mix (10% set / 90% get).
+ * Client and "server" share the process (the paper ran both on the
+ * same machine; we elide the network, which would add an equal
+ * constant to every runtime).
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "apps/memcached_mini.h"
+#include "runtime/runtime.h"
+
+namespace ido::apps {
+
+struct MemcachedWorkloadConfig
+{
+    uint32_t threads = 1;
+    uint32_t set_pct = 50;       ///< 50 = insertion mix, 10 = search mix
+    uint64_t key_space = 10000;  ///< distinct keys
+    double duration_seconds = 1.0;
+    uint64_t ops_per_thread = 0; ///< nonzero: count mode (tests)
+    uint64_t seed = 42;
+    uint64_t nshards = 4;
+    uint64_t nbuckets = 4096;
+    bool prefill = true;
+};
+
+struct MemcachedWorkloadResult
+{
+    uint64_t total_ops = 0;
+    uint64_t hits = 0;
+    double seconds = 0.0;
+
+    double
+    mops() const
+    {
+        return seconds > 0
+            ? static_cast<double>(total_ops) / seconds / 1e6
+            : 0.0;
+    }
+};
+
+/** Create (and optionally prefill) the cache; returns root offset. */
+uint64_t memcached_setup(rt::Runtime& rt,
+                         const MemcachedWorkloadConfig& cfg);
+
+/** Run the memaslap-style stress test. */
+MemcachedWorkloadResult
+memcached_run(rt::Runtime& rt, uint64_t root_off,
+              const MemcachedWorkloadConfig& cfg);
+
+/** Derive the i-th 16-byte key of the key space. */
+std::pair<uint64_t, uint64_t> memcached_key(uint64_t index);
+
+} // namespace ido::apps

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * lru_test-style client for redis_mini (paper Sec. V-A): a mix of 80%
+ * gets and 20% puts with a power-law key distribution over a fixed key
+ * range (10K, 100K, or 1M), run for a fixed duration on the single
+ * server thread.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "apps/redis_mini.h"
+#include "runtime/runtime.h"
+
+namespace ido::apps {
+
+struct RedisWorkloadConfig
+{
+    uint64_t key_range = 10000; ///< 10K / 100K / 1M in the paper
+    uint32_t get_pct = 80;
+    double zipf_theta = 0.8; ///< power-law skew
+    double duration_seconds = 1.0;
+    uint64_t ops_total = 0; ///< nonzero: count mode (tests)
+    uint64_t seed = 42;
+    uint64_t nbuckets = 1u << 16;
+    bool prefill = true;
+};
+
+struct RedisWorkloadResult
+{
+    uint64_t total_ops = 0;
+    uint64_t hits = 0;
+    double seconds = 0.0;
+
+    double
+    mops() const
+    {
+        return seconds > 0
+            ? static_cast<double>(total_ops) / seconds / 1e6
+            : 0.0;
+    }
+};
+
+uint64_t redis_setup(rt::Runtime& rt, const RedisWorkloadConfig& cfg);
+
+RedisWorkloadResult redis_run(rt::Runtime& rt, uint64_t root_off,
+                              const RedisWorkloadConfig& cfg);
+
+} // namespace ido::apps

@@ -1,0 +1,274 @@
+#include "apps/redis_mini.h"
+
+#include <cstring>
+
+#include "common/panic.h"
+#include "ds/fase_ids.h"
+
+namespace ido::apps {
+
+using rt::RegionCtx;
+using rt::RuntimeThread;
+
+// Register conventions:
+//   r0 = root offset, r1 = key, r2 = value (set)
+//   r10 = bucket slot offset (computed outside the FASE)
+//   r3 = cur item, r8 = cur->next, r11 = head stash / prev
+//   r7 = new item, r9 = result, r14/r15 = count/old count
+namespace {
+
+constexpr uint64_t kCount = offsetof(RedisRoot, count);
+constexpr uint64_t kItNext = offsetof(RedisItem, next);
+constexpr uint64_t kItKey = offsetof(RedisItem, key);
+constexpr uint64_t kItValue = offsetof(RedisItem, value);
+
+// --- set (durable region, no locks) -------------------------------------
+
+uint32_t
+rset_read_head(RuntimeThread& th, RegionCtx& ctx)
+{
+    ctx.r[3] = th.load_u64(ctx.r[10]);
+    ctx.r[11] = ctx.r[3];
+    return 1;
+}
+
+uint32_t
+rset_walk(RuntimeThread& th, RegionCtx& ctx)
+{
+    if (ctx.r[3] == 0)
+        return 3;
+    ctx.r[5] = th.load_u64(ctx.r[3] + kItKey);
+    if (ctx.r[5] == ctx.r[1])
+        return 2;
+    ctx.r[3] = th.load_u64(ctx.r[3] + kItNext);
+    return 1;
+}
+
+uint32_t
+rset_update(RuntimeThread& th, RegionCtx& ctx)
+{
+    th.store_u64(ctx.r[3] + kItValue, ctx.r[2]);
+    ctx.r[9] = 2;
+    return rt::kRegionEnd;
+}
+
+uint32_t
+rset_build(RuntimeThread& th, RegionCtx& ctx)
+{
+    ctx.r[7] = th.nv_alloc(sizeof(RedisItem));
+    th.store_u64(ctx.r[7] + kItKey, ctx.r[1]);
+    th.store_u64(ctx.r[7] + kItValue, ctx.r[2]);
+    th.store_u64(ctx.r[7] + kItNext, ctx.r[11]);
+    ctx.r[14] = th.load_u64(ctx.r[0] + kCount);
+    ctx.r[15] = ctx.r[14] + 1;
+    return 4;
+}
+
+uint32_t
+rset_link(RuntimeThread& th, RegionCtx& ctx)
+{
+    th.store_u64(ctx.r[10], ctx.r[7]);
+    th.store_u64(ctx.r[0] + kCount, ctx.r[15]);
+    ctx.r[9] = 1;
+    return rt::kRegionEnd;
+}
+
+// --- del ----------------------------------------------------------------
+
+uint32_t
+rdel_read_head(RuntimeThread& th, RegionCtx& ctx)
+{
+    ctx.r[3] = th.load_u64(ctx.r[10]);
+    ctx.r[11] = 0;
+    return 1;
+}
+
+uint32_t
+rdel_walk(RuntimeThread& th, RegionCtx& ctx)
+{
+    if (ctx.r[3] == 0) {
+        ctx.r[9] = 0;
+        return rt::kRegionEnd;
+    }
+    ctx.r[5] = th.load_u64(ctx.r[3] + kItKey);
+    if (ctx.r[5] == ctx.r[1])
+        return 2;
+    ctx.r[11] = ctx.r[3];
+    ctx.r[3] = th.load_u64(ctx.r[11] + kItNext);
+    return 1;
+}
+
+uint32_t
+rdel_gather(RuntimeThread& th, RegionCtx& ctx)
+{
+    ctx.r[8] = th.load_u64(ctx.r[3] + kItNext);
+    ctx.r[14] = th.load_u64(ctx.r[0] + kCount);
+    ctx.r[15] = ctx.r[14] - 1;
+    return 3;
+}
+
+uint32_t
+rdel_unlink(RuntimeThread& th, RegionCtx& ctx)
+{
+    if (ctx.r[11] == 0)
+        th.store_u64(ctx.r[10], ctx.r[8]);
+    else
+        th.store_u64(ctx.r[11] + kItNext, ctx.r[8]);
+    th.store_u64(ctx.r[0] + kCount, ctx.r[15]);
+    th.nv_free(ctx.r[3]);
+    ctx.r[9] = 1;
+    return rt::kRegionEnd;
+}
+
+constexpr uint16_t R(int i)
+{
+    return static_cast<uint16_t>(1u << i);
+}
+
+} // namespace
+
+const rt::FaseProgram&
+RedisMini::set_program()
+{
+    static const rt::FaseProgram prog = [] {
+        rt::FaseProgram p;
+        p.fase_id = ds::kFaseRedisSet;
+        p.name = "redis.set";
+        p.regions = {
+            {rset_read_head, "read_head", R(10), R(3) | R(11), 0, 0, 0},
+            {rset_walk, "walk", R(1) | R(3), R(3), 0, 0, 0},
+            {rset_update, "update", R(2) | R(3), R(9), 0, 0},
+            {rset_build, "build", R(0) | R(1) | R(2) | R(11),
+             R(7) | R(15), 0, 0},
+            {rset_link, "link", R(0) | R(7) | R(10) | R(15), R(9), 0,
+             0},
+        };
+        return p;
+    }();
+    return prog;
+}
+
+const rt::FaseProgram&
+RedisMini::del_program()
+{
+    static const rt::FaseProgram prog = [] {
+        rt::FaseProgram p;
+        p.fase_id = ds::kFaseRedisGet; // reuse the adjacent stable id
+        p.name = "redis.del";
+        p.regions = {
+            {rdel_read_head, "read_head", R(10), R(3) | R(11), 0, 0, 0},
+            {rdel_walk, "walk", R(1) | R(3), R(3) | R(9) | R(11), 0,
+             0, 0},
+            {rdel_gather, "gather", R(0) | R(3), R(8) | R(15), 0, 0, 0},
+            {rdel_unlink, "unlink",
+             R(0) | R(3) | R(8) | R(10) | R(11) | R(15), R(9), 0, 0},
+        };
+        return p;
+    }();
+    return prog;
+}
+
+void
+RedisMini::register_programs()
+{
+    auto& reg = rt::FaseRegistry::instance();
+    reg.register_program(&set_program());
+    reg.register_program(&del_program());
+}
+
+uint64_t
+RedisMini::create(rt::RuntimeThread& th, uint64_t nbuckets)
+{
+    IDO_ASSERT((nbuckets & (nbuckets - 1)) == 0);
+    const size_t bytes = sizeof(RedisRoot) + nbuckets * 8;
+    const uint64_t root = th.nv_alloc(bytes);
+    auto* p = th.heap().resolve<uint8_t>(root);
+    std::memset(p, 0, bytes);
+    reinterpret_cast<RedisRoot*>(p)->nbuckets = nbuckets;
+    th.dom().flush(p, bytes);
+    th.dom().fence();
+    return root;
+}
+
+RedisMini::RedisMini(nvm::PersistentHeap& heap, uint64_t root_off)
+    : root_off_(root_off),
+      nbuckets_(heap.resolve<RedisRoot>(root_off)->nbuckets)
+{
+}
+
+uint64_t
+RedisMini::bucket_slot(uint64_t key) const
+{
+    uint64_t h = key * 0x9e3779b97f4a7c15ull;
+    h ^= h >> 31;
+    return root_off_ + sizeof(RedisRoot) + (h & (nbuckets_ - 1)) * 8;
+}
+
+void
+RedisMini::set(rt::RuntimeThread& th, uint64_t key, uint64_t value)
+{
+    RegionCtx ctx;
+    ctx.r[0] = root_off_;
+    ctx.r[1] = key;
+    ctx.r[2] = value;
+    ctx.r[10] = bucket_slot(key);
+    th.run_fase(set_program(), ctx);
+}
+
+bool
+RedisMini::get(rt::RuntimeThread& th, uint64_t key, uint64_t* value)
+{
+    // Race-free persistent reads outside FASEs are allowed
+    // (Sec. II-B); Redis is single threaded, so the whole read path
+    // is uninstrumented for every runtime.
+    uint64_t item = th.load_u64(bucket_slot(key));
+    while (item != 0) {
+        if (th.load_u64(item + kItKey) == key) {
+            *value = th.load_u64(item + kItValue);
+            return true;
+        }
+        item = th.load_u64(item + kItNext);
+    }
+    return false;
+}
+
+bool
+RedisMini::del(rt::RuntimeThread& th, uint64_t key)
+{
+    RegionCtx ctx;
+    ctx.r[0] = root_off_;
+    ctx.r[1] = key;
+    ctx.r[10] = bucket_slot(key);
+    th.run_fase(del_program(), ctx);
+    return ctx.r[9] == 1;
+}
+
+uint64_t
+RedisMini::size(nvm::PersistentHeap& heap, uint64_t root_off)
+{
+    return heap.resolve<RedisRoot>(root_off)->count;
+}
+
+bool
+RedisMini::check_invariants(nvm::PersistentHeap& heap, uint64_t root_off)
+{
+    const auto* root = heap.resolve<RedisRoot>(root_off);
+    const size_t limit = heap.size() / sizeof(RedisItem) + 1;
+    uint64_t total = 0;
+    for (uint64_t b = 0; b < root->nbuckets; ++b) {
+        uint64_t item = *heap.resolve<uint64_t>(
+            root_off + sizeof(RedisRoot) + b * 8);
+        size_t n = 0;
+        while (item != 0) {
+            if (item + sizeof(RedisItem) > heap.size())
+                return false;
+            item = heap.resolve<RedisItem>(item)->next;
+            if (++n > limit)
+                return false;
+        }
+        total += n;
+    }
+    return total == root->count;
+}
+
+} // namespace ido::apps

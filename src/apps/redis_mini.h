@@ -1,0 +1,75 @@
+/**
+ * @file
+ * redis_mini: a single-threaded object KV store modeled on the Redis
+ * integration of the paper (Sec. V-A).
+ *
+ * Redis is single threaded, so failure atomicity comes from
+ * programmer-delineated durable code regions rather than lock-inferred
+ * FASEs: SET runs as a (lock-free) FASE; GET is a plain persistent
+ * read *outside* any FASE -- the paper's model explicitly allows
+ * race-free persistent reads outside FASEs, and this is precisely why
+ * iDO's overhead on Redis shrinks as the database (and thus the time
+ * spent searching) grows.
+ *
+ * Layout: one open-chaining hash table; u64 keys and values.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "common/cacheline.h"
+#include "runtime/fase_program.h"
+#include "runtime/runtime.h"
+
+namespace ido::apps {
+
+struct alignas(kCacheLineBytes) RedisRoot
+{
+    uint64_t nbuckets;
+    uint64_t count;
+    uint64_t pad[6];
+    // nbuckets u64 bucket heads follow.
+};
+
+struct RedisItem
+{
+    uint64_t next;
+    uint64_t key;
+    uint64_t value;
+    uint64_t pad;
+};
+
+class RedisMini
+{
+  public:
+    static uint64_t create(rt::RuntimeThread& th, uint64_t nbuckets);
+
+    RedisMini(nvm::PersistentHeap& heap, uint64_t root_off);
+
+    /** SET: durable code region (programmer-delineated FASE). */
+    void set(rt::RuntimeThread& th, uint64_t key, uint64_t value);
+
+    /** GET: plain reads outside any FASE. */
+    bool get(rt::RuntimeThread& th, uint64_t key, uint64_t* value);
+
+    /** DEL: durable code region. */
+    bool del(rt::RuntimeThread& th, uint64_t key);
+
+    uint64_t root_off() const { return root_off_; }
+
+    static uint64_t size(nvm::PersistentHeap& heap, uint64_t root_off);
+    static bool check_invariants(nvm::PersistentHeap& heap,
+                                 uint64_t root_off);
+
+    static const rt::FaseProgram& set_program();
+    static const rt::FaseProgram& del_program();
+    static void register_programs();
+
+  private:
+    uint64_t bucket_slot(uint64_t key) const;
+
+    uint64_t root_off_;
+    uint64_t nbuckets_;
+};
+
+} // namespace ido::apps

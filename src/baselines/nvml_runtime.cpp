@@ -1,0 +1,175 @@
+#include "baselines/nvml_runtime.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/panic.h"
+#include "stats/persist_stats.h"
+
+namespace ido::baselines {
+
+NvmlRuntime::NvmlRuntime(nvm::PersistentHeap& heap,
+                         nvm::PersistDomain& dom,
+                         const rt::RuntimeConfig& cfg)
+    : Runtime(heap, dom, cfg)
+{
+}
+
+uint64_t
+NvmlRuntime::allocate_thread_log()
+{
+    std::lock_guard<std::mutex> g(link_mutex_);
+    const uint64_t log_off = alloc_.alloc_aligned(sizeof(NvmlThreadLog), dom_);
+    const uint64_t buf_off =
+        alloc_.alloc_aligned(cfg_.log_bytes_per_thread, dom_);
+    IDO_ASSERT(log_off != 0 && buf_off != 0,
+               "out of persistent memory for NVML logs");
+    std::memset(heap_.resolve<void>(buf_off), 0,
+                cfg_.log_bytes_per_thread);
+    auto* log = heap_.resolve<NvmlThreadLog>(log_off);
+    NvmlThreadLog init{};
+    init.next = heap_.root(nvm::RootSlot::kNvmlState);
+    init.thread_tag = next_thread_tag_++;
+    init.buf_off = buf_off;
+    init.buf_bytes =
+        cfg_.log_bytes_per_thread & ~uint64_t{sizeof(NvmlEntry) - 1};
+    init.lap = 1;
+    dom_.store(log, &init, sizeof(init));
+    dom_.flush(log, sizeof(init));
+    dom_.fence();
+    heap_.set_root(nvm::RootSlot::kNvmlState, log_off, dom_);
+    return log_off;
+}
+
+std::vector<uint64_t>
+NvmlRuntime::thread_log_offsets()
+{
+    std::vector<uint64_t> offs;
+    uint64_t off = heap_.root(nvm::RootSlot::kNvmlState);
+    while (off != 0) {
+        offs.push_back(off);
+        off = heap_.resolve<NvmlThreadLog>(off)->next;
+        IDO_ASSERT(offs.size() < 1u << 20, "NVML log list cycle");
+    }
+    return offs;
+}
+
+std::unique_ptr<rt::RuntimeThread>
+NvmlRuntime::make_thread()
+{
+    return std::make_unique<NvmlThread>(*this);
+}
+
+void
+NvmlRuntime::recover()
+{
+    locks_.new_epoch();
+    for (uint64_t off : thread_log_offsets()) {
+        auto* log = heap_.resolve<NvmlThreadLog>(off);
+        const uint64_t lap = dom_.load_val(&log->lap);
+        const auto* buf = heap_.resolve<uint8_t>(log->buf_off);
+        const size_t n_slots = log->buf_bytes / sizeof(NvmlEntry);
+        // Collect the interrupted transaction's live entries.
+        std::vector<NvmlEntry> live;
+        for (size_t i = 0; i < n_slots; ++i) {
+            NvmlEntry e;
+            dom_.load(buf + i * sizeof(NvmlEntry), &e, sizeof(e));
+            if (e.type != 1 || e.lap != static_cast<uint32_t>(lap))
+                break;
+            live.push_back(e);
+        }
+        // Undo in reverse append order.
+        for (auto it = live.rbegin(); it != live.rend(); ++it) {
+            void* p = heap_.resolve<void>(it->addr_off);
+            dom_.store(p, &it->old_val, it->size);
+            dom_.flush(p, it->size);
+        }
+        dom_.fence();
+        dom_.store_val(&log->lap, lap + 1);
+        dom_.flush(&log->lap, sizeof(uint64_t));
+        dom_.fence();
+    }
+}
+
+// --------------------------------------------------------------------------
+// NvmlThread
+// --------------------------------------------------------------------------
+
+NvmlThread::NvmlThread(NvmlRuntime& rt)
+    : RuntimeThread(rt)
+{
+    const uint64_t log_off = rt.allocate_thread_log();
+    log_ = heap().resolve<NvmlThreadLog>(log_off);
+    buf_ = heap().resolve<uint8_t>(log_->buf_off);
+    snapshotted_.reserve(64);
+    dirty_.reserve(64);
+}
+
+void
+NvmlThread::on_fase_begin(const rt::FaseProgram&, rt::RegionCtx&)
+{
+    cursor_ = 0;
+    snapshotted_.clear();
+    dirty_.clear();
+}
+
+void
+NvmlThread::on_fase_end(const rt::FaseProgram&, rt::RegionCtx&)
+{
+    for (const auto& [off, len] : dirty_)
+        dom().flush(heap().resolve<void>(off), len);
+    dirty_.clear();
+    dom().fence(); // data durable before the log is retired
+    crash_tick();
+    dom().store_val(&log_->lap, log_->lap + 1); // commit == truncate
+    dom().flush(&log_->lap, sizeof(uint64_t));
+    dom().fence();
+    snapshotted_.clear();
+}
+
+void
+NvmlThread::do_store(uint64_t off, const void* src, size_t n)
+{
+    if (!in_fase_) {
+        // Unannotated store outside any transaction: NVML leaves the
+        // programmer on their own; write through durably.
+        void* p = heap().resolve<void>(off);
+        dom().store(p, src, n);
+        dom().flush(p, n);
+        dom().fence();
+        return;
+    }
+    const auto* bytes = static_cast<const uint8_t*>(src);
+    size_t done = 0;
+    while (done < n) {
+        const uint64_t cur = off + done;
+        const uint64_t chunk_off = cur & ~uint64_t{7};
+        const size_t in_chunk = cur - chunk_off;
+        const size_t take = std::min(n - done, 8 - in_chunk);
+        if (snapshotted_.insert(chunk_off).second) {
+            // First write to this chunk in the transaction: snapshot
+            // its old value durably before modifying it.
+            IDO_ASSERT(cursor_ + sizeof(NvmlEntry) <= log_->buf_bytes,
+                       "NVML undo log overflow");
+            NvmlEntry e{};
+            e.type = 1;
+            e.size = 8;
+            e.lap = static_cast<uint32_t>(log_->lap);
+            e.addr_off = chunk_off;
+            dom().load(heap().resolve<void>(chunk_off), &e.old_val, 8);
+            auto* dst = reinterpret_cast<NvmlEntry*>(buf_ + cursor_);
+            dom().store(dst, &e, sizeof(e));
+            dom().flush(dst, sizeof(e));
+            dom().fence();
+            cursor_ += sizeof(NvmlEntry);
+            tls_persist_counters().log_bytes += sizeof(e);
+            crash_tick();
+        }
+        void* p = heap().resolve<void>(cur);
+        dom().store(p, bytes + done, take);
+        done += take;
+    }
+    dirty_.emplace_back(off, static_cast<uint32_t>(n));
+}
+
+} // namespace ido::baselines

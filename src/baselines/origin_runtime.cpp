@@ -1,0 +1,11 @@
+#include "baselines/origin_runtime.h"
+
+namespace ido::baselines {
+
+std::unique_ptr<rt::RuntimeThread>
+OriginRuntime::make_thread()
+{
+    return std::make_unique<OriginThread>(*this);
+}
+
+} // namespace ido::baselines

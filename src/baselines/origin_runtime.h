@@ -1,0 +1,46 @@
+/**
+ * @file
+ * "Origin": the uninstrumented, crash-vulnerable baseline (paper
+ * Sec. V).  Stores go straight to memory with no logging, no flushes
+ * and no fences; locks are plain mutual exclusion.  It exists purely as
+ * the performance ceiling against which the persistence overhead of
+ * every other runtime is measured.
+ */
+#pragma once
+
+#include "runtime/runtime.h"
+
+namespace ido::baselines {
+
+class OriginRuntime final : public rt::Runtime
+{
+  public:
+    using Runtime::Runtime;
+
+    const char* name() const override { return "origin"; }
+
+    rt::RuntimeTraits
+    traits() const override
+    {
+        return {"None (crash-vulnerable)", "None", "None", false, false};
+    }
+
+    std::unique_ptr<rt::RuntimeThread> make_thread() override;
+
+    bool supports_recovery() const override { return false; }
+
+    void
+    recover() override
+    {
+        // Origin has no recovery: persistent data after a crash is
+        // whatever the cache happened to write back.
+    }
+};
+
+class OriginThread final : public rt::RuntimeThread
+{
+  public:
+    using RuntimeThread::RuntimeThread;
+};
+
+} // namespace ido::baselines

@@ -1,0 +1,81 @@
+#include "baselines/runtime_factory.h"
+
+#include "baselines/atlas_runtime.h"
+#include "baselines/justdo_runtime.h"
+#include "baselines/mnemosyne_runtime.h"
+#include "baselines/nvml_runtime.h"
+#include "baselines/nvthreads_runtime.h"
+#include "baselines/origin_runtime.h"
+#include "common/panic.h"
+#include "ido/ido_runtime.h"
+
+namespace ido::baselines {
+
+const std::vector<RuntimeKind>&
+all_runtime_kinds()
+{
+    static const std::vector<RuntimeKind> kinds = {
+        RuntimeKind::kIdo,       RuntimeKind::kAtlas,
+        RuntimeKind::kMnemosyne, RuntimeKind::kJustdo,
+        RuntimeKind::kNvml,      RuntimeKind::kNvthreads,
+        RuntimeKind::kOrigin,
+    };
+    return kinds;
+}
+
+const char*
+runtime_kind_name(RuntimeKind kind)
+{
+    switch (kind) {
+      case RuntimeKind::kIdo:
+        return "ido";
+      case RuntimeKind::kAtlas:
+        return "atlas";
+      case RuntimeKind::kMnemosyne:
+        return "mnemosyne";
+      case RuntimeKind::kJustdo:
+        return "justdo";
+      case RuntimeKind::kNvml:
+        return "nvml";
+      case RuntimeKind::kNvthreads:
+        return "nvthreads";
+      case RuntimeKind::kOrigin:
+        return "origin";
+    }
+    return "?";
+}
+
+RuntimeKind
+runtime_kind_from_name(const std::string& name)
+{
+    for (RuntimeKind kind : all_runtime_kinds()) {
+        if (name == runtime_kind_name(kind))
+            return kind;
+    }
+    panic("unknown runtime '%s'", name.c_str());
+}
+
+std::unique_ptr<rt::Runtime>
+make_runtime(RuntimeKind kind, nvm::PersistentHeap& heap,
+             nvm::PersistDomain& dom, const rt::RuntimeConfig& cfg)
+{
+    switch (kind) {
+      case RuntimeKind::kIdo:
+        return std::make_unique<IdoRuntime>(heap, dom, cfg);
+      case RuntimeKind::kAtlas:
+        return std::make_unique<AtlasRuntime>(heap, dom, cfg);
+      case RuntimeKind::kMnemosyne:
+        return std::make_unique<MnemosyneRuntime>(heap, dom, cfg);
+      case RuntimeKind::kJustdo:
+        return std::make_unique<JustdoRuntime>(heap, dom, cfg);
+      case RuntimeKind::kNvml:
+        return std::make_unique<NvmlRuntime>(heap, dom, cfg);
+      case RuntimeKind::kNvthreads:
+        return std::make_unique<NvthreadsRuntime>(heap, dom, cfg);
+      case RuntimeKind::kOrigin:
+        return std::make_unique<OriginRuntime>(heap, dom, cfg);
+    }
+    panic("bad RuntimeKind");
+}
+
+} // namespace ido::baselines

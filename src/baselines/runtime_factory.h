@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Construction of any of the evaluated runtimes by name/kind -- the
+ * benchmark harnesses sweep RuntimeKind exactly the way the paper's
+ * figures sweep systems.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/runtime.h"
+
+namespace ido::baselines {
+
+enum class RuntimeKind
+{
+    kIdo,
+    kAtlas,
+    kMnemosyne,
+    kJustdo,
+    kNvml,
+    kNvthreads,
+    kOrigin,
+};
+
+/** All kinds, in the paper's presentation order. */
+const std::vector<RuntimeKind>& all_runtime_kinds();
+
+const char* runtime_kind_name(RuntimeKind kind);
+
+/** Parse a name ("ido", "atlas", ...); panics on unknown names. */
+RuntimeKind runtime_kind_from_name(const std::string& name);
+
+std::unique_ptr<rt::Runtime>
+make_runtime(RuntimeKind kind, nvm::PersistentHeap& heap,
+             nvm::PersistDomain& dom, const rt::RuntimeConfig& cfg);
+
+} // namespace ido::baselines

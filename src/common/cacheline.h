@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Cache-line geometry and padding helpers.
+ *
+ * Variables in the microbenchmarks are "appropriately padded to avoid
+ * false sharing" (Sec. V-B); persist accounting is done in units of
+ * 64-byte lines throughout the runtime.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ido {
+
+constexpr size_t kCacheLineBytes = 64;
+
+/** Round an address down to its cache-line base. */
+constexpr uintptr_t
+line_base(uintptr_t addr)
+{
+    return addr & ~static_cast<uintptr_t>(kCacheLineBytes - 1);
+}
+
+/** Number of cache lines touched by [addr, addr+size). */
+constexpr size_t
+lines_spanned(uintptr_t addr, size_t size)
+{
+    if (size == 0)
+        return 0;
+    return (line_base(addr + size - 1) - line_base(addr)) / kCacheLineBytes + 1;
+}
+
+/** Wrapper that pads T to a full cache line to prevent false sharing. */
+template <typename T>
+struct alignas(kCacheLineBytes) Padded
+{
+    T value{};
+};
+
+} // namespace ido

@@ -1,0 +1,98 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ido {
+
+void
+Histogram::add(uint64_t v, uint64_t count)
+{
+    v = std::min(v, kClamp);
+    if (bins_.size() <= v)
+        bins_.resize(v + 1, 0);
+    bins_[v] += count;
+    total_ += count;
+    weighted_sum_ += v * count;
+}
+
+void
+Histogram::merge(const Histogram& other)
+{
+    if (bins_.size() < other.bins_.size())
+        bins_.resize(other.bins_.size(), 0);
+    for (size_t i = 0; i < other.bins_.size(); ++i)
+        bins_[i] += other.bins_[i];
+    total_ += other.total_;
+    weighted_sum_ += other.weighted_sum_;
+}
+
+uint64_t
+Histogram::count_at(uint64_t v) const
+{
+    if (v >= bins_.size())
+        return 0;
+    return bins_[v];
+}
+
+double
+Histogram::cdf(uint64_t v) const
+{
+    if (total_ == 0)
+        return 0.0;
+    uint64_t acc = 0;
+    const uint64_t limit = std::min<uint64_t>(v, bins_.size() - 1);
+    if (!bins_.empty()) {
+        for (uint64_t i = 0; i <= limit; ++i)
+            acc += bins_[i];
+    }
+    return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+double
+Histogram::mean() const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(weighted_sum_) / static_cast<double>(total_);
+}
+
+uint64_t
+Histogram::max_value() const
+{
+    for (size_t i = bins_.size(); i-- > 0;) {
+        if (bins_[i] != 0)
+            return i;
+    }
+    return 0;
+}
+
+uint64_t
+Histogram::percentile(double q) const
+{
+    if (total_ == 0)
+        return 0;
+    const double target = q * static_cast<double>(total_);
+    uint64_t acc = 0;
+    for (size_t i = 0; i < bins_.size(); ++i) {
+        acc += bins_[i];
+        if (static_cast<double>(acc) >= target)
+            return i;
+    }
+    return max_value();
+}
+
+std::string
+Histogram::format_cdf(const std::string& label, uint64_t up_to) const
+{
+    std::string out = label + ":";
+    char buf[64];
+    for (uint64_t v = 0; v <= up_to; ++v) {
+        std::snprintf(buf, sizeof(buf), "  <=%llu: %5.1f%%",
+                      static_cast<unsigned long long>(v), cdf(v) * 100.0);
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace ido

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Integer histogram with cumulative-distribution queries.
+ *
+ * Used to reproduce the region-characteristics CDFs of Fig. 8
+ * (stores per dynamic idempotent region; live-in registers per region).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ido {
+
+/** Histogram over small nonnegative integer samples (counts, sizes). */
+class Histogram
+{
+  public:
+    Histogram() = default;
+
+    /** Record one sample of value v (values above 4095 are clamped). */
+    void add(uint64_t v, uint64_t count = 1);
+
+    /** Merge another histogram into this one. */
+    void merge(const Histogram& other);
+
+    uint64_t total_samples() const { return total_; }
+
+    /** Number of samples with value exactly v. */
+    uint64_t count_at(uint64_t v) const;
+
+    /** Fraction of samples <= v, in [0,1]; 0 if empty. */
+    double cdf(uint64_t v) const;
+
+    /** Mean sample value; 0 if empty. */
+    double mean() const;
+
+    /** Largest recorded value; 0 if empty. */
+    uint64_t max_value() const;
+
+    /** Smallest v such that cdf(v) >= q (q in [0,1]). */
+    uint64_t percentile(double q) const;
+
+    /**
+     * Render "v<=0: 12.3%  v<=1: 45.6% ..." rows up to max_value,
+     * matching the cumulative curves of Fig. 8.
+     */
+    std::string format_cdf(const std::string& label, uint64_t up_to) const;
+
+  private:
+    static constexpr uint64_t kClamp = 4095;
+    std::vector<uint64_t> bins_;
+    uint64_t total_ = 0;
+    uint64_t weighted_sum_ = 0;
+};
+
+} // namespace ido

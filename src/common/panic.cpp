@@ -1,0 +1,69 @@
+#include "common/panic.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ido {
+
+namespace {
+
+void
+vreport(const char* tag, const char* fmt, va_list ap)
+{
+    std::fprintf(stderr, "%s: ", tag);
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+}
+
+} // namespace
+
+void
+panic(const char* fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("panic", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+fatal(const char* fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("fatal", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+warn(const char* fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("warn", fmt, ap);
+    va_end(ap);
+}
+
+namespace detail {
+
+void
+assert_fail(const char* cond, const char* file, int line, const char* fmt,
+            ...)
+{
+    std::fprintf(stderr, "panic: assertion failed: %s at %s:%d: ", cond,
+                 file, line);
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+    std::abort();
+}
+
+} // namespace detail
+
+} // namespace ido

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — something that should never happen regardless of user input
+ *            (an internal bug); aborts so a core dump / debugger is usable.
+ * fatal()  — the run cannot continue because of a user/environment error
+ *            (bad config, missing file); exits with status 1.
+ * warn()   — non-fatal notice on stderr.
+ */
+#pragma once
+
+#include <cstdarg>
+
+namespace ido {
+
+[[noreturn]] void panic(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+[[noreturn]] void fatal(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void warn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* cond, const char* file, int line,
+                              const char* fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+} // namespace detail
+
+/** Assert that is active in all build types (protocol invariants). */
+#define IDO_ASSERT(cond, ...)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::ido::detail::assert_fail(#cond, __FILE__, __LINE__,          \
+                                       "" __VA_ARGS__);                    \
+        }                                                                  \
+    } while (0)
+
+} // namespace ido

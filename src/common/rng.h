@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Thread-local-friendly xorshift RNG.
+ *
+ * The microbenchmark methodology of the paper (Sec. V-B) requires
+ * per-thread generators to avoid contention; std::mt19937 is too heavy
+ * for an inner loop that measures a handful of instructions.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace ido {
+
+/** xorshift128+ generator; fast, decent quality, trivially seedable. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Uniform 64-bit value. */
+    uint64_t next();
+
+    /** Uniform value in [0, bound). bound must be nonzero. */
+    uint64_t next_below(uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double next_double();
+
+    /** Bernoulli draw: true with probability pct/100. */
+    bool percent(uint32_t pct);
+
+  private:
+    uint64_t s0_;
+    uint64_t s1_;
+};
+
+/** SplitMix64 step, used for seeding. */
+uint64_t splitmix64(uint64_t& state);
+
+} // namespace ido

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Minimal wall-clock stopwatch used by the benchmark harnesses.
+ */
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace ido {
+
+class Stopwatch
+{
+  public:
+    Stopwatch() { reset(); }
+
+    void reset() { start_ = clock::now(); }
+
+    /** Elapsed nanoseconds since construction / last reset. */
+    uint64_t elapsed_ns() const
+    {
+        return static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                clock::now() - start_).count());
+    }
+
+    double elapsed_seconds() const
+    {
+        return static_cast<double>(elapsed_ns()) * 1e-9;
+    }
+
+  private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+} // namespace ido

@@ -1,0 +1,84 @@
+#include "common/zipf.h"
+
+#include <cmath>
+
+#include "common/panic.h"
+
+namespace ido {
+
+namespace {
+
+/** log(1+x)/x, continuous through x == 0. */
+double
+helper_log1p_over_x(double x)
+{
+    if (std::abs(x) > 1e-8)
+        return std::log1p(x) / x;
+    return 1.0 - x / 2.0 + x * x / 3.0;
+}
+
+/** (e^x - 1)/x, continuous through x == 0. */
+double
+helper_expm1_over_x(double x)
+{
+    if (std::abs(x) > 1e-8)
+        return std::expm1(x) / x;
+    return 1.0 + x / 2.0 + x * x / 6.0;
+}
+
+} // namespace
+
+ZipfSampler::ZipfSampler(uint64_t n, double theta)
+    : n_(n), theta_(theta)
+{
+    IDO_ASSERT(n >= 1);
+    IDO_ASSERT(theta >= 0.0 && theta < 10.0);
+    h_integral_x1_ = h_integral(1.5) - 1.0;
+    h_integral_n_ = h_integral(static_cast<double>(n) + 0.5);
+    s_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+}
+
+double
+ZipfSampler::h(double x) const
+{
+    return std::exp(-theta_ * std::log(x));
+}
+
+double
+ZipfSampler::h_integral(double x) const
+{
+    const double log_x = std::log(x);
+    return log_x * helper_expm1_over_x((1.0 - theta_) * log_x);
+}
+
+double
+ZipfSampler::h_integral_inverse(double x) const
+{
+    double t = x * (1.0 - theta_);
+    if (t < -1.0)
+        t = -1.0;
+    return std::exp(x * helper_log1p_over_x(t));
+}
+
+uint64_t
+ZipfSampler::next(Rng& rng) const
+{
+    if (theta_ == 0.0 || n_ == 1)
+        return rng.next_below(n_);
+    // Rejection-inversion sampling (Hoermann & Derflinger 1996).
+    while (true) {
+        const double u = h_integral_n_
+            + rng.next_double() * (h_integral_x1_ - h_integral_n_);
+        const double x = h_integral_inverse(u);
+        uint64_t k = static_cast<uint64_t>(x + 0.5);
+        if (k < 1)
+            k = 1;
+        else if (k > n_)
+            k = n_;
+        const double kd = static_cast<double>(k);
+        if (kd - x <= s_ || u >= h_integral(kd + 0.5) - h(kd))
+            return k - 1;
+    }
+}
+
+} // namespace ido

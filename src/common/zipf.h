@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Power-law (Zipf) key sampler.
+ *
+ * The Redis lru_test client queries keys with a power-law distribution
+ * over a fixed key range (Sec. V-A); this sampler reproduces that
+ * workload shape with O(1) draws after O(n)-free setup (we use the
+ * rejection-inversion method of Hoermann & Derflinger, so no per-key
+ * table is required even for a 1M key range).
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace ido {
+
+/** Zipf(theta) sampler over {0, ..., n-1}. */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n      key-range size (>= 1)
+     * @param theta  skew exponent; 0 = uniform, ~0.99 = classic YCSB skew
+     */
+    ZipfSampler(uint64_t n, double theta);
+
+    /** Draw one key index in [0, n). */
+    uint64_t next(Rng& rng) const;
+
+    uint64_t range() const { return n_; }
+    double theta() const { return theta_; }
+
+  private:
+    double h(double x) const;
+    double h_integral(double x) const;
+    double h_integral_inverse(double x) const;
+
+    uint64_t n_;
+    double theta_;
+    double h_integral_x1_;
+    double h_integral_n_;
+    double s_;
+};
+
+} // namespace ido

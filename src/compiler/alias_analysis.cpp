@@ -1,0 +1,176 @@
+#include "compiler/alias_analysis.h"
+
+#include "common/panic.h"
+
+namespace ido::compiler {
+
+namespace {
+
+/** Join two provenances; mismatched facts degrade to unknown. */
+Provenance
+join(const Provenance& a, const Provenance& b)
+{
+    if (a.base == Provenance::Base::kUnknown)
+        return a;
+    if (b.base == Provenance::Base::kUnknown)
+        return b;
+    if (!a.same_base(b)) {
+        return Provenance{}; // unknown
+    }
+    Provenance out = a;
+    if (!b.offset_known || !a.offset_known || a.offset != b.offset) {
+        out.offset_known = false;
+        out.offset = 0;
+    }
+    return out;
+}
+
+bool
+same_prov(const Provenance& a, const Provenance& b)
+{
+    return a.base == b.base && a.id == b.id
+           && a.offset_known == b.offset_known && a.offset == b.offset;
+}
+
+} // namespace
+
+AliasAnalysis::AliasAnalysis(const Function& fn)
+{
+    prov_.assign(fn.num_regs(), Provenance{});
+    const_val_.assign(fn.num_regs(), {false, 0});
+    std::vector<bool> defined(fn.num_regs(), false);
+
+    // Seed: FASE arguments are distinct symbolic bases.
+    for (uint32_t r = 0; r < fn.num_regs(); ++r) {
+        if (fn.arg_mask() & (1ull << r)) {
+            prov_[r] = Provenance{Provenance::Base::kArg, r, true, 0};
+            defined[r] = true;
+        }
+    }
+
+    // Flow-insensitive fixpoint: two passes suffice for join semantics
+    // over a finite lattice of height 2, but iterate to be safe.
+    uint32_t alloc_site = 0;
+    for (int pass = 0; pass < 3; ++pass) {
+        alloc_site = 0;
+        bool changed = false;
+        for (uint32_t b = 0; b < fn.num_blocks(); ++b) {
+            for (const Instr& ins : fn.block(b).instrs) {
+                Provenance p{};
+                std::pair<bool, uint64_t> cv{false, 0};
+                switch (ins.op) {
+                  case Opcode::kConst:
+                    p = Provenance{Provenance::Base::kAbsolute, 0, true,
+                                   static_cast<int64_t>(ins.imm)};
+                    cv = {true, ins.imm};
+                    break;
+                  case Opcode::kMov:
+                    p = prov_[ins.a];
+                    cv = const_val_[ins.a];
+                    break;
+                  case Opcode::kAdd:
+                  case Opcode::kSub: {
+                    const auto& ca = const_val_[ins.a];
+                    const auto& cb = const_val_[ins.b];
+                    const int64_t sign =
+                        ins.op == Opcode::kAdd ? 1 : -1;
+                    if (cb.first && prov_[ins.a].offset_known) {
+                        p = prov_[ins.a];
+                        p.offset +=
+                            sign * static_cast<int64_t>(cb.second);
+                    } else if (ins.op == Opcode::kAdd && ca.first
+                               && prov_[ins.b].offset_known) {
+                        p = prov_[ins.b];
+                        p.offset += static_cast<int64_t>(ca.second);
+                    }
+                    if (ca.first && cb.first) {
+                        cv = {true, ins.op == Opcode::kAdd
+                                        ? ca.second + cb.second
+                                        : ca.second - cb.second};
+                    }
+                    break;
+                  }
+                  case Opcode::kAlloc:
+                    p = Provenance{Provenance::Base::kAlloc,
+                                   alloc_site, true, 0};
+                    break;
+                  default:
+                    break; // loads, cmps etc: unknown provenance
+                }
+                if (ins.op == Opcode::kAlloc)
+                    ++alloc_site;
+                if (ins.def() == kNoReg)
+                    continue;
+                const uint32_t d = ins.def();
+                Provenance merged =
+                    defined[d] ? join(prov_[d], p) : p;
+                std::pair<bool, uint64_t> merged_cv =
+                    (defined[d]
+                     && (!const_val_[d].first || !cv.first
+                         || const_val_[d].second != cv.second))
+                    ? std::pair<bool, uint64_t>{false, 0}
+                    : cv;
+                if (!defined[d] || !same_prov(merged, prov_[d])
+                    || merged_cv != const_val_[d]) {
+                    prov_[d] = merged;
+                    const_val_[d] = merged_cv;
+                    changed = true;
+                }
+                defined[d] = true;
+            }
+        }
+        if (!changed)
+            break;
+    }
+}
+
+MemRef
+AliasAnalysis::mem_ref(const Instr& ins) const
+{
+    IDO_ASSERT(ins.is_load() || ins.is_store()
+               || ins.op == Opcode::kLock || ins.op == Opcode::kUnlock);
+    MemRef ref;
+    ref.prov = prov_[ins.a];
+    ref.disp = static_cast<int64_t>(ins.imm);
+    ref.size = 8;
+    return ref;
+}
+
+AliasResult
+AliasAnalysis::alias(const MemRef& a, const MemRef& b) const
+{
+    using Base = Provenance::Base;
+    // Distinct allocation sites, or allocation vs. pre-existing
+    // argument memory, cannot overlap.
+    const bool a_alloc = a.prov.base == Base::kAlloc;
+    const bool b_alloc = b.prov.base == Base::kAlloc;
+    if (a_alloc && b_alloc && a.prov.id != b.prov.id)
+        return AliasResult::kNoAlias;
+    if ((a_alloc && (b.prov.base == Base::kArg
+                     || b.prov.base == Base::kAbsolute))
+        || (b_alloc && (a.prov.base == Base::kArg
+                        || a.prov.base == Base::kAbsolute))) {
+        return AliasResult::kNoAlias;
+    }
+    if (a.prov.same_base(b.prov) && a.prov.offset_known
+        && b.prov.offset_known) {
+        const int64_t start_a = a.prov.offset + a.disp;
+        const int64_t start_b = b.prov.offset + b.disp;
+        if (start_a == start_b && a.size == b.size)
+            return AliasResult::kMustAlias;
+        if (start_a + static_cast<int64_t>(a.size) <= start_b
+            || start_b + static_cast<int64_t>(b.size) <= start_a) {
+            return AliasResult::kNoAlias;
+        }
+        return AliasResult::kMustAlias; // partial overlap
+    }
+    return AliasResult::kMayAlias;
+}
+
+AliasResult
+AliasAnalysis::alias(const Instr& a, const Instr& b) const
+{
+    return alias(mem_ref(a), mem_ref(b));
+}
+
+} // namespace ido::compiler

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A basicAA-style alias analysis (the paper uses LLVM's basic-AA and
+ * notes it is "quite conservative"; so is this one, deliberately).
+ *
+ * Each register gets a flow-insensitive *provenance*: a base (FASE
+ * argument, allocation site, or absolute constant) plus an optional
+ * known byte offset.  Memory references (base register + displacement)
+ * are then compared:
+ *
+ *  - same base, both offsets known: overlap is decidable exactly;
+ *  - two distinct allocation sites never alias;
+ *  - a fresh allocation never aliases an argument-derived pointer
+ *    (the argument existed before the allocation);
+ *  - anything involving an unknown provenance may alias.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/ir.h"
+
+namespace ido::compiler {
+
+enum class AliasResult
+{
+    kNoAlias,
+    kMayAlias,
+    kMustAlias,
+};
+
+/** Where a register's value ultimately came from. */
+struct Provenance
+{
+    enum class Base : uint8_t
+    {
+        kUnknown,  ///< loaded from memory, merged, or untracked math
+        kArg,      ///< the FASE argument register `id`
+        kAlloc,    ///< the allocation at instruction site `id`
+        kAbsolute, ///< a compile-time constant address
+    };
+
+    Base base = Base::kUnknown;
+    uint32_t id = 0;
+    bool offset_known = false;
+    int64_t offset = 0;
+
+    bool
+    same_base(const Provenance& o) const
+    {
+        return base == o.base && id == o.id
+               && base != Base::kUnknown;
+    }
+};
+
+/** A memory reference: the address register's provenance + disp. */
+struct MemRef
+{
+    Provenance prov;
+    int64_t disp = 0;
+    uint32_t size = 8;
+};
+
+class AliasAnalysis
+{
+  public:
+    explicit AliasAnalysis(const Function& fn);
+
+    /** Provenance of a register (flow-insensitive join). */
+    const Provenance& provenance(uint32_t reg) const
+    {
+        return prov_[reg];
+    }
+
+    /** Reference made by a load/store instruction. */
+    MemRef mem_ref(const Instr& ins) const;
+
+    AliasResult alias(const MemRef& a, const MemRef& b) const;
+
+    /** Convenience: alias of two load/store instructions. */
+    AliasResult alias(const Instr& a, const Instr& b) const;
+
+  private:
+    std::vector<Provenance> prov_;
+    std::vector<std::pair<bool, uint64_t>> const_val_;
+};
+
+} // namespace ido::compiler

@@ -1,0 +1,96 @@
+#include "compiler/antidep.h"
+
+namespace ido::compiler {
+
+namespace {
+
+/** Can execution flow from position p to position q (q strictly
+ *  after p on some path)?  Same-block forward indexes count; otherwise
+ *  any successor path from p's block reaching q's block counts
+ *  (conservatively including loop paths). */
+bool
+flows_to(const Cfg& cfg, InstrRef p, InstrRef q)
+{
+    if (p.block == q.block && q.index > p.index)
+        return true;
+    // Leave p's block, then reach q's block.
+    for (uint32_t s : cfg.successors(p.block)) {
+        if (cfg.reaches(s, q.block))
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<AntidepPair>
+find_antidependences(const Function& fn, const Cfg& cfg,
+                     const AliasAnalysis& aa)
+{
+    std::vector<AntidepPair> pairs;
+
+    // Gather reads and writes.
+    struct Site
+    {
+        InstrRef ref;
+        const Instr* ins;
+    };
+    std::vector<Site> loads, stores;
+    for (uint32_t b = 0; b < fn.num_blocks(); ++b) {
+        if (!cfg.reachable(b))
+            continue;
+        const BasicBlock& bb = fn.block(b);
+        for (uint32_t i = 0; i < bb.instrs.size(); ++i) {
+            const Instr& ins = bb.instrs[i];
+            if (ins.is_load())
+                loads.push_back({InstrRef{b, i}, &ins});
+            else if (ins.is_store())
+                stores.push_back({InstrRef{b, i}, &ins});
+        }
+    }
+
+    // Memory antidependences.
+    for (const Site& ld : loads) {
+        for (const Site& st : stores) {
+            if (aa.alias(*ld.ins, *st.ins) == AliasResult::kNoAlias)
+                continue;
+            if (flows_to(cfg, ld.ref, st.ref)) {
+                pairs.push_back(
+                    AntidepPair{ld.ref, st.ref, true, kNoReg});
+            }
+        }
+    }
+
+    // Register antidependences: use of r, later def of r.
+    for (uint32_t b = 0; b < fn.num_blocks(); ++b) {
+        if (!cfg.reachable(b))
+            continue;
+        const BasicBlock& bb = fn.block(b);
+        for (uint32_t i = 0; i < bb.instrs.size(); ++i) {
+            const uint64_t uses = bb.instrs[i].uses();
+            if (uses == 0)
+                continue;
+            for (uint32_t d_b = 0; d_b < fn.num_blocks(); ++d_b) {
+                if (!cfg.reachable(d_b))
+                    continue;
+                const BasicBlock& db = fn.block(d_b);
+                for (uint32_t d_i = 0; d_i < db.instrs.size(); ++d_i) {
+                    const uint32_t def = db.instrs[d_i].def();
+                    if (def == kNoReg || !(uses & (1ull << def)))
+                        continue;
+                    const InstrRef use_ref{b, i};
+                    const InstrRef def_ref{d_b, d_i};
+                    if (use_ref == def_ref)
+                        continue; // x = f(x): read happens first
+                    if (flows_to(cfg, use_ref, def_ref)) {
+                        pairs.push_back(AntidepPair{use_ref, def_ref,
+                                                    false, def});
+                    }
+                }
+            }
+        }
+    }
+    return pairs;
+}
+
+} // namespace ido::compiler

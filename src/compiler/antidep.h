@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Antidependence detection (paper Sec. II-C / IV-A-b).
+ *
+ * A region is idempotent iff re-running it from its entry cannot
+ * observe its own writes -- i.e. no write-after-read on either memory
+ * (a store may-aliasing an earlier load) or registers (a definition
+ * clobbering an earlier use that is live at region entry).  The
+ * partitioner must place a cut between the two halves of every pair.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/alias_analysis.h"
+#include "compiler/cfg.h"
+#include "compiler/ir.h"
+
+namespace ido::compiler {
+
+struct AntidepPair
+{
+    InstrRef first;  ///< the read (load, or register use)
+    InstrRef second; ///< the clobber (store, or register def)
+    bool is_memory;  ///< memory antidep vs. register antidep
+    uint32_t reg;    ///< for register pairs: the clobbered register
+};
+
+/**
+ * All write-after-read pairs where the clobber is reachable from the
+ * read (same-block later index, or any CFG path including loops).
+ */
+std::vector<AntidepPair>
+find_antidependences(const Function& fn, const Cfg& cfg,
+                     const AliasAnalysis& aa);
+
+} // namespace ido::compiler

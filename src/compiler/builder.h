@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Fluent construction helpers for IR functions.  Header-only; used by
+ * tests, benchmarks and examples to write FASE bodies compactly.
+ */
+#pragma once
+
+#include "compiler/ir.h"
+
+namespace ido::compiler {
+
+class FnBuilder
+{
+  public:
+    explicit FnBuilder(std::string name) : fn_(std::move(name)) {}
+
+    Function take() { return std::move(fn_); }
+    Function& fn() { return fn_; }
+
+    uint32_t
+    block(std::string name)
+    {
+        return fn_.new_block(std::move(name));
+    }
+
+    void switch_to(uint32_t b) { cur_ = b; }
+
+    uint32_t
+    arg()
+    {
+        const uint32_t r = fn_.new_reg();
+        fn_.add_arg(r);
+        return r;
+    }
+
+    uint32_t reg() { return fn_.new_reg(); }
+
+    // --- instructions (emitted into the current block) ---------------
+
+    uint32_t
+    cconst(uint64_t imm)
+    {
+        const uint32_t d = reg();
+        fn_.emit(cur_, Instr{Opcode::kConst, d, kNoReg, kNoReg, imm, 0});
+        return d;
+    }
+
+    uint32_t
+    mov(uint32_t a)
+    {
+        const uint32_t d = reg();
+        fn_.emit(cur_, Instr{Opcode::kMov, d, a, kNoReg, 0, 0});
+        return d;
+    }
+
+    /** Non-SSA helpers: assign into an existing register (used to
+     *  merge values at control-flow joins). */
+    void
+    mov_to(uint32_t dst, uint32_t a)
+    {
+        fn_.emit(cur_, Instr{Opcode::kMov, dst, a, kNoReg, 0, 0});
+    }
+
+    void
+    const_to(uint32_t dst, uint64_t imm)
+    {
+        fn_.emit(cur_,
+                 Instr{Opcode::kConst, dst, kNoReg, kNoReg, imm, 0});
+    }
+
+    void
+    load_to(uint32_t dst, uint32_t base, uint64_t disp)
+    {
+        fn_.emit(cur_, Instr{Opcode::kLoad, dst, base, kNoReg, disp, 0});
+    }
+
+    uint32_t
+    add(uint32_t a, uint32_t b)
+    {
+        const uint32_t d = reg();
+        fn_.emit(cur_, Instr{Opcode::kAdd, d, a, b, 0, 0});
+        return d;
+    }
+
+    uint32_t
+    mul(uint32_t a, uint32_t b)
+    {
+        const uint32_t d = reg();
+        fn_.emit(cur_, Instr{Opcode::kMul, d, a, b, 0, 0});
+        return d;
+    }
+
+    uint32_t
+    cmp_lt(uint32_t a, uint32_t b)
+    {
+        const uint32_t d = reg();
+        fn_.emit(cur_, Instr{Opcode::kCmpLt, d, a, b, 0, 0});
+        return d;
+    }
+
+    uint32_t
+    cmp_eq(uint32_t a, uint32_t b)
+    {
+        const uint32_t d = reg();
+        fn_.emit(cur_, Instr{Opcode::kCmpEq, d, a, b, 0, 0});
+        return d;
+    }
+
+    uint32_t
+    load(uint32_t base, uint64_t disp)
+    {
+        const uint32_t d = reg();
+        fn_.emit(cur_,
+                 Instr{Opcode::kLoad, d, base, kNoReg, disp, 0});
+        return d;
+    }
+
+    void
+    store(uint32_t base, uint64_t disp, uint32_t val)
+    {
+        fn_.emit(cur_, Instr{Opcode::kStore, kNoReg, base, val, disp, 0});
+    }
+
+    uint32_t
+    alloc(uint64_t bytes)
+    {
+        const uint32_t d = reg();
+        fn_.emit(cur_,
+                 Instr{Opcode::kAlloc, d, kNoReg, kNoReg, bytes, 0});
+        return d;
+    }
+
+    void
+    free_(uint32_t a)
+    {
+        fn_.emit(cur_, Instr{Opcode::kFree, kNoReg, a, kNoReg, 0, 0});
+    }
+
+    void
+    lock(uint32_t base, uint64_t disp = 0)
+    {
+        fn_.emit(cur_, Instr{Opcode::kLock, kNoReg, base, kNoReg, disp, 0});
+    }
+
+    void
+    unlock(uint32_t base, uint64_t disp = 0)
+    {
+        fn_.emit(cur_,
+                 Instr{Opcode::kUnlock, kNoReg, base, kNoReg, disp, 0});
+    }
+
+    void
+    br(uint32_t target)
+    {
+        fn_.emit(cur_, Instr{Opcode::kBr, kNoReg, kNoReg, kNoReg,
+                             target, 0});
+    }
+
+    void
+    cond_br(uint32_t cond, uint32_t if_true, uint32_t if_false)
+    {
+        fn_.emit(cur_, Instr{Opcode::kCondBr, kNoReg, cond, kNoReg,
+                             if_true, if_false});
+    }
+
+    void
+    ret()
+    {
+        fn_.emit(cur_, Instr{Opcode::kRet, kNoReg, kNoReg, kNoReg, 0, 0});
+    }
+
+  private:
+    Function fn_;
+    uint32_t cur_ = 0;
+};
+
+} // namespace ido::compiler

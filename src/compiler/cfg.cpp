@@ -1,0 +1,164 @@
+#include "compiler/cfg.h"
+
+#include <algorithm>
+
+#include "common/panic.h"
+
+namespace ido::compiler {
+
+Cfg::Cfg(const Function& fn)
+    : fn_(fn)
+{
+    const uint32_t n = fn.num_blocks();
+    succs_.resize(n);
+    preds_.resize(n);
+    loop_header_.assign(n, false);
+    reachable_.assign(n, false);
+    rpo_index_.assign(n, 0);
+    idom_.assign(n, 0);
+
+    for (uint32_t b = 0; b < n; ++b) {
+        const Instr& t = fn.block(b).terminator();
+        switch (t.op) {
+          case Opcode::kBr:
+            succs_[b].push_back(static_cast<uint32_t>(t.imm));
+            break;
+          case Opcode::kCondBr:
+            succs_[b].push_back(static_cast<uint32_t>(t.imm));
+            if (t.target2 != t.imm)
+                succs_[b].push_back(t.target2);
+            break;
+          case Opcode::kRet:
+            break;
+          default:
+            panic("block %u lacks a terminator", b);
+        }
+    }
+    for (uint32_t b = 0; b < n; ++b) {
+        for (uint32_t s : succs_[b])
+            preds_[s].push_back(b);
+    }
+
+    compute_rpo();
+    compute_dominators();
+
+    // Back edge: pred -> header where header dominates pred.
+    for (uint32_t b = 0; b < n; ++b) {
+        if (!reachable_[b])
+            continue;
+        for (uint32_t s : succs_[b]) {
+            if (dominates(s, b))
+                loop_header_[s] = true;
+        }
+    }
+}
+
+void
+Cfg::compute_rpo()
+{
+    std::vector<uint32_t> postorder;
+    std::vector<uint8_t> state(fn_.num_blocks(), 0);
+    // Iterative DFS from the entry block.
+    std::vector<std::pair<uint32_t, size_t>> stack;
+    stack.emplace_back(0, 0);
+    state[0] = 1;
+    reachable_[0] = true;
+    while (!stack.empty()) {
+        auto& [b, next] = stack.back();
+        if (next < succs_[b].size()) {
+            const uint32_t s = succs_[b][next++];
+            if (state[s] == 0) {
+                state[s] = 1;
+                reachable_[s] = true;
+                stack.emplace_back(s, 0);
+            }
+        } else {
+            postorder.push_back(b);
+            state[b] = 2;
+            stack.pop_back();
+        }
+    }
+    rpo_.assign(postorder.rbegin(), postorder.rend());
+    for (uint32_t i = 0; i < rpo_.size(); ++i)
+        rpo_index_[rpo_[i]] = i;
+}
+
+void
+Cfg::compute_dominators()
+{
+    // Cooper-Harvey-Kennedy iterative dominators over RPO.
+    const uint32_t undef = 0xffffffffu;
+    std::vector<uint32_t> doms(fn_.num_blocks(), undef);
+    doms[0] = 0;
+    auto intersect = [&](uint32_t a, uint32_t b) {
+        while (a != b) {
+            while (rpo_index_[a] > rpo_index_[b])
+                a = doms[a];
+            while (rpo_index_[b] > rpo_index_[a])
+                b = doms[b];
+        }
+        return a;
+    };
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (uint32_t b : rpo_) {
+            if (b == 0)
+                continue;
+            uint32_t new_idom = undef;
+            for (uint32_t p : preds_[b]) {
+                if (!reachable_[p] || doms[p] == undef)
+                    continue;
+                new_idom = (new_idom == undef)
+                    ? p
+                    : intersect(p, new_idom);
+            }
+            if (new_idom != undef && doms[b] != new_idom) {
+                doms[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    for (uint32_t b = 0; b < fn_.num_blocks(); ++b)
+        idom_[b] = (doms[b] == undef) ? 0 : doms[b];
+}
+
+bool
+Cfg::dominates(uint32_t a, uint32_t b) const
+{
+    if (!reachable_[a] || !reachable_[b])
+        return false;
+    uint32_t cur = b;
+    while (true) {
+        if (cur == a)
+            return true;
+        if (cur == 0)
+            return a == 0;
+        cur = idom_[cur];
+    }
+}
+
+bool
+Cfg::reaches(uint32_t from, uint32_t to) const
+{
+    if (!reachable_[from] || !reachable_[to])
+        return false;
+    std::vector<bool> seen(fn_.num_blocks(), false);
+    std::vector<uint32_t> work{from};
+    seen[from] = true;
+    while (!work.empty()) {
+        const uint32_t b = work.back();
+        work.pop_back();
+        if (b == to)
+            return true;
+        for (uint32_t s : succs_[b]) {
+            if (!seen[s]) {
+                seen[s] = true;
+                work.push_back(s);
+            }
+        }
+    }
+    return false;
+}
+
+} // namespace ido::compiler

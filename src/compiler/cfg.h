@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Control-flow utilities: successor/predecessor maps, reverse postorder,
+ * dominators, loop-header detection.  The region partitioner uses join
+ * points and loop headers as mandatory region headers (idempotent
+ * regions must be single-entry subgraphs, Sec. II-C).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/ir.h"
+
+namespace ido::compiler {
+
+class Cfg
+{
+  public:
+    explicit Cfg(const Function& fn);
+
+    const std::vector<uint32_t>& successors(uint32_t block) const
+    {
+        return succs_[block];
+    }
+
+    const std::vector<uint32_t>& predecessors(uint32_t block) const
+    {
+        return preds_[block];
+    }
+
+    /** Blocks in reverse postorder from the entry (block 0). */
+    const std::vector<uint32_t>& rpo() const { return rpo_; }
+
+    /** Immediate dominator of a block (entry's idom is itself). */
+    uint32_t idom(uint32_t block) const { return idom_[block]; }
+
+    bool dominates(uint32_t a, uint32_t b) const;
+
+    /**
+     * A block is a loop header if some edge into it comes from a block
+     * it dominates (a back edge).
+     */
+    bool is_loop_header(uint32_t block) const
+    {
+        return loop_header_[block];
+    }
+
+    /** Unreachable blocks are excluded from rpo(). */
+    bool reachable(uint32_t block) const { return reachable_[block]; }
+
+    /** Can control reach `to` starting from (and including) `from`? */
+    bool reaches(uint32_t from, uint32_t to) const;
+
+  private:
+    void compute_rpo();
+    void compute_dominators();
+
+    const Function& fn_;
+    std::vector<std::vector<uint32_t>> succs_;
+    std::vector<std::vector<uint32_t>> preds_;
+    std::vector<uint32_t> rpo_;
+    std::vector<uint32_t> rpo_index_;
+    std::vector<uint32_t> idom_;
+    std::vector<bool> loop_header_;
+    std::vector<bool> reachable_;
+};
+
+} // namespace ido::compiler

@@ -1,0 +1,67 @@
+#include "compiler/dataflow.h"
+
+#include "common/panic.h"
+
+namespace ido::compiler {
+
+BlockUseDef
+block_use_def(const BasicBlock& bb)
+{
+    BlockUseDef ud;
+    for (const Instr& ins : bb.instrs) {
+        ud.use |= ins.uses() & ~ud.def;
+        if (ins.def() != kNoReg)
+            ud.def |= 1ull << ins.def();
+    }
+    return ud;
+}
+
+Liveness::Liveness(const Function& fn, const Cfg& cfg)
+    : fn_(fn)
+{
+    const uint32_t n = fn.num_blocks();
+    live_in_.assign(n, 0);
+    live_out_.assign(n, 0);
+    std::vector<BlockUseDef> ud(n);
+    for (uint32_t b = 0; b < n; ++b)
+        ud[b] = block_use_def(fn.block(b));
+
+    // Backward iteration until fixpoint (post order = reversed RPO).
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (auto it = cfg.rpo().rbegin(); it != cfg.rpo().rend();
+             ++it) {
+            const uint32_t b = *it;
+            uint64_t out = 0;
+            for (uint32_t s : cfg.successors(b))
+                out |= live_in_[s];
+            if (fn.block(b).terminator().op == Opcode::kRet)
+                out |= fn.ret_mask(); // FASE results consumed by caller
+            const uint64_t in = ud[b].use | (out & ~ud[b].def);
+            if (out != live_out_[b] || in != live_in_[b]) {
+                live_out_[b] = out;
+                live_in_[b] = in;
+                changed = true;
+            }
+        }
+    }
+}
+
+uint64_t
+Liveness::live_before(InstrRef ref) const
+{
+    const BasicBlock& bb = fn_.block(ref.block);
+    IDO_ASSERT(ref.index <= bb.instrs.size());
+    // Walk backward from block exit to the requested position.
+    uint64_t live = live_out_[ref.block];
+    for (size_t i = bb.instrs.size(); i-- > ref.index;) {
+        const Instr& ins = bb.instrs[i];
+        if (ins.def() != kNoReg)
+            live &= ~(1ull << ins.def());
+        live |= ins.uses();
+    }
+    return live;
+}
+
+} // namespace ido::compiler

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Register dataflow analyses over the IR: liveness (backward) and the
+ * per-region input/output machinery the iDO compiler needs --
+ * "inputs" are live-in registers used in a region; "outputs" are
+ * Def_r ∩ LiveOut_r, the downward-exposed definitions (paper Eq. 1).
+ * Register sets are uint64_t bitmasks (kMaxRegs = 64).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/cfg.h"
+#include "compiler/ir.h"
+
+namespace ido::compiler {
+
+class Liveness
+{
+  public:
+    Liveness(const Function& fn, const Cfg& cfg);
+
+    /** Registers live at entry of a block. */
+    uint64_t live_in(uint32_t block) const { return live_in_[block]; }
+
+    /** Registers live at exit of a block. */
+    uint64_t live_out(uint32_t block) const { return live_out_[block]; }
+
+    /**
+     * Registers live immediately BEFORE instruction (block, index).
+     */
+    uint64_t live_before(InstrRef ref) const;
+
+  private:
+    const Function& fn_;
+    std::vector<uint64_t> live_in_;
+    std::vector<uint64_t> live_out_;
+};
+
+/** use/def summary of a block. */
+struct BlockUseDef
+{
+    uint64_t use = 0; ///< upward-exposed uses
+    uint64_t def = 0; ///< definitions
+};
+
+BlockUseDef block_use_def(const BasicBlock& bb);
+
+} // namespace ido::compiler

@@ -1,0 +1,49 @@
+#include "compiler/fase_compiler.h"
+
+#include "common/panic.h"
+#include "compiler/interpreter.h"
+
+namespace ido::compiler {
+
+CompiledFase::CompiledFase(uint32_t fase_id, Function fn)
+    : fn_(std::move(fn))
+{
+    fn_.validate();
+    IDO_ASSERT(fn_.num_regs() <= rt::kNumIntRegs,
+               "function '%s' uses %u registers; RegionCtx holds %zu",
+               fn_.name().c_str(), fn_.num_regs(), rt::kNumIntRegs);
+
+    cfg_ = std::make_unique<Cfg>(fn_);
+    aa_ = std::make_unique<AliasAnalysis>(fn_);
+    liveness_ = std::make_unique<Liveness>(fn_, *cfg_);
+
+    RegionPartitioner partitioner(fn_, *cfg_, *aa_);
+    partition_ = partitioner.run();
+
+    verification_ = verify_idempotence(fn_, *cfg_, *aa_, partition_);
+    if (!verification_.ok) {
+        for (const std::string& v : verification_.violations)
+            warn("verifier: %s", v.c_str());
+        panic("idempotence verification failed for '%s' "
+              "(%zu violations)",
+              fn_.name().c_str(), verification_.violations.size());
+    }
+
+    info_ = compute_region_info(fn_, *cfg_, *liveness_, partition_);
+
+    program_.fase_id = fase_id;
+    program_.name = fn_.name().c_str();
+    program_.impl = this;
+    program_.regions.reserve(info_.size());
+    for (const RegionInfo& ri : info_) {
+        rt::RegionMeta meta{};
+        meta.fn = &interpreter_trampoline;
+        meta.name = fn_.name().c_str();
+        meta.live_in_int = static_cast<uint16_t>(ri.live_in);
+        meta.out_int = static_cast<uint16_t>(ri.outputs);
+        meta.may_store = ri.num_stores > 0 ? 1 : 0;
+        program_.regions.push_back(meta);
+    }
+}
+
+} // namespace ido::compiler

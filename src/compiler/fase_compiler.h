@@ -1,0 +1,64 @@
+/**
+ * @file
+ * End-to-end compilation of an IR FASE body into an executable
+ * rt::FaseProgram (the full pipeline of paper Fig. 4):
+ *
+ *   IR function
+ *     -> CFG + liveness + alias analysis
+ *     -> idempotent region formation (antidep cuts, hitting set)
+ *     -> independent idempotence verification
+ *     -> per-region input/output sets (Eq. 1)
+ *     -> FaseProgram whose regions execute through the Interpreter.
+ *
+ * The resulting program runs under *any* runtime in this repo,
+ * exactly like the hand-lowered data-structure programs -- which is
+ * how the tests cross-check the compiler against the hand lowerings.
+ */
+#pragma once
+
+#include <memory>
+
+#include "compiler/alias_analysis.h"
+#include "compiler/cfg.h"
+#include "compiler/dataflow.h"
+#include "compiler/idempotence_verifier.h"
+#include "compiler/region_info.h"
+#include "compiler/region_partition.h"
+#include "runtime/fase_program.h"
+
+namespace ido::compiler {
+
+class CompiledFase
+{
+  public:
+    /**
+     * Run the pipeline.  Panics if the function fails structural
+     * validation, uses more registers than RegionCtx has slots, or
+     * the verifier rejects the partition.
+     */
+    CompiledFase(uint32_t fase_id, Function fn);
+
+    CompiledFase(const CompiledFase&) = delete;
+    CompiledFase& operator=(const CompiledFase&) = delete;
+
+    /** Executable program; regions run via the Interpreter. */
+    const rt::FaseProgram& program() const { return program_; }
+
+    const Function& function() const { return fn_; }
+    const Cfg& cfg() const { return *cfg_; }
+    const RegionPartition& partition() const { return partition_; }
+    const std::vector<RegionInfo>& region_info() const { return info_; }
+    const VerifyResult& verification() const { return verification_; }
+
+  private:
+    Function fn_;
+    std::unique_ptr<Cfg> cfg_;
+    std::unique_ptr<AliasAnalysis> aa_;
+    std::unique_ptr<Liveness> liveness_;
+    RegionPartition partition_;
+    std::vector<RegionInfo> info_;
+    VerifyResult verification_;
+    rt::FaseProgram program_;
+};
+
+} // namespace ido::compiler

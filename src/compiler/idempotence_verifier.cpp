@@ -1,0 +1,108 @@
+#include "compiler/idempotence_verifier.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "compiler/antidep.h"
+
+namespace ido::compiler {
+
+namespace {
+
+void
+add_violation(VerifyResult& result, const char* fmt, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    result.ok = false;
+    result.violations.emplace_back(buf);
+}
+
+} // namespace
+
+VerifyResult
+verify_idempotence(const Function& fn, const Cfg& cfg,
+                   const AliasAnalysis& aa, const RegionPartition& part)
+{
+    VerifyResult result;
+
+    // 1. Every antidependent pair must straddle a boundary.  For a
+    // forward intra-block pair any cut strictly between the read and
+    // the clobber works; for a cross-block or loop-carried pair every
+    // path re-enters the clobber's block, so a cut anywhere from that
+    // block's entry to the clobber covers it (the back-edge case: each
+    // loop iteration is a fresh region instance).
+    for (const AntidepPair& p :
+         find_antidependences(fn, cfg, aa)) {
+        if (!p.is_memory)
+            continue; // register WAR is safe under log-restore
+        bool covered;
+        if (p.first.block == p.second.block
+            && p.first.index < p.second.index) {
+            covered = part.has_cut_in(p.first.block,
+                                      p.first.index + 1,
+                                      p.second.index);
+        } else {
+            covered = part.has_cut_in(p.second.block, 0,
+                                      p.second.index);
+        }
+        if (!covered) {
+            add_violation(result,
+                          "%s antidependence not cut: "
+                          "(bb%u,%u) -> (bb%u,%u)",
+                          p.is_memory ? "memory" : "register",
+                          p.first.block, p.first.index, p.second.block,
+                          p.second.index);
+        }
+    }
+
+    // 2. Lock placement: an acquire ends its region; a release starts
+    // one (Sec. III-B).
+    for (uint32_t b = 0; b < fn.num_blocks(); ++b) {
+        if (!cfg.reachable(b))
+            continue;
+        const BasicBlock& bb = fn.block(b);
+        for (uint32_t i = 0; i < bb.instrs.size(); ++i) {
+            const Opcode op = bb.instrs[i].op;
+            uint32_t region;
+            if (op == Opcode::kLock && i + 1 < bb.instrs.size()
+                && !is_terminator(bb.instrs[i + 1].op)
+                && !part.is_region_start(InstrRef{b, i + 1},
+                                         &region)) {
+                add_violation(result,
+                              "no boundary after acquire at "
+                              "(bb%u,%u)",
+                              b, i);
+            }
+            if (op == Opcode::kUnlock
+                && !part.is_region_start(InstrRef{b, i}, &region)) {
+                add_violation(result,
+                              "no boundary before release at "
+                              "(bb%u,%u)",
+                              b, i);
+            }
+        }
+    }
+
+    // 3. Structural single-entry: joins and loop headers are headers.
+    for (uint32_t b = 0; b < fn.num_blocks(); ++b) {
+        if (!cfg.reachable(b))
+            continue;
+        uint32_t region;
+        const bool header =
+            part.is_region_start(InstrRef{b, 0}, &region);
+        if ((cfg.predecessors(b).size() > 1 || cfg.is_loop_header(b))
+            && !header) {
+            add_violation(result,
+                          "block %u (join/loop header) is not a "
+                          "region header",
+                          b);
+        }
+    }
+    return result;
+}
+
+} // namespace ido::compiler

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Independent checker of the region partition (DESIGN.md invariant 1):
+ * recomputes every antidependence pair and confirms a boundary
+ * separates its two halves, and re-checks the lock-placement rules
+ * (boundary after each acquire, before each release).  Kept separate
+ * from the partitioner so a partitioner bug cannot vouch for itself.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compiler/region_partition.h"
+
+namespace ido::compiler {
+
+struct VerifyResult
+{
+    bool ok = true;
+    std::vector<std::string> violations;
+};
+
+VerifyResult verify_idempotence(const Function& fn, const Cfg& cfg,
+                                const AliasAnalysis& aa,
+                                const RegionPartition& part);
+
+} // namespace ido::compiler

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Executes one idempotent region of a CompiledFase against the
+ * runtime-neutral RuntimeThread API.  Loads, stores, allocation and
+ * lock operations go through the same instrumented entry points as the
+ * hand-lowered programs, so a compiled FASE is failure-atomic under
+ * every runtime for free.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/region_ctx.h"
+
+namespace ido::rt {
+class RuntimeThread;
+}
+
+namespace ido::compiler {
+
+class CompiledFase;
+
+/**
+ * Execute the region th.current_region() of cf from its entry until
+ * control reaches another region's entry (returns its index) or kRet
+ * (returns rt::kRegionEnd).
+ */
+uint32_t interpret_region(const CompiledFase& cf, rt::RuntimeThread& th,
+                          rt::RegionCtx& ctx);
+
+/** RegionFn trampoline: resolves the CompiledFase via program()->impl. */
+uint32_t interpreter_trampoline(rt::RuntimeThread& th,
+                                rt::RegionCtx& ctx);
+
+} // namespace ido::compiler

@@ -1,0 +1,167 @@
+#include "compiler/ir.h"
+
+#include <cstdio>
+
+#include "common/panic.h"
+
+namespace ido::compiler {
+
+bool
+is_terminator(Opcode op)
+{
+    return op == Opcode::kBr || op == Opcode::kCondBr
+           || op == Opcode::kRet;
+}
+
+uint64_t
+Instr::uses() const
+{
+    uint64_t mask = 0;
+    if (a != kNoReg)
+        mask |= 1ull << a;
+    if (b != kNoReg)
+        mask |= 1ull << b;
+    return mask;
+}
+
+uint32_t
+Function::new_block(std::string name)
+{
+    blocks_.push_back(BasicBlock{{}, std::move(name)});
+    return static_cast<uint32_t>(blocks_.size() - 1);
+}
+
+uint32_t
+Function::new_reg()
+{
+    IDO_ASSERT(num_regs_ < kMaxRegs, "IR register budget exceeded");
+    return num_regs_++;
+}
+
+void
+Function::add_arg(uint32_t reg)
+{
+    IDO_ASSERT(reg < num_regs_);
+    arg_mask_ |= 1ull << reg;
+}
+
+void
+Function::emit(uint32_t block, Instr instr)
+{
+    IDO_ASSERT(block < blocks_.size());
+    IDO_ASSERT(blocks_[block].instrs.empty()
+                   || !is_terminator(blocks_[block].instrs.back().op),
+               "emitting past a terminator in %s",
+               blocks_[block].name.c_str());
+    blocks_[block].instrs.push_back(instr);
+}
+
+void
+Function::validate() const
+{
+    IDO_ASSERT(!blocks_.empty(), "function %s has no blocks",
+               name_.c_str());
+    for (uint32_t b = 0; b < blocks_.size(); ++b) {
+        const BasicBlock& bb = blocks_[b];
+        IDO_ASSERT(!bb.instrs.empty(), "empty block %u in %s", b,
+                   name_.c_str());
+        for (uint32_t i = 0; i < bb.instrs.size(); ++i) {
+            const Instr& ins = bb.instrs[i];
+            const bool last = (i + 1 == bb.instrs.size());
+            IDO_ASSERT(is_terminator(ins.op) == last,
+                       "terminator placement in %s block %u instr %u",
+                       name_.c_str(), b, i);
+            if (ins.dst != kNoReg) {
+                IDO_ASSERT(ins.dst < num_regs_);
+                // Register discipline mirroring the compiler's
+                // live-interval extension (Sec. IV-A-c): a value may
+                // not clobber one of its own operands; recovery
+                // restores registers from the log, so every distinct
+                // value needs its own slot until its last use.
+                IDO_ASSERT(!(ins.uses() & (1ull << ins.dst)),
+                           "instruction redefines its own operand "
+                           "(%s block %u instr %u); use a fresh "
+                           "register",
+                           name_.c_str(), b, i);
+            }
+            if (ins.a != kNoReg)
+                IDO_ASSERT(ins.a < num_regs_);
+            if (ins.b != kNoReg)
+                IDO_ASSERT(ins.b < num_regs_);
+            if (ins.op == Opcode::kBr) {
+                IDO_ASSERT(ins.imm < blocks_.size(),
+                           "branch target out of range");
+            }
+            if (ins.op == Opcode::kCondBr) {
+                IDO_ASSERT(ins.imm < blocks_.size()
+                               && ins.target2 < blocks_.size(),
+                           "condbr target out of range");
+            }
+        }
+    }
+}
+
+const char*
+opcode_name(Opcode op)
+{
+    switch (op) {
+      case Opcode::kConst:
+        return "const";
+      case Opcode::kMov:
+        return "mov";
+      case Opcode::kAdd:
+        return "add";
+      case Opcode::kSub:
+        return "sub";
+      case Opcode::kMul:
+        return "mul";
+      case Opcode::kCmpLt:
+        return "cmplt";
+      case Opcode::kCmpEq:
+        return "cmpeq";
+      case Opcode::kLoad:
+        return "load";
+      case Opcode::kStore:
+        return "store";
+      case Opcode::kAlloc:
+        return "alloc";
+      case Opcode::kFree:
+        return "free";
+      case Opcode::kLock:
+        return "lock";
+      case Opcode::kUnlock:
+        return "unlock";
+      case Opcode::kBr:
+        return "br";
+      case Opcode::kCondBr:
+        return "condbr";
+      case Opcode::kRet:
+        return "ret";
+    }
+    return "?";
+}
+
+std::string
+Function::dump() const
+{
+    std::string out = "function " + name_ + ":\n";
+    char buf[160];
+    for (uint32_t b = 0; b < blocks_.size(); ++b) {
+        out += "  " + blocks_[b].name + " (bb" + std::to_string(b)
+               + "):\n";
+        for (const Instr& ins : blocks_[b].instrs) {
+            std::snprintf(
+                buf, sizeof(buf),
+                "    %-7s dst=%-3d a=%-3d b=%-3d imm=%llu t2=%u\n",
+                opcode_name(ins.op),
+                ins.dst == kNoReg ? -1 : static_cast<int>(ins.dst),
+                ins.a == kNoReg ? -1 : static_cast<int>(ins.a),
+                ins.b == kNoReg ? -1 : static_cast<int>(ins.b),
+                (unsigned long long)ins.imm, ins.target2);
+            out += buf;
+        }
+    }
+    return out;
+}
+
+} // namespace ido::compiler

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The compiler substrate's intermediate representation.
+ *
+ * The iDO compiler of the paper operates on LLVM IR (Fig. 4); this repo
+ * reproduces its analyses -- FASE inference, idempotent region
+ * formation (de Kruijf-style antidependence cutting with a hitting-set
+ * selection), live-in preservation and OutputSet computation (Eq. 1) --
+ * over a deliberately small IR with the same essential structure:
+ * virtual registers, basic blocks with explicit terminators, loads and
+ * stores against a (base register + displacement) addressing mode, the
+ * FASE-relevant calls (alloc/free/lock/unlock), and branches.
+ *
+ * Functions written in this IR describe one FASE body.  They can be
+ * analyzed (region statistics, verification) and *executed*: the
+ * FaseCompiler lowers a partitioned function to an rt::FaseProgram
+ * whose regions run through the Interpreter under any runtime,
+ * giving a genuinely compiler-directed path from source-like IR to
+ * failure-atomic execution.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ido::compiler {
+
+/** Virtual register count cap; masks are uint64_t bitsets. */
+constexpr uint32_t kMaxRegs = 64;
+constexpr uint32_t kNoReg = 0xffffffffu;
+
+enum class Opcode : uint8_t
+{
+    kConst,  ///< dst = imm
+    kMov,    ///< dst = a
+    kAdd,    ///< dst = a + b
+    kSub,    ///< dst = a - b
+    kMul,    ///< dst = a * b
+    kCmpLt,  ///< dst = (a < b)
+    kCmpEq,  ///< dst = (a == b)
+    kLoad,   ///< dst = heap[a + imm]
+    kStore,  ///< heap[a + imm] = b
+    kAlloc,  ///< dst = nv_alloc(imm)
+    kFree,   ///< nv_free(a)          (runtime defers to FASE end)
+    kLock,   ///< fase_lock(a + imm)
+    kUnlock, ///< fase_unlock(a + imm)
+    kBr,     ///< goto block imm
+    kCondBr, ///< if (a != 0) goto block imm else block target2
+    kRet,    ///< end of FASE
+};
+
+/** True for kBr/kCondBr/kRet. */
+bool is_terminator(Opcode op);
+
+/** One instruction; operands a/b are register ids (kNoReg if unused). */
+struct Instr
+{
+    Opcode op = Opcode::kRet;
+    uint32_t dst = kNoReg;
+    uint32_t a = kNoReg;
+    uint32_t b = kNoReg;
+    uint64_t imm = 0;     ///< constant / displacement / branch target
+    uint32_t target2 = 0; ///< kCondBr: else-block
+
+    /** Registers read by this instruction, as a bitmask. */
+    uint64_t uses() const;
+
+    /** Register defined, or kNoReg. */
+    uint32_t def() const { return dst; }
+
+    /** Is this a memory read / write of persistent state? */
+    bool is_load() const { return op == Opcode::kLoad; }
+    bool is_store() const { return op == Opcode::kStore; }
+};
+
+struct BasicBlock
+{
+    std::vector<Instr> instrs;
+    std::string name;
+
+    const Instr& terminator() const { return instrs.back(); }
+};
+
+/** Position of an instruction: (block, index within block). */
+struct InstrRef
+{
+    uint32_t block = 0;
+    uint32_t index = 0;
+
+    bool
+    operator==(const InstrRef& o) const
+    {
+        return block == o.block && index == o.index;
+    }
+
+    bool
+    operator<(const InstrRef& o) const
+    {
+        return block != o.block ? block < o.block : index < o.index;
+    }
+};
+
+/** A FASE body in IR form. */
+class Function
+{
+  public:
+    explicit Function(std::string name) : name_(std::move(name)) {}
+
+    const std::string& name() const { return name_; }
+
+    uint32_t num_blocks() const
+    {
+        return static_cast<uint32_t>(blocks_.size());
+    }
+
+    const BasicBlock& block(uint32_t i) const { return blocks_[i]; }
+    BasicBlock& block(uint32_t i) { return blocks_[i]; }
+
+    uint32_t num_regs() const { return num_regs_; }
+
+    /** Registers holding the FASE arguments (live at entry). */
+    uint64_t arg_mask() const { return arg_mask_; }
+
+    /** Registers the caller consumes after the FASE (live at kRet). */
+    uint64_t ret_mask() const { return ret_mask_; }
+
+    void set_ret_mask(uint64_t mask) { ret_mask_ = mask; }
+
+    // --- construction -------------------------------------------------
+
+    uint32_t new_block(std::string name);
+    uint32_t new_reg();
+
+    /** Mark a register as a FASE argument. */
+    void add_arg(uint32_t reg);
+
+    /** Append an instruction to a block. */
+    void emit(uint32_t block, Instr instr);
+
+    /**
+     * Structural sanity: every block ends in exactly one terminator,
+     * branch targets are in range, register ids are in range.
+     * Panics with a description on violation.
+     */
+    void validate() const;
+
+    /** Printable listing (debugging and golden tests). */
+    std::string dump() const;
+
+  private:
+    std::string name_;
+    std::vector<BasicBlock> blocks_;
+    uint32_t num_regs_ = 0;
+    uint64_t arg_mask_ = 0;
+    uint64_t ret_mask_ = 0;
+};
+
+const char* opcode_name(Opcode op);
+
+} // namespace ido::compiler

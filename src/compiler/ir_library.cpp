@@ -1,0 +1,152 @@
+#include "compiler/ir_library.h"
+
+#include "compiler/builder.h"
+
+namespace ido::compiler {
+
+// Offsets of the ds::PStackRoot layout: lock holder at +0, top at +64;
+// node: value at +0, next at +8.
+namespace {
+constexpr uint64_t kTopOff = 64;
+}
+
+IrFase
+ir_stack_push()
+{
+    FnBuilder b("ir.stack.push");
+    IrFase out{Function{""}};
+    const uint32_t entry = b.block("entry");
+    b.switch_to(entry);
+    const uint32_t root = b.arg();
+    const uint32_t value = b.arg();
+    b.lock(root, 0);
+    const uint32_t top = b.load(root, kTopOff);
+    const uint32_t node = b.alloc(16);
+    b.store(node, 0, value);
+    b.store(node, 8, top);
+    b.store(root, kTopOff, node);
+    b.unlock(root, 0);
+    b.ret();
+    out.fn = b.take();
+    out.arg0 = root;
+    out.arg1 = value;
+    return out;
+}
+
+IrFase
+ir_stack_pop()
+{
+    FnBuilder b("ir.stack.pop");
+    IrFase out{Function{""}};
+    const uint32_t entry = b.block("entry");
+    const uint32_t read = b.block("read");
+    const uint32_t empty = b.block("empty");
+    const uint32_t done = b.block("done");
+
+    b.switch_to(entry);
+    const uint32_t root = b.arg();
+    const uint32_t found = b.reg();
+    const uint32_t value = b.reg();
+    b.lock(root, 0);
+    const uint32_t top = b.load(root, kTopOff);
+    const uint32_t zero = b.cconst(0);
+    const uint32_t is_empty = b.cmp_eq(top, zero);
+    b.cond_br(is_empty, empty, read);
+
+    b.switch_to(read);
+    const uint32_t next = b.load(top, 8);
+    b.load_to(value, top, 0);
+    b.const_to(found, 1);
+    b.store(root, kTopOff, next);
+    b.free_(top);
+    b.br(done);
+
+    b.switch_to(empty);
+    b.const_to(found, 0);
+    b.const_to(value, 0);
+    b.br(done);
+
+    b.switch_to(done);
+    b.unlock(root, 0);
+    b.ret();
+
+    Function fn = b.take();
+    fn.set_ret_mask((1ull << found) | (1ull << value));
+    out.fn = std::move(fn);
+    out.arg0 = root;
+    out.result = found;
+    out.result2 = value;
+    return out;
+}
+
+IrFase
+ir_counter_increment()
+{
+    FnBuilder b("ir.counter.incr");
+    IrFase out{Function{""}};
+    const uint32_t entry = b.block("entry");
+    b.switch_to(entry);
+    const uint32_t counter = b.arg(); // offset of {holder, pad.., value}
+    b.lock(counter, 0);
+    const uint32_t v = b.load(counter, kTopOff);
+    const uint32_t one = b.cconst(1);
+    const uint32_t v2 = b.add(v, one);
+    b.store(counter, kTopOff, v2);
+    b.unlock(counter, 0);
+    b.ret();
+    Function fn = b.take();
+    fn.set_ret_mask(1ull << v2);
+    out.fn = std::move(fn);
+    out.arg0 = counter;
+    out.result = v2;
+    return out;
+}
+
+IrFase
+ir_array_add_loop()
+{
+    FnBuilder b("ir.array.addloop");
+    IrFase out{Function{""}};
+    const uint32_t entry = b.block("entry");
+    const uint32_t head = b.block("loop_head");
+    const uint32_t body = b.block("loop_body");
+    const uint32_t exit = b.block("exit");
+
+    b.switch_to(entry);
+    const uint32_t base = b.arg();  // array base offset (after holder)
+    const uint32_t n = b.arg();     // element count
+    const uint32_t delta = b.arg(); // addend
+    const uint32_t cursor = b.reg();
+    b.lock(base, 0);
+    // cursor = base + 64 (elements start one line after the holder)
+    const uint32_t sixty_four = b.cconst(64);
+    b.mov_to(cursor, b.add(base, sixty_four));
+    const uint32_t eight = b.cconst(8);
+    const uint32_t n8 = b.mul(n, eight);
+    const uint32_t limit = b.add(b.add(base, sixty_four), n8);
+    b.br(head);
+
+    b.switch_to(head);
+    const uint32_t more = b.cmp_lt(cursor, limit);
+    b.cond_br(more, body, exit);
+
+    b.switch_to(body);
+    const uint32_t elem = b.load(cursor, 0);
+    const uint32_t sum = b.add(elem, delta);
+    b.store(cursor, 0, sum);
+    const uint32_t advanced = b.add(cursor, eight);
+    b.mov_to(cursor, advanced);
+    b.br(head);
+
+    b.switch_to(exit);
+    b.unlock(base, 0);
+    b.ret();
+
+    out.fn = b.take();
+    out.arg0 = base;
+    out.arg1 = n;
+    out.result2 = delta;
+    return out;
+}
+
+} // namespace ido::compiler

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * IR versions of representative FASE bodies.
+ *
+ * These are the "source programs" of the compiler path: the same stack
+ * operations as the hand-lowered ds/ versions (tests cross-check the
+ * two), a classic read-modify-write counter, and a loop-based batch
+ * update.  The compiler must discover the region structure on its own
+ * -- each body is written as straight-line/naturally-shaped code with
+ * no manual region hints.
+ *
+ * Register conventions are returned via IrFase so callers know where
+ * to place arguments and find results.
+ */
+#pragma once
+
+#include "compiler/ir.h"
+
+namespace ido::compiler {
+
+struct IrFase
+{
+    Function fn;
+    uint32_t arg0 = 0;   ///< first argument register
+    uint32_t arg1 = 0;   ///< second argument register (if any)
+    uint32_t result = 0; ///< result register (if any)
+    uint32_t result2 = 0;
+};
+
+/**
+ * Stack push against the ds::PStackRoot layout:
+ *   lock; t = top; n = alloc; n.value = v; n.next = t; top = n; unlock.
+ * One straight-line block: the antidependence on `top` and the lock
+ * rules force exactly the hand-lowered 4-region structure.
+ */
+IrFase ir_stack_push();
+
+/** Stack pop (branching: empty vs. non-empty). */
+IrFase ir_stack_pop();
+
+/**
+ * Counter increment: v = load c; v2 = v + 1; store c = v2, under a
+ * lock.  The minimal antidependence example from Sec. II-C.
+ */
+IrFase ir_counter_increment();
+
+/**
+ * Batch update loop: for i in [0, n): a[i] = a[i] + delta.  Exercises
+ * loop-header boundaries and loop-carried register state.
+ */
+IrFase ir_array_add_loop();
+
+} // namespace ido::compiler

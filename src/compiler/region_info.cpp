@@ -1,0 +1,97 @@
+#include "compiler/region_info.h"
+
+#include "common/panic.h"
+
+namespace ido::compiler {
+
+std::vector<RegionInfo>
+compute_region_info(const Function& fn, const Cfg& cfg,
+                    const Liveness& live, const RegionPartition& part)
+{
+    std::vector<RegionInfo> info(part.num_regions());
+    for (uint32_t r = 0; r < part.num_regions(); ++r)
+        info[r].start = part.starts()[r];
+
+    // Accumulate per-region facts position by position.
+    std::vector<uint64_t> uses(part.num_regions(), 0);
+    for (uint32_t b = 0; b < fn.num_blocks(); ++b) {
+        if (!cfg.reachable(b))
+            continue;
+        const BasicBlock& bb = fn.block(b);
+        for (uint32_t i = 0; i < bb.instrs.size(); ++i) {
+            const Instr& ins = bb.instrs[i];
+            const uint32_t r = part.region_of(InstrRef{b, i});
+            RegionInfo& ri = info[r];
+            ri.num_instrs++;
+            uses[r] |= ins.uses();
+            if (ins.def() != kNoReg)
+                ri.defs |= 1ull << ins.def();
+            switch (ins.op) {
+              case Opcode::kStore:
+                ri.num_stores++;
+                break;
+              case Opcode::kLoad:
+                ri.num_loads++;
+                break;
+              case Opcode::kLock:
+                ri.has_lock = true;
+                break;
+              case Opcode::kUnlock:
+                ri.has_unlock = true;
+                break;
+              case Opcode::kAlloc:
+                ri.has_alloc = true;
+                break;
+              default:
+                break;
+            }
+        }
+    }
+
+    // Inputs: live at the region entry and used inside.
+    for (uint32_t r = 0; r < part.num_regions(); ++r)
+        info[r].live_in = live.live_before(info[r].start) & uses[r];
+
+    // Outputs: registers defined in r that are live into some
+    // successor region (Eq. 1).  Boundary crossings are (a) a region
+    // start reached from the predecessor position in the same block,
+    // (b) a block entry reached from a predecessor block's last
+    // region, (c) kRet exposing the FASE's result registers.
+    auto credit = [&](uint32_t from_region, uint64_t live_mask) {
+        info[from_region].outputs |=
+            info[from_region].defs & live_mask;
+    };
+    for (uint32_t b = 0; b < fn.num_blocks(); ++b) {
+        if (!cfg.reachable(b))
+            continue;
+        const BasicBlock& bb = fn.block(b);
+        for (uint32_t i = 0; i < bb.instrs.size(); ++i) {
+            const InstrRef pos{b, i};
+            uint32_t region_here;
+            if (part.is_region_start(pos, &region_here) && i > 0) {
+                const uint32_t prev =
+                    part.region_of(InstrRef{b, i - 1});
+                if (prev != region_here)
+                    credit(prev, live.live_before(pos));
+            }
+            if (bb.instrs[i].op == Opcode::kRet) {
+                credit(part.region_of(pos), fn.ret_mask());
+            }
+        }
+        // Block-to-block edges.
+        const uint32_t end_region =
+            part.region_of(InstrRef{
+                b, static_cast<uint32_t>(bb.instrs.size() - 1)});
+        for (uint32_t s : cfg.successors(b)) {
+            const uint32_t succ_region =
+                part.block_entry_region(s);
+            if (succ_region != end_region) {
+                credit(end_region,
+                       live.live_before(InstrRef{s, 0}));
+            }
+        }
+    }
+    return info;
+}
+
+} // namespace ido::compiler

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Per-region dataflow summaries: the inputs the runtime must preserve
+ * and the OutputSet the boundary protocol persists,
+ *
+ *     OutputSet_r = Def_r ∩ LiveOut_r            (paper Eq. 1)
+ *
+ * plus static store counts and lock-op flags used for statistics and
+ * verification.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/cfg.h"
+#include "compiler/dataflow.h"
+#include "compiler/region_partition.h"
+
+namespace ido::compiler {
+
+struct RegionInfo
+{
+    InstrRef start;
+    uint64_t live_in = 0;  ///< inputs: live at entry and used in region
+    uint64_t defs = 0;     ///< registers defined in the region
+    uint64_t outputs = 0;  ///< Def ∩ LiveOut (Eq. 1)
+    uint32_t num_stores = 0;
+    uint32_t num_loads = 0;
+    uint32_t num_instrs = 0;
+    bool has_lock = false;
+    bool has_unlock = false;
+    bool has_alloc = false;
+};
+
+std::vector<RegionInfo>
+compute_region_info(const Function& fn, const Cfg& cfg,
+                    const Liveness& live, const RegionPartition& part);
+
+} // namespace ido::compiler

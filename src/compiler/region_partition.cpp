@@ -1,0 +1,193 @@
+#include "compiler/region_partition.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/panic.h"
+
+namespace ido::compiler {
+
+uint32_t
+RegionPartition::region_of(InstrRef pos) const
+{
+    uint32_t region = block_entry_region_[pos.block];
+    for (const auto& [idx, r] : cuts_[pos.block]) {
+        if (idx <= pos.index)
+            region = r;
+        else
+            break;
+    }
+    return region;
+}
+
+bool
+RegionPartition::is_region_start(InstrRef pos, uint32_t* region) const
+{
+    for (const auto& [idx, r] : cuts_[pos.block]) {
+        if (idx == pos.index) {
+            *region = r;
+            return true;
+        }
+        if (idx > pos.index)
+            break;
+    }
+    return false;
+}
+
+bool
+RegionPartition::has_cut_in(uint32_t block, uint32_t lo,
+                            uint32_t hi) const
+{
+    for (const auto& [idx, r] : cuts_[block]) {
+        if (idx >= lo && idx <= hi)
+            return true;
+        if (idx > hi)
+            break;
+    }
+    return false;
+}
+
+RegionPartitioner::RegionPartitioner(const Function& fn, const Cfg& cfg,
+                                     const AliasAnalysis& aa)
+    : fn_(fn), cfg_(cfg), aa_(aa)
+{
+}
+
+RegionPartition
+RegionPartitioner::run()
+{
+    const uint32_t nblocks = fn_.num_blocks();
+
+    // Cut positions per block; index 0 means "block entry is a region
+    // header".  std::set keeps them sorted and deduplicated.
+    std::vector<std::set<uint32_t>> cuts(nblocks);
+    uint32_t mandatory = 0;
+
+    // --- 1. structural headers: entry, joins, loop headers -----------
+    cuts[0].insert(0);
+    for (uint32_t b = 0; b < nblocks; ++b) {
+        if (!cfg_.reachable(b))
+            continue;
+        if (cfg_.predecessors(b).size() > 1 || cfg_.is_loop_header(b)) {
+            if (cuts[b].insert(0).second)
+                ++mandatory;
+        }
+    }
+
+    // --- 2. lock-mandated boundaries ----------------------------------
+    for (uint32_t b = 0; b < nblocks; ++b) {
+        if (!cfg_.reachable(b))
+            continue;
+        const BasicBlock& bb = fn_.block(b);
+        for (uint32_t i = 0; i < bb.instrs.size(); ++i) {
+            if (bb.instrs[i].op == Opcode::kLock
+                && i + 1 < bb.instrs.size()) {
+                if (cuts[b].insert(i + 1).second)
+                    ++mandatory;
+            }
+            if (bb.instrs[i].op == Opcode::kUnlock) {
+                if (cuts[b].insert(i).second)
+                    ++mandatory;
+            }
+        }
+    }
+
+    // --- 3. antidependence cuts: greedy hitting set --------------------
+    // Each pair is reduced to an interval of legal cut positions inside
+    // one block; choosing points right-to-left-greedily per block is
+    // the classic optimal strategy for interval point coverage.
+    pairs_ = find_antidependences(fn_, cfg_, aa_);
+
+    struct Interval
+    {
+        uint32_t block;
+        uint32_t lo; ///< first legal cut index (inclusive)
+        uint32_t hi; ///< last legal cut index (inclusive)
+    };
+    std::vector<Interval> intervals;
+    for (const AntidepPair& p : pairs_) {
+        // Register write-after-read needs no cut in the log-restore
+        // model: recovery restores the whole register file from the
+        // log's boundary snapshot, so re-execution always observes
+        // region-entry register values (the analogue of the paper's
+        // live-interval extension, which exists to protect the
+        // per-physical-register log slots -- here each virtual value
+        // owns a slot by construction).  Only memory inputs can be
+        // destroyed in place.
+        if (!p.is_memory)
+            continue;
+        if (p.first.block == p.second.block
+            && p.first.index < p.second.index) {
+            // Forward intra-block: any cut in (first, second].
+            intervals.push_back(Interval{p.first.block,
+                                         p.first.index + 1,
+                                         p.second.index});
+        } else {
+            // Cross-block (or loop-carried): every path into the
+            // clobber enters its block, so any cut in
+            // [block entry, clobber] covers the pair.
+            intervals.push_back(
+                Interval{p.second.block, 0, p.second.index});
+        }
+    }
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Interval& a, const Interval& b) {
+                  if (a.block != b.block)
+                      return a.block < b.block;
+                  return a.hi < b.hi;
+              });
+    uint32_t antidep_cuts = 0;
+    for (const Interval& iv : intervals) {
+        // Already covered by an existing (mandatory or chosen) cut?
+        auto it = cuts[iv.block].lower_bound(iv.lo);
+        if (it != cuts[iv.block].end() && *it <= iv.hi)
+            continue;
+        cuts[iv.block].insert(iv.hi);
+        ++antidep_cuts;
+    }
+
+    // --- 4. materialize regions ----------------------------------------
+    RegionPartition part;
+    part.mandatory_cuts_ = mandatory;
+    part.antidep_cuts_ = antidep_cuts;
+    part.cuts_.resize(nblocks);
+    for (uint32_t b = 0; b < nblocks; ++b) {
+        if (!cfg_.reachable(b))
+            continue;
+        for (uint32_t idx : cuts[b])
+            part.starts_.push_back(InstrRef{b, idx});
+    }
+    std::sort(part.starts_.begin(), part.starts_.end());
+    for (uint32_t r = 0; r < part.starts_.size(); ++r) {
+        const InstrRef s = part.starts_[r];
+        part.cuts_[s.block].emplace_back(s.index, r);
+    }
+
+    // Region in effect at each block's entry: propagate in RPO; every
+    // block without an entry cut has exactly one reachable predecessor
+    // (joins are headers), so its entry region is the region at that
+    // predecessor's end.
+    part.block_entry_region_.assign(nblocks, 0);
+    for (uint32_t b : cfg_.rpo()) {
+        if (!part.cuts_[b].empty() && part.cuts_[b].front().first == 0) {
+            part.block_entry_region_[b] = part.cuts_[b].front().second;
+            continue;
+        }
+        IDO_ASSERT(cfg_.predecessors(b).size() <= 1,
+                   "non-header block %u with multiple predecessors", b);
+        if (cfg_.predecessors(b).empty()) {
+            part.block_entry_region_[b] = 0;
+            continue;
+        }
+        const uint32_t p = cfg_.predecessors(b)[0];
+        // Region at the end of p = its last cut's region, or p's own
+        // entry region if it has no cuts.
+        uint32_t region = part.block_entry_region_[p];
+        if (!part.cuts_[p].empty())
+            region = part.cuts_[p].back().second;
+        part.block_entry_region_[b] = region;
+    }
+    return part;
+}
+
+} // namespace ido::compiler

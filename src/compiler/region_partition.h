@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Idempotent region formation (paper Sec. IV-A-b).
+ *
+ * Following de Kruijf et al. (PLDI 2012), the partitioner computes the
+ * set of antidependent access pairs (via the alias analysis) and then
+ * chooses cutting points with a greedy hitting-set strategy so that
+ * every pair is separated by a region boundary.  Additional mandatory
+ * boundaries implement the iDO-specific rules: a boundary immediately
+ * after each lock acquire and immediately before each lock release
+ * (Sec. III-B), plus structural boundaries at control-flow joins and
+ * loop headers so each region is a single-entry subgraph (Sec. II-C).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/alias_analysis.h"
+#include "compiler/antidep.h"
+#include "compiler/cfg.h"
+#include "compiler/ir.h"
+
+namespace ido::compiler {
+
+/** A computed partition of a function into idempotent regions. */
+class RegionPartition
+{
+  public:
+    /** Region entry points, sorted; region ids index this vector. */
+    const std::vector<InstrRef>& starts() const { return starts_; }
+
+    uint32_t num_regions() const
+    {
+        return static_cast<uint32_t>(starts_.size());
+    }
+
+    /** Region containing a position. */
+    uint32_t region_of(InstrRef pos) const;
+
+    /** Is this position a region entry?  If so, which region? */
+    bool is_region_start(InstrRef pos, uint32_t* region) const;
+
+    /** Region in effect when a block is entered. */
+    uint32_t block_entry_region(uint32_t block) const
+    {
+        return block_entry_region_[block];
+    }
+
+    /** Is there a region start at (block, c) with lo <= c <= hi? */
+    bool has_cut_in(uint32_t block, uint32_t lo, uint32_t hi) const;
+
+    // --- statistics (Sec. V-C flavour) --------------------------------
+
+    uint32_t antidep_cut_count() const { return antidep_cuts_; }
+    uint32_t mandatory_cut_count() const { return mandatory_cuts_; }
+
+  private:
+    friend class RegionPartitioner;
+
+    std::vector<InstrRef> starts_;
+    std::vector<uint32_t> block_entry_region_;
+    /** Per block: sorted (instr index, region id) cut list. */
+    std::vector<std::vector<std::pair<uint32_t, uint32_t>>> cuts_;
+    uint32_t antidep_cuts_ = 0;
+    uint32_t mandatory_cuts_ = 0;
+};
+
+class RegionPartitioner
+{
+  public:
+    RegionPartitioner(const Function& fn, const Cfg& cfg,
+                      const AliasAnalysis& aa);
+
+    /** Run the full pipeline and return the partition. */
+    RegionPartition run();
+
+    /** The antidependence pairs the last run() had to cover. */
+    const std::vector<AntidepPair>& pairs() const { return pairs_; }
+
+  private:
+    const Function& fn_;
+    const Cfg& cfg_;
+    const AliasAnalysis& aa_;
+    std::vector<AntidepPair> pairs_;
+};
+
+} // namespace ido::compiler

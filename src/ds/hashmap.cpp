@@ -1,0 +1,99 @@
+#include "ds/hashmap.h"
+
+#include "common/panic.h"
+
+namespace ido::ds {
+
+uint64_t
+PHashMap::hash_key(uint64_t key)
+{
+    // Fibonacci-style mix; buckets are a power of two.
+    uint64_t h = key * 0x9e3779b97f4a7c15ull;
+    h ^= h >> 32;
+    return h;
+}
+
+uint64_t
+PHashMap::create(rt::RuntimeThread& th, uint64_t nbuckets)
+{
+    IDO_ASSERT(nbuckets >= 1 && (nbuckets & (nbuckets - 1)) == 0,
+               "nbuckets must be a power of two");
+    const size_t bytes =
+        sizeof(PMapRoot) + nbuckets * sizeof(PListNode);
+    const uint64_t root = th.nv_alloc(bytes);
+    auto* rp = th.heap().resolve<PMapRoot>(root);
+    PMapRoot init{};
+    init.nbuckets = nbuckets;
+    th.dom().store(rp, &init, sizeof(init));
+    PListNode sentinel{};
+    for (uint64_t b = 0; b < nbuckets; ++b) {
+        auto* s = th.heap().resolve<PListNode>(
+            root + sizeof(PMapRoot) + b * sizeof(PListNode));
+        th.dom().store(s, &sentinel, sizeof(sentinel));
+    }
+    th.dom().flush(rp, bytes);
+    th.dom().fence();
+    return root;
+}
+
+PHashMap::PHashMap(nvm::PersistentHeap& heap, uint64_t root_off)
+    : root_off_(root_off),
+      nbuckets_(heap.resolve<PMapRoot>(root_off)->nbuckets)
+{
+}
+
+uint64_t
+PHashMap::bucket_off(uint64_t key) const
+{
+    const uint64_t b = hash_key(key) & (nbuckets_ - 1);
+    return root_off_ + sizeof(PMapRoot) + b * sizeof(PListNode);
+}
+
+void
+PHashMap::put(rt::RuntimeThread& th, uint64_t key, uint64_t value)
+{
+    POrderedList bucket(bucket_off(key));
+    bucket.insert(th, key, value);
+}
+
+bool
+PHashMap::get(rt::RuntimeThread& th, uint64_t key, uint64_t* value)
+{
+    POrderedList bucket(bucket_off(key));
+    return bucket.lookup(th, key, value);
+}
+
+bool
+PHashMap::remove(rt::RuntimeThread& th, uint64_t key)
+{
+    POrderedList bucket(bucket_off(key));
+    return bucket.remove(th, key);
+}
+
+bool
+PHashMap::check_invariants(nvm::PersistentHeap& heap, uint64_t root_off)
+{
+    const auto* root = heap.resolve<PMapRoot>(root_off);
+    for (uint64_t b = 0; b < root->nbuckets; ++b) {
+        const uint64_t bucket =
+            root_off + sizeof(PMapRoot) + b * sizeof(PListNode);
+        if (!POrderedList::check_invariants(heap, bucket))
+            return false;
+    }
+    return true;
+}
+
+uint64_t
+PHashMap::size(nvm::PersistentHeap& heap, uint64_t root_off)
+{
+    const auto* root = heap.resolve<PMapRoot>(root_off);
+    uint64_t total = 0;
+    for (uint64_t b = 0; b < root->nbuckets; ++b) {
+        const uint64_t bucket =
+            root_off + sizeof(PMapRoot) + b * sizeof(PListNode);
+        total += POrderedList::snapshot(heap, bucket).size();
+    }
+    return total;
+}
+
+} // namespace ido::ds

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Persistent fixed-size hash map (paper Sec. V-B): an array of ordered
+ * lists, one per bucket, with hand-over-hand locking inside each
+ * bucket -- "obviating the need for per-bucket locks".
+ *
+ * This is the paper's *most* parallel microbenchmark: operations on
+ * different buckets never contend, so iDO is expected to scale almost
+ * linearly on it, while Atlas and Mnemosyne throttle on their runtimes'
+ * internal synchronization (Fig. 7).
+ *
+ * The map introduces no FASE programs of its own: a put/get/remove is
+ * the corresponding ordered-list FASE run with the bucket's sentinel
+ * node as r0 -- the list implementation is reused per bucket exactly as
+ * in the paper.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "ds/ordered_list.h"
+
+namespace ido::ds {
+
+struct alignas(kCacheLineBytes) PMapRoot
+{
+    uint64_t nbuckets;
+    uint64_t pad[7];
+    // Followed by nbuckets PListNode bucket sentinels (64 B each).
+};
+
+class PHashMap
+{
+  public:
+    /** Allocate and durably initialize; nbuckets must be a power of 2. */
+    static uint64_t create(rt::RuntimeThread& th, uint64_t nbuckets);
+
+    PHashMap(nvm::PersistentHeap& heap, uint64_t root_off);
+
+    uint64_t root_off() const { return root_off_; }
+    uint64_t nbuckets() const { return nbuckets_; }
+
+    void put(rt::RuntimeThread& th, uint64_t key, uint64_t value);
+    bool get(rt::RuntimeThread& th, uint64_t key, uint64_t* value);
+    bool remove(rt::RuntimeThread& th, uint64_t key);
+
+    /** Offset of the bucket sentinel for a key. */
+    uint64_t bucket_off(uint64_t key) const;
+
+    /** Every bucket's list invariants hold. */
+    static bool check_invariants(nvm::PersistentHeap& heap,
+                                 uint64_t root_off);
+
+    /** Total live keys across buckets (quiescent state only). */
+    static uint64_t size(nvm::PersistentHeap& heap, uint64_t root_off);
+
+  private:
+    static uint64_t hash_key(uint64_t key);
+
+    uint64_t root_off_;
+    uint64_t nbuckets_;
+};
+
+} // namespace ido::ds

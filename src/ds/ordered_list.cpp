@@ -1,0 +1,390 @@
+#include "ds/ordered_list.h"
+
+#include "common/panic.h"
+#include "ds/fase_ids.h"
+
+namespace ido::ds {
+
+using rt::RegionCtx;
+using rt::RuntimeThread;
+
+// Register convention (all three programs):
+//   r0 = head sentinel offset     (argument)
+//   r1 = key                      (argument)
+//   r2 = value                    (insert argument / lookup result)
+//   r3 = prev node offset (locked)
+//   r4 = curr node offset (locked), 0 past the end
+//   r5 = curr key (scratch)
+//   r6 = result (0 = absent, 1 = inserted/removed/found, 2 = updated)
+//   r7 = new node offset (insert)
+//   r8 = unlink successor (remove)
+//
+// The hand-over-hand loop compiles to ONE region per step: the step
+// region reads curr's key, hands the prev lock over (release first --
+// the region has no stores, so the boundary before the release is the
+// previous boundary), shifts prev <- curr, loads the next node, and
+// ends with its acquire (boundary after acquire = this region's own
+// boundary).  Overwriting the live-in registers r3/r4 mid-region is
+// safe: recovery restores the register file from the log's boundary
+// snapshot, so re-execution sees entry values (see fase_executor.cpp).
+// Cost per step: one output-persist fence + one recovery_pc fence +
+// one release fence.
+namespace {
+
+constexpr uint64_t
+holder(uint64_t node)
+{
+    return node + offsetof(PListNode, lock_holder);
+}
+
+constexpr uint64_t
+key_off(uint64_t node)
+{
+    return node + offsetof(PListNode, key);
+}
+
+constexpr uint64_t
+value_off(uint64_t node)
+{
+    return node + offsetof(PListNode, value);
+}
+
+constexpr uint64_t
+next_off(uint64_t node)
+{
+    return node + offsetof(PListNode, next);
+}
+
+// --- shared traversal regions -----------------------------------------
+
+uint32_t
+trav_lock_head(RuntimeThread& th, RegionCtx& ctx)
+{
+    ctx.r[3] = ctx.r[0];
+    th.fase_lock(holder(ctx.r[3]));
+    return 1;
+}
+
+// --- insert -------------------------------------------------------------
+
+uint32_t
+ins_advance(RuntimeThread& th, RegionCtx& ctx)
+{
+    ctx.r[4] = th.load_u64(next_off(ctx.r[3]));
+    if (ctx.r[4] == 0)
+        return 3; // append past the end
+    th.fase_lock(holder(ctx.r[4]));
+    return 2;
+}
+
+uint32_t
+ins_step(RuntimeThread& th, RegionCtx& ctx)
+{
+    ctx.r[5] = th.load_u64(key_off(ctx.r[4]));
+    if (ctx.r[5] < ctx.r[1]) {
+        th.fase_unlock(holder(ctx.r[3])); // hand over: drop prev
+        ctx.r[3] = ctx.r[4];
+        ctx.r[4] = th.load_u64(next_off(ctx.r[3]));
+        if (ctx.r[4] == 0)
+            return 3; // append past the end
+        th.fase_lock(holder(ctx.r[4]));
+        return 2;
+    }
+    if (ctx.r[5] == ctx.r[1])
+        return 5; // key present: update in place
+    return 3;     // insert before curr
+}
+
+uint32_t
+ins_build(RuntimeThread& th, RegionCtx& ctx)
+{
+    ctx.r[7] = th.nv_alloc(sizeof(PListNode));
+    th.store_u64(key_off(ctx.r[7]), ctx.r[1]);
+    th.store_u64(value_off(ctx.r[7]), ctx.r[2]);
+    th.store_u64(next_off(ctx.r[7]), ctx.r[4]);
+    th.store_u64(holder(ctx.r[7]), 0);
+    return 4;
+}
+
+uint32_t
+ins_link(RuntimeThread& th, RegionCtx& ctx)
+{
+    th.store_u64(next_off(ctx.r[3]), ctx.r[7]);
+    ctx.r[6] = 1;
+    return 6;
+}
+
+uint32_t
+ins_update(RuntimeThread& th, RegionCtx& ctx)
+{
+    th.store_u64(value_off(ctx.r[4]), ctx.r[2]);
+    ctx.r[6] = 2;
+    return 6;
+}
+
+uint32_t
+ins_done(RuntimeThread& th, RegionCtx& ctx)
+{
+    th.fase_unlock(holder(ctx.r[3]));
+    if (ctx.r[4] != 0)
+        th.fase_unlock(holder(ctx.r[4]));
+    return rt::kRegionEnd;
+}
+
+// --- remove -------------------------------------------------------------
+
+uint32_t
+rem_advance(RuntimeThread& th, RegionCtx& ctx)
+{
+    ctx.r[4] = th.load_u64(next_off(ctx.r[3]));
+    if (ctx.r[4] == 0) {
+        ctx.r[6] = 0;
+        return 4;
+    }
+    th.fase_lock(holder(ctx.r[4]));
+    return 2;
+}
+
+uint32_t
+rem_step(RuntimeThread& th, RegionCtx& ctx)
+{
+    ctx.r[5] = th.load_u64(key_off(ctx.r[4]));
+    if (ctx.r[5] < ctx.r[1]) {
+        th.fase_unlock(holder(ctx.r[3]));
+        ctx.r[3] = ctx.r[4];
+        ctx.r[4] = th.load_u64(next_off(ctx.r[3]));
+        if (ctx.r[4] == 0) {
+            ctx.r[6] = 0;
+            return 4;
+        }
+        th.fase_lock(holder(ctx.r[4]));
+        return 2;
+    }
+    if (ctx.r[5] == ctx.r[1])
+        return 3;
+    ctx.r[6] = 0; // sorted: passed the key's position
+    return 4;
+}
+
+uint32_t
+rem_unlink(RuntimeThread& th, RegionCtx& ctx)
+{
+    ctx.r[8] = th.load_u64(next_off(ctx.r[4]));
+    th.store_u64(next_off(ctx.r[3]), ctx.r[8]);
+    th.nv_free(ctx.r[4]); // deferred to FASE commit
+    ctx.r[6] = 1;
+    return 4;
+}
+
+uint32_t
+rem_done(RuntimeThread& th, RegionCtx& ctx)
+{
+    th.fase_unlock(holder(ctx.r[3]));
+    if (ctx.r[4] != 0)
+        th.fase_unlock(holder(ctx.r[4]));
+    return rt::kRegionEnd;
+}
+
+// --- lookup -------------------------------------------------------------
+
+uint32_t
+look_advance(RuntimeThread& th, RegionCtx& ctx)
+{
+    ctx.r[4] = th.load_u64(next_off(ctx.r[3]));
+    if (ctx.r[4] == 0) {
+        ctx.r[6] = 0;
+        return 3;
+    }
+    th.fase_lock(holder(ctx.r[4]));
+    return 2;
+}
+
+uint32_t
+look_step(RuntimeThread& th, RegionCtx& ctx)
+{
+    ctx.r[5] = th.load_u64(key_off(ctx.r[4]));
+    if (ctx.r[5] < ctx.r[1]) {
+        th.fase_unlock(holder(ctx.r[3]));
+        ctx.r[3] = ctx.r[4];
+        ctx.r[4] = th.load_u64(next_off(ctx.r[3]));
+        if (ctx.r[4] == 0) {
+            ctx.r[6] = 0;
+            return 3;
+        }
+        th.fase_lock(holder(ctx.r[4]));
+        return 2;
+    }
+    if (ctx.r[5] == ctx.r[1]) {
+        ctx.r[2] = th.load_u64(value_off(ctx.r[4]));
+        ctx.r[6] = 1;
+    } else {
+        ctx.r[6] = 0;
+    }
+    return 3;
+}
+
+uint32_t
+look_done(RuntimeThread& th, RegionCtx& ctx)
+{
+    th.fase_unlock(holder(ctx.r[3]));
+    if (ctx.r[4] != 0)
+        th.fase_unlock(holder(ctx.r[4]));
+    return rt::kRegionEnd;
+}
+
+constexpr uint16_t R0 = 1u << 0;
+constexpr uint16_t R1 = 1u << 1;
+constexpr uint16_t R2 = 1u << 2;
+constexpr uint16_t R3 = 1u << 3;
+constexpr uint16_t R4 = 1u << 4;
+constexpr uint16_t R6 = 1u << 6;
+constexpr uint16_t R7 = 1u << 7;
+constexpr uint16_t R8 = 1u << 8;
+
+} // namespace
+
+const rt::FaseProgram&
+POrderedList::insert_program()
+{
+    static const rt::FaseProgram prog = [] {
+        rt::FaseProgram p;
+        p.fase_id = kFaseListInsert;
+        p.name = "list.insert";
+        p.regions = {
+            {trav_lock_head, "lock_head", R0, R3, 0, 0, 0},
+            {ins_advance, "advance", R3, R4, 0, 0, 0},
+            {ins_step, "step", R1 | R3 | R4, R3 | R4, 0, 0, 0},
+            {ins_build, "build", R1 | R2 | R4, R7, 0, 0},
+            {ins_link, "link", R3 | R7, R6, 0, 0},
+            {ins_update, "update", R2 | R4, R6, 0, 0},
+            {ins_done, "done", R3 | R4, 0, 0, 0, 0},
+        };
+        return p;
+    }();
+    return prog;
+}
+
+const rt::FaseProgram&
+POrderedList::remove_program()
+{
+    static const rt::FaseProgram prog = [] {
+        rt::FaseProgram p;
+        p.fase_id = kFaseListRemove;
+        p.name = "list.remove";
+        p.regions = {
+            {trav_lock_head, "lock_head", R0, R3, 0, 0, 0},
+            {rem_advance, "advance", R3, R4 | R6, 0, 0, 0},
+            {rem_step, "step", R1 | R3 | R4, R3 | R4 | R6, 0, 0, 0},
+            {rem_unlink, "unlink", R3 | R4, R6 | R8, 0, 0},
+            {rem_done, "done", R3 | R4, 0, 0, 0, 0},
+        };
+        return p;
+    }();
+    return prog;
+}
+
+const rt::FaseProgram&
+POrderedList::lookup_program()
+{
+    static const rt::FaseProgram prog = [] {
+        rt::FaseProgram p;
+        p.fase_id = kFaseListLookup;
+        p.name = "list.lookup";
+        p.regions = {
+            {trav_lock_head, "lock_head", R0, R3, 0, 0, 0},
+            {look_advance, "advance", R3, R4 | R6, 0, 0, 0},
+            {look_step, "step", R1 | R3 | R4,
+             R2 | R3 | R4 | R6, 0, 0, 0},
+            {look_done, "done", R3 | R4, 0, 0, 0, 0},
+        };
+        return p;
+    }();
+    return prog;
+}
+
+uint64_t
+POrderedList::create(rt::RuntimeThread& th)
+{
+    const uint64_t head = th.nv_alloc(sizeof(PListNode));
+    PListNode init{};
+    auto* p = th.heap().resolve<PListNode>(head);
+    th.dom().store(p, &init, sizeof(init));
+    th.dom().flush(p, sizeof(init));
+    th.dom().fence();
+    return head;
+}
+
+void
+POrderedList::insert(rt::RuntimeThread& th, uint64_t key, uint64_t value)
+{
+    IDO_ASSERT(key >= 1, "key 0 is reserved for the head sentinel");
+    RegionCtx ctx;
+    ctx.r[0] = head_off_;
+    ctx.r[1] = key;
+    ctx.r[2] = value;
+    th.run_fase(insert_program(), ctx);
+}
+
+bool
+POrderedList::remove(rt::RuntimeThread& th, uint64_t key)
+{
+    IDO_ASSERT(key >= 1);
+    RegionCtx ctx;
+    ctx.r[0] = head_off_;
+    ctx.r[1] = key;
+    th.run_fase(remove_program(), ctx);
+    return ctx.r[6] == 1;
+}
+
+bool
+POrderedList::lookup(rt::RuntimeThread& th, uint64_t key, uint64_t* value)
+{
+    IDO_ASSERT(key >= 1);
+    RegionCtx ctx;
+    ctx.r[0] = head_off_;
+    ctx.r[1] = key;
+    th.run_fase(lookup_program(), ctx);
+    if (ctx.r[6] != 1)
+        return false;
+    *value = ctx.r[2];
+    return true;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>>
+POrderedList::snapshot(nvm::PersistentHeap& heap, uint64_t head_off)
+{
+    std::vector<std::pair<uint64_t, uint64_t>> out;
+    uint64_t node = heap.resolve<PListNode>(head_off)->next;
+    while (node != 0) {
+        const auto* n = heap.resolve<PListNode>(node);
+        out.emplace_back(n->key, n->value);
+        node = n->next;
+        IDO_ASSERT(out.size() <= heap.size() / sizeof(PListNode),
+                   "list cycle");
+    }
+    return out;
+}
+
+bool
+POrderedList::check_invariants(nvm::PersistentHeap& heap,
+                               uint64_t head_off)
+{
+    uint64_t node = heap.resolve<PListNode>(head_off)->next;
+    uint64_t prev_key = 0;
+    size_t count = 0;
+    const size_t limit = heap.size() / sizeof(PListNode) + 1;
+    while (node != 0) {
+        if (node + sizeof(PListNode) > heap.size())
+            return false;
+        const auto* n = heap.resolve<PListNode>(node);
+        if (n->key <= prev_key)
+            return false; // not strictly increasing
+        prev_key = n->key;
+        node = n->next;
+        if (++count > limit)
+            return false;
+    }
+    return true;
+}
+
+} // namespace ido::ds

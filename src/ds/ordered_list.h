@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Persistent sorted list with hand-over-hand (lock-coupling) locking
+ * (paper Sec. V-B).
+ *
+ * Concurrent threads may be inside the list simultaneously but cannot
+ * pass one another.  This is the workload that separates the systems
+ * most sharply in the paper: iDO and Atlas extract the traversal
+ * parallelism (at the price of ordered persistent writes per lock op),
+ * while Mnemosyne collapses the whole traversal into one speculative
+ * global-lock transaction -- faster per-op at low thread counts,
+ * saturating at high ones (Fig. 7).
+ *
+ * The hand-over-hand FASE also exercises the full generality of iDO's
+ * lock machinery: the set of locks held varies dynamically, and FASEs
+ * are "cross-locked" rather than nested (Fig. 2b).
+ *
+ * Each node occupies a full cache line: lock holder, key, value, next.
+ * A head sentinel (key = 0; user keys start at 1) keeps every code
+ * path uniform.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/cacheline.h"
+#include "runtime/fase_program.h"
+#include "runtime/runtime.h"
+
+namespace ido::ds {
+
+struct alignas(kCacheLineBytes) PListNode
+{
+    uint64_t lock_holder;
+    uint64_t key;
+    uint64_t value;
+    uint64_t next;
+    uint64_t pad[4];
+};
+
+static_assert(sizeof(PListNode) == kCacheLineBytes);
+
+class POrderedList
+{
+  public:
+    /** Allocate and durably initialize (head sentinel); returns root
+     *  (= sentinel node offset).  User keys must be >= 1. */
+    static uint64_t create(rt::RuntimeThread& th);
+
+    explicit POrderedList(uint64_t head_off) : head_off_(head_off) {}
+
+    uint64_t head_off() const { return head_off_; }
+
+    /** Insert key/value or update in place; failure-atomic. */
+    void insert(rt::RuntimeThread& th, uint64_t key, uint64_t value);
+
+    /** Remove key; returns true if present; failure-atomic. */
+    bool remove(rt::RuntimeThread& th, uint64_t key);
+
+    /** Lookup; returns true and fills *value if present. */
+    bool lookup(rt::RuntimeThread& th, uint64_t key, uint64_t* value);
+
+    /** (key, value) pairs in order. */
+    static std::vector<std::pair<uint64_t, uint64_t>>
+    snapshot(nvm::PersistentHeap& heap, uint64_t head_off);
+
+    /** Strictly increasing keys, no cycle, in-heap nodes. */
+    static bool check_invariants(nvm::PersistentHeap& heap,
+                                 uint64_t head_off);
+
+    static const rt::FaseProgram& insert_program();
+    static const rt::FaseProgram& remove_program();
+    static const rt::FaseProgram& lookup_program();
+
+    /**
+     * Shared traversal region bodies, reused by the hash map (which
+     * runs the same programs with a bucket sentinel as r0).
+     */
+  private:
+    uint64_t head_off_;
+};
+
+} // namespace ido::ds

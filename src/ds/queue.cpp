@@ -1,0 +1,244 @@
+#include "ds/queue.h"
+
+#include "common/panic.h"
+#include "ds/fase_ids.h"
+
+namespace ido::ds {
+
+using rt::RegionCtx;
+using rt::RuntimeThread;
+
+// Register convention:
+//   r0 = queue root offset        (argument)
+//   r1 = value                    (enqueue argument / dequeue result)
+//   r2 = new node / dummy node offset
+//   r3 = old tail node / new head offset
+//   r4 = dequeue: found flag
+namespace {
+
+constexpr uint64_t
+head_holder(uint64_t root)
+{
+    return root + offsetof(PQueueRoot, head_lock_holder);
+}
+
+constexpr uint64_t
+tail_holder(uint64_t root)
+{
+    return root + offsetof(PQueueRoot, tail_lock_holder);
+}
+
+constexpr uint64_t
+head_off(uint64_t root)
+{
+    return root + offsetof(PQueueRoot, head);
+}
+
+constexpr uint64_t
+tail_off(uint64_t root)
+{
+    return root + offsetof(PQueueRoot, tail);
+}
+
+// --- enqueue ----------------------------------------------------------
+// FASE: n = node(value); lock(tail); t = tail; t->next = n; tail = n;
+// unlock(tail).  Cut between the load of `tail` and the store to
+// `tail` (antidependence), plus the mandated cuts at the lock edges.
+
+uint32_t
+enq_build(RuntimeThread& th, RegionCtx& ctx)
+{
+    ctx.r[2] = th.nv_alloc(sizeof(PQueueNode));
+    th.store_u64(ctx.r[2] + offsetof(PQueueNode, value), ctx.r[1]);
+    th.store_u64(ctx.r[2] + offsetof(PQueueNode, next), 0);
+    th.fase_lock(tail_holder(ctx.r[0]));
+    return 1;
+}
+
+uint32_t
+enq_link(RuntimeThread& th, RegionCtx& ctx)
+{
+    ctx.r[3] = th.load_u64(tail_off(ctx.r[0]));
+    th.store_u64(ctx.r[3] + offsetof(PQueueNode, next), ctx.r[2]);
+    return 2;
+}
+
+uint32_t
+enq_swing(RuntimeThread& th, RegionCtx& ctx)
+{
+    th.store_u64(tail_off(ctx.r[0]), ctx.r[2]);
+    return 3;
+}
+
+uint32_t
+enq_unlock(RuntimeThread& th, RegionCtx& ctx)
+{
+    th.fase_unlock(tail_holder(ctx.r[0]));
+    return rt::kRegionEnd;
+}
+
+// --- dequeue ----------------------------------------------------------
+
+uint32_t
+deq_lock(RuntimeThread& th, RegionCtx& ctx)
+{
+    th.fase_lock(head_holder(ctx.r[0]));
+    return 1;
+}
+
+uint32_t
+deq_read(RuntimeThread& th, RegionCtx& ctx)
+{
+    ctx.r[2] = th.load_u64(head_off(ctx.r[0])); // dummy
+    ctx.r[3] = th.load_u64(ctx.r[2] + offsetof(PQueueNode, next));
+    if (ctx.r[3] == 0) {
+        ctx.r[4] = 0;
+        return 3;
+    }
+    ctx.r[1] = th.load_u64(ctx.r[3] + offsetof(PQueueNode, value));
+    ctx.r[4] = 1;
+    return 2;
+}
+
+uint32_t
+deq_publish(RuntimeThread& th, RegionCtx& ctx)
+{
+    // The removed value's node becomes the new dummy; the old dummy is
+    // retired.
+    th.store_u64(head_off(ctx.r[0]), ctx.r[3]);
+    th.nv_free(ctx.r[2]);
+    return 3;
+}
+
+uint32_t
+deq_unlock(RuntimeThread& th, RegionCtx& ctx)
+{
+    th.fase_unlock(head_holder(ctx.r[0]));
+    return rt::kRegionEnd;
+}
+
+constexpr uint16_t R0 = 1u << 0;
+constexpr uint16_t R1 = 1u << 1;
+constexpr uint16_t R2 = 1u << 2;
+constexpr uint16_t R3 = 1u << 3;
+constexpr uint16_t R4 = 1u << 4;
+
+} // namespace
+
+const rt::FaseProgram&
+PQueue::enqueue_program()
+{
+    static const rt::FaseProgram prog = [] {
+        rt::FaseProgram p;
+        p.fase_id = kFaseQueueEnqueue;
+        p.name = "queue.enqueue";
+        p.regions = {
+            {enq_build, "build+lock", R0 | R1, R2, 0, 0},
+            {enq_link, "link", R0 | R2, R3, 0, 0},
+            {enq_swing, "swing", R0 | R2, 0, 0, 0},
+            {enq_unlock, "unlock", R0, 0, 0, 0, 0},
+        };
+        return p;
+    }();
+    return prog;
+}
+
+const rt::FaseProgram&
+PQueue::dequeue_program()
+{
+    static const rt::FaseProgram prog = [] {
+        rt::FaseProgram p;
+        p.fase_id = kFaseQueueDequeue;
+        p.name = "queue.dequeue";
+        p.regions = {
+            {deq_lock, "lock", R0, 0, 0, 0, 0},
+            {deq_read, "read", R0, R1 | R2 | R3 | R4, 0, 0, 0},
+            {deq_publish, "publish", R0 | R2 | R3, 0, 0, 0},
+            {deq_unlock, "unlock", R0, 0, 0, 0, 0},
+        };
+        return p;
+    }();
+    return prog;
+}
+
+uint64_t
+PQueue::create(rt::RuntimeThread& th)
+{
+    const uint64_t root = th.nv_alloc(sizeof(PQueueRoot));
+    const uint64_t dummy = th.nv_alloc(sizeof(PQueueNode));
+    PQueueNode dummy_init{0, 0};
+    auto* dp = th.heap().resolve<PQueueNode>(dummy);
+    th.dom().store(dp, &dummy_init, sizeof(dummy_init));
+    PQueueRoot init{};
+    init.head = dummy;
+    init.tail = dummy;
+    auto* rp = th.heap().resolve<PQueueRoot>(root);
+    th.dom().store(rp, &init, sizeof(init));
+    th.dom().flush(dp, sizeof(dummy_init));
+    th.dom().flush(rp, sizeof(init));
+    th.dom().fence();
+    return root;
+}
+
+void
+PQueue::enqueue(rt::RuntimeThread& th, uint64_t value)
+{
+    RegionCtx ctx;
+    ctx.r[0] = root_off_;
+    ctx.r[1] = value;
+    th.run_fase(enqueue_program(), ctx);
+}
+
+bool
+PQueue::dequeue(rt::RuntimeThread& th, uint64_t* out)
+{
+    RegionCtx ctx;
+    ctx.r[0] = root_off_;
+    th.run_fase(dequeue_program(), ctx);
+    if (ctx.r[4] == 0)
+        return false;
+    *out = ctx.r[1];
+    return true;
+}
+
+std::vector<uint64_t>
+PQueue::snapshot(nvm::PersistentHeap& heap, uint64_t root_off)
+{
+    std::vector<uint64_t> values;
+    const auto* root = heap.resolve<PQueueRoot>(root_off);
+    uint64_t node = heap.resolve<PQueueNode>(root->head)->next;
+    while (node != 0) {
+        const auto* n = heap.resolve<PQueueNode>(node);
+        values.push_back(n->value);
+        node = n->next;
+        IDO_ASSERT(values.size() <= heap.size() / sizeof(PQueueNode),
+                   "queue cycle");
+    }
+    return values;
+}
+
+bool
+PQueue::check_invariants(nvm::PersistentHeap& heap, uint64_t root_off)
+{
+    const auto* root = heap.resolve<PQueueRoot>(root_off);
+    if (root->head == 0 || root->tail == 0)
+        return false;
+    uint64_t node = root->head;
+    bool saw_tail = false;
+    size_t count = 0;
+    const size_t limit = heap.size() / sizeof(PQueueNode) + 1;
+    while (node != 0) {
+        if (node + sizeof(PQueueNode) > heap.size())
+            return false;
+        if (node == root->tail)
+            saw_tail = true;
+        node = heap.resolve<PQueueNode>(node)->next;
+        if (++count > limit)
+            return false;
+    }
+    // The tail must be the final reachable node.
+    return saw_tail
+           && heap.resolve<PQueueNode>(root->tail)->next == 0;
+}
+
+} // namespace ido::ds

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Persistent two-lock Michael & Scott queue (paper Sec. V-B).
+ *
+ * Separate head and tail locks let an enqueuer and a dequeuer proceed
+ * concurrently, giving the queue slightly more available parallelism
+ * than the stack.  A permanent dummy node decouples the two ends, as
+ * in the original M&S algorithm.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/cacheline.h"
+#include "runtime/fase_program.h"
+#include "runtime/runtime.h"
+
+namespace ido::ds {
+
+struct PQueueRoot
+{
+    uint64_t head_lock_holder;
+    uint64_t pad0[7];
+    uint64_t tail_lock_holder;
+    uint64_t pad1[7];
+    uint64_t head; ///< offset of the dummy node
+    uint64_t pad2[7];
+    uint64_t tail; ///< offset of the last node
+    uint64_t pad3[7];
+};
+
+static_assert(sizeof(PQueueRoot) == 4 * kCacheLineBytes);
+
+struct PQueueNode
+{
+    uint64_t value;
+    uint64_t next;
+};
+
+class PQueue
+{
+  public:
+    /** Allocate and durably initialize (dummy node); returns root. */
+    static uint64_t create(rt::RuntimeThread& th);
+
+    explicit PQueue(uint64_t root_off) : root_off_(root_off) {}
+
+    uint64_t root_off() const { return root_off_; }
+
+    void enqueue(rt::RuntimeThread& th, uint64_t value);
+    bool dequeue(rt::RuntimeThread& th, uint64_t* out);
+
+    /** Front-to-back values (excludes the dummy). */
+    static std::vector<uint64_t> snapshot(nvm::PersistentHeap& heap,
+                                          uint64_t root_off);
+
+    /** Head reaches tail; tail->next == 0; no cycle. */
+    static bool check_invariants(nvm::PersistentHeap& heap,
+                                 uint64_t root_off);
+
+    static const rt::FaseProgram& enqueue_program();
+    static const rt::FaseProgram& dequeue_program();
+
+  private:
+    uint64_t root_off_;
+};
+
+} // namespace ido::ds

@@ -1,0 +1,215 @@
+#include "ds/stack.h"
+
+#include "common/panic.h"
+#include "ds/fase_ids.h"
+
+namespace ido::ds {
+
+using rt::RegionCtx;
+using rt::RuntimeThread;
+
+// Register convention (both programs):
+//   r0 = stack root offset          (argument)
+//   r1 = value                      (push argument / pop result)
+//   r2 = node offset
+//   r3 = old top / new top
+//   r4 = pop: found flag
+namespace {
+
+constexpr uint64_t
+holder_off(uint64_t root)
+{
+    return root + offsetof(PStackRoot, lock_holder);
+}
+
+constexpr uint64_t
+top_off(uint64_t root)
+{
+    return root + offsetof(PStackRoot, top);
+}
+
+// --- push ------------------------------------------------------------
+// FASE: lock; t = top; n = new node(value, next=t); top = n; unlock.
+// Cuts: after the acquire (Sec. III-B); between the load of `top` and
+// the store to `top` (memory antidependence); before the release.
+
+uint32_t
+push_lock(RuntimeThread& th, RegionCtx& ctx)
+{
+    th.fase_lock(holder_off(ctx.r[0]));
+    return 1;
+}
+
+uint32_t
+push_build(RuntimeThread& th, RegionCtx& ctx)
+{
+    ctx.r[3] = th.load_u64(top_off(ctx.r[0]));
+    ctx.r[2] = th.nv_alloc(sizeof(PStackNode));
+    th.store_u64(ctx.r[2] + offsetof(PStackNode, value), ctx.r[1]);
+    th.store_u64(ctx.r[2] + offsetof(PStackNode, next), ctx.r[3]);
+    return 2;
+}
+
+uint32_t
+push_publish(RuntimeThread& th, RegionCtx& ctx)
+{
+    th.store_u64(top_off(ctx.r[0]), ctx.r[2]);
+    return 3;
+}
+
+uint32_t
+push_unlock(RuntimeThread& th, RegionCtx& ctx)
+{
+    th.fase_unlock(holder_off(ctx.r[0]));
+    return rt::kRegionEnd;
+}
+
+// --- pop -------------------------------------------------------------
+
+uint32_t
+pop_lock(RuntimeThread& th, RegionCtx& ctx)
+{
+    th.fase_lock(holder_off(ctx.r[0]));
+    return 1;
+}
+
+uint32_t
+pop_read(RuntimeThread& th, RegionCtx& ctx)
+{
+    ctx.r[2] = th.load_u64(top_off(ctx.r[0]));
+    if (ctx.r[2] == 0) {
+        ctx.r[4] = 0;
+        return 3;
+    }
+    ctx.r[3] = th.load_u64(ctx.r[2] + offsetof(PStackNode, next));
+    ctx.r[1] = th.load_u64(ctx.r[2] + offsetof(PStackNode, value));
+    ctx.r[4] = 1;
+    return 2;
+}
+
+uint32_t
+pop_publish(RuntimeThread& th, RegionCtx& ctx)
+{
+    th.store_u64(top_off(ctx.r[0]), ctx.r[3]);
+    th.nv_free(ctx.r[2]); // deferred to FASE commit by the runtime
+    return 3;
+}
+
+uint32_t
+pop_unlock(RuntimeThread& th, RegionCtx& ctx)
+{
+    th.fase_unlock(holder_off(ctx.r[0]));
+    return rt::kRegionEnd;
+}
+
+constexpr uint16_t R0 = 1u << 0;
+constexpr uint16_t R1 = 1u << 1;
+constexpr uint16_t R2 = 1u << 2;
+constexpr uint16_t R3 = 1u << 3;
+constexpr uint16_t R4 = 1u << 4;
+
+} // namespace
+
+const rt::FaseProgram&
+PStack::push_program()
+{
+    static const rt::FaseProgram prog = [] {
+        rt::FaseProgram p;
+        p.fase_id = kFaseStackPush;
+        p.name = "stack.push";
+        p.regions = {
+            {push_lock, "lock", /*live_in*/ R0, /*out*/ 0, 0, 0, 0},
+            {push_build, "build", R0 | R1, R2, 0, 0},
+            {push_publish, "publish", R0 | R2, 0, 0, 0},
+            {push_unlock, "unlock", R0, 0, 0, 0, 0},
+        };
+        return p;
+    }();
+    return prog;
+}
+
+const rt::FaseProgram&
+PStack::pop_program()
+{
+    static const rt::FaseProgram prog = [] {
+        rt::FaseProgram p;
+        p.fase_id = kFaseStackPop;
+        p.name = "stack.pop";
+        p.regions = {
+            {pop_lock, "lock", R0, 0, 0, 0, 0},
+            {pop_read, "read", R0, R1 | R2 | R3 | R4, 0, 0, 0},
+            {pop_publish, "publish", R0 | R2 | R3, 0, 0, 0},
+            {pop_unlock, "unlock", R0, 0, 0, 0, 0},
+        };
+        return p;
+    }();
+    return prog;
+}
+
+uint64_t
+PStack::create(rt::RuntimeThread& th)
+{
+    const uint64_t root = th.nv_alloc(sizeof(PStackRoot));
+    PStackRoot init{};
+    auto* p = th.heap().resolve<PStackRoot>(root);
+    th.dom().store(p, &init, sizeof(init));
+    th.dom().flush(p, sizeof(init));
+    th.dom().fence();
+    return root;
+}
+
+void
+PStack::push(rt::RuntimeThread& th, uint64_t value)
+{
+    RegionCtx ctx;
+    ctx.r[0] = root_off_;
+    ctx.r[1] = value;
+    th.run_fase(push_program(), ctx);
+}
+
+bool
+PStack::pop(rt::RuntimeThread& th, uint64_t* out)
+{
+    RegionCtx ctx;
+    ctx.r[0] = root_off_;
+    th.run_fase(pop_program(), ctx);
+    if (ctx.r[4] == 0)
+        return false;
+    *out = ctx.r[1];
+    return true;
+}
+
+std::vector<uint64_t>
+PStack::snapshot(nvm::PersistentHeap& heap, uint64_t root_off)
+{
+    std::vector<uint64_t> values;
+    const auto* root = heap.resolve<PStackRoot>(root_off);
+    uint64_t node = root->top;
+    while (node != 0) {
+        const auto* n = heap.resolve<PStackNode>(node);
+        values.push_back(n->value);
+        node = n->next;
+        IDO_ASSERT(values.size() <= heap.size() / sizeof(PStackNode),
+                   "stack cycle");
+    }
+    return values;
+}
+
+bool
+PStack::check_invariants(nvm::PersistentHeap& heap, uint64_t root_off)
+{
+    const auto* root = heap.resolve<PStackRoot>(root_off);
+    uint64_t node = root->top;
+    size_t count = 0;
+    const size_t limit = heap.size() / sizeof(PStackNode) + 1;
+    while (node != 0) {
+        if (node + sizeof(PStackNode) > heap.size())
+            return false;
+        node = heap.resolve<PStackNode>(node)->next;
+        if (++count > limit)
+            return false; // cycle
+    }
+    return true;
+}
+
+} // namespace ido::ds

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Persistent locking stack (the "locking variation on the Treiber
+ * stack" of paper Sec. V-B).
+ *
+ * A single lock serializes all accesses; the critical section is tiny,
+ * which makes the stack the microbenchmark with the *least* available
+ * parallelism -- its scalability curve is expected to be flat for every
+ * runtime.
+ *
+ * The push FASE compiles to four idempotent regions (comments in
+ * stack.cpp show the cut reasoning); the antidependence on `top`
+ * (loaded to link the node, stored to publish it) is what forces the
+ * build/publish split, exactly the de Kruijf-style cut the iDO
+ * compiler performs.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/cacheline.h"
+#include "runtime/fase_program.h"
+#include "runtime/runtime.h"
+
+namespace ido::ds {
+
+/** Persistent stack root: lock holder and top pointer on own lines. */
+struct PStackRoot
+{
+    uint64_t lock_holder;
+    uint64_t pad0[7];
+    uint64_t top; ///< offset of the top node, 0 = empty
+    uint64_t pad1[7];
+};
+
+static_assert(sizeof(PStackRoot) == 2 * kCacheLineBytes);
+
+struct PStackNode
+{
+    uint64_t value;
+    uint64_t next;
+};
+
+class PStack
+{
+  public:
+    /** Allocate and durably initialize an empty stack; returns root. */
+    static uint64_t create(rt::RuntimeThread& th);
+
+    explicit PStack(uint64_t root_off) : root_off_(root_off) {}
+
+    uint64_t root_off() const { return root_off_; }
+
+    /** Push value (failure-atomic). */
+    void push(rt::RuntimeThread& th, uint64_t value);
+
+    /** Pop into *out; returns false on empty (failure-atomic). */
+    bool pop(rt::RuntimeThread& th, uint64_t* out);
+
+    // --- verification (direct heap access; post-crash inspection) ----
+
+    /** Top-to-bottom values. */
+    static std::vector<uint64_t> snapshot(nvm::PersistentHeap& heap,
+                                          uint64_t root_off);
+
+    /** No cycles, nodes within heap; returns false on corruption. */
+    static bool check_invariants(nvm::PersistentHeap& heap,
+                                 uint64_t root_off);
+
+    static const rt::FaseProgram& push_program();
+    static const rt::FaseProgram& pop_program();
+
+  private:
+    uint64_t root_off_;
+};
+
+} // namespace ido::ds

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Microbenchmark driver (paper Sec. V-B methodology).
+ *
+ * At each thread count, a fixed-duration stress test runs; every thread
+ * repeatedly picks a random operation on the shared structure (insert
+ * vs. remove for stack/queue; get vs. put over a fixed key range for
+ * list/map), using a thread-local RNG, with threads pinned to cores in
+ * a consistent order.  Total completed operations are aggregated at the
+ * end.  The same driver feeds Fig. 7 (throughput vs. threads), Fig. 8
+ * (region statistics), Table I (recovery after timed kills), and the
+ * randomized crash-consistency tests.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/runtime.h"
+
+namespace ido::ds {
+
+enum class DsKind
+{
+    kStack,
+    kQueue,
+    kOrderedList,
+    kHashMap,
+};
+
+const char* ds_kind_name(DsKind kind);
+
+struct WorkloadConfig
+{
+    DsKind ds = DsKind::kStack;
+    uint32_t threads = 1;
+
+    /** Fixed key range for list/map (paper: random key in a range). */
+    uint64_t key_range = 512;
+    uint64_t map_buckets = 64;
+
+    /** Run length: wall-clock seconds, or exact ops if ops_per_thread
+     *  is nonzero (used by deterministic tests). */
+    double duration_seconds = 1.0;
+    uint64_t ops_per_thread = 0;
+
+    /** Op mix for list/map: get %, remainder split put/remove. */
+    uint32_t get_pct = 50;
+    uint32_t remove_pct = 0;
+
+    uint64_t seed = 42;
+
+    /** Pre-populate list/map to half the key range. */
+    bool prefill = true;
+
+    /** Pin worker threads to cores in a consistent order. */
+    bool pin_threads = false;
+};
+
+struct WorkloadResult
+{
+    uint64_t total_ops = 0;
+    double seconds = 0.0;
+    bool crashed = false; ///< a simulated crash interrupted the run
+
+    double
+    mops() const
+    {
+        return seconds > 0
+            ? static_cast<double>(total_ops) / seconds / 1e6
+            : 0.0;
+    }
+};
+
+/** Create and (optionally) prefill the structure; returns root. */
+uint64_t workload_setup(rt::Runtime& rt, const WorkloadConfig& cfg);
+
+/** Run the stress test against an existing structure. */
+WorkloadResult workload_run(rt::Runtime& rt, uint64_t root_off,
+                            const WorkloadConfig& cfg);
+
+/** Post-crash / post-run structural invariants for the structure. */
+bool workload_check_invariants(nvm::PersistentHeap& heap, DsKind ds,
+                               uint64_t root_off);
+
+/** Register the data-structure FASE programs (idempotent). */
+void register_all_programs();
+
+} // namespace ido::ds

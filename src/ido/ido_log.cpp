@@ -1,0 +1,5 @@
+#include "ido/ido_log.h"
+
+// IdoLogRec is a plain persistent layout; all logic lives in
+// ido_runtime.cpp / ido_recovery.cpp.  This translation unit anchors the
+// header's static_asserts in the build.

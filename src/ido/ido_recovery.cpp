@@ -1,0 +1,86 @@
+/**
+ * @file
+ * iDO recovery (paper Sec. III-C).
+ *
+ *  1. detect the crash and retrieve the iDO log list;
+ *  2. create a recovery thread for each interrupted record;
+ *  3. each recovery thread reacquires the locks in its lock_array and
+ *     executes a barrier with respect to the other recovery threads;
+ *  4. each thread restores its registers from the log and jumps to the
+ *     beginning of its interrupted idempotent region;
+ *  5. each thread executes to the end of its FASE, at which point no
+ *     lock is held and recovery is complete.
+ */
+#include <barrier>
+#include <thread>
+#include <vector>
+
+#include "common/panic.h"
+#include "ido/ido_runtime.h"
+
+namespace ido {
+
+void
+IdoRuntime::recover()
+{
+    // The crashed run's transient locks are all implicitly released.
+    locks_.new_epoch();
+
+    std::vector<uint64_t> active;
+    for (uint64_t off : log_rec_offsets()) {
+        auto* rec = heap_.resolve<IdoLogRec>(off);
+        if (dom_.load_val(&rec->recovery_pc) != kInactivePc)
+            active.push_back(off);
+    }
+    if (active.empty())
+        return;
+
+    std::barrier barrier(static_cast<std::ptrdiff_t>(active.size()));
+    std::vector<std::thread> workers;
+    workers.reserve(active.size());
+    for (uint64_t rec_off : active) {
+        workers.emplace_back([this, rec_off, &barrier] {
+            bool arrived = false;
+            try {
+                IdoThread th(*this, rec_off);
+                th.reacquire_crashed_locks();
+                // No recovery thread may start executing before every
+                // lock held at crash time has been reclaimed by its
+                // owner; otherwise a FASE could race with a
+                // not-yet-reprotected peer (recovery step 3).
+                arrived = true;
+                barrier.arrive_and_wait();
+                const uint64_t pc =
+                    dom_.load_val(&th.rec()->recovery_pc);
+                const rt::FaseProgram* prog =
+                    rt::FaseRegistry::instance().lookup(
+                        recovery_pc_fase(pc));
+                rt::RegionCtx ctx;
+                th.restore_ctx(ctx);
+                th.resume_fase(*prog, recovery_pc_region(pc), ctx);
+            } catch (const rt::SimCrashException&) {
+                // Recovery itself "crashed" (test injection).  The log
+                // record still names the interrupted region, so a later
+                // recovery pass redoes this work -- recovery is
+                // idempotent by the same argument as the regions.
+                if (!arrived)
+                    barrier.arrive_and_drop();
+            }
+        });
+    }
+    for (std::thread& t : workers)
+        t.join();
+
+    // Post-condition: every record is inactive and no locks are held
+    // (unless recovery itself was crash-injected, in which case the
+    // next recovery pass finishes the job).
+    if (!crash_.crashed()) {
+        for (uint64_t off : active) {
+            auto* rec = heap_.resolve<IdoLogRec>(off);
+            IDO_ASSERT(dom_.load_val(&rec->recovery_pc) == kInactivePc,
+                       "recovery left an active FASE behind");
+        }
+    }
+}
+
+} // namespace ido

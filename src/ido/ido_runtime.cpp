@@ -1,0 +1,293 @@
+#include "ido/ido_runtime.h"
+
+#include <cstring>
+
+#include "common/panic.h"
+
+namespace ido {
+
+using rt::RegionCtx;
+using rt::RegionMeta;
+
+IdoRuntime::IdoRuntime(nvm::PersistentHeap& heap, nvm::PersistDomain& dom,
+                       const rt::RuntimeConfig& cfg)
+    : Runtime(heap, dom, cfg)
+{
+}
+
+rt::RuntimeTraits
+IdoRuntime::traits() const
+{
+    return {"Lock-inferred FASE", "Resumption", "Idempotent Region",
+            /*dependence_tracking=*/false, /*transient_caches=*/true};
+}
+
+uint64_t
+IdoRuntime::allocate_log_rec()
+{
+    std::lock_guard<std::mutex> g(link_mutex_);
+    const uint64_t off = alloc_.alloc_aligned(sizeof(IdoLogRec), dom_);
+    IDO_ASSERT(off != 0, "out of persistent memory for iDO logs");
+    auto* rec = heap_.resolve<IdoLogRec>(off);
+
+    IdoLogRec init{};
+    init.next = heap_.root(nvm::RootSlot::kIdoLogHead);
+    init.thread_tag = next_thread_tag_++;
+    init.recovery_pc = kInactivePc;
+    init.lock_bitmap = 0;
+    dom_.store(rec, &init, sizeof(init));
+    dom_.flush(rec, sizeof(IdoLogRec));
+    dom_.fence();
+    // Publish: the record is fully initialized before it becomes
+    // reachable from the persistent head.
+    heap_.set_root(nvm::RootSlot::kIdoLogHead, off, dom_);
+    return off;
+}
+
+std::vector<uint64_t>
+IdoRuntime::log_rec_offsets()
+{
+    std::vector<uint64_t> offs;
+    uint64_t off = heap_.root(nvm::RootSlot::kIdoLogHead);
+    while (off != 0) {
+        offs.push_back(off);
+        off = heap_.resolve<IdoLogRec>(off)->next;
+        IDO_ASSERT(offs.size() < 1u << 20, "iDO log list cycle");
+    }
+    return offs;
+}
+
+std::unique_ptr<rt::RuntimeThread>
+IdoRuntime::make_thread()
+{
+    return std::make_unique<IdoThread>(*this);
+}
+
+// --------------------------------------------------------------------------
+// IdoThread
+// --------------------------------------------------------------------------
+
+IdoThread::IdoThread(IdoRuntime& rt)
+    : RuntimeThread(rt), rec_off_(rt.allocate_log_rec())
+{
+    rec_ = heap().resolve<IdoLogRec>(rec_off_);
+    pending_.reserve(32);
+}
+
+IdoThread::IdoThread(IdoRuntime& rt, uint64_t existing_rec_off)
+    : RuntimeThread(rt), rec_off_(existing_rec_off)
+{
+    rec_ = heap().resolve<IdoLogRec>(rec_off_);
+    lock_bitmap_mirror_ = dom().load_val(&rec_->lock_bitmap);
+    pending_.reserve(32);
+    activated_ = true; // an interrupted FASE was, by definition, live
+}
+
+void
+IdoThread::reacquire_crashed_locks()
+{
+    for (size_t slot = 0; slot < kMaxHeldLocks; ++slot) {
+        if (!(lock_bitmap_mirror_ & (1ull << slot)))
+            continue;
+        const uint64_t holder_off =
+            dom().load_val(&rec_->lock_array[slot]);
+        if (holder_off == 0) {
+            // Torn lock record: the bitmap bit persisted but the array
+            // entry did not.  That can only happen if the crash hit
+            // before the boundary fence following the acquire, i.e.
+            // before any instruction executed under the lock -- the
+            // harmless "stolen lock" window of Sec. III-B.  Do not
+            // reacquire; the resumed region re-acquires from scratch.
+            lock_bitmap_mirror_ &= ~(1ull << slot);
+            continue;
+        }
+        rt::TransientLock& l =
+            rt_.locks().lock_for(heap().resolve<uint64_t>(holder_off));
+        acquire_transient(l);
+        held_.push_back(HeldLock{holder_off, static_cast<uint8_t>(slot)});
+    }
+}
+
+void
+IdoThread::restore_ctx(RegionCtx& ctx) const
+{
+    for (size_t i = 0; i < rt::kNumIntRegs; ++i)
+        ctx.r[i] = rec_->intRF[i];
+    for (size_t i = 0; i < rt::kNumFloatRegs; ++i)
+        ctx.f[i] = rec_->floatRF[i];
+}
+
+void
+IdoThread::persist_outputs(const RegionMeta& meta, const RegionCtx& ctx)
+{
+    // Output registers to their fixed slots.  With fixed slots, persist
+    // coalescing (Sec. IV-B) is a matter of flushing whole RF lines:
+    // eight u64 registers share one line.
+    if (meta.out_int) {
+        for (size_t i = 0; i < rt::kNumIntRegs; ++i) {
+            if (meta.out_int & (1u << i))
+                dom().store_val(&rec_->intRF[i], ctx.r[i]);
+        }
+        if (meta.out_int & 0x00ffu)
+            dom().flush(&rec_->intRF[0], 8 * sizeof(uint64_t));
+        if (meta.out_int & 0xff00u)
+            dom().flush(&rec_->intRF[8], 8 * sizeof(uint64_t));
+    }
+    if (meta.out_float) {
+        for (size_t i = 0; i < rt::kNumFloatRegs; ++i) {
+            if (meta.out_float & (1u << i))
+                dom().store_val(&rec_->floatRF[i], ctx.f[i]);
+        }
+        dom().flush(&rec_->floatRF[0], 8 * sizeof(double));
+    }
+    // Heap writes of the finished region, tracked at run time
+    // (Sec. III-A: pointer-accessed locations are written back at the
+    // end of each idempotent region).
+    for (const PendingRange& p : pending_)
+        dom().flush(heap().resolve<void>(p.off), p.len);
+    pending_.clear();
+    crash_tick();
+    dom().fence(); // boundary fence 1
+}
+
+void
+IdoThread::advance_recovery_pc(uint64_t pc)
+{
+    crash_tick();
+    dom().store_val(&rec_->recovery_pc, pc);
+    dom().flush(&rec_->recovery_pc, sizeof(uint64_t));
+    dom().fence(); // boundary fence 2
+    crash_tick();
+}
+
+void
+IdoThread::on_fase_begin(const rt::FaseProgram&, RegionCtx&)
+{
+    // Lazy activation (Sec. V-A's cheap read paths): no logging at all
+    // until control reaches the first region that may store.  Losing a
+    // store-free FASE prefix to a crash is indistinguishable from it
+    // never having run, so recovery_pc can stay inactive.
+    activated_ = false;
+}
+
+void
+IdoThread::on_region_begin(const rt::FaseProgram& prog, uint32_t idx,
+                           RegionCtx& ctx)
+{
+    if (activated_ || !prog.region(idx).may_store)
+        return;
+    // First potentially-storing region: persist every register any
+    // region consumes as live-in (current values ARE this region's
+    // entry state; registers defined later get re-persisted, fresher,
+    // at their defining region's boundary), then go live.  The lock
+    // ownership records written so far were flushed at their lock
+    // operations' own fences, so they are already ordered before the
+    // recovery_pc publish.
+    RegionMeta args_meta{};
+    for (const RegionMeta& m : prog.regions) {
+        args_meta.out_int |= m.live_in_int;
+        args_meta.out_float |= m.live_in_float;
+    }
+    if (args_meta.out_int || args_meta.out_float)
+        persist_outputs(args_meta, ctx);
+    advance_recovery_pc(pack_recovery_pc(prog.fase_id, idx));
+    activated_ = true;
+}
+
+void
+IdoThread::on_region_boundary(const rt::FaseProgram& prog,
+                              uint32_t finished_idx, RegionCtx& ctx,
+                              uint32_t next_idx)
+{
+    // A region with no outputs and no tracked heap writes has nothing
+    // to order ahead of the recovery_pc update, so its boundary costs a
+    // single fence.  (Pure-read regions are common -- the Redis search
+    // paths of Sec. V-A -- and this is why iDO "imposes minimal costs
+    // on read paths".)
+    if (!activated_) {
+        // Still in the read-only prefix: nothing persisted, nothing to
+        // order, no recovery_pc to advance.
+        IDO_ASSERT(pending_.empty());
+        return;
+    }
+    const rt::RegionMeta& meta = prog.region(finished_idx);
+    if (meta.out_int || meta.out_float || !pending_.empty())
+        persist_outputs(meta, ctx);
+    const uint64_t pc = (next_idx == rt::kRegionEnd)
+        ? kInactivePc
+        : pack_recovery_pc(prog.fase_id, next_idx);
+    advance_recovery_pc(pc);
+}
+
+void
+IdoThread::do_store(uint64_t off, const void* src, size_t n)
+{
+    if (!in_fase_) {
+        // Outside any FASE there is no boundary to flush at; write
+        // through durably.
+        void* p = heap().resolve<void>(off);
+        dom().store(p, src, n);
+        dom().flush(p, n);
+        dom().fence();
+        return;
+    }
+    IDO_ASSERT(activated_,
+               "store in a region not marked may_store (metadata bug)");
+    dom().store(heap().resolve<void>(off), src, n);
+    pending_.push_back(PendingRange{off, static_cast<uint32_t>(n)});
+}
+
+void
+IdoThread::do_lock(uint64_t holder_off, rt::TransientLock& l)
+{
+    acquire_transient(l);
+    // Crash window between acquire and ownership record: another thread
+    // may "steal" the lock in recovery, harmlessly (Sec. III-B).
+    crash_tick();
+    int slot = -1;
+    for (size_t i = 0; i < kMaxHeldLocks; ++i) {
+        if (!(lock_bitmap_mirror_ & (1ull << i))) {
+            slot = static_cast<int>(i);
+            break;
+        }
+    }
+    IDO_ASSERT(slot >= 0, "more than %zu locks held in one FASE",
+               kMaxHeldLocks);
+    lock_bitmap_mirror_ |= 1ull << slot;
+    dom().store_val(&rec_->lock_array[slot], holder_off);
+    dom().store_val(&rec_->lock_bitmap, lock_bitmap_mirror_);
+    // Bitmap and low array slots share a cache line: one write-back
+    // covers both for the common lock depth.
+    dom().flush(&rec_->lock_bitmap,
+                (slot < 7 ? (slot + 2) : 1) * sizeof(uint64_t));
+    if (slot >= 7)
+        dom().flush(&rec_->lock_array[slot], sizeof(uint64_t));
+    dom().fence(); // the single ordered write per lock op (Sec. III-B)
+    held_.push_back(HeldLock{holder_off, static_cast<uint8_t>(slot)});
+}
+
+void
+IdoThread::do_unlock(uint64_t holder_off, rt::TransientLock& l)
+{
+    int slot = -1;
+    for (size_t i = 0; i < held_.size(); ++i) {
+        if (held_[i].holder_off == holder_off) {
+            slot = held_[i].slot;
+            held_.erase(held_.begin() + static_cast<long>(i));
+            break;
+        }
+    }
+    IDO_ASSERT(slot >= 0, "unlocking a lock not held");
+    lock_bitmap_mirror_ &= ~(1ull << slot);
+    dom().store_val(&rec_->lock_array[slot], uint64_t{0});
+    dom().store_val(&rec_->lock_bitmap, lock_bitmap_mirror_);
+    dom().flush(&rec_->lock_bitmap,
+                (slot < 7 ? (slot + 2) : 1) * sizeof(uint64_t));
+    if (slot >= 7)
+        dom().flush(&rec_->lock_array[slot], sizeof(uint64_t));
+    dom().fence(); // single fence, then release
+    crash_tick();
+    l.unlock();
+}
+
+} // namespace ido

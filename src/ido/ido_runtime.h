@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The iDO failure-atomicity runtime (paper Sec. III-IV).
+ *
+ * Normal-execution protocol, per idempotent region boundary r -> s:
+ *   1. write the output registers of r (Def_r ∩ LiveOut_r, Eq. 1) into
+ *      their fixed intRF/floatRF slots, initiate write-back of the
+ *      touched register-file lines (persist coalescing: up to eight
+ *      registers per clflush) and of every heap line stored in r
+ *      (pointer-accessed writes are tracked at run time), then fence;
+ *   2. update recovery_pc to point at s, flush, fence;
+ *   3. execute s.
+ * Two persist fences per region, independent of the number of stores --
+ * this is the paper's entire performance argument.
+ *
+ * Lock protocol (indirect locking, Sec. III-B): one persist fence per
+ * acquire/release, covering the lock_array entry and its bitmap bit.
+ */
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "ido/ido_log.h"
+#include "runtime/runtime.h"
+
+namespace ido {
+
+class IdoRuntime final : public rt::Runtime
+{
+  public:
+    IdoRuntime(nvm::PersistentHeap& heap, nvm::PersistDomain& dom,
+               const rt::RuntimeConfig& cfg);
+
+    const char* name() const override { return "ido"; }
+    rt::RuntimeTraits traits() const override;
+
+    std::unique_ptr<rt::RuntimeThread> make_thread() override;
+    void recover() override;
+
+    /** Allocate and durably link a fresh per-thread log record. */
+    uint64_t allocate_log_rec();
+
+    /** Offsets of all linked log records (head first). */
+    std::vector<uint64_t> log_rec_offsets();
+
+  private:
+    std::mutex link_mutex_;
+    uint64_t next_thread_tag_ = 1;
+};
+
+class IdoThread final : public rt::RuntimeThread
+{
+  public:
+    /** Normal-execution thread with a freshly linked log record. */
+    explicit IdoThread(IdoRuntime& rt);
+
+    /** Recovery thread adopting the record of a crashed thread. */
+    IdoThread(IdoRuntime& rt, uint64_t existing_rec_off);
+
+    IdoLogRec* rec() { return rec_; }
+    uint64_t rec_off() const { return rec_off_; }
+
+    /**
+     * Recovery step 3 (Sec. III-C): reacquire every lock named in the
+     * adopted record's lock_array.
+     */
+    void reacquire_crashed_locks();
+
+    /** Recovery step 4: rebuild the register file from the log. */
+    void restore_ctx(rt::RegionCtx& ctx) const;
+
+  protected:
+    void on_fase_begin(const rt::FaseProgram& prog,
+                       rt::RegionCtx& ctx) override;
+    void on_region_begin(const rt::FaseProgram& prog, uint32_t idx,
+                         rt::RegionCtx& ctx) override;
+    void on_region_boundary(const rt::FaseProgram& prog,
+                            uint32_t finished_idx, rt::RegionCtx& ctx,
+                            uint32_t next_idx) override;
+    void do_store(uint64_t off, const void* src, size_t n) override;
+    void do_lock(uint64_t holder_off, rt::TransientLock& l) override;
+    void do_unlock(uint64_t holder_off, rt::TransientLock& l) override;
+
+  private:
+    /** Step 1 of the boundary protocol: persist OutputSet_r. */
+    void persist_outputs(const rt::RegionMeta& meta,
+                         const rt::RegionCtx& ctx);
+
+    /** Step 2: durably advance recovery_pc. */
+    void advance_recovery_pc(uint64_t pc);
+
+    struct PendingRange
+    {
+        uint64_t off;
+        uint32_t len;
+    };
+
+    IdoLogRec* rec_;
+    uint64_t rec_off_;
+    uint64_t lock_bitmap_mirror_ = 0; ///< volatile copy of rec_->lock_bitmap
+    bool activated_ = false; ///< lazy: logging live for this FASE?
+    std::vector<PendingRange> pending_;
+};
+
+} // namespace ido

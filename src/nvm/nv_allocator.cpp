@@ -1,0 +1,212 @@
+#include "nvm/nv_allocator.h"
+
+#include <cstring>
+
+#include "common/panic.h"
+#include "nvm/persist_domain.h"
+
+namespace ido::nvm {
+
+namespace {
+
+constexpr size_t kClassSizes[NvAllocator::kNumClasses] = {
+    16, 32, 48, 64, 96, 128, 192, 256, 384, 512, 1024, 2048, 4096,
+};
+
+} // namespace
+
+size_t
+NvAllocator::class_for_size(size_t size)
+{
+    for (size_t c = 0; c < kNumClasses; ++c) {
+        if (size <= kClassSizes[c])
+            return c;
+    }
+    return kNumClasses; // oversized: exact-size bump block
+}
+
+size_t
+NvAllocator::class_payload(size_t cls)
+{
+    IDO_ASSERT(cls < kNumClasses);
+    return kClassSizes[cls];
+}
+
+NvAllocator::NvAllocator(PersistentHeap& heap, PersistDomain& dom)
+    : heap_(heap)
+{
+    state_off_ = heap_.root(RootSlot::kAllocator);
+    if (state_off_ == 0) {
+        // Fresh heap: carve the metadata out of the arena start.
+        const uint64_t off = heap_.arena_begin();
+        auto* st = heap_.resolve<AllocState>(off);
+        AllocState init{};
+        init.bump = (off + sizeof(AllocState) + 63) & ~uint64_t{63};
+        init.end = heap_.size();
+        init.live_count = 0;
+        dom.store(st, &init, sizeof(init));
+        dom.flush(st, sizeof(init));
+        dom.fence();
+        heap_.set_root(RootSlot::kAllocator, off, dom);
+        state_off_ = off;
+    }
+}
+
+NvAllocator::AllocState*
+NvAllocator::state() const
+{
+    return heap_.resolve<AllocState>(state_off_);
+}
+
+uint64_t
+NvAllocator::alloc(size_t size, PersistDomain& dom)
+{
+    if (size == 0)
+        size = 1;
+    std::lock_guard<std::mutex> g(mutex_);
+    AllocState* st = state();
+    const size_t cls = class_for_size(size);
+    const size_t payload =
+        (cls < kNumClasses) ? class_payload(cls)
+                            : ((size + 15) & ~size_t{15});
+
+    uint64_t payload_off = 0;
+    if (cls < kNumClasses && st->free_heads[cls] != 0) {
+        // Pop from the free list.  Unlink durably *before* handing the
+        // block out: a crash after the pop leaks the block; a crash
+        // before it leaves the list intact.
+        payload_off = st->free_heads[cls];
+        const uint64_t next =
+            dom.load_val(heap_.resolve<uint64_t>(payload_off));
+        dom.store_val(&st->free_heads[cls], next);
+        dom.flush(&st->free_heads[cls], sizeof(uint64_t));
+        dom.fence();
+        auto* hdr = heap_.resolve<BlockHeader>(
+            payload_off - sizeof(BlockHeader));
+        dom.store_val(&hdr->state, kBlockLive);
+        dom.flush(&hdr->state, sizeof(uint64_t));
+    } else {
+        // Bump allocation.
+        const uint64_t need = sizeof(BlockHeader) + payload;
+        if (st->bump + need > st->end)
+            return 0;
+        const uint64_t block_off = st->bump;
+        BlockHeader hdr{payload, kBlockLive};
+        auto* hp = heap_.resolve<BlockHeader>(block_off);
+        dom.store(hp, &hdr, sizeof(hdr));
+        dom.flush(hp, sizeof(hdr));
+        dom.fence();
+        // Advance the bump pointer durably; crash in between leaks the
+        // block (header already valid, bump not advanced is impossible
+        // to confuse: re-allocation overwrites the header first).
+        dom.store_val(&st->bump, block_off + need);
+        dom.flush(&st->bump, sizeof(uint64_t));
+        dom.fence();
+        payload_off = block_off + sizeof(BlockHeader);
+    }
+    dom.store_val(&st->live_count, st->live_count + 1);
+    return payload_off;
+}
+
+uint64_t
+NvAllocator::alloc_aligned(size_t size, PersistDomain& dom)
+{
+    // Room for the 8-byte tagged back-pointer plus worst-case slack.
+    const uint64_t raw = alloc(size + 8 + 64, dom);
+    if (raw == 0)
+        return 0;
+    const uint64_t aligned = (raw + 8 + 63) & ~uint64_t{63};
+    IDO_ASSERT(aligned >= raw + 8);
+    // Tag nibble 0x1 distinguishes the back-pointer from a plain
+    // block's header state word (whose low nibble is always 0xe).
+    auto* backptr = heap_.resolve<uint64_t>(aligned - 8);
+    dom.store_val(backptr, raw | 0x1);
+    dom.flush(backptr, sizeof(uint64_t));
+    dom.fence();
+    return aligned;
+}
+
+void
+NvAllocator::free_block(uint64_t payload_off, PersistDomain& dom)
+{
+    IDO_ASSERT(payload_off >= sizeof(BlockHeader));
+    const uint64_t below =
+        dom.load_val(heap_.resolve<uint64_t>(payload_off - 8));
+    if ((below & 0xf) == 0x1) {
+        // Aligned block: redirect to the underlying raw payload.
+        free_block(below & ~uint64_t{0xf}, dom);
+        return;
+    }
+    std::lock_guard<std::mutex> g(mutex_);
+    AllocState* st = state();
+    auto* hdr =
+        heap_.resolve<BlockHeader>(payload_off - sizeof(BlockHeader));
+    const uint64_t hdr_state = dom.load_val(&hdr->state);
+    IDO_ASSERT(hdr_state == kBlockLive, "double free or bad pointer");
+    const uint64_t size = dom.load_val(&hdr->size);
+    const size_t cls = class_for_size(size);
+
+    dom.store_val(&hdr->state, kBlockFree);
+    dom.flush(&hdr->state, sizeof(uint64_t));
+    dom.fence();
+
+    if (cls < kNumClasses && class_payload(cls) == size) {
+        // Thread onto the free list: link the node first, then publish
+        // the head; crash in between leaks the block only.
+        dom.store_val(heap_.resolve<uint64_t>(payload_off),
+                      st->free_heads[cls]);
+        dom.flush(heap_.resolve<uint64_t>(payload_off), sizeof(uint64_t));
+        dom.fence();
+        dom.store_val(&st->free_heads[cls], payload_off);
+        dom.flush(&st->free_heads[cls], sizeof(uint64_t));
+        dom.fence();
+    }
+    // Oversized blocks are not recycled (bump-only), matching the
+    // simple region allocators the paper builds on.
+    dom.store_val(&st->live_count, st->live_count - 1);
+}
+
+uint64_t
+NvAllocator::arena_remaining() const
+{
+    const AllocState* st = state();
+    return st->end - st->bump;
+}
+
+uint64_t
+NvAllocator::live_blocks() const
+{
+    return state()->live_count;
+}
+
+bool
+NvAllocator::check_consistency() const
+{
+    const AllocState* st = state();
+    uint64_t off = (state_off_ + sizeof(AllocState) + 63) & ~uint64_t{63};
+    while (off + sizeof(BlockHeader) <= st->bump) {
+        const auto* hdr = heap_.resolve<BlockHeader>(off);
+        if (hdr->state != kBlockLive && hdr->state != kBlockFree)
+            return false;
+        if (hdr->size == 0 || hdr->size > heap_.size())
+            return false;
+        off += sizeof(BlockHeader) + hdr->size;
+    }
+    // Every free-list entry must be marked free.
+    for (size_t c = 0; c < kNumClasses; ++c) {
+        uint64_t p = st->free_heads[c];
+        size_t hops = 0;
+        while (p != 0) {
+            const auto* hdr =
+                heap_.resolve<BlockHeader>(p - sizeof(BlockHeader));
+            if (hdr->state != kBlockFree)
+                return false;
+            p = *heap_.resolve<uint64_t>(p);
+            if (++hops > heap_.size() / 16)
+                return false; // cycle
+        }
+    }
+    return true;
+}
+
+} // namespace ido::nvm

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * nv_malloc / nv_free: persistent-heap memory allocation.
+ *
+ * Reproduces the role of Atlas's region allocator (paper Sec. IV-C):
+ * processes map a persistent region and allocate objects inside it.
+ * The allocator keeps its metadata (bump pointer and segregated free
+ * lists) in the persistent heap and orders its metadata updates so that
+ * a crash at any point can *leak* a block but never corrupt the lists or
+ * double-allocate -- the same guarantee the paper's substrate provides
+ * without a Makalu-style recoverable allocator.  Leaked blocks are
+ * reclaimable offline via a heap walk (see check_consistency()).
+ *
+ * Synchronization is a transient mutex: allocator locks, like all
+ * mutexes in the iDO design, need not be persistent.
+ */
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "nvm/persistent_heap.h"
+
+namespace ido::nvm {
+
+class PersistDomain;
+
+class NvAllocator
+{
+  public:
+    /**
+     * Attach to (or initialize) the allocator metadata of a heap.
+     * If the heap's allocator root is unset, fresh metadata is created.
+     */
+    NvAllocator(PersistentHeap& heap, PersistDomain& dom);
+
+    /**
+     * Allocate size bytes; returns the heap offset of the payload,
+     * or 0 if the arena is exhausted.  Payloads are 16-byte aligned.
+     */
+    uint64_t alloc(size_t size, PersistDomain& dom);
+
+    /**
+     * Allocate size bytes with the payload aligned to a cache line.
+     * Implemented as an over-allocation with a durable tagged
+     * back-pointer just below the aligned payload, so free_block()
+     * transparently handles blocks from either entry point.  Used for
+     * log records (whose per-line flush accounting -- the persist
+     * coalescing of Sec. IV-B -- depends on alignment) and for
+     * line-sized nodes (false-sharing padding, Sec. V-B).
+     */
+    uint64_t alloc_aligned(size_t size, PersistDomain& dom);
+
+    /** Return a block obtained from alloc() or alloc_aligned(). */
+    void free_block(uint64_t payload_off, PersistDomain& dom);
+
+    /** Typed convenience: allocate sizeof(T), return offset. */
+    template <typename T>
+    uint64_t
+    alloc_for(PersistDomain& dom)
+    {
+        return alloc(sizeof(T), dom);
+    }
+
+    PersistentHeap& heap() { return heap_; }
+
+    /** Bytes remaining in the bump arena (diagnostics). */
+    uint64_t arena_remaining() const;
+
+    /** Number of live (allocated, unfreed) blocks (diagnostics). */
+    uint64_t live_blocks() const;
+
+    /**
+     * Walk every block header and verify the allocator invariants:
+     * headers well formed, free-list entries marked free, no overlap.
+     * @return true if consistent.
+     */
+    bool check_consistency() const;
+
+    static constexpr size_t kNumClasses = 13;
+
+  private:
+    /** 16-byte header preceding every payload. */
+    struct BlockHeader
+    {
+        uint64_t size;  ///< payload size (rounded to its class)
+        uint64_t state; ///< kBlockLive or kBlockFree
+    };
+
+    /** Persistent allocator metadata, stored in the heap. */
+    struct AllocState
+    {
+        uint64_t bump;                    ///< next unused offset
+        uint64_t end;                     ///< arena end offset
+        uint64_t free_heads[kNumClasses]; ///< per-class free lists
+        uint64_t live_count;
+    };
+
+    static constexpr uint64_t kBlockLive = 0xa11ce;
+    static constexpr uint64_t kBlockFree = 0xf4ee;
+
+    static size_t class_for_size(size_t size);
+    static size_t class_payload(size_t cls);
+
+    AllocState* state() const;
+
+    PersistentHeap& heap_;
+    std::mutex mutex_;
+    uint64_t state_off_ = 0;
+};
+
+} // namespace ido::nvm

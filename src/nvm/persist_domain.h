@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Persistence-domain abstraction: how stores reach "NVM".
+ *
+ * The paper's testbed places persistent data in DRAM and models the cost
+ * of persistence with clflush + sfence sequences (Sec. V); the Fig. 9
+ * study adds a configurable delay per write-back.  All runtimes in this
+ * repo issue their persistent-memory traffic through this interface, so
+ * the same FASE code can run in two modes:
+ *
+ *  - RealDomain: stores go directly to the mapped heap; flush/fence
+ *    execute real clflush/sfence instructions (plus optional emulated
+ *    NVM latency) and are counted.  Used for performance runs.
+ *
+ *  - ShadowDomain (shadow_domain.h): stores land in a volatile per-line
+ *    shadow; only flushed+fenced lines are guaranteed to reach the
+ *    persistent image, and a simulated crash drops (or adversarially
+ *    evicts) the rest.  Used for crash-consistency testing.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace ido::nvm {
+
+/** Interface for all persistent-memory traffic. */
+class PersistDomain
+{
+  public:
+    virtual ~PersistDomain() = default;
+
+    /** Store n bytes from src to persistent address dst. */
+    virtual void store(void* dst, const void* src, size_t n) = 0;
+
+    /** Load n bytes from persistent address src into dst. */
+    virtual void load(const void* src, void* dst, size_t n) = 0;
+
+    /**
+     * Initiate write-back (clwb) of every cache line spanned by
+     * [addr, addr+n).  Persistence is guaranteed only after fence().
+     */
+    virtual void flush(const void* addr, size_t n) = 0;
+
+    /** Persist fence (sfence): previously flushed lines are durable. */
+    virtual void fence() = 0;
+
+    /** True for the crash-simulation shadow domain. */
+    virtual bool is_shadow() const { return false; }
+
+    // --- typed convenience wrappers -----------------------------------
+
+    template <typename T>
+    void
+    store_val(T* dst, const T& v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        store(dst, &v, sizeof(T));
+    }
+
+    template <typename T>
+    T
+    load_val(const T* src)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T v;
+        load(src, &v, sizeof(T));
+        return v;
+    }
+
+    /** store + flush + fence: a fully ordered durable store. */
+    template <typename T>
+    void
+    durable_store(T* dst, const T& v)
+    {
+        store_val(dst, v);
+        flush(dst, sizeof(T));
+        fence();
+    }
+};
+
+/**
+ * Direct-to-memory domain with real flush instructions and optional
+ * emulated NVM write latency (the Fig. 9 knob).
+ */
+class RealDomain final : public PersistDomain
+{
+  public:
+    /**
+     * @param extra_flush_delay_ns  busy-wait inserted after each
+     *        cache-line write-back, emulating slow NVM writes or a long
+     *        data path (0 = the paper's default ADR-style assumption)
+     */
+    explicit RealDomain(uint32_t extra_flush_delay_ns = 0);
+
+    void store(void* dst, const void* src, size_t n) override;
+    void load(const void* src, void* dst, size_t n) override;
+    void flush(const void* addr, size_t n) override;
+    void fence() override;
+
+    void set_flush_delay_ns(uint32_t ns) { flush_delay_ns_ = ns; }
+    uint32_t flush_delay_ns() const { return flush_delay_ns_; }
+
+  private:
+    uint32_t flush_delay_ns_;
+};
+
+/** Issue a clflush-class instruction for the line containing addr. */
+void flush_line_hw(const void* addr);
+
+/** Issue an sfence (compiler+store barrier on non-x86). */
+void sfence_hw();
+
+} // namespace ido::nvm

@@ -1,0 +1,194 @@
+#include "nvm/shadow_domain.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "common/panic.h"
+#include "stats/persist_stats.h"
+
+namespace ido::nvm {
+
+ShadowDomain::ShadowDomain(void* base, size_t size, uint64_t seed)
+    : base_(reinterpret_cast<uintptr_t>(base)), size_(size), crash_rng_(seed)
+{
+}
+
+uint32_t
+ShadowDomain::self_tid()
+{
+    static std::atomic<uint32_t> next{1};
+    thread_local uint32_t tid = next.fetch_add(1, std::memory_order_relaxed);
+    return tid;
+}
+
+void
+ShadowDomain::store(void* dst, const void* src, size_t n)
+{
+    const uintptr_t a = reinterpret_cast<uintptr_t>(dst);
+    auto& c = tls_persist_counters();
+    c.stores += 1;
+    c.store_bytes += n;
+    if (!in_range(a, n)) {
+        std::memcpy(dst, src, n);
+        return;
+    }
+    size_t done = 0;
+    while (done < n) {
+        const uintptr_t cur = a + done;
+        const uintptr_t lb = line_base(cur);
+        const size_t off_in_line = cur - lb;
+        const size_t chunk =
+            std::min(n - done, kCacheLineBytes - off_in_line);
+        Shard& sh = shard_for(lb);
+        std::lock_guard<std::mutex> g(sh.mutex);
+        auto it = sh.lines.find(lb);
+        if (it == sh.lines.end()) {
+            ShadowLine line;
+            std::memcpy(line.data.data(),
+                        reinterpret_cast<const void*>(lb), kCacheLineBytes);
+            line.state = LineState::kDirty;
+            line.owner_tid = self_tid();
+            it = sh.lines.emplace(lb, line).first;
+        } else if (it->second.state == LineState::kPending) {
+            // A write-back was requested but not yet fenced; the new
+            // store re-dirties the line.  Whether the earlier request
+            // already completed is unknowable -- resolve it with a coin
+            // flip so both legal outcomes are exercised.
+            if ((lb >> 6) & 1)
+                write_back(lb, it->second);
+            it->second.state = LineState::kDirty;
+            it->second.owner_tid = self_tid();
+        }
+        std::memcpy(it->second.data.data() + off_in_line,
+                    static_cast<const uint8_t*>(src) + done, chunk);
+        done += chunk;
+    }
+}
+
+void
+ShadowDomain::load(const void* src, void* dst, size_t n)
+{
+    const uintptr_t a = reinterpret_cast<uintptr_t>(src);
+    if (!in_range(a, n)) {
+        std::memcpy(dst, src, n);
+        return;
+    }
+    size_t done = 0;
+    while (done < n) {
+        const uintptr_t cur = a + done;
+        const uintptr_t lb = line_base(cur);
+        const size_t off_in_line = cur - lb;
+        const size_t chunk =
+            std::min(n - done, kCacheLineBytes - off_in_line);
+        Shard& sh = shard_for(lb);
+        std::lock_guard<std::mutex> g(sh.mutex);
+        auto it = sh.lines.find(lb);
+        if (it != sh.lines.end()) {
+            std::memcpy(static_cast<uint8_t*>(dst) + done,
+                        it->second.data.data() + off_in_line, chunk);
+        } else {
+            std::memcpy(static_cast<uint8_t*>(dst) + done,
+                        reinterpret_cast<const void*>(cur), chunk);
+        }
+        done += chunk;
+    }
+}
+
+void
+ShadowDomain::flush(const void* addr, size_t n)
+{
+    if (n == 0)
+        return;
+    const uintptr_t a = reinterpret_cast<uintptr_t>(addr);
+    const uintptr_t first = line_base(a);
+    const uintptr_t last = line_base(a + n - 1);
+    auto& c = tls_persist_counters();
+    for (uintptr_t lb = first; lb <= last; lb += kCacheLineBytes) {
+        c.flushes += 1;
+        if (!in_range(lb, 1))
+            continue;
+        Shard& sh = shard_for(lb);
+        std::lock_guard<std::mutex> g(sh.mutex);
+        auto it = sh.lines.find(lb);
+        if (it != sh.lines.end()) {
+            it->second.state = LineState::kPending;
+            it->second.owner_tid = self_tid();
+        }
+    }
+}
+
+void
+ShadowDomain::fence()
+{
+    tls_persist_counters().fences += 1;
+    const uint32_t tid = self_tid();
+    for (Shard& sh : shards_) {
+        std::lock_guard<std::mutex> g(sh.mutex);
+        for (auto it = sh.lines.begin(); it != sh.lines.end();) {
+            if (it->second.state == LineState::kPending
+                && it->second.owner_tid == tid) {
+                write_back(it->first, it->second);
+                it = sh.lines.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+}
+
+void
+ShadowDomain::write_back(uintptr_t line_addr, const ShadowLine& line)
+{
+    std::memcpy(reinterpret_cast<void*>(line_addr), line.data.data(),
+                kCacheLineBytes);
+}
+
+void
+ShadowDomain::crash(CrashPolicy policy)
+{
+    std::lock_guard<std::mutex> cg(crash_mutex_);
+    for (Shard& sh : shards_) {
+        std::lock_guard<std::mutex> g(sh.mutex);
+        for (auto& [addr, line] : sh.lines) {
+            bool survives = false;
+            switch (policy) {
+              case CrashPolicy::kDropAll:
+                survives = false;
+                break;
+              case CrashPolicy::kPersistAll:
+                survives = true;
+                break;
+              case CrashPolicy::kRandom:
+                survives = crash_rng_.percent(50);
+                break;
+            }
+            if (survives)
+                write_back(addr, line);
+        }
+        sh.lines.clear();
+    }
+}
+
+void
+ShadowDomain::drain_all()
+{
+    for (Shard& sh : shards_) {
+        std::lock_guard<std::mutex> g(sh.mutex);
+        for (auto& [addr, line] : sh.lines)
+            write_back(addr, line);
+        sh.lines.clear();
+    }
+}
+
+size_t
+ShadowDomain::outstanding_lines() const
+{
+    size_t n = 0;
+    for (const Shard& sh : shards_) {
+        std::lock_guard<std::mutex> g(sh.mutex);
+        n += sh.lines.size();
+    }
+    return n;
+}
+
+} // namespace ido::nvm

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Crash-accurate volatile-cache simulation over the persistent heap.
+ *
+ * The paper's failure model is the whole point of the system: caches are
+ * volatile, so a crash exposes exactly those values that were explicitly
+ * written back (clwb) and ordered (sfence) -- plus an arbitrary subset of
+ * other dirty lines that the cache happened to evict.  ShadowDomain makes
+ * that model executable:
+ *
+ *  - store(): the bytes land in a volatile per-cache-line shadow copy;
+ *    the persistent image is untouched.
+ *  - load(): served from the shadow if present (caches serve reads).
+ *  - flush(): marks the line write-back-requested ("pending").
+ *  - fence(): pending lines of the calling thread become durable (copied
+ *    to the persistent image) and clean.
+ *  - crash(): every outstanding line (dirty or pending) independently
+ *    either reaches the image (an eviction / completed write-back) or is
+ *    lost, controlled by CrashPolicy; the shadow is then discarded.
+ *
+ * Running a workload under ShadowDomain, crashing at a random point, and
+ * then executing a runtime's recovery procedure against the surviving
+ * image is the repo's primary correctness test for every logging
+ * protocol (DESIGN.md Sec. 6).
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/cacheline.h"
+#include "common/rng.h"
+#include "nvm/persist_domain.h"
+
+namespace ido::nvm {
+
+/** What happens to not-yet-durable lines at a simulated crash. */
+enum class CrashPolicy
+{
+    kDropAll,     ///< no un-fenced line survives (most adversarial loss)
+    kPersistAll,  ///< every dirty line was evicted (most adversarial leak)
+    kRandom,      ///< each line independently survives with probability 1/2
+};
+
+class ShadowDomain final : public PersistDomain
+{
+  public:
+    /**
+     * @param base  start of the persistent range to interpose on
+     * @param size  size of that range; accesses outside are direct
+     * @param seed  RNG seed for crash-time line lottery
+     */
+    ShadowDomain(void* base, size_t size, uint64_t seed = 1);
+
+    void store(void* dst, const void* src, size_t n) override;
+    void load(const void* src, void* dst, size_t n) override;
+    void flush(const void* addr, size_t n) override;
+    void fence() override;
+    bool is_shadow() const override { return true; }
+
+    /**
+     * Simulate a fail-stop crash: resolve the fate of every outstanding
+     * line per policy, then discard the shadow.  After this call the
+     * persistent image is exactly what post-crash recovery would see.
+     */
+    void crash(CrashPolicy policy);
+
+    /** Write every outstanding line back and clear (clean shutdown). */
+    void drain_all();
+
+    /** Outstanding (not yet durable) line count, for tests. */
+    size_t outstanding_lines() const;
+
+  private:
+    enum class LineState : uint8_t { kDirty, kPending };
+
+    struct ShadowLine
+    {
+        std::array<uint8_t, kCacheLineBytes> data;
+        LineState state;
+        uint32_t owner_tid; ///< thread whose fence persists a pending line
+    };
+
+    static constexpr size_t kShards = 64;
+
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::unordered_map<uintptr_t, ShadowLine> lines;
+    };
+
+    bool in_range(uintptr_t a, size_t n) const
+    {
+        return a >= base_ && a + n <= base_ + size_;
+    }
+
+    Shard& shard_for(uintptr_t line_addr)
+    {
+        return shards_[(line_addr / kCacheLineBytes) % kShards];
+    }
+
+    /** Copy a shadow line's content into the persistent image. */
+    void write_back(uintptr_t line_addr, const ShadowLine& line);
+
+    static uint32_t self_tid();
+
+    uintptr_t base_;
+    size_t size_;
+    std::array<Shard, kShards> shards_;
+    std::mutex crash_mutex_;
+    Rng crash_rng_;
+};
+
+} // namespace ido::nvm

@@ -1,0 +1,5 @@
+#include "runtime/crash_sim.h"
+
+// CrashScheduler is fully inline; this translation unit exists so the
+// header has a home in the library and future out-of-line additions do
+// not churn the build files.

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * In-process crash injection.
+ *
+ * The paper kills the process with SIGKILL (Sec. V-D); for testing we
+ * need thousands of crashes at adversarially chosen points, so the
+ * failure is simulated in-process: a scheduler counts "crash
+ * opportunities" (persistent stores, fences, lock operations, region
+ * boundaries) across all threads and, when the fuse burns down, makes
+ * every subsequent opportunity throw SimCrashException.  Worker threads
+ * unwind to their top frame and stop -- the moral equivalent of the
+ * fail-stop model -- after which the test discards the volatile world
+ * (ShadowDomain::crash, LockTable::new_epoch) and runs recovery.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace ido::rt {
+
+/** Thrown at a crash opportunity once the fuse has burnt down. */
+struct SimCrashException
+{
+};
+
+/** Global countdown-to-crash. Disarmed by default. */
+class CrashScheduler
+{
+  public:
+    CrashScheduler() : fuse_(-1) {}
+
+    /** Arm: crash at the n-th opportunity from now (n >= 1). */
+    void arm(int64_t n) { fuse_.store(n, std::memory_order_release); }
+
+    /** Disarm (normal execution). */
+    void disarm() { fuse_.store(-1, std::memory_order_release); }
+
+    bool armed() const
+    {
+        return fuse_.load(std::memory_order_acquire) >= 0;
+    }
+
+    /** True once the crash has fired and threads should be dead. */
+    bool crashed() const
+    {
+        return fuse_.load(std::memory_order_acquire) == 0;
+    }
+
+    /**
+     * Record one crash opportunity; throws SimCrashException if the
+     * fuse reaches (or already reached) zero.  No-op when disarmed.
+     */
+    void
+    tick()
+    {
+        int64_t v = fuse_.load(std::memory_order_relaxed);
+        if (v < 0)
+            return;
+        if (v == 0)
+            throw SimCrashException{};
+        v = fuse_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+        if (v <= 0) {
+            fuse_.store(0, std::memory_order_release);
+            throw SimCrashException{};
+        }
+    }
+
+  private:
+    std::atomic<int64_t> fuse_;
+};
+
+} // namespace ido::rt

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Compiled FASE representation and the FASE registry.
+ *
+ * A FaseProgram is the output the iDO compiler would produce for one
+ * failure-atomic section: an ordered set of idempotent region functions
+ * plus, per region, the live-in and output register masks the compiler's
+ * dataflow analyses computed (Sec. III / IV of the paper).  All runtimes
+ * execute the *same* FasePrograms, differing only in the persistence
+ * instrumentation their RuntimeThread hooks apply -- mirroring the
+ * paper's methodology ("all runtimes use the same FASEs").
+ *
+ * The registry maps stable FASE ids to programs.  Recovery persists only
+ * the id and region index (the "recovery_pc"); after a restart the
+ * application re-registers its programs (the program text of the crashed
+ * binary) and recovery resolves ids back to code.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ido::rt {
+
+class RuntimeThread;
+struct RegionCtx;
+
+/**
+ * One idempotent region.  Must satisfy the idempotence contract: it may
+ * not store to a persistent location it previously loaded in the same
+ * dynamic execution (no antidependence on inputs), and it may not
+ * overwrite its live-in registers.  Lock operations are restricted to
+ * the region edges: fase_unlock only before any persistent store,
+ * fase_lock only as the final action before returning.
+ *
+ * @return index of the successor region, or kRegionEnd.
+ */
+using RegionFn = uint32_t (*)(RuntimeThread&, RegionCtx&);
+
+/** Compiler-produced metadata for one region. */
+struct RegionMeta
+{
+    RegionFn fn = nullptr;
+    const char* name = "";
+    uint16_t live_in_int = 0;   ///< ctx.r slots read by the region
+    uint16_t out_int = 0;       ///< Def ∩ LiveOut over ctx.r (Eq. 1)
+    uint8_t live_in_float = 0;  ///< ctx.f slots read
+    uint8_t out_float = 0;      ///< Def ∩ LiveOut over ctx.f
+
+    /**
+     * Statically may this region store to persistent memory?  iDO
+     * activates its log lazily at the first such region: FASEs (or
+     * FASE prefixes) that only read need no recovery_pc or output
+     * logging at all -- losing them to a crash is indistinguishable
+     * from their never having run.  This is why "iDO logging imposes
+     * minimal costs on read paths" (Sec. V-A).
+     */
+    uint8_t may_store = 1;
+};
+
+/** A compiled failure-atomic section. */
+struct FaseProgram
+{
+    uint32_t fase_id = 0;
+    const char* name = "";
+    std::vector<RegionMeta> regions;
+
+    /**
+     * Implementation payload for region functions that need more than
+     * the (thread, ctx) pair -- the IR interpreter's compiled-FASE
+     * object hangs here.  Regions reach it via
+     * th.current_program()->impl.
+     */
+    const void* impl = nullptr;
+
+    const RegionMeta& region(uint32_t idx) const;
+};
+
+/**
+ * Process-global id -> program map.  Thread safe for lookup after the
+ * registration phase; registration happens before worker threads start
+ * (and again before recovery after a crash).
+ */
+class FaseRegistry
+{
+  public:
+    static FaseRegistry& instance();
+
+    /** Register (or re-register, post-restart) a program. */
+    void register_program(const FaseProgram* prog);
+
+    /** Lookup; panics on unknown id (recovery against missing code). */
+    const FaseProgram* lookup(uint32_t fase_id) const;
+
+    /** Lookup returning nullptr instead of panicking. */
+    const FaseProgram* try_lookup(uint32_t fase_id) const;
+
+    /** Drop all registrations (tests simulating a fresh process). */
+    void clear();
+
+  private:
+    FaseRegistry() = default;
+    mutable std::vector<const FaseProgram*> table_;
+};
+
+} // namespace ido::rt

@@ -1,0 +1,63 @@
+#include "runtime/indirect_lock.h"
+
+#include "common/panic.h"
+
+namespace ido::rt {
+
+std::atomic<uint32_t> LockTable::g_next_epoch{1};
+
+LockTable::LockTable()
+    : epoch_(g_next_epoch.fetch_add(1, std::memory_order_acq_rel))
+{
+}
+
+LockTable::~LockTable() = default;
+
+TransientLock&
+LockTable::lock_for(uint64_t* holder_slot)
+{
+    auto* slot = reinterpret_cast<std::atomic<uint64_t>*>(holder_slot);
+    const uint32_t cur_epoch = epoch_.load(std::memory_order_acquire);
+    uint64_t v = slot->load(std::memory_order_acquire);
+    while (true) {
+        const uint32_t tag = static_cast<uint32_t>(v >> kEpochShift);
+        if (tag == (cur_epoch & 0xffff)) {
+            auto* m = reinterpret_cast<TransientLock*>(v & kPtrMask);
+            IDO_ASSERT(m != nullptr);
+            return *m;
+        }
+        // Stale (previous epoch or never initialized): install a fresh
+        // transient lock.  The pool retains ownership.
+        TransientLock* fresh;
+        {
+            std::lock_guard<std::mutex> g(alloc_mutex_);
+            pool_.push_back(std::make_unique<TransientLock>());
+            fresh = pool_.back().get();
+        }
+        const uint64_t next =
+            (static_cast<uint64_t>(cur_epoch & 0xffff) << kEpochShift)
+            | (reinterpret_cast<uint64_t>(fresh) & kPtrMask);
+        if (slot->compare_exchange_strong(v, next,
+                                          std::memory_order_acq_rel)) {
+            return *fresh;
+        }
+        // Lost the race; v was reloaded, loop and adopt the winner's
+        // lock (ours stays in the pool, which is fine).
+    }
+}
+
+void
+LockTable::new_epoch()
+{
+    epoch_.store(g_next_epoch.fetch_add(1, std::memory_order_acq_rel),
+                 std::memory_order_release);
+}
+
+size_t
+LockTable::locks_created() const
+{
+    std::lock_guard<std::mutex> g(alloc_mutex_);
+    return pool_.size();
+}
+
+} // namespace ido::rt

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Indirect locking (paper Sec. III-B).
+ *
+ * Mutexes themselves never need to be persistent: after a crash every
+ * lock must end up released, so the values of the lock words are
+ * irrelevant.  Each lockable object embeds a persistent *lock holder*
+ * slot (a u64 inside the object); the holder caches the address of the
+ * transient lock for the current run epoch.  Recovery starts a fresh
+ * epoch, which implicitly "allocates a new transient lock for every
+ * indirect lock holder" -- any stale pointer from the crashed run
+ * carries an old epoch tag and is ignored.
+ *
+ * The holder slot is deliberately accessed with plain (non-domain)
+ * atomics: it is transient data that happens to live in NVM, exactly as
+ * in the paper, and is never flushed.
+ *
+ * Transient locks are test-and-test-and-set spinlocks rather than
+ * std::mutex: a simulated crash abandons locks in the locked state, and
+ * destroying a locked std::mutex is undefined behaviour, while an
+ * abandoned spinlock is just a word.  The critical sections in all of
+ * the paper's workloads are short, so spinning is also the
+ * performance-appropriate choice.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ido::rt {
+
+/** Trivially-abandonable transient spinlock. */
+class TransientLock
+{
+  public:
+    void
+    lock()
+    {
+        while (!try_lock())
+            spin_wait();
+    }
+
+    bool
+    try_lock()
+    {
+        return !word_.load(std::memory_order_relaxed)
+               && !word_.exchange(true, std::memory_order_acquire);
+    }
+
+    void
+    unlock()
+    {
+        word_.store(false, std::memory_order_release);
+    }
+
+    /** One backoff step while waiting (pause, occasionally yield). */
+    void
+    spin_wait()
+    {
+        for (int i = 0; i < 64; ++i) {
+            if (!word_.load(std::memory_order_relaxed))
+                return;
+#if defined(__x86_64__)
+            __builtin_ia32_pause();
+#endif
+        }
+        std::this_thread::yield();
+    }
+
+  private:
+    std::atomic<bool> word_{false};
+};
+
+/** Transient-lock resolver for persistent lock-holder slots. */
+class LockTable
+{
+  public:
+    LockTable();
+    ~LockTable();
+
+    LockTable(const LockTable&) = delete;
+    LockTable& operator=(const LockTable&) = delete;
+
+    /**
+     * Resolve the transient lock for the holder slot at the given heap
+     * address, creating one for the current epoch if needed.
+     */
+    TransientLock& lock_for(uint64_t* holder_slot);
+
+    /**
+     * Begin a new run epoch (called by recovery): every holder slot's
+     * cached lock pointer becomes stale, so all locks are implicitly
+     * released and fresh ones are handed out on demand.
+     */
+    void new_epoch();
+
+    uint32_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+    /** Number of transient locks created so far (diagnostics). */
+    size_t locks_created() const;
+
+  private:
+    // Holder slot encoding: low 48 bits = lock pointer, high 16 bits =
+    // epoch tag.  x86-64 canonical user pointers fit in 48 bits.
+    static constexpr int kEpochShift = 48;
+    static constexpr uint64_t kPtrMask = (1ull << kEpochShift) - 1;
+
+    /** Epochs are process-unique so a new LockTable over an old heap
+     *  never misinterprets a stale holder tag. */
+    static std::atomic<uint32_t> g_next_epoch;
+
+    mutable std::mutex alloc_mutex_;
+    std::vector<std::unique_ptr<TransientLock>> pool_;
+    std::atomic<uint32_t> epoch_;
+};
+
+} // namespace ido::rt

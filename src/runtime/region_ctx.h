@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The "register file" of a FASE and the region ABI.
+ *
+ * The iDO compiler logs live-out registers into fixed intRF / floatRF
+ * slots of the per-thread log (paper Fig. 3).  In this reproduction the
+ * compiled FASE is a sequence of *region functions* over an explicit
+ * RegionCtx -- the set of live values the LLVM backend would keep in
+ * registers or spill slots.  FASE arguments are passed in r[0..k]
+ * (by convention r[0] holds the heap offset of the data-structure root),
+ * and each region's metadata declares which slots it reads (live-in) and
+ * which it defines-and-exposes (outputs, Eq. 1 of the paper).
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ido::rt {
+
+constexpr size_t kNumIntRegs = 16;
+constexpr size_t kNumFloatRegs = 8;
+
+/** Returned by a region function to terminate the FASE. */
+constexpr uint32_t kRegionEnd = 0xffffffffu;
+
+/** Live values of an executing FASE ("registers"). */
+struct RegionCtx
+{
+    uint64_t r[kNumIntRegs] = {};
+    double f[kNumFloatRegs] = {};
+};
+
+/** Popcount helper for live-in statistics. */
+inline uint32_t
+mask_popcount(uint32_t mask)
+{
+    return static_cast<uint32_t>(__builtin_popcount(mask));
+}
+
+} // namespace ido::rt

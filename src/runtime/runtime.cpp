@@ -1,0 +1,229 @@
+#include "runtime/runtime.h"
+
+#include "common/cacheline.h"
+#include "common/panic.h"
+
+namespace ido::rt {
+
+Runtime::Runtime(nvm::PersistentHeap& heap, nvm::PersistDomain& dom,
+                 const RuntimeConfig& cfg)
+    : heap_(heap), dom_(dom), cfg_(cfg), alloc_(heap, dom)
+{
+}
+
+Runtime::~Runtime() = default;
+
+RuntimeThread::RuntimeThread(Runtime& rt)
+    : rt_(rt)
+{
+    held_.reserve(8);
+    deferred_frees_.reserve(8);
+}
+
+RuntimeThread::~RuntimeThread() = default;
+
+// --------------------------------------------------------------------------
+// Persistent data access
+// --------------------------------------------------------------------------
+
+void
+RuntimeThread::do_load(uint64_t off, void* dst, size_t n)
+{
+    dom().load(heap().resolve<void>(off), dst, n);
+}
+
+void
+RuntimeThread::do_store(uint64_t off, const void* src, size_t n)
+{
+    dom().store(heap().resolve<void>(off), src, n);
+}
+
+uint64_t
+RuntimeThread::load_u64(uint64_t off)
+{
+    if (rt_.config().check_contracts)
+        checker_on_load(off, 8);
+    uint64_t v;
+    do_load(off, &v, 8);
+    return v;
+}
+
+void
+RuntimeThread::store_u64(uint64_t off, uint64_t v)
+{
+    crash_tick();
+    if (rt_.config().check_contracts)
+        checker_on_store(off, 8);
+    ++region_stores_;
+    do_store(off, &v, 8);
+}
+
+void
+RuntimeThread::load_bytes(uint64_t off, void* dst, size_t n)
+{
+    if (rt_.config().check_contracts)
+        checker_on_load(off, n);
+    do_load(off, dst, n);
+}
+
+void
+RuntimeThread::store_bytes(uint64_t off, const void* src, size_t n)
+{
+    crash_tick();
+    if (rt_.config().check_contracts)
+        checker_on_store(off, n);
+    ++region_stores_;
+    do_store(off, src, n);
+}
+
+// --------------------------------------------------------------------------
+// Allocation
+// --------------------------------------------------------------------------
+
+uint64_t
+RuntimeThread::nv_alloc(size_t n)
+{
+    crash_tick();
+    // Line-sized objects get line alignment (false-sharing padding and
+    // honest per-line flush accounting); small ones stay compact.
+    const uint64_t off = (n >= kCacheLineBytes)
+        ? rt_.allocator().alloc_aligned(n, dom())
+        : rt_.allocator().alloc(n, dom());
+    if (off == 0)
+        panic("nv_alloc: persistent arena exhausted (%zu bytes requested)",
+              n);
+    return off;
+}
+
+void
+RuntimeThread::nv_free(uint64_t off)
+{
+    if (off == 0)
+        return;
+    if (in_fase_) {
+        // Defer: a re-executed idempotent region must not double-free.
+        deferred_frees_.push_back(off);
+    } else {
+        rt_.allocator().free_block(off, dom());
+    }
+}
+
+void
+RuntimeThread::drain_deferred_frees()
+{
+    for (uint64_t off : deferred_frees_)
+        rt_.allocator().free_block(off, dom());
+    deferred_frees_.clear();
+}
+
+// --------------------------------------------------------------------------
+// FASE-boundary locks
+// --------------------------------------------------------------------------
+
+bool
+RuntimeThread::holds_lock(uint64_t holder_off) const
+{
+    for (const HeldLock& h : held_) {
+        if (h.holder_off == holder_off)
+            return true;
+    }
+    return false;
+}
+
+void
+RuntimeThread::acquire_transient(TransientLock& l)
+{
+    // Always crash-aware: under injection a lock owner may have "died"
+    // holding the lock (and the scheduler may be armed concurrently by
+    // a watchdog), so every waiter re-checks the crash flag while
+    // spinning instead of blocking forever.  The check is a single
+    // mostly-unchanging shared load per backoff round.
+    while (!l.try_lock()) {
+        if (rt_.crash_scheduler().crashed())
+            throw SimCrashException{};
+        l.spin_wait();
+    }
+}
+
+void
+RuntimeThread::fase_lock(uint64_t holder_off)
+{
+    if (holds_lock(holder_off))
+        return; // recovery / re-execution path
+    TransientLock& l =
+        rt_.locks().lock_for(heap().resolve<uint64_t>(holder_off));
+    crash_tick();
+    do_lock(holder_off, l); // acquires, then records ownership durably
+    if (rt_.config().check_contracts)
+        lock_taken_in_region_ = true;
+}
+
+void
+RuntimeThread::fase_unlock(uint64_t holder_off)
+{
+    // A release must precede any store in its region (the compiler puts
+    // a region boundary immediately before each release): re-executing
+    // a region that stored to data and then released its lock could
+    // clobber another thread's subsequent update.
+    IDO_ASSERT(!rt_.config().check_contracts || region_stores_ == 0,
+               "fase_unlock after a store within the same region");
+    if (!holds_lock(holder_off))
+        return; // recovery re-execution of an unlock already performed
+    TransientLock& l =
+        rt_.locks().lock_for(heap().resolve<uint64_t>(holder_off));
+    do_unlock(holder_off, l); // clears ownership durably, then releases
+}
+
+void
+RuntimeThread::adopt_lock_for_recovery(uint64_t holder_off)
+{
+    TransientLock& l =
+        rt_.locks().lock_for(heap().resolve<uint64_t>(holder_off));
+    acquire_transient(l);
+    held_.push_back(HeldLock{holder_off, 0});
+}
+
+// Default lock instrumentation: plain mutual exclusion (Origin, NVML,
+// NVThreads take this path; iDO/Atlas/JUSTDO override).
+void
+RuntimeThread::do_lock(uint64_t holder_off, TransientLock& l)
+{
+    acquire_transient(l);
+    held_.push_back(HeldLock{holder_off, 0});
+}
+
+void
+RuntimeThread::do_unlock(uint64_t holder_off, TransientLock& l)
+{
+    for (size_t i = 0; i < held_.size(); ++i) {
+        if (held_[i].holder_off == holder_off) {
+            held_.erase(held_.begin() + static_cast<long>(i));
+            break;
+        }
+    }
+    l.unlock();
+}
+
+// Default FASE instrumentation: nothing (Origin).
+void
+RuntimeThread::on_fase_begin(const FaseProgram&, RegionCtx&)
+{
+}
+
+void
+RuntimeThread::on_region_begin(const FaseProgram&, uint32_t, RegionCtx&)
+{
+}
+
+void
+RuntimeThread::on_region_boundary(const FaseProgram&, uint32_t, RegionCtx&,
+                                  uint32_t)
+{
+}
+
+void
+RuntimeThread::on_fase_end(const FaseProgram&, RegionCtx&)
+{
+}
+
+} // namespace ido::rt

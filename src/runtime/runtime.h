@@ -1,0 +1,269 @@
+/**
+ * @file
+ * The failure-atomicity runtime API.
+ *
+ * Every system evaluated in the paper (iDO, Atlas, Mnemosyne, JUSTDO,
+ * NVML, NVThreads, Origin) is a subclass pair of Runtime (process-wide
+ * state: heap, allocator, lock table, logs) and RuntimeThread (the
+ * per-thread instrumented execution engine).  Data-structure and
+ * application code is written once, as FasePrograms whose region bodies
+ * access persistent memory exclusively through RuntimeThread; the
+ * subclass hooks implement each system's logging protocol.  This mirrors
+ * the paper's methodology: "all runtimes use the same FASEs".
+ *
+ * Execution contract for region bodies (enforced in checked builds):
+ *  - all persistent data access goes through load_/store_ methods,
+ *    addressed by heap offset;
+ *  - no region loads a location and later stores it (antidependence
+ *    freedom, Sec. II-C); register reuse is fine -- recovery restores
+ *    the register file from the log's boundary snapshot -- but any
+ *    register a region redefines and a successor consumes must be in
+ *    its output mask;
+ *  - fase_unlock may appear only before the region's first store;
+ *    fase_lock only after its last store (the compiler places region
+ *    boundaries immediately after acquires and before releases,
+ *    Sec. III-B);
+ *  - nv_free is deferred by the runtime to FASE completion, so a
+ *    re-executed region never double-frees.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "nvm/nv_allocator.h"
+#include "nvm/persist_domain.h"
+#include "nvm/persistent_heap.h"
+#include "runtime/crash_sim.h"
+#include "runtime/fase_program.h"
+#include "runtime/indirect_lock.h"
+#include "runtime/region_ctx.h"
+
+namespace ido::rt {
+
+/** Qualitative system properties (paper Table II). */
+struct RuntimeTraits
+{
+    const char* semantics;    ///< failure-atomic region semantics
+    const char* recovery;     ///< UNDO / REDO / Resumption
+    const char* granularity;  ///< logging granularity
+    bool dependence_tracking; ///< needs cross-FASE dependence tracking?
+    bool transient_caches;    ///< designed for volatile caches?
+};
+
+struct RuntimeConfig
+{
+    /** Collect Fig. 8 region statistics (off for scalability runs). */
+    bool collect_region_stats = false;
+
+    /** Enable the idempotence/contract checker (tests only). */
+    bool check_contracts = false;
+
+    /** Per-thread Atlas/JUSTDO/Mnemosyne/NVThreads log bytes. */
+    size_t log_bytes_per_thread = 1u << 20;
+};
+
+class RuntimeThread;
+
+/** Process-wide runtime state; one instance per run epoch. */
+class Runtime
+{
+  public:
+    Runtime(nvm::PersistentHeap& heap, nvm::PersistDomain& dom,
+            const RuntimeConfig& cfg);
+    virtual ~Runtime();
+
+    Runtime(const Runtime&) = delete;
+    Runtime& operator=(const Runtime&) = delete;
+
+    virtual const char* name() const = 0;
+    virtual RuntimeTraits traits() const = 0;
+
+    /**
+     * Create the execution engine for the calling worker thread.
+     * Runtimes that keep persistent per-thread logs allocate and link
+     * them here.  Thread safe.
+     */
+    virtual std::unique_ptr<RuntimeThread> make_thread() = 0;
+
+    /**
+     * Post-crash recovery.  Requires all FasePrograms of the crashed
+     * run to be re-registered with FaseRegistry.  On return, persistent
+     * state is consistent and no locks are held.
+     */
+    virtual void recover() = 0;
+
+    /** Whether recover() is implemented (Origin's is not). */
+    virtual bool supports_recovery() const { return true; }
+
+    nvm::PersistentHeap& heap() { return heap_; }
+    nvm::PersistDomain& domain() { return dom_; }
+    nvm::NvAllocator& allocator() { return alloc_; }
+    LockTable& locks() { return locks_; }
+    CrashScheduler& crash_scheduler() { return crash_; }
+    const RuntimeConfig& config() const { return cfg_; }
+
+  protected:
+    nvm::PersistentHeap& heap_;
+    nvm::PersistDomain& dom_;
+    RuntimeConfig cfg_;
+    nvm::NvAllocator alloc_;
+    LockTable locks_;
+    CrashScheduler crash_;
+};
+
+/**
+ * Per-thread instrumented execution engine.  Drives FasePrograms and
+ * exposes the persistent-memory access API used by region bodies.
+ */
+class RuntimeThread
+{
+  public:
+    explicit RuntimeThread(Runtime& rt);
+    virtual ~RuntimeThread();
+
+    RuntimeThread(const RuntimeThread&) = delete;
+    RuntimeThread& operator=(const RuntimeThread&) = delete;
+
+    Runtime& runtime() { return rt_; }
+    nvm::PersistentHeap& heap() { return rt_.heap(); }
+    nvm::PersistDomain& dom() { return rt_.domain(); }
+
+    // ---- FASE execution ------------------------------------------------
+
+    /**
+     * Execute one failure-atomic section from its first region.
+     * ctx carries the FASE arguments in, and results out.
+     */
+    virtual void run_fase(const FaseProgram& prog, RegionCtx& ctx);
+
+    /**
+     * Resume an interrupted FASE at a given region with restored live
+     * state (recovery path; skips the FASE-begin instrumentation).
+     */
+    void resume_fase(const FaseProgram& prog, uint32_t start_region,
+                     RegionCtx& ctx);
+
+    // ---- persistent data access (for region bodies) --------------------
+
+    uint64_t load_u64(uint64_t off);
+    void store_u64(uint64_t off, uint64_t v);
+    void load_bytes(uint64_t off, void* dst, size_t n);
+    void store_bytes(uint64_t off, const void* src, size_t n);
+
+    // ---- allocation -----------------------------------------------------
+
+    /** Allocate persistent memory; leaks (never corrupts) on crash. */
+    virtual uint64_t nv_alloc(size_t n);
+
+    /** Free persistent memory; deferred until the FASE commits. */
+    virtual void nv_free(uint64_t off);
+
+    // ---- FASE-boundary locks --------------------------------------------
+
+    /**
+     * Acquire the lock whose indirect holder slot lives at holder_off.
+     * Idempotent: a no-op if this thread already holds it (which is how
+     * recovery re-execution stays safe).
+     */
+    void fase_lock(uint64_t holder_off);
+
+    /** Release; idempotent like fase_lock. */
+    void fase_unlock(uint64_t holder_off);
+
+    bool holds_lock(uint64_t holder_off) const;
+    size_t locks_held() const { return held_.size(); }
+
+    /**
+     * Pre-load the held-lock set during recovery (the recovery thread
+     * re-acquired these locks on the crashed thread's behalf).
+     */
+    void adopt_lock_for_recovery(uint64_t holder_off);
+
+    /** Crash-injection opportunity (no-op unless a test armed it). */
+    void
+    crash_tick()
+    {
+        rt_.crash_scheduler().tick();
+    }
+
+    /** Program currently executing (null outside run_fase). */
+    const FaseProgram* current_program() const { return cur_prog_; }
+
+    /** Index of the region currently executing. */
+    uint32_t current_region() const { return cur_region_; }
+
+  protected:
+    // ---- per-runtime instrumentation hooks ------------------------------
+
+    /** Before region 0 of a FASE executes. */
+    virtual void on_fase_begin(const FaseProgram& prog, RegionCtx& ctx);
+
+    /** Before each region body runs (iDO's lazy log activation). */
+    virtual void on_region_begin(const FaseProgram& prog, uint32_t idx,
+                                 RegionCtx& ctx);
+
+    /**
+     * After region finished_idx completed; next_idx is its successor or
+     * kRegionEnd.  This is where iDO runs the 3-step boundary protocol.
+     */
+    virtual void on_region_boundary(const FaseProgram& prog,
+                                    uint32_t finished_idx, RegionCtx& ctx,
+                                    uint32_t next_idx);
+
+    /** After the last boundary of a FASE. */
+    virtual void on_fase_end(const FaseProgram& prog, RegionCtx& ctx);
+
+    /** Data-access instrumentation (default: direct via the domain). */
+    virtual void do_load(uint64_t off, void* dst, size_t n);
+    virtual void do_store(uint64_t off, const void* src, size_t n);
+
+    /** Lock instrumentation around the transient acquire/release. */
+    virtual void do_lock(uint64_t holder_off, TransientLock& l);
+    virtual void do_unlock(uint64_t holder_off, TransientLock& l);
+
+    /** Acquire a transient lock, aborting if a simulated crash fires. */
+    void acquire_transient(TransientLock& l);
+
+    /** Execute deferred frees after FASE commit. */
+    void drain_deferred_frees();
+
+    struct HeldLock
+    {
+        uint64_t holder_off;
+        uint8_t slot; ///< lock_array slot (used by iDO/JUSTDO)
+    };
+
+    /** The driver loop (exposed so Mnemosyne can wrap it in a retry). */
+    void run_regions(const FaseProgram& prog, uint32_t start, RegionCtx& ctx);
+
+    Runtime& rt_;
+    std::vector<HeldLock> held_;
+    std::vector<uint64_t> deferred_frees_;
+
+    // Driver bookkeeping (accessible to subclasses for logging).
+    const FaseProgram* cur_prog_ = nullptr;
+    uint32_t cur_region_ = 0;
+    uint32_t region_stores_ = 0;
+    bool in_fase_ = false;
+    bool lock_taken_in_region_ = false;
+
+  private:
+
+    // Contract checker state (cfg.check_contracts only).
+    void checker_region_entry(const RegionMeta& meta, const RegionCtx& ctx);
+    void checker_region_exit(const RegionMeta& meta, const RegionCtx& ctx,
+                             uint32_t next_idx);
+    void checker_on_load(uint64_t off, size_t n);
+    void checker_on_store(uint64_t off, size_t n);
+
+    std::unordered_set<uint64_t> loaded_chunks_;
+    std::unordered_set<uint64_t> stored_chunks_;
+    RegionCtx ctx_snapshot_;
+    uint32_t tainted_int_ = 0;
+    uint32_t tainted_float_ = 0;
+};
+
+} // namespace ido::rt

@@ -1,0 +1,70 @@
+#include "stats/persist_stats.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace ido {
+
+namespace {
+
+std::mutex g_mutex;
+PersistCounters g_total;
+
+} // namespace
+
+PersistCounters&
+PersistCounters::operator+=(const PersistCounters& o)
+{
+    stores += o.stores;
+    store_bytes += o.store_bytes;
+    flushes += o.flushes;
+    fences += o.fences;
+    log_bytes += o.log_bytes;
+    return *this;
+}
+
+PersistCounters&
+tls_persist_counters()
+{
+    thread_local PersistCounters tls;
+    return tls;
+}
+
+void
+persist_counters_flush_tls()
+{
+    std::lock_guard<std::mutex> g(g_mutex);
+    g_total += tls_persist_counters();
+    tls_persist_counters().clear();
+}
+
+PersistCounters
+persist_counters_global()
+{
+    std::lock_guard<std::mutex> g(g_mutex);
+    return g_total;
+}
+
+void
+persist_counters_reset_global()
+{
+    std::lock_guard<std::mutex> g(g_mutex);
+    g_total.clear();
+}
+
+std::string
+persist_counters_format(const PersistCounters& c)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "stores=%llu store_bytes=%llu flushes=%llu fences=%llu "
+                  "log_bytes=%llu",
+                  (unsigned long long)c.stores,
+                  (unsigned long long)c.store_bytes,
+                  (unsigned long long)c.flushes,
+                  (unsigned long long)c.fences,
+                  (unsigned long long)c.log_bytes);
+    return buf;
+}
+
+} // namespace ido

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Contention-free accounting of persistence events.
+ *
+ * Every runtime under test issues stores / cache-line write-backs /
+ * persist fences through nvm::PersistDomain; this module counts them.
+ * Counters are thread-local (the microbenchmarks of Sec. V-B measure
+ * scalability, so shared atomic counters would perturb the results) and
+ * are folded into a global registry for reporting.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ido {
+
+/** Per-thread persistence-event counters. */
+struct PersistCounters
+{
+    uint64_t stores = 0;       ///< store operations to persistent memory
+    uint64_t store_bytes = 0;  ///< bytes stored
+    uint64_t flushes = 0;      ///< cache-line write-backs (clwb/clflush)
+    uint64_t fences = 0;       ///< persist fences (sfence)
+    uint64_t log_bytes = 0;    ///< bytes written to runtime logs
+
+    void clear() { *this = PersistCounters{}; }
+
+    PersistCounters& operator+=(const PersistCounters& o);
+};
+
+/** Counters of the calling thread. */
+PersistCounters& tls_persist_counters();
+
+/**
+ * Fold the calling thread's counters into the global total and clear
+ * them.  Worker threads call this before exiting.
+ */
+void persist_counters_flush_tls();
+
+/** Snapshot of the global total (call after workers have flushed). */
+PersistCounters persist_counters_global();
+
+/** Reset the global total (between benchmark configurations). */
+void persist_counters_reset_global();
+
+/** Human-readable one-line summary. */
+std::string persist_counters_format(const PersistCounters& c);
+
+} // namespace ido

@@ -1,0 +1,85 @@
+#include "stats/region_stats.h"
+
+#include <cstdio>
+
+namespace ido {
+
+RegionStatsCollector&
+RegionStatsCollector::instance()
+{
+    static RegionStatsCollector collector;
+    return collector;
+}
+
+RegionStatsCollector::TlsHists&
+RegionStatsCollector::tls()
+{
+    thread_local TlsHists hists;
+    return hists;
+}
+
+void
+RegionStatsCollector::flush_tls()
+{
+    auto& t = tls();
+    std::lock_guard<std::mutex> g(mutex_);
+    g_stores_.merge(t.stores);
+    g_live_in_.merge(t.live_in);
+    t.stores = Histogram();
+    t.live_in = Histogram();
+}
+
+void
+RegionStatsCollector::reset()
+{
+    std::lock_guard<std::mutex> g(mutex_);
+    g_stores_ = Histogram();
+    g_live_in_ = Histogram();
+}
+
+Histogram
+RegionStatsCollector::stores_per_region() const
+{
+    std::lock_guard<std::mutex> g(mutex_);
+    return g_stores_;
+}
+
+Histogram
+RegionStatsCollector::live_in_per_region() const
+{
+    std::lock_guard<std::mutex> g(mutex_);
+    return g_live_in_;
+}
+
+std::string
+RegionStatsCollector::format_fig8(const std::string& benchmark) const
+{
+    const Histogram stores = stores_per_region();
+    const Histogram live_in = live_in_per_region();
+    std::string out;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "[fig8] %-12s dynamic regions: %llu\n",
+                  benchmark.c_str(),
+                  (unsigned long long)stores.total_samples());
+    out += buf;
+    out += "  " + stores.format_cdf("stores/region ",
+                                    std::min<uint64_t>(8,
+                                        std::max<uint64_t>(4,
+                                            stores.max_value())))
+           + "\n";
+    out += "  " + live_in.format_cdf("live-in regs  ",
+                                     std::min<uint64_t>(8,
+                                         std::max<uint64_t>(4,
+                                             live_in.max_value())))
+           + "\n";
+    std::snprintf(buf, sizeof(buf),
+                  "  mean stores/region %.2f   mean live-in %.2f   "
+                  "regions with >1 store %.1f%%   live-in<5 %.1f%%\n",
+                  stores.mean(), live_in.mean(),
+                  (1.0 - stores.cdf(1)) * 100.0, live_in.cdf(4) * 100.0);
+    out += buf;
+    return out;
+}
+
+} // namespace ido

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Dynamic idempotent-region statistics (paper Fig. 8).
+ *
+ * The paper uses Pin to collect, per benchmark, the cumulative dynamic
+ * distribution of (a) persistent stores per idempotent region and
+ * (b) live-in registers per region.  Here the runtime itself observes
+ * every dynamic region, so the same distributions fall out of normal
+ * execution when collection is enabled.  Collection uses thread-local
+ * histograms merged on demand, so it does not perturb scalability runs
+ * (and is off by default).
+ */
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace ido {
+
+class RegionStatsCollector
+{
+  public:
+    static RegionStatsCollector& instance();
+
+    void enable() { enabled_ = true; }
+    void disable() { enabled_ = false; }
+    bool enabled() const { return enabled_; }
+
+    /** Record one dynamic region execution. */
+    void
+    record(uint32_t stores, uint32_t live_in_regs)
+    {
+        if (!enabled_)
+            return;
+        auto& t = tls();
+        t.stores.add(stores);
+        t.live_in.add(live_in_regs);
+    }
+
+    /** Fold thread-local data into the global histograms and clear. */
+    void flush_tls();
+
+    /** Reset global histograms (between benchmark configurations). */
+    void reset();
+
+    Histogram stores_per_region() const;
+    Histogram live_in_per_region() const;
+
+    /** Fig. 8-style CDF printout for the current data. */
+    std::string format_fig8(const std::string& benchmark) const;
+
+  private:
+    struct TlsHists
+    {
+        Histogram stores;
+        Histogram live_in;
+    };
+
+    TlsHists& tls();
+
+    bool enabled_ = false;
+    mutable std::mutex mutex_;
+    Histogram g_stores_;
+    Histogram g_live_in_;
+};
+
+} // namespace ido

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the IR core and CFG analyses: construction, validation,
+ * successors/predecessors, RPO, dominators, loop headers.
+ */
+#include <gtest/gtest.h>
+
+#include "compiler/builder.h"
+#include "compiler/cfg.h"
+#include "compiler/ir.h"
+#include "compiler/ir_library.h"
+
+namespace ido::compiler {
+namespace {
+
+TEST(Ir, BuilderProducesValidFunctions)
+{
+    for (auto make : {ir_stack_push, ir_stack_pop,
+                      ir_counter_increment, ir_array_add_loop}) {
+        IrFase f = make();
+        f.fn.validate(); // panics on failure
+        EXPECT_GE(f.fn.num_blocks(), 1u);
+        EXPECT_GT(f.fn.num_regs(), 0u);
+    }
+}
+
+TEST(Ir, EmitPastTerminatorRejected)
+{
+    FnBuilder b("bad");
+    const uint32_t e = b.block("entry");
+    b.switch_to(e);
+    b.ret();
+    EXPECT_DEATH(b.cconst(1), "terminator");
+}
+
+TEST(Ir, SelfClobberRejected)
+{
+    FnBuilder b("bad2");
+    const uint32_t e = b.block("entry");
+    b.switch_to(e);
+    const uint32_t x = b.cconst(1);
+    b.fn().emit(e, Instr{Opcode::kAdd, x, x, x, 0, 0}); // x = x + x
+    b.fn().emit(e, Instr{Opcode::kRet, kNoReg, kNoReg, kNoReg, 0, 0});
+    EXPECT_DEATH(b.fn().validate(), "redefines its own operand");
+}
+
+TEST(Ir, DumpMentionsOpcodes)
+{
+    IrFase f = ir_stack_push();
+    const std::string text = f.fn.dump();
+    EXPECT_NE(text.find("lock"), std::string::npos);
+    EXPECT_NE(text.find("store"), std::string::npos);
+    EXPECT_NE(text.find("alloc"), std::string::npos);
+}
+
+TEST(Cfg, StraightLine)
+{
+    IrFase f = ir_stack_push();
+    Cfg cfg(f.fn);
+    EXPECT_TRUE(cfg.reachable(0));
+    EXPECT_TRUE(cfg.successors(0).empty());
+    EXPECT_EQ(cfg.rpo().size(), 1u);
+    EXPECT_FALSE(cfg.is_loop_header(0));
+}
+
+TEST(Cfg, DiamondPredecessorsAndDominators)
+{
+    IrFase f = ir_stack_pop(); // entry -> {read, empty} -> done
+    Cfg cfg(f.fn);
+    EXPECT_EQ(cfg.successors(0).size(), 2u);
+    EXPECT_EQ(cfg.predecessors(3).size(), 2u); // done
+    EXPECT_TRUE(cfg.dominates(0, 3));
+    EXPECT_FALSE(cfg.dominates(1, 3));
+    EXPECT_EQ(cfg.idom(3), 0u);
+    EXPECT_FALSE(cfg.is_loop_header(3));
+}
+
+TEST(Cfg, LoopHeaderDetected)
+{
+    IrFase f = ir_array_add_loop();
+    Cfg cfg(f.fn);
+    EXPECT_TRUE(cfg.is_loop_header(1));  // loop_head
+    EXPECT_FALSE(cfg.is_loop_header(2)); // loop_body
+    EXPECT_TRUE(cfg.dominates(1, 2));
+    EXPECT_TRUE(cfg.reaches(2, 1)); // back edge path
+    EXPECT_TRUE(cfg.reaches(0, 3));
+    EXPECT_FALSE(cfg.reaches(3, 0));
+}
+
+TEST(Cfg, UnreachableBlockExcluded)
+{
+    FnBuilder b("unreach");
+    const uint32_t e = b.block("entry");
+    const uint32_t dead = b.block("dead");
+    b.switch_to(e);
+    b.ret();
+    b.switch_to(dead);
+    b.ret();
+    Function fn = b.take();
+    fn.validate();
+    Cfg cfg(fn);
+    EXPECT_TRUE(cfg.reachable(0));
+    EXPECT_FALSE(cfg.reachable(1));
+    EXPECT_EQ(cfg.rpo().size(), 1u);
+}
+
+TEST(Instr, UsesMask)
+{
+    Instr ins{Opcode::kAdd, 5, 2, 3, 0, 0};
+    EXPECT_EQ(ins.uses(), (1ull << 2) | (1ull << 3));
+    EXPECT_EQ(ins.def(), 5u);
+    Instr ld{Opcode::kLoad, 1, 0, kNoReg, 8, 0};
+    EXPECT_EQ(ld.uses(), 1ull << 0);
+    EXPECT_TRUE(ld.is_load());
+    EXPECT_FALSE(ld.is_store());
+}
+
+} // namespace
+} // namespace ido::compiler

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Semantics tests for the four microbenchmark data structures,
+ * parameterized over EVERY runtime (TEST_P): the same FASE programs
+ * must behave identically under iDO, Atlas, Mnemosyne, JUSTDO, NVML,
+ * NVThreads and Origin during crash-free execution.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <thread>
+
+#include "baselines/runtime_factory.h"
+#include "common/rng.h"
+#include "ds/hashmap.h"
+#include "ds/ordered_list.h"
+#include "ds/queue.h"
+#include "ds/stack.h"
+#include "ds/workload.h"
+
+namespace ido::ds {
+namespace {
+
+using baselines::RuntimeKind;
+
+class DsAllRuntimes
+    : public ::testing::TestWithParam<RuntimeKind>
+{
+  protected:
+    DsAllRuntimes()
+        : heap({.size = 64u << 20}), dom()
+    {
+        register_all_programs();
+        rt::RuntimeConfig cfg;
+        cfg.check_contracts = true;
+        runtime = baselines::make_runtime(GetParam(), heap, dom, cfg);
+        th = runtime->make_thread();
+    }
+
+    nvm::PersistentHeap heap;
+    nvm::RealDomain dom;
+    std::unique_ptr<rt::Runtime> runtime;
+    std::unique_ptr<rt::RuntimeThread> th;
+};
+
+TEST_P(DsAllRuntimes, StackLifo)
+{
+    PStack stack(PStack::create(*th));
+    for (uint64_t v = 1; v <= 100; ++v)
+        stack.push(*th, v);
+    for (uint64_t v = 100; v >= 1; --v) {
+        uint64_t out = 0;
+        ASSERT_TRUE(stack.pop(*th, &out));
+        EXPECT_EQ(out, v);
+    }
+    uint64_t out;
+    EXPECT_FALSE(stack.pop(*th, &out));
+    EXPECT_TRUE(PStack::check_invariants(heap, stack.root_off()));
+}
+
+TEST_P(DsAllRuntimes, StackPopEmpty)
+{
+    PStack stack(PStack::create(*th));
+    uint64_t out = 7;
+    EXPECT_FALSE(stack.pop(*th, &out));
+    stack.push(*th, 5);
+    ASSERT_TRUE(stack.pop(*th, &out));
+    EXPECT_EQ(out, 5u);
+    EXPECT_FALSE(stack.pop(*th, &out));
+}
+
+TEST_P(DsAllRuntimes, QueueFifo)
+{
+    PQueue queue(PQueue::create(*th));
+    for (uint64_t v = 1; v <= 100; ++v)
+        queue.enqueue(*th, v);
+    for (uint64_t v = 1; v <= 100; ++v) {
+        uint64_t out = 0;
+        ASSERT_TRUE(queue.dequeue(*th, &out));
+        EXPECT_EQ(out, v);
+    }
+    uint64_t out;
+    EXPECT_FALSE(queue.dequeue(*th, &out));
+    EXPECT_TRUE(PQueue::check_invariants(heap, queue.root_off()));
+}
+
+TEST_P(DsAllRuntimes, QueueInterleaved)
+{
+    PQueue queue(PQueue::create(*th));
+    uint64_t out;
+    queue.enqueue(*th, 1);
+    queue.enqueue(*th, 2);
+    ASSERT_TRUE(queue.dequeue(*th, &out));
+    EXPECT_EQ(out, 1u);
+    queue.enqueue(*th, 3);
+    ASSERT_TRUE(queue.dequeue(*th, &out));
+    EXPECT_EQ(out, 2u);
+    ASSERT_TRUE(queue.dequeue(*th, &out));
+    EXPECT_EQ(out, 3u);
+    EXPECT_FALSE(queue.dequeue(*th, &out));
+}
+
+TEST_P(DsAllRuntimes, ListInsertLookupRemove)
+{
+    POrderedList list(POrderedList::create(*th));
+    list.insert(*th, 5, 50);
+    list.insert(*th, 1, 10);
+    list.insert(*th, 9, 90);
+    list.insert(*th, 3, 30);
+
+    uint64_t v = 0;
+    EXPECT_TRUE(list.lookup(*th, 5, &v));
+    EXPECT_EQ(v, 50u);
+    EXPECT_TRUE(list.lookup(*th, 1, &v));
+    EXPECT_EQ(v, 10u);
+    EXPECT_FALSE(list.lookup(*th, 4, &v));
+
+    const auto snap = POrderedList::snapshot(heap, list.head_off());
+    ASSERT_EQ(snap.size(), 4u);
+    EXPECT_TRUE(std::is_sorted(snap.begin(), snap.end()));
+
+    EXPECT_TRUE(list.remove(*th, 5));
+    EXPECT_FALSE(list.remove(*th, 5));
+    EXPECT_FALSE(list.lookup(*th, 5, &v));
+    EXPECT_TRUE(
+        POrderedList::check_invariants(heap, list.head_off()));
+}
+
+TEST_P(DsAllRuntimes, ListUpdateInPlace)
+{
+    POrderedList list(POrderedList::create(*th));
+    list.insert(*th, 7, 70);
+    list.insert(*th, 7, 71); // same key: update
+    uint64_t v = 0;
+    EXPECT_TRUE(list.lookup(*th, 7, &v));
+    EXPECT_EQ(v, 71u);
+    EXPECT_EQ(POrderedList::snapshot(heap, list.head_off()).size(), 1u);
+}
+
+TEST_P(DsAllRuntimes, ListMatchesStdMapUnderChurn)
+{
+    POrderedList list(POrderedList::create(*th));
+    std::map<uint64_t, uint64_t> model;
+    Rng rng(42);
+    for (int i = 0; i < 2000; ++i) {
+        const uint64_t key = 1 + rng.next_below(64);
+        const uint32_t dice = static_cast<uint32_t>(rng.next_below(3));
+        if (dice == 0) {
+            const uint64_t val = rng.next() | 1;
+            list.insert(*th, key, val);
+            model[key] = val;
+        } else if (dice == 1) {
+            EXPECT_EQ(list.remove(*th, key), model.erase(key) > 0);
+        } else {
+            uint64_t v = 0;
+            const bool found = list.lookup(*th, key, &v);
+            const auto it = model.find(key);
+            ASSERT_EQ(found, it != model.end());
+            if (found)
+                EXPECT_EQ(v, it->second);
+        }
+    }
+    const auto snap = POrderedList::snapshot(heap, list.head_off());
+    ASSERT_EQ(snap.size(), model.size());
+    size_t i = 0;
+    for (const auto& [k, v] : model) {
+        EXPECT_EQ(snap[i].first, k);
+        EXPECT_EQ(snap[i].second, v);
+        ++i;
+    }
+}
+
+TEST_P(DsAllRuntimes, HashMapBasics)
+{
+    PHashMap map(heap, PHashMap::create(*th, 16));
+    map.put(*th, 100, 1);
+    map.put(*th, 200, 2);
+    map.put(*th, 100, 3); // update
+    uint64_t v = 0;
+    EXPECT_TRUE(map.get(*th, 100, &v));
+    EXPECT_EQ(v, 3u);
+    EXPECT_TRUE(map.get(*th, 200, &v));
+    EXPECT_EQ(v, 2u);
+    EXPECT_FALSE(map.get(*th, 300, &v));
+    EXPECT_TRUE(map.remove(*th, 100));
+    EXPECT_FALSE(map.get(*th, 100, &v));
+    EXPECT_EQ(PHashMap::size(heap, map.root_off()), 1u);
+    EXPECT_TRUE(PHashMap::check_invariants(heap, map.root_off()));
+}
+
+TEST_P(DsAllRuntimes, HashMapManyKeysAcrossBuckets)
+{
+    PHashMap map(heap, PHashMap::create(*th, 8));
+    for (uint64_t k = 1; k <= 500; ++k)
+        map.put(*th, k, k * 7);
+    EXPECT_EQ(PHashMap::size(heap, map.root_off()), 500u);
+    for (uint64_t k = 1; k <= 500; ++k) {
+        uint64_t v = 0;
+        ASSERT_TRUE(map.get(*th, k, &v)) << "key " << k;
+        EXPECT_EQ(v, k * 7);
+    }
+    EXPECT_TRUE(PHashMap::check_invariants(heap, map.root_off()));
+}
+
+TEST_P(DsAllRuntimes, ConcurrentMapMixedOps)
+{
+    PHashMap map(heap, PHashMap::create(*th, 64));
+    constexpr int kThreads = 4;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            auto worker = runtime->make_thread();
+            PHashMap local_map(heap, map.root_off());
+            Rng rng(1000 + t);
+            uint64_t scratch;
+            for (int i = 0; i < 500; ++i) {
+                const uint64_t key = 1 + rng.next_below(128);
+                if (rng.percent(50))
+                    local_map.put(*worker, key, key);
+                else
+                    local_map.get(*worker, key, &scratch);
+            }
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+    EXPECT_TRUE(PHashMap::check_invariants(heap, map.root_off()));
+    // Every stored value equals its key, so lookups must agree.
+    uint64_t v = 0;
+    auto reader = runtime->make_thread();
+    PHashMap reader_map(heap, map.root_off());
+    for (uint64_t k = 1; k <= 128; ++k) {
+        if (reader_map.get(*reader, k, &v))
+            EXPECT_EQ(v, k);
+    }
+}
+
+TEST_P(DsAllRuntimes, ConcurrentQueueConservesItems)
+{
+    PQueue queue(PQueue::create(*th));
+    constexpr int kThreads = 4;
+    constexpr int kOpsEach = 400;
+    std::vector<uint64_t> pushed(kThreads, 0), popped(kThreads, 0);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            auto worker = runtime->make_thread();
+            PQueue q(queue.root_off());
+            Rng rng(2000 + t);
+            uint64_t out;
+            for (int i = 0; i < kOpsEach; ++i) {
+                if (rng.percent(60)) {
+                    q.enqueue(*worker, 1);
+                    pushed[t]++;
+                } else if (q.dequeue(*worker, &out)) {
+                    popped[t]++;
+                }
+            }
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+    uint64_t total_pushed = 0, total_popped = 0;
+    for (int t = 0; t < kThreads; ++t) {
+        total_pushed += pushed[t];
+        total_popped += popped[t];
+    }
+    EXPECT_EQ(PQueue::snapshot(heap, queue.root_off()).size(),
+              total_pushed - total_popped);
+    EXPECT_TRUE(PQueue::check_invariants(heap, queue.root_off()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRuntimes, DsAllRuntimes,
+    ::testing::ValuesIn(baselines::all_runtime_kinds()),
+    [](const ::testing::TestParamInfo<RuntimeKind>& info) {
+        return baselines::runtime_kind_name(info.param);
+    });
+
+} // namespace
+} // namespace ido::ds

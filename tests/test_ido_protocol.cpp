@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Protocol-level tests for iDO normal execution: log-record lifecycle,
+ * recovery_pc sequencing, fence economy (two per boundary with outputs,
+ * one without; zero extra for acquires, one for releases), persist
+ * coalescing of register outputs, and lock_array maintenance.
+ */
+#include <gtest/gtest.h>
+
+#include "ds/fase_ids.h"
+#include "ds/stack.h"
+#include "ds/workload.h"
+#include "ido/ido_runtime.h"
+#include "nvm/persist_domain.h"
+#include "stats/persist_stats.h"
+
+namespace ido {
+namespace {
+
+struct IdoFixture : public ::testing::Test
+{
+    IdoFixture()
+        : heap({.size = 16u << 20}), dom(),
+          runtime(heap, dom, rt::RuntimeConfig{.check_contracts = true})
+    {
+        ds::register_all_programs();
+    }
+
+    nvm::PersistentHeap heap;
+    nvm::RealDomain dom;
+    IdoRuntime runtime;
+};
+
+TEST_F(IdoFixture, LogRecLinkedOnThreadCreation)
+{
+    EXPECT_TRUE(runtime.log_rec_offsets().empty());
+    auto t1 = runtime.make_thread();
+    EXPECT_EQ(runtime.log_rec_offsets().size(), 1u);
+    auto t2 = runtime.make_thread();
+    EXPECT_EQ(runtime.log_rec_offsets().size(), 2u);
+    // "the number of iDO logs matches the number of threads created"
+}
+
+TEST_F(IdoFixture, FreshRecIsInactive)
+{
+    auto th = runtime.make_thread();
+    auto* ido_th = static_cast<IdoThread*>(th.get());
+    EXPECT_EQ(ido_th->rec()->recovery_pc, kInactivePc);
+    EXPECT_EQ(ido_th->rec()->lock_bitmap, 0u);
+}
+
+TEST_F(IdoFixture, RecoveryPcInactiveAfterFase)
+{
+    auto th = runtime.make_thread();
+    auto* ido_th = static_cast<IdoThread*>(th.get());
+    ds::PStack stack(ds::PStack::create(*th));
+    stack.push(*th, 42);
+    EXPECT_EQ(ido_th->rec()->recovery_pc, kInactivePc);
+    EXPECT_EQ(ido_th->rec()->lock_bitmap, 0u);
+}
+
+TEST_F(IdoFixture, RecoveryPcTracksRegions)
+{
+    // A probe program that snapshots its own log record mid-FASE.
+    static IdoThread* probe_th;
+    static uint64_t pc_seen_in_r1;
+    auto r0 = +[](rt::RuntimeThread&, rt::RegionCtx&) -> uint32_t {
+        return 1;
+    };
+    auto r1 = +[](rt::RuntimeThread&, rt::RegionCtx&) -> uint32_t {
+        pc_seen_in_r1 = probe_th->rec()->recovery_pc;
+        return rt::kRegionEnd;
+    };
+    rt::FaseProgram p;
+    p.fase_id = 9000;
+    p.name = "probe";
+    p.regions = {{r0, "r0", 0, 0, 0, 0}, {r1, "r1", 0, 0, 0, 0}};
+
+    auto th = runtime.make_thread();
+    probe_th = static_cast<IdoThread*>(th.get());
+    rt::RegionCtx ctx;
+    th->run_fase(p, ctx);
+    EXPECT_EQ(pc_seen_in_r1, pack_recovery_pc(9000, 1));
+}
+
+TEST_F(IdoFixture, OutputRegistersLandInFixedSlots)
+{
+    static constexpr uint16_t R2 = 1u << 2, R5 = 1u << 5;
+    auto r0 = +[](rt::RuntimeThread&, rt::RegionCtx& ctx) -> uint32_t {
+        ctx.r[2] = 0xaa;
+        ctx.r[5] = 0xbb;
+        ctx.f[1] = 2.5;
+        return 1;
+    };
+    auto r1 = +[](rt::RuntimeThread&, rt::RegionCtx& ctx) -> uint32_t {
+        (void)ctx;
+        return rt::kRegionEnd;
+    };
+    rt::FaseProgram p;
+    p.fase_id = 9001;
+    p.name = "slots";
+    p.regions = {{r0, "def", 0, R2 | R5, 0, /*out_float f1*/ 2},
+                 {r1, "use", R2 | R5, 0, 2, 0}};
+
+    auto th = runtime.make_thread();
+    auto* ido_th = static_cast<IdoThread*>(th.get());
+    rt::RegionCtx ctx;
+    th->run_fase(p, ctx);
+    EXPECT_EQ(ido_th->rec()->intRF[2], 0xaau);
+    EXPECT_EQ(ido_th->rec()->intRF[5], 0xbbu);
+    EXPECT_EQ(ido_th->rec()->floatRF[1], 2.5);
+}
+
+TEST_F(IdoFixture, FenceEconomyPerBoundary)
+{
+    auto no_out = +[](rt::RuntimeThread&, rt::RegionCtx&) -> uint32_t {
+        return 1;
+    };
+    auto end = +[](rt::RuntimeThread&, rt::RegionCtx&) -> uint32_t {
+        return rt::kRegionEnd;
+    };
+    rt::FaseProgram p;
+    p.fase_id = 9002;
+    p.name = "fences";
+    p.regions = {{no_out, "a", 0, 0, 0, 0}, {end, "b", 0, 0, 0, 0}};
+
+    auto th = runtime.make_thread();
+    tls_persist_counters().clear();
+    rt::RegionCtx ctx;
+    th->run_fase(p, ctx);
+    // No args, no outputs, no stores anywhere: every boundary is a
+    // single pc fence.  fase_begin(1) + boundary a->b(1) + end(1) = 3.
+    EXPECT_EQ(tls_persist_counters().fences, 3u);
+    tls_persist_counters().clear();
+}
+
+TEST_F(IdoFixture, FenceEconomyWithOutputs)
+{
+    static constexpr uint16_t R1 = 1u << 1;
+    auto def = +[](rt::RuntimeThread&, rt::RegionCtx& ctx) -> uint32_t {
+        ctx.r[1] = 5;
+        return 1;
+    };
+    auto use = +[](rt::RuntimeThread&, rt::RegionCtx& ctx) -> uint32_t {
+        (void)ctx.r[1];
+        return rt::kRegionEnd;
+    };
+    rt::FaseProgram p;
+    p.fase_id = 9003;
+    p.name = "fences2";
+    p.regions = {{def, "def", 0, R1, 0, 0}, {use, "use", R1, 0, 0, 0}};
+
+    auto th = runtime.make_thread();
+    tls_persist_counters().clear();
+    rt::RegionCtx ctx;
+    th->run_fase(p, ctx);
+    // fase_begin persists the args-union (r1 is live-in somewhere):
+    // 2 fences; def->use boundary has an output: 2; final: 1.  Total 5.
+    EXPECT_EQ(tls_persist_counters().fences, 5u);
+    tls_persist_counters().clear();
+}
+
+TEST_F(IdoFixture, StackPushFenceBudget)
+{
+    auto th = runtime.make_thread();
+    ds::PStack stack(ds::PStack::create(*th));
+    stack.push(*th, 1); // warm the lock table
+    tls_persist_counters().clear();
+    stack.push(*th, 2);
+    // begin(2: args+pc) + lock-boundary(1) + build(2) + publish(2)
+    // + unlock(1) + final(1) = 9 fences; acquire piggybacks, release
+    // pays one.  Allocator adds its own internal fences, so bound it.
+    EXPECT_GE(tls_persist_counters().fences, 9u);
+    EXPECT_LE(tls_persist_counters().fences, 13u);
+    tls_persist_counters().clear();
+}
+
+TEST_F(IdoFixture, PersistCoalescingFlushesWholeRfLines)
+{
+    // Eight int outputs in slots 0..7 share one cache line: exactly
+    // one RF flush regardless of how many of the eight are written.
+    static constexpr uint16_t kLow8 = 0x00ff;
+    auto def = +[](rt::RuntimeThread&, rt::RegionCtx& ctx) -> uint32_t {
+        for (int i = 0; i < 8; ++i)
+            ctx.r[i] = i + 1;
+        return 1;
+    };
+    auto use = +[](rt::RuntimeThread&, rt::RegionCtx& ctx) -> uint32_t {
+        (void)ctx;
+        return rt::kRegionEnd;
+    };
+    rt::FaseProgram p;
+    p.fase_id = 9004;
+    p.name = "coalesce";
+    p.regions = {{def, "def", 0, kLow8, 0, 0},
+                 {use, "use", kLow8, 0, 0, 0}};
+
+    auto th = runtime.make_thread();
+    tls_persist_counters().clear();
+    rt::RegionCtx ctx;
+    th->run_fase(p, ctx);
+    // begin: args flush (1 line) + pc flush; def boundary: 1 RF line
+    // + pc; final: pc.  5 flushes total -- not 8+ per-register ones.
+    EXPECT_EQ(tls_persist_counters().flushes, 5u);
+    tls_persist_counters().clear();
+}
+
+TEST_F(IdoFixture, LockArrayTracksHeldLocks)
+{
+    static IdoThread* probe;
+    static uint64_t bitmap_mid, array0_mid;
+    static uint64_t holder_slot_off;
+
+    auto lock_r = +[](rt::RuntimeThread& t, rt::RegionCtx&) -> uint32_t {
+        t.fase_lock(holder_slot_off);
+        return 1;
+    };
+    auto mid_r = +[](rt::RuntimeThread&, rt::RegionCtx&) -> uint32_t {
+        bitmap_mid = probe->rec()->lock_bitmap;
+        array0_mid = probe->rec()->lock_array[0];
+        return 2;
+    };
+    auto unlock_r =
+        +[](rt::RuntimeThread& t, rt::RegionCtx&) -> uint32_t {
+            t.fase_unlock(holder_slot_off);
+            return rt::kRegionEnd;
+        };
+    rt::FaseProgram p;
+    p.fase_id = 9005;
+    p.name = "locks";
+    p.regions = {{lock_r, "l", 0, 0, 0, 0},
+                 {mid_r, "m", 0, 0, 0, 0},
+                 {unlock_r, "u", 0, 0, 0, 0}};
+
+    auto th = runtime.make_thread();
+    probe = static_cast<IdoThread*>(th.get());
+    holder_slot_off = runtime.allocator().alloc(64, dom);
+    rt::RegionCtx ctx;
+    th->run_fase(p, ctx);
+    EXPECT_EQ(bitmap_mid, 1u);
+    EXPECT_EQ(array0_mid, holder_slot_off);
+    EXPECT_EQ(probe->rec()->lock_bitmap, 0u);
+    EXPECT_EQ(probe->rec()->lock_array[0], 0u);
+}
+
+TEST_F(IdoFixture, TraitsMatchTableTwo)
+{
+    const rt::RuntimeTraits t = runtime.traits();
+    EXPECT_STREQ(t.semantics, "Lock-inferred FASE");
+    EXPECT_STREQ(t.recovery, "Resumption");
+    EXPECT_STREQ(t.granularity, "Idempotent Region");
+    EXPECT_FALSE(t.dependence_tracking);
+    EXPECT_TRUE(t.transient_caches);
+}
+
+} // namespace
+} // namespace ido

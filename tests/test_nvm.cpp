@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit tests for the persistent heap and the real persist domain:
+ * offsets, roots, crash-flag lifecycle, file-backed reopen, and
+ * persist-event accounting.
+ */
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "nvm/persist_domain.h"
+#include "nvm/persistent_heap.h"
+#include "stats/persist_stats.h"
+
+namespace ido::nvm {
+namespace {
+
+TEST(PersistentHeap, AnonymousCreation)
+{
+    PersistentHeap heap({.path = "", .size = 1u << 20});
+    EXPECT_NE(heap.base(), nullptr);
+    EXPECT_GE(heap.size(), 1u << 20);
+    EXPECT_FALSE(heap.recovered_from_crash());
+    EXPECT_FALSE(heap.reopened());
+}
+
+TEST(PersistentHeap, OffsetRoundTrip)
+{
+    PersistentHeap heap({.size = 1u << 20});
+    auto* p = heap.resolve<uint64_t>(4096);
+    EXPECT_EQ(heap.to_offset(p), 4096u);
+    EXPECT_EQ(heap.resolve<void>(0), nullptr);
+    EXPECT_EQ(heap.to_offset(nullptr), 0u);
+}
+
+TEST(PersistentHeap, ContainsChecks)
+{
+    PersistentHeap heap({.size = 1u << 20});
+    EXPECT_TRUE(heap.contains(heap.base()));
+    EXPECT_TRUE(heap.contains(heap.resolve<void>(heap.size() - 1)));
+    uint64_t outside = 0;
+    EXPECT_FALSE(heap.contains(&outside));
+}
+
+TEST(PersistentHeap, RootsPersistAndRead)
+{
+    PersistentHeap heap({.size = 1u << 20});
+    RealDomain dom;
+    EXPECT_EQ(heap.root(RootSlot::kAppRoot), 0u);
+    heap.set_root(RootSlot::kAppRoot, 12345, dom);
+    heap.set_root(RootSlot::kIdoLogHead, 777, dom);
+    EXPECT_EQ(heap.root(RootSlot::kAppRoot), 12345u);
+    EXPECT_EQ(heap.root(RootSlot::kIdoLogHead), 777u);
+}
+
+TEST(PersistentHeap, CrashFlagLifecycle)
+{
+    PersistentHeap heap({.size = 1u << 20});
+    RealDomain dom;
+    heap.mark_running(dom);
+    heap.simulate_fresh_open();
+    EXPECT_TRUE(heap.recovered_from_crash());
+    heap.mark_clean(dom);
+    heap.simulate_fresh_open();
+    EXPECT_FALSE(heap.recovered_from_crash());
+}
+
+TEST(PersistentHeap, FileBackedReopenPreservesData)
+{
+    const std::string path = "/tmp/ido_test_heap.img";
+    std::remove(path.c_str());
+    RealDomain dom;
+    {
+        PersistentHeap heap({.path = path, .size = 1u << 20});
+        EXPECT_FALSE(heap.reopened());
+        heap.set_root(RootSlot::kAppRoot, 999, dom);
+        auto* p = heap.resolve<uint64_t>(8192);
+        dom.store_val(p, uint64_t{0xdeadbeef});
+        dom.flush(p, 8);
+        dom.fence();
+        heap.mark_running(dom); // "crash" by not marking clean
+    }
+    {
+        PersistentHeap heap({.path = path, .size = 1u << 20});
+        EXPECT_TRUE(heap.reopened());
+        EXPECT_TRUE(heap.recovered_from_crash());
+        EXPECT_EQ(heap.root(RootSlot::kAppRoot), 999u);
+        EXPECT_EQ(*heap.resolve<uint64_t>(8192), 0xdeadbeefu);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(PersistentHeap, FileBackedResetDiscards)
+{
+    const std::string path = "/tmp/ido_test_heap2.img";
+    std::remove(path.c_str());
+    RealDomain dom;
+    {
+        PersistentHeap heap({.path = path, .size = 1u << 20});
+        heap.set_root(RootSlot::kAppRoot, 42, dom);
+    }
+    {
+        PersistentHeap heap(
+            {.path = path, .size = 1u << 20, .reset = true});
+        EXPECT_FALSE(heap.reopened());
+        EXPECT_EQ(heap.root(RootSlot::kAppRoot), 0u);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(RealDomain, StoreLoadRoundTrip)
+{
+    PersistentHeap heap({.size = 1u << 20});
+    RealDomain dom;
+    auto* p = heap.resolve<uint64_t>(4096);
+    dom.store_val(p, uint64_t{0x1122334455667788});
+    EXPECT_EQ(dom.load_val(p), 0x1122334455667788u);
+}
+
+TEST(RealDomain, CountsEvents)
+{
+    PersistentHeap heap({.size = 1u << 20});
+    RealDomain dom;
+    persist_counters_reset_global();
+    tls_persist_counters().clear();
+    auto* p = heap.resolve<uint8_t>(4096);
+    dom.store(p, "xyz", 3);
+    dom.flush(p, 200); // 4 lines (200 bytes from line start)
+    dom.fence();
+    const PersistCounters& c = tls_persist_counters();
+    EXPECT_EQ(c.stores, 1u);
+    EXPECT_EQ(c.store_bytes, 3u);
+    EXPECT_EQ(c.flushes, 4u);
+    EXPECT_EQ(c.fences, 1u);
+    tls_persist_counters().clear();
+}
+
+TEST(RealDomain, FlushDelayInjection)
+{
+    PersistentHeap heap({.size = 1u << 20});
+    RealDomain slow(20000); // 20us per line: measurable
+    auto* p = heap.resolve<uint64_t>(4096);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < 50; ++i)
+        slow.flush(p, 8);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    EXPECT_GT(ms, 0.2); // 50 x 20us = 1ms nominal
+}
+
+TEST(PersistCounters, GlobalAggregation)
+{
+    persist_counters_reset_global();
+    tls_persist_counters().clear();
+    tls_persist_counters().stores = 5;
+    tls_persist_counters().fences = 2;
+    persist_counters_flush_tls();
+    std::thread([] {
+        tls_persist_counters().stores = 7;
+        persist_counters_flush_tls();
+    }).join();
+    const PersistCounters total = persist_counters_global();
+    EXPECT_EQ(total.stores, 12u);
+    EXPECT_EQ(total.fences, 2u);
+    EXPECT_EQ(tls_persist_counters().stores, 0u);
+    persist_counters_reset_global();
+}
+
+} // namespace
+} // namespace ido::nvm

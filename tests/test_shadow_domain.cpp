@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the crash-accurate volatile-cache simulation: store
+ * buffering, read-your-writes, flush/fence durability, crash policies,
+ * per-thread fence scoping, and line-loss adversity.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "nvm/persistent_heap.h"
+#include "nvm/shadow_domain.h"
+#include "stats/persist_stats.h"
+
+namespace ido::nvm {
+namespace {
+
+struct ShadowFixture : public ::testing::Test
+{
+    ShadowFixture()
+        : heap({.size = 1u << 20}),
+          shadow(heap.base(), heap.size(), 99)
+    {
+    }
+
+    uint64_t* cell(uint64_t off) { return heap.resolve<uint64_t>(off); }
+
+    /** Raw value in the persistent image, bypassing the shadow. */
+    uint64_t image(uint64_t off) { return *cell(off); }
+
+    PersistentHeap heap;
+    ShadowDomain shadow;
+};
+
+TEST_F(ShadowFixture, StoreInvisibleToImageUntilFence)
+{
+    shadow.store_val(cell(4096), uint64_t{42});
+    EXPECT_EQ(image(4096), 0u);
+    EXPECT_EQ(shadow.load_val(cell(4096)), 42u); // cache serves reads
+    shadow.flush(cell(4096), 8);
+    EXPECT_EQ(image(4096), 0u); // flush alone is not durability
+    shadow.fence();
+    EXPECT_EQ(image(4096), 42u);
+}
+
+TEST_F(ShadowFixture, DropAllLosesUnflushedStores)
+{
+    shadow.store_val(cell(4096), uint64_t{7});
+    shadow.store_val(cell(8192), uint64_t{8});
+    shadow.flush(cell(8192), 8);
+    // No fence: both lines outstanding.
+    shadow.crash(CrashPolicy::kDropAll);
+    EXPECT_EQ(image(4096), 0u);
+    EXPECT_EQ(image(8192), 0u);
+    EXPECT_EQ(shadow.outstanding_lines(), 0u);
+}
+
+TEST_F(ShadowFixture, PersistAllModelsEagerEviction)
+{
+    shadow.store_val(cell(4096), uint64_t{7});
+    shadow.crash(CrashPolicy::kPersistAll);
+    EXPECT_EQ(image(4096), 7u);
+}
+
+TEST_F(ShadowFixture, FencedDataSurvivesAnyCrash)
+{
+    shadow.store_val(cell(4096), uint64_t{11});
+    shadow.flush(cell(4096), 8);
+    shadow.fence();
+    shadow.crash(CrashPolicy::kDropAll);
+    EXPECT_EQ(image(4096), 11u);
+}
+
+TEST_F(ShadowFixture, RandomPolicyPersistsSomeLines)
+{
+    int persisted = 0;
+    for (int i = 0; i < 64; ++i) {
+        const uint64_t off = 4096 + i * 64;
+        shadow.store_val(cell(off), uint64_t{1});
+    }
+    shadow.crash(CrashPolicy::kRandom);
+    for (int i = 0; i < 64; ++i)
+        persisted += (image(4096 + i * 64) == 1);
+    EXPECT_GT(persisted, 5);
+    EXPECT_LT(persisted, 60);
+}
+
+TEST_F(ShadowFixture, PartialLineStoreMergesWithImage)
+{
+    *cell(4096) = 0x1111111111111111; // pre-history
+    *(cell(4096) + 1) = 0x2222222222222222;
+    shadow.store_val(cell(4096), uint64_t{0x9999999999999999});
+    shadow.flush(cell(4096), 8);
+    shadow.fence();
+    EXPECT_EQ(image(4096), 0x9999999999999999u);
+    EXPECT_EQ(image(4096 + 8), 0x2222222222222222u); // neighbour kept
+}
+
+TEST_F(ShadowFixture, OutOfRangeAccessIsDirect)
+{
+    uint64_t local = 0;
+    shadow.store_val(&local, uint64_t{5});
+    EXPECT_EQ(local, 5u);
+    EXPECT_EQ(shadow.load_val(&local), 5u);
+}
+
+TEST_F(ShadowFixture, FenceIsPerThread)
+{
+    // Thread A stores + flushes; thread B's fence must NOT persist A's
+    // pending line (sfence orders only the issuing thread's flushes).
+    std::thread a([&] {
+        shadow.store_val(cell(4096), uint64_t{13});
+        shadow.flush(cell(4096), 8);
+    });
+    a.join();
+    std::thread([&] { shadow.fence(); }).join();
+    EXPECT_EQ(image(4096), 0u);
+    std::thread a2([&] {
+        // A line re-flushed by the same logical owner then fenced by
+        // that owner becomes durable.
+        shadow.flush(cell(4096), 8);
+        shadow.fence();
+    });
+    a2.join();
+    EXPECT_EQ(image(4096), 13u);
+}
+
+TEST_F(ShadowFixture, DrainAllWritesEverything)
+{
+    shadow.store_val(cell(4096), uint64_t{1});
+    shadow.store_val(cell(8192), uint64_t{2});
+    shadow.drain_all();
+    EXPECT_EQ(image(4096), 1u);
+    EXPECT_EQ(image(8192), 2u);
+    EXPECT_EQ(shadow.outstanding_lines(), 0u);
+}
+
+TEST_F(ShadowFixture, MultiLineStoreSpansCorrectly)
+{
+    std::vector<uint8_t> payload(300);
+    for (size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<uint8_t>(i);
+    shadow.store(heap.resolve<void>(4100), payload.data(),
+                 payload.size());
+    std::vector<uint8_t> readback(300);
+    shadow.load(heap.resolve<void>(4100), readback.data(),
+                readback.size());
+    EXPECT_EQ(readback, payload);
+    shadow.flush(heap.resolve<void>(4100), payload.size());
+    shadow.fence();
+    EXPECT_EQ(std::memcmp(heap.resolve<void>(4100), payload.data(),
+                          payload.size()),
+              0);
+}
+
+TEST_F(ShadowFixture, StoreCountersTracked)
+{
+    tls_persist_counters().clear();
+    shadow.store_val(cell(4096), uint64_t{1});
+    shadow.flush(cell(4096), 8);
+    shadow.fence();
+    EXPECT_EQ(tls_persist_counters().stores, 1u);
+    EXPECT_EQ(tls_persist_counters().flushes, 1u);
+    EXPECT_EQ(tls_persist_counters().fences, 1u);
+    tls_persist_counters().clear();
+}
+
+} // namespace
+} // namespace ido::nvm
