@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_coalesce.dir/bench_ablation_coalesce.cpp.o"
+  "CMakeFiles/bench_ablation_coalesce.dir/bench_ablation_coalesce.cpp.o.d"
+  "bench_ablation_coalesce"
+  "bench_ablation_coalesce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_coalesce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_locks.dir/bench_ablation_locks.cpp.o"
+  "CMakeFiles/bench_ablation_locks.dir/bench_ablation_locks.cpp.o.d"
+  "bench_ablation_locks"
+  "bench_ablation_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

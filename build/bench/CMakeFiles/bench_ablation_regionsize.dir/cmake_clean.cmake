@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_regionsize.dir/bench_ablation_regionsize.cpp.o"
+  "CMakeFiles/bench_ablation_regionsize.dir/bench_ablation_regionsize.cpp.o.d"
+  "bench_ablation_regionsize"
+  "bench_ablation_regionsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_regionsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_memcached.dir/bench_fig5_memcached.cpp.o"
+  "CMakeFiles/bench_fig5_memcached.dir/bench_fig5_memcached.cpp.o.d"
+  "bench_fig5_memcached"
+  "bench_fig5_memcached.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_memcached.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

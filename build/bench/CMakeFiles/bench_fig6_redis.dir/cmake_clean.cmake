@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_redis.dir/bench_fig6_redis.cpp.o"
+  "CMakeFiles/bench_fig6_redis.dir/bench_fig6_redis.cpp.o.d"
+  "bench_fig6_redis"
+  "bench_fig6_redis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_redis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_recovery.dir/bench_table1_recovery.cpp.o"
+  "CMakeFiles/bench_table1_recovery.dir/bench_table1_recovery.cpp.o.d"
+  "bench_table1_recovery"
+  "bench_table1_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_properties.dir/bench_table2_properties.cpp.o"
+  "CMakeFiles/bench_table2_properties.dir/bench_table2_properties.cpp.o.d"
+  "bench_table2_properties"
+  "bench_table2_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

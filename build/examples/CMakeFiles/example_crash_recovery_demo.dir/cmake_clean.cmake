@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_crash_recovery_demo.dir/crash_recovery_demo.cpp.o"
+  "CMakeFiles/example_crash_recovery_demo.dir/crash_recovery_demo.cpp.o.d"
+  "example_crash_recovery_demo"
+  "example_crash_recovery_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_crash_recovery_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_persistent_kv_store.dir/persistent_kv_store.cpp.o"
+  "CMakeFiles/example_persistent_kv_store.dir/persistent_kv_store.cpp.o.d"
+  "example_persistent_kv_store"
+  "example_persistent_kv_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_persistent_kv_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

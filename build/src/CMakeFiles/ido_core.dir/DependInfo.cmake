@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/memcached_client.cpp" "src/CMakeFiles/ido_core.dir/apps/memcached_client.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/apps/memcached_client.cpp.o.d"
+  "/root/repo/src/apps/memcached_mini.cpp" "src/CMakeFiles/ido_core.dir/apps/memcached_mini.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/apps/memcached_mini.cpp.o.d"
+  "/root/repo/src/apps/redis_client.cpp" "src/CMakeFiles/ido_core.dir/apps/redis_client.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/apps/redis_client.cpp.o.d"
+  "/root/repo/src/apps/redis_mini.cpp" "src/CMakeFiles/ido_core.dir/apps/redis_mini.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/apps/redis_mini.cpp.o.d"
+  "/root/repo/src/baselines/atlas_recovery.cpp" "src/CMakeFiles/ido_core.dir/baselines/atlas_recovery.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/baselines/atlas_recovery.cpp.o.d"
+  "/root/repo/src/baselines/atlas_runtime.cpp" "src/CMakeFiles/ido_core.dir/baselines/atlas_runtime.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/baselines/atlas_runtime.cpp.o.d"
+  "/root/repo/src/baselines/justdo_runtime.cpp" "src/CMakeFiles/ido_core.dir/baselines/justdo_runtime.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/baselines/justdo_runtime.cpp.o.d"
+  "/root/repo/src/baselines/mnemosyne_runtime.cpp" "src/CMakeFiles/ido_core.dir/baselines/mnemosyne_runtime.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/baselines/mnemosyne_runtime.cpp.o.d"
+  "/root/repo/src/baselines/nvml_runtime.cpp" "src/CMakeFiles/ido_core.dir/baselines/nvml_runtime.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/baselines/nvml_runtime.cpp.o.d"
+  "/root/repo/src/baselines/nvthreads_runtime.cpp" "src/CMakeFiles/ido_core.dir/baselines/nvthreads_runtime.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/baselines/nvthreads_runtime.cpp.o.d"
+  "/root/repo/src/baselines/origin_runtime.cpp" "src/CMakeFiles/ido_core.dir/baselines/origin_runtime.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/baselines/origin_runtime.cpp.o.d"
+  "/root/repo/src/baselines/runtime_factory.cpp" "src/CMakeFiles/ido_core.dir/baselines/runtime_factory.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/baselines/runtime_factory.cpp.o.d"
+  "/root/repo/src/common/histogram.cpp" "src/CMakeFiles/ido_core.dir/common/histogram.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/common/histogram.cpp.o.d"
+  "/root/repo/src/common/panic.cpp" "src/CMakeFiles/ido_core.dir/common/panic.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/common/panic.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/ido_core.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/spin_delay.cpp" "src/CMakeFiles/ido_core.dir/common/spin_delay.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/common/spin_delay.cpp.o.d"
+  "/root/repo/src/common/zipf.cpp" "src/CMakeFiles/ido_core.dir/common/zipf.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/common/zipf.cpp.o.d"
+  "/root/repo/src/compiler/alias_analysis.cpp" "src/CMakeFiles/ido_core.dir/compiler/alias_analysis.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/compiler/alias_analysis.cpp.o.d"
+  "/root/repo/src/compiler/antidep.cpp" "src/CMakeFiles/ido_core.dir/compiler/antidep.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/compiler/antidep.cpp.o.d"
+  "/root/repo/src/compiler/cfg.cpp" "src/CMakeFiles/ido_core.dir/compiler/cfg.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/compiler/cfg.cpp.o.d"
+  "/root/repo/src/compiler/dataflow.cpp" "src/CMakeFiles/ido_core.dir/compiler/dataflow.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/compiler/dataflow.cpp.o.d"
+  "/root/repo/src/compiler/fase_compiler.cpp" "src/CMakeFiles/ido_core.dir/compiler/fase_compiler.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/compiler/fase_compiler.cpp.o.d"
+  "/root/repo/src/compiler/idempotence_verifier.cpp" "src/CMakeFiles/ido_core.dir/compiler/idempotence_verifier.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/compiler/idempotence_verifier.cpp.o.d"
+  "/root/repo/src/compiler/interpreter.cpp" "src/CMakeFiles/ido_core.dir/compiler/interpreter.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/compiler/interpreter.cpp.o.d"
+  "/root/repo/src/compiler/ir.cpp" "src/CMakeFiles/ido_core.dir/compiler/ir.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/compiler/ir.cpp.o.d"
+  "/root/repo/src/compiler/ir_library.cpp" "src/CMakeFiles/ido_core.dir/compiler/ir_library.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/compiler/ir_library.cpp.o.d"
+  "/root/repo/src/compiler/region_info.cpp" "src/CMakeFiles/ido_core.dir/compiler/region_info.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/compiler/region_info.cpp.o.d"
+  "/root/repo/src/compiler/region_partition.cpp" "src/CMakeFiles/ido_core.dir/compiler/region_partition.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/compiler/region_partition.cpp.o.d"
+  "/root/repo/src/ds/hashmap.cpp" "src/CMakeFiles/ido_core.dir/ds/hashmap.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/ds/hashmap.cpp.o.d"
+  "/root/repo/src/ds/ordered_list.cpp" "src/CMakeFiles/ido_core.dir/ds/ordered_list.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/ds/ordered_list.cpp.o.d"
+  "/root/repo/src/ds/queue.cpp" "src/CMakeFiles/ido_core.dir/ds/queue.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/ds/queue.cpp.o.d"
+  "/root/repo/src/ds/stack.cpp" "src/CMakeFiles/ido_core.dir/ds/stack.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/ds/stack.cpp.o.d"
+  "/root/repo/src/ds/workload.cpp" "src/CMakeFiles/ido_core.dir/ds/workload.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/ds/workload.cpp.o.d"
+  "/root/repo/src/ido/ido_log.cpp" "src/CMakeFiles/ido_core.dir/ido/ido_log.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/ido/ido_log.cpp.o.d"
+  "/root/repo/src/ido/ido_recovery.cpp" "src/CMakeFiles/ido_core.dir/ido/ido_recovery.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/ido/ido_recovery.cpp.o.d"
+  "/root/repo/src/ido/ido_runtime.cpp" "src/CMakeFiles/ido_core.dir/ido/ido_runtime.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/ido/ido_runtime.cpp.o.d"
+  "/root/repo/src/nvm/nv_allocator.cpp" "src/CMakeFiles/ido_core.dir/nvm/nv_allocator.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/nvm/nv_allocator.cpp.o.d"
+  "/root/repo/src/nvm/persist_domain.cpp" "src/CMakeFiles/ido_core.dir/nvm/persist_domain.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/nvm/persist_domain.cpp.o.d"
+  "/root/repo/src/nvm/persistent_heap.cpp" "src/CMakeFiles/ido_core.dir/nvm/persistent_heap.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/nvm/persistent_heap.cpp.o.d"
+  "/root/repo/src/nvm/shadow_domain.cpp" "src/CMakeFiles/ido_core.dir/nvm/shadow_domain.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/nvm/shadow_domain.cpp.o.d"
+  "/root/repo/src/runtime/crash_sim.cpp" "src/CMakeFiles/ido_core.dir/runtime/crash_sim.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/runtime/crash_sim.cpp.o.d"
+  "/root/repo/src/runtime/fase_executor.cpp" "src/CMakeFiles/ido_core.dir/runtime/fase_executor.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/runtime/fase_executor.cpp.o.d"
+  "/root/repo/src/runtime/fase_program.cpp" "src/CMakeFiles/ido_core.dir/runtime/fase_program.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/runtime/fase_program.cpp.o.d"
+  "/root/repo/src/runtime/indirect_lock.cpp" "src/CMakeFiles/ido_core.dir/runtime/indirect_lock.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/runtime/indirect_lock.cpp.o.d"
+  "/root/repo/src/runtime/runtime.cpp" "src/CMakeFiles/ido_core.dir/runtime/runtime.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/runtime/runtime.cpp.o.d"
+  "/root/repo/src/stats/persist_stats.cpp" "src/CMakeFiles/ido_core.dir/stats/persist_stats.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/stats/persist_stats.cpp.o.d"
+  "/root/repo/src/stats/region_stats.cpp" "src/CMakeFiles/ido_core.dir/stats/region_stats.cpp.o" "gcc" "src/CMakeFiles/ido_core.dir/stats/region_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_recovery.dir/test_baseline_recovery.cpp.o"
+  "CMakeFiles/test_baseline_recovery.dir/test_baseline_recovery.cpp.o.d"
+  "test_baseline_recovery"
+  "test_baseline_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

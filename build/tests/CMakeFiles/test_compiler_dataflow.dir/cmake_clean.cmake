@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compiler_dataflow.dir/test_compiler_dataflow.cpp.o"
+  "CMakeFiles/test_compiler_dataflow.dir/test_compiler_dataflow.cpp.o.d"
+  "test_compiler_dataflow"
+  "test_compiler_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compiler_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compiler_interp.dir/test_compiler_interp.cpp.o"
+  "CMakeFiles/test_compiler_interp.dir/test_compiler_interp.cpp.o.d"
+  "test_compiler_interp"
+  "test_compiler_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compiler_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

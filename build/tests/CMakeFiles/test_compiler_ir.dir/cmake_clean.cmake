@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compiler_ir.dir/test_compiler_ir.cpp.o"
+  "CMakeFiles/test_compiler_ir.dir/test_compiler_ir.cpp.o.d"
+  "test_compiler_ir"
+  "test_compiler_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compiler_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

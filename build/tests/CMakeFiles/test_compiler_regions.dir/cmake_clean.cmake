@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compiler_regions.dir/test_compiler_regions.cpp.o"
+  "CMakeFiles/test_compiler_regions.dir/test_compiler_regions.cpp.o.d"
+  "test_compiler_regions"
+  "test_compiler_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compiler_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crash_consistency.dir/test_crash_consistency.cpp.o"
+  "CMakeFiles/test_crash_consistency.dir/test_crash_consistency.cpp.o.d"
+  "test_crash_consistency"
+  "test_crash_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crash_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datastructures.dir/test_datastructures.cpp.o"
+  "CMakeFiles/test_datastructures.dir/test_datastructures.cpp.o.d"
+  "test_datastructures"
+  "test_datastructures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datastructures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

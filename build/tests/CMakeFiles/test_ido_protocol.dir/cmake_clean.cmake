@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ido_protocol.dir/test_ido_protocol.cpp.o"
+  "CMakeFiles/test_ido_protocol.dir/test_ido_protocol.cpp.o.d"
+  "test_ido_protocol"
+  "test_ido_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ido_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ido_recovery.dir/test_ido_recovery.cpp.o"
+  "CMakeFiles/test_ido_recovery.dir/test_ido_recovery.cpp.o.d"
+  "test_ido_recovery"
+  "test_ido_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ido_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lock_table.dir/test_lock_table.cpp.o"
+  "CMakeFiles/test_lock_table.dir/test_lock_table.cpp.o.d"
+  "test_lock_table"
+  "test_lock_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lock_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvm.dir/test_nvm.cpp.o"
+  "CMakeFiles/test_nvm.dir/test_nvm.cpp.o.d"
+  "test_nvm"
+  "test_nvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

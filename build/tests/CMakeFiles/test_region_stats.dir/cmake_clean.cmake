@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_region_stats.dir/test_region_stats.cpp.o"
+  "CMakeFiles/test_region_stats.dir/test_region_stats.cpp.o.d"
+  "test_region_stats"
+  "test_region_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_region_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shadow_domain.dir/test_shadow_domain.cpp.o"
+  "CMakeFiles/test_shadow_domain.dir/test_shadow_domain.cpp.o.d"
+  "test_shadow_domain"
+  "test_shadow_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shadow_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
