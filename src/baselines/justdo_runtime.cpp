@@ -29,7 +29,8 @@ JustdoRuntime::allocate_log_rec()
     JustdoLogRec init{};
     init.next = heap_.root(nvm::RootSlot::kJustdoState);
     init.thread_tag = next_thread_tag_++;
-    init.recovery_pc = kInactivePc;
+    init.snap[0].recovery_pc = kInactivePc;
+    init.snap[1].recovery_pc = kInactivePc;
     dom_.store(rec, &init, sizeof(init));
     dom_.flush(rec, sizeof(JustdoLogRec));
     dom_.fence();
@@ -63,7 +64,8 @@ JustdoRuntime::recover()
     std::vector<uint64_t> active;
     for (uint64_t off : log_rec_offsets()) {
         auto* rec = heap_.resolve<JustdoLogRec>(off);
-        if (dom_.load_val(&rec->recovery_pc) != kInactivePc)
+        const uint64_t cur = dom_.load_val(&rec->cur_snap) & 1;
+        if (dom_.load_val(&rec->snap[cur].recovery_pc) != kInactivePc)
             active.push_back(off);
     }
     if (active.empty())
@@ -80,8 +82,10 @@ JustdoRuntime::recover()
                 arrived = true;
                 barrier.arrive_and_wait();
                 th.redo_pending_store();
-                const uint64_t pc =
-                    dom_.load_val(&th.rec()->recovery_pc);
+                auto* r = th.rec();
+                const uint64_t pc = dom_.load_val(
+                    &r->snap[dom_.load_val(&r->cur_snap) & 1]
+                         .recovery_pc);
                 const rt::FaseProgram* prog =
                     rt::FaseRegistry::instance().lookup(
                         recovery_pc_fase(pc));
@@ -113,6 +117,7 @@ JustdoThread::JustdoThread(JustdoRuntime& rt, uint64_t existing_rec_off)
 {
     rec_ = heap().resolve<JustdoLogRec>(rec_off_);
     lock_bitmap_mirror_ = dom().load_val(&rec_->lock_bitmap);
+    cur_snap_mirror_ = dom().load_val(&rec_->cur_snap) & 1;
 }
 
 void
@@ -138,10 +143,11 @@ JustdoThread::reacquire_crashed_locks()
 void
 JustdoThread::restore_ctx(RegionCtx& ctx) const
 {
+    const JustdoCtxSnapshot& s = rec_->snap[cur_snap_mirror_ & 1];
     for (size_t i = 0; i < rt::kNumIntRegs; ++i)
-        ctx.r[i] = rec_->intRF[i];
+        ctx.r[i] = s.intRF[i];
     for (size_t i = 0; i < rt::kNumFloatRegs; ++i)
-        ctx.f[i] = rec_->floatRF[i];
+        ctx.f[i] = s.floatRF[i];
 }
 
 void
@@ -160,27 +166,41 @@ JustdoThread::redo_pending_store()
 }
 
 void
-JustdoThread::persist_full_ctx(const RegionCtx& ctx)
+JustdoThread::persist_snapshot(const RegionCtx& ctx, uint64_t pc,
+                               bool retire_store)
 {
     // JUSTDO permits no volatile program state inside a FASE; the
-    // whole register file lives in NVM and is persisted wholesale.
+    // whole register file lives in NVM and is persisted wholesale,
+    // paired with the pc it belongs to (see JustdoCtxSnapshot).
+    const uint64_t idx = cur_snap_mirror_ ^ 1;
+    JustdoCtxSnapshot* s = &rec_->snap[idx];
     for (size_t i = 0; i < rt::kNumIntRegs; ++i)
-        dom().store_val(&rec_->intRF[i], ctx.r[i]);
+        dom().store_val(&s->intRF[i], ctx.r[i]);
     for (size_t i = 0; i < rt::kNumFloatRegs; ++i)
-        dom().store_val(&rec_->floatRF[i], ctx.f[i]);
-    dom().flush(&rec_->intRF[0], sizeof(rec_->intRF));
-    dom().flush(&rec_->floatRF[0], sizeof(rec_->floatRF));
-    dom().fence();
+        dom().store_val(&s->floatRF[i], ctx.f[i]);
+    dom().store_val(&s->recovery_pc, pc);
+    dom().flush(s, sizeof(JustdoCtxSnapshot));
+    dom().fence(); // snapshot complete, not yet selected
+    crash_tick();
+    cur_snap_mirror_ = idx;
+    dom().store_val(&rec_->cur_snap, idx);
+    dom().flush(&rec_->cur_snap, sizeof(uint64_t));
+    if (retire_store) {
+        // The resume point has advanced past the last logged store;
+        // retire it so recovery never re-applies a store whose
+        // protected location another thread may legitimately overwrite
+        // in the meantime.
+        dom().store_val(&rec_->st_addr_off, uint64_t{0});
+        dom().flush(&rec_->st_addr_off, sizeof(uint64_t));
+    }
+    dom().fence(); // the (pc, RF) pair switches atomically
 }
 
 void
 JustdoThread::on_fase_begin(const rt::FaseProgram& prog, RegionCtx& ctx)
 {
-    persist_full_ctx(ctx);
-    dom().store_val(&rec_->recovery_pc,
-                    pack_recovery_pc(prog.fase_id, 0));
-    dom().flush(&rec_->recovery_pc, sizeof(uint64_t));
-    dom().fence();
+    persist_snapshot(ctx, pack_recovery_pc(prog.fase_id, 0),
+                     /*retire_store=*/false);
     store_ordinal_ = 0;
 }
 
@@ -189,19 +209,10 @@ JustdoThread::on_region_boundary(const rt::FaseProgram& prog,
                                  uint32_t, RegionCtx& ctx,
                                  uint32_t next_idx)
 {
-    persist_full_ctx(ctx);
-    crash_tick();
-    uint64_t pc = (next_idx == rt::kRegionEnd)
+    const uint64_t pc = (next_idx == rt::kRegionEnd)
         ? kInactivePc
         : pack_recovery_pc(prog.fase_id, next_idx);
-    dom().store_val(&rec_->recovery_pc, pc);
-    // The resume point has advanced past the last logged store; retire
-    // it so recovery never re-applies a store whose protected location
-    // another thread may legitimately overwrite in the meantime.
-    dom().store_val(&rec_->st_addr_off, uint64_t{0});
-    dom().flush(&rec_->st_addr_off, sizeof(uint64_t));
-    dom().flush(&rec_->recovery_pc, sizeof(uint64_t));
-    dom().fence();
+    persist_snapshot(ctx, pc, /*retire_store=*/true);
     crash_tick();
 }
 

@@ -29,13 +29,39 @@
 
 namespace ido::baselines {
 
+/**
+ * One resume snapshot: the recovery pc together with the register file
+ * it belongs to.  The record holds two of these, written alternately:
+ * a boundary fills the inactive buffer (fence), then flips the
+ * `cur_snap` selector (fence).  A crash between the two fences leaves
+ * the selector on the old -- complete -- snapshot, so recovery never
+ * observes a pc from one boundary paired with registers from another.
+ * (With a single buffer that torn pairing is reachable: the register
+ * lines persist at fence 1, the pc line at fence 2, and resuming the
+ * old region with the next region's entry registers walks garbage.)
+ */
+struct alignas(kCacheLineBytes) JustdoCtxSnapshot
+{
+    // line 0: the resume point this register file belongs to
+    uint64_t recovery_pc; ///< pack(fase, region) or kInactivePc
+    uint64_t pad0[7];
+
+    // lines 1-2: integer register file ("stack in NVM")
+    uint64_t intRF[rt::kNumIntRegs];
+
+    // line 3: float register file
+    double floatRF[rt::kNumFloatRegs];
+};
+
+static_assert(sizeof(JustdoCtxSnapshot) == 4 * kCacheLineBytes);
+
 /** Per-thread persistent JUSTDO log record. */
 struct alignas(kCacheLineBytes) JustdoLogRec
 {
     // line 0: control
     uint64_t next;
     uint64_t thread_tag;
-    uint64_t recovery_pc; ///< pack(fase, region) or kInactivePc
+    uint64_t cur_snap; ///< index (0/1) of the current snapshot
     uint64_t lock_bitmap;
     uint64_t lock_intention; ///< holder being acquired/released, 0 = none
     uint64_t reserved[3];
@@ -47,17 +73,17 @@ struct alignas(kCacheLineBytes) JustdoLogRec
     uint64_t st_pc; ///< (region << 16) | store ordinal, diagnostic
     uint64_t pad1[4];
 
-    // lines 2-3: integer register file ("stack in NVM")
-    uint64_t intRF[rt::kNumIntRegs];
+    // lines 2-9: double-buffered resume snapshots
+    JustdoCtxSnapshot snap[2];
 
-    // line 4: float register file
-    double floatRF[rt::kNumFloatRegs];
-
-    // lines 5-6: lock ownership array
+    // lines 10-11: lock ownership array
     uint64_t lock_array[16];
+
+    /** The snapshot the selector currently points at. */
+    const JustdoCtxSnapshot& cur() const { return snap[cur_snap & 1]; }
 };
 
-static_assert(sizeof(JustdoLogRec) == 7 * kCacheLineBytes);
+static_assert(sizeof(JustdoLogRec) == 12 * kCacheLineBytes);
 
 class JustdoRuntime final : public rt::Runtime
 {
@@ -111,12 +137,19 @@ class JustdoThread final : public rt::RuntimeThread
     void do_unlock(uint64_t holder_off, rt::TransientLock& l) override;
 
   private:
-    void persist_full_ctx(const rt::RegionCtx& ctx);
+    /**
+     * Durably publish (ctx, pc) as the new resume snapshot: write the
+     * inactive buffer, fence, flip `cur_snap` (also retiring the
+     * pending-store entry with the same fence), fence.
+     */
+    void persist_snapshot(const rt::RegionCtx& ctx, uint64_t pc,
+                          bool retire_store);
     void log_one_store(uint64_t off, uint64_t val, uint64_t size);
 
     JustdoLogRec* rec_;
     uint64_t rec_off_;
     uint64_t lock_bitmap_mirror_ = 0;
+    uint64_t cur_snap_mirror_ = 0;
     uint32_t store_ordinal_ = 0;
 };
 

@@ -24,12 +24,17 @@ namespace detail {
     __attribute__((format(printf, 4, 5)));
 } // namespace detail
 
-/** Assert that is active in all build types (protocol invariants). */
+/** Assert that is active in all build types (protocol invariants).
+ *  The zero-length-format pragma covers the no-message form
+ *  IDO_ASSERT(cond), whose format string expands to "". */
 #define IDO_ASSERT(cond, ...)                                              \
     do {                                                                   \
         if (!(cond)) {                                                     \
+            _Pragma("GCC diagnostic push")                                 \
+            _Pragma("GCC diagnostic ignored \"-Wformat-zero-length\"")     \
             ::ido::detail::assert_fail(#cond, __FILE__, __LINE__,          \
                                        "" __VA_ARGS__);                    \
+            _Pragma("GCC diagnostic pop")                                  \
         }                                                                  \
     } while (0)
 

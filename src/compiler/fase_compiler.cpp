@@ -5,7 +5,8 @@
 
 namespace ido::compiler {
 
-CompiledFase::CompiledFase(uint32_t fase_id, Function fn)
+CompiledFase::CompiledFase(uint32_t fase_id, Function fn,
+                           LintMode lint_mode)
     : fn_(std::move(fn))
 {
     fn_.validate();
@@ -30,6 +31,21 @@ CompiledFase::CompiledFase(uint32_t fase_id, Function fn)
     }
 
     info_ = compute_region_info(fn_, *cfg_, *liveness_, partition_);
+
+    if (lint_mode != LintMode::kOff) {
+        const lint::LintContext ctx{fn_,        *cfg_,      *aa_,
+                                    *liveness_, partition_, info_};
+        diagnostics_ = lint::LintRegistry::builtin().lint_function(ctx);
+        for (const lint::Diagnostic& d : diagnostics_)
+            warn("lint: %s", d.render().c_str());
+        const uint32_t errors = lint::count_at_least(
+            diagnostics_, lint::Severity::kError);
+        if (lint_mode == LintMode::kStrict && errors > 0) {
+            panic("lint rejected '%s' in strict mode "
+                  "(%u error diagnostics)",
+                  fn_.name().c_str(), errors);
+        }
+    }
 
     program_.fase_id = fase_id;
     program_.name = fn_.name().c_str();

@@ -22,11 +22,20 @@
 #include "compiler/cfg.h"
 #include "compiler/dataflow.h"
 #include "compiler/idempotence_verifier.h"
+#include "compiler/lint/lint.h"
 #include "compiler/region_info.h"
 #include "compiler/region_partition.h"
 #include "runtime/fase_program.h"
 
 namespace ido::compiler {
+
+/** How CompiledFase treats lint diagnostics. */
+enum class LintMode
+{
+    kOff,    ///< skip the diagnostics stage entirely
+    kWarn,   ///< collect and print diagnostics; never reject (default)
+    kStrict, ///< -Werror flavour: panic on any error-severity finding
+};
 
 class CompiledFase
 {
@@ -34,9 +43,12 @@ class CompiledFase
     /**
      * Run the pipeline.  Panics if the function fails structural
      * validation, uses more registers than RegionCtx has slots, or
-     * the verifier rejects the partition.
+     * the verifier rejects the partition.  Under LintMode::kStrict it
+     * additionally panics if any lint check reports an error-severity
+     * diagnostic (lock leak, unprotected store, use-after-free, ...).
      */
-    CompiledFase(uint32_t fase_id, Function fn);
+    CompiledFase(uint32_t fase_id, Function fn,
+                 LintMode lint_mode = LintMode::kWarn);
 
     CompiledFase(const CompiledFase&) = delete;
     CompiledFase& operator=(const CompiledFase&) = delete;
@@ -50,6 +62,12 @@ class CompiledFase
     const std::vector<RegionInfo>& region_info() const { return info_; }
     const VerifyResult& verification() const { return verification_; }
 
+    /** Diagnostics from the lint stage (empty under LintMode::kOff). */
+    const std::vector<lint::Diagnostic>& diagnostics() const
+    {
+        return diagnostics_;
+    }
+
   private:
     Function fn_;
     std::unique_ptr<Cfg> cfg_;
@@ -58,6 +76,7 @@ class CompiledFase
     RegionPartition partition_;
     std::vector<RegionInfo> info_;
     VerifyResult verification_;
+    std::vector<lint::Diagnostic> diagnostics_;
     rt::FaseProgram program_;
 };
 

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * cross-fase-race: static race detection across a set of FASEs.
+ *
+ * Two FASE instances (of the same or different FASEs) running in two
+ * threads race if they can touch overlapping persistent memory while
+ * holding no common lock and at least one of them writes.  Persistent
+ * memory shared across FASEs is only reachable through the FASE
+ * arguments, so accesses are matched positionally: argument ordinal k
+ * of one FASE and ordinal k of another are assumed to name the same
+ * root object (the repo-wide calling convention: r0 = structure root).
+ * Accesses through freshly allocated memory are FASE-private and
+ * excluded; accesses with unknown provenance conservatively may alias
+ * any non-fresh access on any root.
+ *
+ * Each access is guarded by its MUST lock set (locks provably held at
+ * the access on every path), normalized the same way; a may-aliasing
+ * pair with at least one store and disjoint guard sets is flagged.
+ */
+#include "compiler/lint/lint.h"
+#include "compiler/lint/lock_dataflow.h"
+
+namespace ido::compiler::lint {
+
+namespace {
+
+constexpr char kId[] = "cross-fase-race";
+
+/** Position of an argument register among the function's arguments. */
+uint32_t
+arg_ordinal(const Function& fn, uint32_t reg)
+{
+    const uint64_t below = fn.arg_mask() & ((1ull << reg) - 1);
+    return static_cast<uint32_t>(__builtin_popcountll(below));
+}
+
+/** A lock normalized to (root ordinal, byte address). */
+struct Guard
+{
+    uint32_t ordinal;
+    int64_t addr;
+
+    bool
+    operator==(const Guard& o) const
+    {
+        return ordinal == o.ordinal && addr == o.addr;
+    }
+};
+
+struct Access
+{
+    const LintContext* ctx;
+    InstrRef ref;
+    bool is_store;
+    bool root_known; ///< argument-derived (false: unknown provenance)
+    uint32_t ordinal;
+    bool offset_known;
+    int64_t offset; ///< provenance offset + displacement
+    std::vector<Guard> guards;
+};
+
+bool
+may_alias(const Access& a, const Access& b)
+{
+    if (a.root_known && b.root_known) {
+        if (a.ordinal != b.ordinal)
+            return false; // distinct root objects
+        if (a.offset_known && b.offset_known) {
+            // 8-byte accesses at known offsets of the same root.
+            return a.offset + 8 > b.offset && b.offset + 8 > a.offset;
+        }
+    }
+    return true;
+}
+
+bool
+disjoint_guards(const Access& a, const Access& b)
+{
+    for (const Guard& g : a.guards) {
+        for (const Guard& h : b.guards) {
+            if (g == h)
+                return false;
+        }
+    }
+    return true;
+}
+
+class CrossFaseRaceCheck final : public LintPass
+{
+  public:
+    const char* id() const override { return kId; }
+
+    const char*
+    summary() const override
+    {
+        return "may-aliasing persistent accesses in concurrent FASEs "
+               "guarded by disjoint lock sets";
+    }
+
+    Scope scope() const override { return Scope::kCorpus; }
+
+    void
+    run_corpus(const std::vector<const LintContext*>& ctxs,
+               std::vector<Diagnostic>& out) const override
+    {
+        std::vector<Access> accesses;
+        for (const LintContext* ctx : ctxs)
+            collect(*ctx, accesses);
+
+        for (size_t i = 0; i < accesses.size(); ++i) {
+            for (size_t j = i + 1; j < accesses.size(); ++j) {
+                const Access& a = accesses[i];
+                const Access& b = accesses[j];
+                if (!a.is_store && !b.is_store)
+                    continue;
+                if (!may_alias(a, b) || !disjoint_guards(a, b))
+                    continue;
+                const Access& st = a.is_store ? a : b;
+                const Access& other = a.is_store ? b : a;
+                out.push_back(make_diag(
+                    kId, Severity::kError, st.ctx->fn.name(), st.ref,
+                    "may race with %s at bb%u:%u of '%s': accesses "
+                    "may alias but the guarding lock sets are "
+                    "disjoint",
+                    other.is_store ? "store" : "load",
+                    other.ref.block, other.ref.index,
+                    other.ctx->fn.name().c_str()));
+            }
+        }
+    }
+
+  private:
+    static void
+    collect(const LintContext& ctx, std::vector<Access>& out)
+    {
+        LockDataflow ldf(ctx.fn, ctx.cfg, ctx.aa);
+        for (uint32_t b = 0; b < ctx.fn.num_blocks(); ++b) {
+            if (!ctx.cfg.reachable(b))
+                continue;
+            ldf.walk(b, [&](const LockDataflow::State& s, InstrRef ref,
+                            const Instr& ins) {
+                if (!ins.is_load() && !ins.is_store())
+                    return;
+                const MemRef m = ctx.aa.mem_ref(ins);
+                if (m.prov.base == Provenance::Base::kAlloc)
+                    return; // FASE-private until published
+                Access a;
+                a.ctx = &ctx;
+                a.ref = ref;
+                a.is_store = ins.is_store();
+                a.root_known =
+                    m.prov.base == Provenance::Base::kArg;
+                a.ordinal = a.root_known
+                                ? arg_ordinal(ctx.fn, m.prov.id)
+                                : 0;
+                a.offset_known = a.root_known && m.prov.offset_known;
+                a.offset = m.prov.offset + m.disp;
+                for (const LockId& l : s.must) {
+                    if (l.base == Provenance::Base::kArg) {
+                        out_guard(ctx.fn, l, a.guards);
+                    }
+                }
+                out.push_back(std::move(a));
+            });
+        }
+    }
+
+    static void
+    out_guard(const Function& fn, const LockId& l,
+              std::vector<Guard>& guards)
+    {
+        guards.push_back(Guard{arg_ordinal(fn, l.id), l.addr});
+    }
+};
+
+} // namespace
+
+std::unique_ptr<LintPass>
+make_cross_fase_race_check()
+{
+    return std::make_unique<CrossFaseRaceCheck>();
+}
+
+} // namespace ido::compiler::lint

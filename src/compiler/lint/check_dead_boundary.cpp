@@ -1,0 +1,124 @@
+/**
+ * @file
+ * dead-boundary: region cuts that buy nothing.
+ *
+ * Every region boundary costs two persist fences at runtime (paper
+ * Sec. III-A), so a cut is only worth its price if it either follows a
+ * mandatory placement rule (region header at a join or loop header,
+ * boundary after a lock acquire, boundary before a release) or
+ * separates at least one memory antidependence pair.  A cut doing
+ * neither -- e.g. one forced by a region-granularity experiment, or
+ * left behind by a partitioner change -- is pure overhead and is
+ * flagged as a warning.
+ */
+#include "compiler/antidep.h"
+#include "compiler/lint/lint.h"
+
+namespace ido::compiler::lint {
+
+namespace {
+
+constexpr char kId[] = "dead-boundary";
+
+/**
+ * Legal cut interval of a memory antidependence pair, mirroring the
+ * partitioner's reduction: forward intra-block pairs accept any cut in
+ * (read, clobber]; cross-block/loop-carried pairs accept any cut from
+ * the clobber block's entry through the clobber.
+ */
+struct Interval
+{
+    uint32_t block;
+    uint32_t lo;
+    uint32_t hi;
+
+    bool
+    covers(InstrRef pos) const
+    {
+        return pos.block == block && pos.index >= lo && pos.index <= hi;
+    }
+};
+
+class DeadBoundaryCheck final : public LintPass
+{
+  public:
+    const char* id() const override { return kId; }
+
+    const char*
+    summary() const override
+    {
+        return "region cuts separating no antidependence pair and "
+               "mandated by no placement rule";
+    }
+
+    void
+    run_function(const LintContext& ctx,
+                 std::vector<Diagnostic>& out) const override
+    {
+        std::vector<Interval> intervals;
+        for (const AntidepPair& p :
+             find_antidependences(ctx.fn, ctx.cfg, ctx.aa)) {
+            if (!p.is_memory)
+                continue;
+            if (p.first.block == p.second.block
+                && p.first.index < p.second.index) {
+                intervals.push_back(Interval{p.first.block,
+                                             p.first.index + 1,
+                                             p.second.index});
+            } else {
+                intervals.push_back(
+                    Interval{p.second.block, 0, p.second.index});
+            }
+        }
+
+        for (const InstrRef& s : ctx.part.starts()) {
+            if (s.block == 0 && s.index == 0)
+                continue; // function entry, not a chosen cut
+            if (mandatory(ctx, s))
+                continue;
+            bool separates = false;
+            for (const Interval& iv : intervals) {
+                if (iv.covers(s)) {
+                    separates = true;
+                    break;
+                }
+            }
+            if (!separates) {
+                out.push_back(make_diag(
+                    kId, Severity::kWarning, ctx.fn.name(), s,
+                    "region boundary separates no antidependence "
+                    "pair and follows no mandatory rule: 2 persist "
+                    "fences for nothing"));
+            }
+        }
+    }
+
+  private:
+    static bool
+    mandatory(const LintContext& ctx, InstrRef s)
+    {
+        if (s.index == 0
+            && (ctx.cfg.predecessors(s.block).size() > 1
+                || ctx.cfg.is_loop_header(s.block))) {
+            return true; // structural single-entry header
+        }
+        const BasicBlock& bb = ctx.fn.block(s.block);
+        if (s.index > 0
+            && bb.instrs[s.index - 1].op == Opcode::kLock) {
+            return true; // boundary after acquire
+        }
+        if (bb.instrs[s.index].op == Opcode::kUnlock)
+            return true; // boundary before release
+        return false;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<LintPass>
+make_dead_boundary_check()
+{
+    return std::make_unique<DeadBoundaryCheck>();
+}
+
+} // namespace ido::compiler::lint

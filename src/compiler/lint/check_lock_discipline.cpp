@@ -1,0 +1,133 @@
+/**
+ * @file
+ * lock-discipline: flow-sensitive lock-set verification.
+ *
+ * FASEs are lock-delineated (paper Sec. II-A); recovery reacquires
+ * exactly the locks the crashed thread held via the indirect lock
+ * holders (Sec. III-B).  That machinery is sound only if lock usage is
+ * disciplined: the recoverable-lock literature (Attiya et al.) makes
+ * the same pairing assumption explicit.  This check proves three
+ * properties per FASE:
+ *
+ *   - no release of a lock that is not held (MAY-set miss = proven,
+ *     error; held on only some paths = warning),
+ *   - no re-acquire of a lock already possibly held (the runtime's
+ *     FASE locks are not reentrant: self-deadlock),
+ *   - no path to kRet still holding a lock (a leaked lock blocks every
+ *     other thread forever; recovery would also re-own it forever).
+ */
+#include "compiler/lint/lint.h"
+#include "compiler/lint/lock_dataflow.h"
+
+namespace ido::compiler::lint {
+
+namespace {
+
+constexpr char kId[] = "lock-discipline";
+
+bool
+in_set(const std::vector<LockId>& set, const LockId& l)
+{
+    for (const LockId& e : set) {
+        if (e == l)
+            return true;
+    }
+    return false;
+}
+
+class LockDisciplineCheck final : public LintPass
+{
+  public:
+    const char* id() const override { return kId; }
+
+    const char*
+    summary() const override
+    {
+        return "unlock-without-acquire, double-acquire and lock leaks "
+               "via MUST/MAY lock-set dataflow";
+    }
+
+    void
+    run_function(const LintContext& ctx,
+                 std::vector<Diagnostic>& out) const override
+    {
+        LockDataflow ldf(ctx.fn, ctx.cfg, ctx.aa);
+        for (uint32_t b = 0; b < ctx.fn.num_blocks(); ++b) {
+            if (!ctx.cfg.reachable(b))
+                continue;
+            ldf.walk(b, [&](const LockDataflow::State& s, InstrRef ref,
+                            const Instr& ins) {
+                check_instr(ctx, s, ref, ins, out);
+            });
+        }
+    }
+
+  private:
+    static void
+    check_instr(const LintContext& ctx, const LockDataflow::State& s,
+                InstrRef ref, const Instr& ins,
+                std::vector<Diagnostic>& out)
+    {
+        const std::string& fase = ctx.fn.name();
+        switch (ins.op) {
+          case Opcode::kLock: {
+            const LockId l = lock_id(ctx.aa, ins);
+            if (l.known && in_set(s.may, l)) {
+                out.push_back(make_diag(
+                    kId, Severity::kError, fase, ref,
+                    "double acquire of lock (%s): FASE locks are not "
+                    "reentrant, this self-deadlocks",
+                    l.to_string().c_str()));
+            }
+            break;
+          }
+          case Opcode::kUnlock: {
+            const LockId l = lock_id(ctx.aa, ins);
+            if (!l.known)
+                break;
+            if (!in_set(s.may, l) && !s.may_unknown) {
+                out.push_back(make_diag(
+                    kId, Severity::kError, fase, ref,
+                    "release of lock (%s) that is not held on any "
+                    "path",
+                    l.to_string().c_str()));
+            } else if (!in_set(s.must, l) && in_set(s.may, l)) {
+                out.push_back(make_diag(
+                    kId, Severity::kWarning, fase, ref,
+                    "release of lock (%s) held on only some paths to "
+                    "this point",
+                    l.to_string().c_str()));
+            }
+            break;
+          }
+          case Opcode::kRet: {
+            for (const LockId& l : s.may) {
+                out.push_back(make_diag(
+                    kId, Severity::kError, fase, ref,
+                    "lock (%s) may still be held at FASE exit (lock "
+                    "leak)",
+                    l.to_string().c_str()));
+            }
+            if (s.may_unknown) {
+                out.push_back(make_diag(
+                    kId, Severity::kError, fase, ref,
+                    "a lock of unknown identity may still be held at "
+                    "FASE exit (lock leak)"));
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<LintPass>
+make_lock_discipline_check()
+{
+    return std::make_unique<LockDisciplineCheck>();
+}
+
+} // namespace ido::compiler::lint

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * nv-lifetime: provenance-based use-after-free and double-free of NV
+ * allocations.
+ *
+ * The runtime defers kFree to FASE end for crash atomicity, which
+ * masks same-FASE use-after-free at runtime -- precisely why it must
+ * be caught statically: the bug survives testing and detonates once
+ * the allocator is reused across FASEs.  The check tracks frees whose
+ * operand has a known provenance (allocation site or FASE argument)
+ * and flags any later-reachable access or free of the same base.
+ *
+ * Conservatism note: all allocations from one site share a provenance,
+ * so a loop that frees and reallocates through the same site can be
+ * flagged spuriously; none of the corpus FASEs do this.
+ */
+#include "compiler/lint/lint.h"
+
+namespace ido::compiler::lint {
+
+namespace {
+
+constexpr char kId[] = "nv-lifetime";
+
+/** Strictly-after execution order (same-block forward, or CFG path). */
+bool
+executes_after(const Cfg& cfg, InstrRef p, InstrRef q)
+{
+    if (p.block == q.block && q.index > p.index)
+        return true;
+    for (uint32_t s : cfg.successors(p.block)) {
+        if (cfg.reaches(s, q.block))
+            return true;
+    }
+    return false;
+}
+
+class NvLifetimeCheck final : public LintPass
+{
+  public:
+    const char* id() const override { return kId; }
+
+    const char*
+    summary() const override
+    {
+        return "use-after-free and double-free of NV allocations via "
+               "provenance tracking";
+    }
+
+    void
+    run_function(const LintContext& ctx,
+                 std::vector<Diagnostic>& out) const override
+    {
+        struct Site
+        {
+            InstrRef ref;
+            Provenance prov;
+            const Instr* ins;
+        };
+        std::vector<Site> frees, accesses;
+        for (uint32_t b = 0; b < ctx.fn.num_blocks(); ++b) {
+            if (!ctx.cfg.reachable(b))
+                continue;
+            const BasicBlock& bb = ctx.fn.block(b);
+            for (uint32_t i = 0;
+                 i < static_cast<uint32_t>(bb.instrs.size()); ++i) {
+                const Instr& ins = bb.instrs[i];
+                if (ins.op == Opcode::kFree) {
+                    frees.push_back({InstrRef{b, i},
+                                     ctx.aa.provenance(ins.a), &ins});
+                } else if (ins.is_load() || ins.is_store()) {
+                    accesses.push_back({InstrRef{b, i},
+                                        ctx.aa.provenance(ins.a),
+                                        &ins});
+                }
+            }
+        }
+
+        for (const Site& f : frees) {
+            // Unknown provenance (e.g. a pointer loaded from memory)
+            // cannot be matched against later accesses; skip.
+            if (f.prov.base == Provenance::Base::kUnknown)
+                continue;
+            for (const Site& g : frees) {
+                if (g.ref == f.ref || !f.prov.same_base(g.prov))
+                    continue;
+                if (executes_after(ctx.cfg, f.ref, g.ref)) {
+                    out.push_back(make_diag(
+                        kId, Severity::kError, ctx.fn.name(), g.ref,
+                        "double free: allocation already freed at "
+                        "bb%u:%u",
+                        f.ref.block, f.ref.index));
+                }
+            }
+            for (const Site& a : accesses) {
+                if (!f.prov.same_base(a.prov))
+                    continue;
+                if (executes_after(ctx.cfg, f.ref, a.ref)) {
+                    out.push_back(make_diag(
+                        kId, Severity::kError, ctx.fn.name(), a.ref,
+                        "%s of memory freed at bb%u:%u "
+                        "(use-after-free)",
+                        a.ins->is_store() ? "store" : "load",
+                        f.ref.block, f.ref.index));
+                }
+            }
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<LintPass>
+make_nv_lifetime_check()
+{
+    return std::make_unique<NvLifetimeCheck>();
+}
+
+} // namespace ido::compiler::lint

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * region-pressure: regions whose live sets overflow the logging ABI.
+ *
+ * The boundary protocol logs a region's OutputSet (Eq. 1) into the
+ * fixed intRF slots of the per-thread log (paper Fig. 3) and coalesces
+ * the persists cache-line-wise (8 eight-byte slots per line).  Two
+ * degenerate shapes are worth surfacing before they hit the runtime:
+ *
+ *   - a register id >= kNumIntRegs in a region's live-in or OutputSet
+ *     cannot be represented in RegionCtx / RegionMeta at all (error --
+ *     CompiledFase would refuse the function outright);
+ *   - an OutputSet wider than one cache line forces multiple flushes
+ *     per boundary, eroding the 2-persist advantage over per-store
+ *     logging (warning).
+ */
+#include "compiler/lint/lint.h"
+#include "runtime/region_ctx.h"
+
+namespace ido::compiler::lint {
+
+namespace {
+
+constexpr char kId[] = "region-pressure";
+
+/** 64-byte cache line / 8-byte log slots: persists coalesced per line. */
+constexpr uint32_t kLineSlots = 8;
+
+class RegionPressureCheck final : public LintPass
+{
+  public:
+    const char* id() const override { return kId; }
+
+    const char*
+    summary() const override
+    {
+        return "regions whose live-in/OutputSet overflow RegionCtx "
+               "slots or one coalesced log line";
+    }
+
+    void
+    run_function(const LintContext& ctx,
+                 std::vector<Diagnostic>& out) const override
+    {
+        for (const RegionInfo& ri : ctx.info) {
+            const uint64_t live = ri.live_in | ri.outputs;
+            if (live >> rt::kNumIntRegs) {
+                out.push_back(make_diag(
+                    kId, Severity::kError, ctx.fn.name(), ri.start,
+                    "region uses register id >= %zu; RegionCtx/"
+                    "RegionMeta cannot hold it and logging would "
+                    "silently truncate",
+                    rt::kNumIntRegs));
+                continue;
+            }
+            const int width = __builtin_popcountll(ri.outputs);
+            if (static_cast<uint32_t>(width) > kLineSlots) {
+                out.push_back(make_diag(
+                    kId, Severity::kWarning, ctx.fn.name(), ri.start,
+                    "OutputSet of %d registers spans multiple cache "
+                    "lines: each boundary needs %u flushes, not 1",
+                    width,
+                    (static_cast<uint32_t>(width) + kLineSlots - 1)
+                        / kLineSlots));
+            }
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<LintPass>
+make_region_pressure_check()
+{
+    return std::make_unique<RegionPressureCheck>();
+}
+
+} // namespace ido::compiler::lint

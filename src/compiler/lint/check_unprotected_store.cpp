@@ -1,0 +1,68 @@
+/**
+ * @file
+ * unprotected-store: every store to pre-existing persistent memory
+ * must execute with at least one lock held.
+ *
+ * A FASE is *defined* by its outermost lock scope (paper Sec. II-A);
+ * a persistent store outside any lock is outside every FASE, so no
+ * logging protocol covers it and a crash can leave it half-applied --
+ * and a concurrent FASE can race with it.  Stores to memory freshly
+ * allocated inside the FASE are exempt: until the publishing store
+ * makes the allocation reachable, no other thread or recovery pass can
+ * observe it (the same observation that lets in-cache-line logging
+ * skip fresh objects, Cohen et al.).
+ */
+#include "compiler/lint/lint.h"
+#include "compiler/lint/lock_dataflow.h"
+
+namespace ido::compiler::lint {
+
+namespace {
+
+constexpr char kId[] = "unprotected-store";
+
+class UnprotectedStoreCheck final : public LintPass
+{
+  public:
+    const char* id() const override { return kId; }
+
+    const char*
+    summary() const override
+    {
+        return "store to non-fresh persistent memory reachable with an "
+               "empty lock set";
+    }
+
+    void
+    run_function(const LintContext& ctx,
+                 std::vector<Diagnostic>& out) const override
+    {
+        LockDataflow ldf(ctx.fn, ctx.cfg, ctx.aa);
+        for (uint32_t b = 0; b < ctx.fn.num_blocks(); ++b) {
+            if (!ctx.cfg.reachable(b))
+                continue;
+            ldf.walk(b, [&](const LockDataflow::State& s, InstrRef ref,
+                            const Instr& ins) {
+                if (!ins.is_store() || s.holds_any())
+                    return;
+                const MemRef m = ctx.aa.mem_ref(ins);
+                if (m.prov.base == Provenance::Base::kAlloc)
+                    return; // fresh allocation: unreachable by others
+                out.push_back(make_diag(
+                    kId, Severity::kError, ctx.fn.name(), ref,
+                    "store to pre-existing persistent memory with no "
+                    "lock held: outside any FASE, not crash-atomic"));
+            });
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<LintPass>
+make_unprotected_store_check()
+{
+    return std::make_unique<UnprotectedStoreCheck>();
+}
+
+} // namespace ido::compiler::lint

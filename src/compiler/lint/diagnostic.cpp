@@ -1,0 +1,62 @@
+#include "compiler/lint/diagnostic.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace ido::compiler::lint {
+
+const char*
+severity_name(Severity s)
+{
+    switch (s) {
+      case Severity::kNote:
+        return "note";
+      case Severity::kWarning:
+        return "warning";
+      case Severity::kError:
+        return "error";
+    }
+    return "?";
+}
+
+std::string
+Diagnostic::render() const
+{
+    char buf[512];
+    std::snprintf(buf, sizeof(buf), "%s[%s] %s @ bb%u:%u: %s",
+                  severity_name(severity), check.c_str(), fase.c_str(),
+                  loc.block, loc.index, message.c_str());
+    return buf;
+}
+
+Diagnostic
+make_diag(const char* check, Severity severity, const std::string& fase,
+          InstrRef loc, const char* fmt, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+
+    Diagnostic d;
+    d.check = check;
+    d.severity = severity;
+    d.fase = fase;
+    d.loc = loc;
+    d.message = buf;
+    return d;
+}
+
+uint32_t
+count_at_least(const std::vector<Diagnostic>& diags, Severity floor)
+{
+    uint32_t n = 0;
+    for (const Diagnostic& d : diags) {
+        if (d.severity >= floor)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace ido::compiler::lint

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The diagnostic currency of ido-lint.
+ *
+ * Every lint check reports its findings as Diagnostic values: a stable
+ * check id (kebab-case, e.g. "lock-discipline"), a severity, the FASE
+ * and instruction position the finding anchors to, and a human-readable
+ * message.  Severity semantics follow the compiler driver convention:
+ * errors are findings the analysis *proves* (strict mode refuses to
+ * compile the FASE), warnings are conservative may-happen findings,
+ * notes are informational.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compiler/ir.h"
+
+namespace ido::compiler::lint {
+
+enum class Severity : uint8_t
+{
+    kNote,
+    kWarning,
+    kError,
+};
+
+const char* severity_name(Severity s);
+
+struct Diagnostic
+{
+    std::string check;   ///< stable check id, e.g. "lock-discipline"
+    Severity severity = Severity::kWarning;
+    std::string fase;    ///< function (FASE) name
+    InstrRef loc;        ///< anchoring instruction position
+    std::string message; ///< human-readable finding
+
+    /** "error[lock-discipline] ir.stack.push @ bb0:3: ..." */
+    std::string render() const;
+};
+
+/** printf-style constructor for check implementations. */
+Diagnostic make_diag(const char* check, Severity severity,
+                     const std::string& fase, InstrRef loc,
+                     const char* fmt, ...)
+    __attribute__((format(printf, 5, 6)));
+
+/** Count diagnostics at or above a severity. */
+uint32_t count_at_least(const std::vector<Diagnostic>& diags,
+                        Severity floor);
+
+} // namespace ido::compiler::lint

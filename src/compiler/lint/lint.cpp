@@ -1,0 +1,78 @@
+#include "compiler/lint/lint.h"
+
+namespace ido::compiler::lint {
+
+namespace {
+
+RegionPartition
+run_partitioner(const Function& fn, const Cfg& cfg,
+                const AliasAnalysis& aa,
+                const std::vector<InstrRef>& forced)
+{
+    RegionPartitioner p(fn, cfg, aa);
+    for (const InstrRef& cut : forced)
+        p.force_cut(cut);
+    return p.run();
+}
+
+} // namespace
+
+LintUnit::LintUnit(Function f, std::vector<InstrRef> forced_cuts)
+    : fn(std::move(f)), cfg(fn), aa(fn), live(fn, cfg),
+      part(run_partitioner(fn, cfg, aa, forced_cuts)),
+      info(compute_region_info(fn, cfg, live, part))
+{
+}
+
+void
+LintRegistry::add(std::unique_ptr<LintPass> pass)
+{
+    passes_.push_back(std::move(pass));
+}
+
+const LintRegistry&
+LintRegistry::builtin()
+{
+    static const LintRegistry* reg = [] {
+        auto* r = new LintRegistry();
+        r->add(make_lock_discipline_check());
+        r->add(make_unprotected_store_check());
+        r->add(make_nv_lifetime_check());
+        r->add(make_cross_fase_race_check());
+        r->add(make_region_pressure_check());
+        r->add(make_dead_boundary_check());
+        return r;
+    }();
+    return *reg;
+}
+
+std::vector<Diagnostic>
+LintRegistry::lint_function(const LintContext& ctx) const
+{
+    std::vector<Diagnostic> out;
+    for (const auto& pass : passes_) {
+        if (pass->scope() == LintPass::Scope::kFunction)
+            pass->run_function(ctx, out);
+    }
+    return out;
+}
+
+std::vector<Diagnostic>
+LintRegistry::lint_corpus(
+    const std::vector<const LintContext*>& ctxs) const
+{
+    std::vector<Diagnostic> out;
+    for (const LintContext* ctx : ctxs) {
+        for (const auto& pass : passes_) {
+            if (pass->scope() == LintPass::Scope::kFunction)
+                pass->run_function(*ctx, out);
+        }
+    }
+    for (const auto& pass : passes_) {
+        if (pass->scope() == LintPass::Scope::kCorpus)
+            pass->run_corpus(ctxs, out);
+    }
+    return out;
+}
+
+} // namespace ido::compiler::lint

@@ -1,0 +1,164 @@
+#include "compiler/lint/lock_dataflow.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ido::compiler::lint {
+
+namespace {
+
+void
+insert_sorted(std::vector<LockId>& set, const LockId& l)
+{
+    auto it = std::lower_bound(set.begin(), set.end(), l);
+    if (it != set.end() && *it == l)
+        return;
+    set.insert(it, l);
+}
+
+void
+erase_matching(std::vector<LockId>& set, const LockId& l)
+{
+    set.erase(std::remove(set.begin(), set.end(), l), set.end());
+}
+
+bool
+contains(const std::vector<LockId>& set, const LockId& l)
+{
+    return std::find(set.begin(), set.end(), l) != set.end();
+}
+
+/** Merge a predecessor's out-state into a block's in-state. */
+void
+merge_into(LockDataflow::State& dst, const LockDataflow::State& src)
+{
+    if (!dst.reached) {
+        dst = src;
+        dst.reached = true;
+        return;
+    }
+    // MUST: intersection.
+    std::vector<LockId> kept;
+    for (const LockId& l : dst.must) {
+        if (contains(src.must, l))
+            kept.push_back(l);
+    }
+    dst.must = std::move(kept);
+    dst.must_unknown = dst.must_unknown && src.must_unknown;
+    // MAY: union.
+    for (const LockId& l : src.may)
+        insert_sorted(dst.may, l);
+    dst.may_unknown = dst.may_unknown || src.may_unknown;
+}
+
+bool
+same_state(const LockDataflow::State& a, const LockDataflow::State& b)
+{
+    return a.reached == b.reached && a.must == b.must && a.may == b.may
+           && a.must_unknown == b.must_unknown
+           && a.may_unknown == b.may_unknown;
+}
+
+} // namespace
+
+std::string
+LockId::to_string() const
+{
+    if (!known)
+        return "?";
+    char buf[48];
+    const char* kind = "?";
+    switch (base) {
+      case Provenance::Base::kArg:
+        kind = "arg";
+        break;
+      case Provenance::Base::kAlloc:
+        kind = "alloc";
+        break;
+      case Provenance::Base::kAbsolute:
+        kind = "abs";
+        break;
+      case Provenance::Base::kUnknown:
+        kind = "?";
+        break;
+    }
+    std::snprintf(buf, sizeof(buf), "%s%u+%lld", kind, id,
+                  static_cast<long long>(addr));
+    return buf;
+}
+
+LockId
+lock_id(const AliasAnalysis& aa, const Instr& ins)
+{
+    LockId l;
+    const Provenance& p = aa.provenance(ins.a);
+    if (p.base == Provenance::Base::kUnknown || !p.offset_known)
+        return l; // unknown identity
+    l.base = p.base;
+    l.id = p.id;
+    l.addr = p.offset + static_cast<int64_t>(ins.imm);
+    l.known = true;
+    return l;
+}
+
+void
+LockDataflow::apply(State& s, const Instr& ins, const AliasAnalysis& aa)
+{
+    if (ins.op == Opcode::kLock) {
+        const LockId l = lock_id(aa, ins);
+        if (l.known) {
+            insert_sorted(s.must, l);
+            insert_sorted(s.may, l);
+        } else {
+            s.must_unknown = true;
+            s.may_unknown = true;
+        }
+    } else if (ins.op == Opcode::kUnlock) {
+        const LockId l = lock_id(aa, ins);
+        if (l.known) {
+            erase_matching(s.must, l);
+            erase_matching(s.may, l);
+        } else {
+            // Could have released any held lock: nothing is surely
+            // held any more, anything may still be held.
+            s.must.clear();
+            s.must_unknown = false;
+            s.may_unknown = false;
+        }
+    }
+}
+
+LockDataflow::LockDataflow(const Function& fn, const Cfg& cfg,
+                           const AliasAnalysis& aa)
+    : fn_(fn), aa_(aa)
+{
+    in_.assign(fn.num_blocks(), State{});
+    in_[0].reached = true;
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (uint32_t b : cfg.rpo()) {
+            State in;
+            in.reached = b == 0;
+            for (uint32_t p : cfg.predecessors(b)) {
+                if (!cfg.reachable(p))
+                    continue;
+                State out = in_[p];
+                if (!out.reached)
+                    continue;
+                for (const Instr& ins : fn.block(p).instrs)
+                    apply(out, ins, aa);
+                merge_into(in, out);
+            }
+            if (b == 0)
+                in.reached = true;
+            if (!same_state(in, in_[b])) {
+                in_[b] = in;
+                changed = true;
+            }
+        }
+    }
+}
+
+} // namespace ido::compiler::lint

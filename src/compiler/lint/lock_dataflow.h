@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Flow-sensitive lock-set dataflow over the IR, the shared substrate of
+ * the lock-discipline, unprotected-store and cross-FASE race checks.
+ *
+ * A lock is identified by the provenance of its address operand plus
+ * the total byte offset (provenance offset + instruction displacement).
+ * For each reachable block the analysis computes, by forward fixpoint
+ * iteration over the CFG:
+ *
+ *   - the MUST set: locks held on *every* path reaching the block
+ *     (join = intersection), and
+ *   - the MAY set: locks held on *some* path (join = union).
+ *
+ * Acquires whose address provenance is unknown are tracked as an
+ * anonymous "some lock" bit per set; a release with unknown identity
+ * conservatively empties the MUST set (we can no longer prove anything
+ * is still held) while leaving the MAY set intact.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/alias_analysis.h"
+#include "compiler/cfg.h"
+#include "compiler/ir.h"
+
+namespace ido::compiler::lint {
+
+/** Identity of a lock word: provenance base + absolute byte offset. */
+struct LockId
+{
+    Provenance::Base base = Provenance::Base::kUnknown;
+    uint32_t id = 0;   ///< arg register / allocation site
+    int64_t addr = 0;  ///< provenance offset + lock displacement
+    bool known = false;
+
+    bool
+    operator==(const LockId& o) const
+    {
+        return known && o.known && base == o.base && id == o.id
+               && addr == o.addr;
+    }
+
+    bool
+    operator<(const LockId& o) const
+    {
+        if (base != o.base)
+            return base < o.base;
+        if (id != o.id)
+            return id < o.id;
+        return addr < o.addr;
+    }
+
+    /** "arg0+0", "alloc2+64", "?" */
+    std::string to_string() const;
+};
+
+/** Identity of the lock word named by a kLock/kUnlock instruction. */
+LockId lock_id(const AliasAnalysis& aa, const Instr& ins);
+
+class LockDataflow
+{
+  public:
+    struct State
+    {
+        std::vector<LockId> must; ///< sorted; held on every path
+        std::vector<LockId> may;  ///< sorted; held on some path
+        bool must_unknown = false; ///< an anonymous lock surely held
+        bool may_unknown = false;  ///< an anonymous lock maybe held
+        bool reached = false;
+
+        bool holds_any() const { return !must.empty() || must_unknown; }
+    };
+
+    LockDataflow(const Function& fn, const Cfg& cfg,
+                 const AliasAnalysis& aa);
+
+    /** Lock-set state at entry of a block. */
+    const State& block_in(uint32_t block) const { return in_[block]; }
+
+    /** Single-instruction transfer function. */
+    static void apply(State& s, const Instr& ins,
+                      const AliasAnalysis& aa);
+
+    /**
+     * Replay a block, invoking cb(state_before_instr, ref, instr) for
+     * each instruction in order.
+     */
+    template <typename F>
+    void
+    walk(uint32_t block, F&& cb) const
+    {
+        State s = in_[block];
+        const BasicBlock& bb = fn_.block(block);
+        for (uint32_t i = 0;
+             i < static_cast<uint32_t>(bb.instrs.size()); ++i) {
+            cb(static_cast<const State&>(s), InstrRef{block, i},
+               bb.instrs[i]);
+            apply(s, bb.instrs[i], aa_);
+        }
+    }
+
+  private:
+    const Function& fn_;
+    const AliasAnalysis& aa_;
+    std::vector<State> in_;
+};
+
+} // namespace ido::compiler::lint

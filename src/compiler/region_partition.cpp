@@ -92,6 +92,15 @@ RegionPartitioner::run()
         }
     }
 
+    // --- 2b. caller-forced cuts ----------------------------------------
+    for (const InstrRef& f : forced_) {
+        IDO_ASSERT(f.block < nblocks
+                       && f.index < fn_.block(f.block).instrs.size(),
+                   "forced cut (bb%u,%u) out of range", f.block,
+                   f.index);
+        cuts[f.block].insert(f.index);
+    }
+
     // --- 3. antidependence cuts: greedy hitting set --------------------
     // Each pair is reduced to an interval of legal cut positions inside
     // one block; choosing points right-to-left-greedily per block is

@@ -72,6 +72,15 @@ class RegionPartitioner
     RegionPartitioner(const Function& fn, const Cfg& cfg,
                       const AliasAnalysis& aa);
 
+    /**
+     * Request an extra cut at a position before run().  Forced cuts
+     * participate in antidependence coverage but are counted in
+     * neither statistic; they serve region-granularity experiments
+     * and lint fixtures (a forced cut that covers nothing is exactly
+     * what the dead-boundary check flags).
+     */
+    void force_cut(InstrRef pos) { forced_.push_back(pos); }
+
     /** Run the full pipeline and return the partition. */
     RegionPartition run();
 
@@ -83,6 +92,7 @@ class RegionPartitioner
     const Cfg& cfg_;
     const AliasAnalysis& aa_;
     std::vector<AntidepPair> pairs_;
+    std::vector<InstrRef> forced_;
 };
 
 } // namespace ido::compiler

@@ -57,7 +57,7 @@ class PersistentHeap
   public:
     struct Options
     {
-        std::string path;        ///< empty = anonymous (test/bench) heap
+        std::string path = {};   ///< empty = anonymous (test/bench) heap
         size_t size = 64u << 20; ///< heap size in bytes
         bool reset = false;      ///< discard any existing content
     };

@@ -100,10 +100,11 @@ TEST_P(AppsAllRuntimes, MemcachedConcurrentClients)
             for (int i = 0; i < 400; ++i) {
                 const uint64_t idx = rng.next_below(64);
                 const auto [lo, hi] = memcached_key(idx);
-                if (rng.percent(50))
+                if (rng.percent(50)) {
                     c.set(*worker, lo, hi, idx * 7);
-                else if (c.get(*worker, lo, hi, &v))
+                } else if (c.get(*worker, lo, hi, &v)) {
                     EXPECT_EQ(v, idx * 7);
+                }
             }
         });
     }
@@ -149,8 +150,9 @@ TEST_P(AppsAllRuntimes, RedisChurnMatchesModel)
             const bool found = store.get(*th, key, &v);
             auto it = model.find(key);
             ASSERT_EQ(found, it != model.end());
-            if (found)
+            if (found) {
                 EXPECT_EQ(v, it->second);
+            }
         }
     }
     EXPECT_EQ(RedisMini::size(heap, store.root_off()), model.size());

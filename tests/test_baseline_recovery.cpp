@@ -316,7 +316,7 @@ TEST(JustdoRecovery, ResumesAndCompletesFase)
     auto* jt = static_cast<JustdoThread*>(th.get());
     ds::PStack stack(ds::PStack::create(*th));
     stack.push(*th, 1);
-    EXPECT_EQ(jt->rec()->recovery_pc, kInactivePc);
+    EXPECT_EQ(jt->rec()->cur().recovery_pc, kInactivePc);
     EXPECT_EQ(jt->rec()->st_addr_off, 0u);
     EXPECT_EQ(jt->rec()->lock_bitmap, 0u);
 }

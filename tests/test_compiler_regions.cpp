@@ -198,6 +198,87 @@ TEST(Verifier, CatchesHandCraftedBadPartition)
     EXPECT_FALSE(good.pairs().empty());
 }
 
+// --- verifier boundary-placement edge cases ---------------------------
+
+TEST(Verifier, SingleBlockFunctionPartitionsAndVerifies)
+{
+    FnBuilder b("edge.single");
+    const uint32_t e = b.block("entry");
+    b.switch_to(e);
+    const uint32_t root = b.arg();
+    const uint32_t x = b.load(root, 0);
+    b.store(root, 0, x);
+    b.ret();
+    Pipeline p(b.take());
+    EXPECT_TRUE(p.verdict.ok);
+    EXPECT_EQ(p.part.num_regions(), 2u); // entry + antidep cut
+}
+
+TEST(Verifier, LockAsFirstInstructionCutsImmediatelyAfter)
+{
+    FnBuilder b("edge.lock_first");
+    const uint32_t e = b.block("entry");
+    b.switch_to(e);
+    const uint32_t root = b.arg();
+    b.lock(root, 0); // instruction 0 of the function
+    const uint32_t x = b.load(root, 64);
+    b.store(root, 72, x);
+    b.unlock(root, 0);
+    b.ret();
+    Pipeline p(b.take());
+    EXPECT_TRUE(p.verdict.ok);
+    uint32_t region;
+    EXPECT_TRUE(p.part.is_region_start(InstrRef{0, 1}, &region))
+        << "acquire at index 0 must still end its region";
+}
+
+TEST(Verifier, UnlockAsLastInstructionBeforeRet)
+{
+    FnBuilder b("edge.unlock_last");
+    const uint32_t e = b.block("entry");
+    b.switch_to(e);
+    const uint32_t root = b.arg();
+    b.lock(root, 0);
+    (void)b.load(root, 64);
+    b.unlock(root, 0); // immediately precedes kRet
+    b.ret();
+    Pipeline p(b.take());
+    EXPECT_TRUE(p.verdict.ok);
+    uint32_t region;
+    EXPECT_TRUE(p.part.is_region_start(InstrRef{0, 2}, &region))
+        << "release must start its own region even right before kRet";
+}
+
+TEST(Verifier, BackToBackLockUnlockShareOneBoundary)
+{
+    FnBuilder b("edge.adjacent");
+    const uint32_t e = b.block("entry");
+    b.switch_to(e);
+    const uint32_t root = b.arg();
+    b.lock(root, 0);
+    b.unlock(root, 0); // cut after acquire == cut before release
+    b.ret();
+    Pipeline p(b.take());
+    EXPECT_TRUE(p.verdict.ok);
+    EXPECT_EQ(p.part.num_regions(), 2u)
+        << "one shared cut must satisfy both lock rules";
+}
+
+TEST(Verifier, LockDirectlyBeforeRetNeedsNoTrailingCut)
+{
+    // Degenerate but structurally legal: the acquire's next
+    // instruction is the terminator, so the after-acquire rule is
+    // vacuous (lint, not the verifier, flags the leaked lock).
+    FnBuilder b("edge.lock_ret");
+    const uint32_t e = b.block("entry");
+    b.switch_to(e);
+    const uint32_t root = b.arg();
+    b.lock(root, 0);
+    b.ret();
+    Pipeline p(b.take());
+    EXPECT_TRUE(p.verdict.ok);
+}
+
 TEST(CompiledFase, PipelinePanicsOnTooManyRegisters)
 {
     FnBuilder b("fat");

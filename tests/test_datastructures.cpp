@@ -157,8 +157,9 @@ TEST_P(DsAllRuntimes, ListMatchesStdMapUnderChurn)
             const bool found = list.lookup(*th, key, &v);
             const auto it = model.find(key);
             ASSERT_EQ(found, it != model.end());
-            if (found)
+            if (found) {
                 EXPECT_EQ(v, it->second);
+            }
         }
     }
     const auto snap = POrderedList::snapshot(heap, list.head_off());
@@ -231,8 +232,9 @@ TEST_P(DsAllRuntimes, ConcurrentMapMixedOps)
     auto reader = runtime->make_thread();
     PHashMap reader_map(heap, map.root_off());
     for (uint64_t k = 1; k <= 128; ++k) {
-        if (reader_map.get(*reader, k, &v))
+        if (reader_map.get(*reader, k, &v)) {
             EXPECT_EQ(v, k);
+        }
     }
 }
 

@@ -1,0 +1,431 @@
+/**
+ * @file
+ * ido-lint checks against deliberately-bad IR fixtures: each of the
+ * six checks must fire exactly once on its seeded violation and stay
+ * silent on the clean ir_library corpus; CompiledFase must expose the
+ * diagnostics and reject error findings in strict mode.
+ */
+#include <gtest/gtest.h>
+
+#include "compiler/builder.h"
+#include "compiler/fase_compiler.h"
+#include "compiler/ir_library.h"
+#include "compiler/lint/lint.h"
+#include "compiler/lint/lock_dataflow.h"
+
+namespace ido::compiler::lint {
+namespace {
+
+std::vector<Diagnostic>
+lint_one(Function fn, std::vector<InstrRef> forced = {})
+{
+    LintUnit unit(std::move(fn), std::move(forced));
+    return LintRegistry::builtin().lint_function(unit.ctx());
+}
+
+uint32_t
+count_check(const std::vector<Diagnostic>& diags, const char* id)
+{
+    uint32_t n = 0;
+    for (const Diagnostic& d : diags) {
+        if (d.check == id)
+            ++n;
+    }
+    return n;
+}
+
+// --- lock-discipline --------------------------------------------------
+
+TEST(LockDiscipline, LockLeakFiresExactlyOnce)
+{
+    FnBuilder b("fix.leak");
+    b.switch_to(b.block("entry"));
+    const uint32_t root = b.arg();
+    const uint32_t v = b.cconst(7);
+    b.lock(root, 0);
+    b.store(root, 64, v);
+    b.ret(); // no unlock: every path leaks the lock
+    const auto diags = lint_one(b.take());
+    ASSERT_EQ(diags.size(), 1u) << diags[0].render();
+    EXPECT_EQ(diags[0].check, "lock-discipline");
+    EXPECT_EQ(diags[0].severity, Severity::kError);
+    EXPECT_NE(diags[0].message.find("leak"), std::string::npos);
+}
+
+TEST(LockDiscipline, UnlockWithoutAcquireFiresExactlyOnce)
+{
+    FnBuilder b("fix.unlock_cold");
+    b.switch_to(b.block("entry"));
+    const uint32_t root = b.arg();
+    b.unlock(root, 0);
+    b.ret();
+    const auto diags = lint_one(b.take());
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].check, "lock-discipline");
+    EXPECT_EQ(diags[0].severity, Severity::kError);
+    EXPECT_NE(diags[0].message.find("not held"), std::string::npos);
+}
+
+TEST(LockDiscipline, DoubleAcquireFiresExactlyOnce)
+{
+    FnBuilder b("fix.double_lock");
+    b.switch_to(b.block("entry"));
+    const uint32_t root = b.arg();
+    b.lock(root, 0);
+    b.lock(root, 0); // non-reentrant: self-deadlock
+    b.unlock(root, 0);
+    b.ret();
+    const auto diags = lint_one(b.take());
+    ASSERT_EQ(diags.size(), 1u) << diags[0].render();
+    EXPECT_EQ(diags[0].check, "lock-discipline");
+    EXPECT_NE(diags[0].message.find("double acquire"),
+              std::string::npos);
+}
+
+TEST(LockDiscipline, BranchOnlyLockReportsPartialRelease)
+{
+    // Lock acquired on one arm of a branch, released at the join:
+    // the release sees the lock in MAY but not MUST.
+    FnBuilder b("fix.partial");
+    const uint32_t entry = b.block("entry");
+    const uint32_t locked = b.block("locked");
+    const uint32_t done = b.block("done");
+    b.switch_to(entry);
+    const uint32_t root = b.arg();
+    const uint32_t cond = b.arg();
+    b.cond_br(cond, locked, done);
+    b.switch_to(locked);
+    b.lock(root, 0);
+    b.br(done);
+    b.switch_to(done);
+    b.unlock(root, 0);
+    b.ret();
+    const auto diags = lint_one(b.take());
+    EXPECT_EQ(count_check(diags, "lock-discipline"), 1u);
+    ASSERT_FALSE(diags.empty());
+    EXPECT_EQ(diags[0].severity, Severity::kWarning);
+    EXPECT_NE(diags[0].message.find("some paths"), std::string::npos);
+}
+
+// --- unprotected-store ------------------------------------------------
+
+TEST(UnprotectedStore, StoreOutsideAnyLockFiresExactlyOnce)
+{
+    FnBuilder b("fix.naked_store");
+    b.switch_to(b.block("entry"));
+    const uint32_t root = b.arg();
+    const uint32_t v = b.cconst(1);
+    b.store(root, 64, v); // no lock anywhere
+    b.ret();
+    const auto diags = lint_one(b.take());
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].check, "unprotected-store");
+    EXPECT_EQ(diags[0].severity, Severity::kError);
+}
+
+TEST(UnprotectedStore, FreshAllocationIsExempt)
+{
+    FnBuilder b("fix.fresh_store");
+    b.switch_to(b.block("entry"));
+    (void)b.arg();
+    const uint32_t node = b.alloc(16);
+    const uint32_t v = b.cconst(1);
+    b.store(node, 0, v); // unpublished allocation: private
+    b.ret();
+    EXPECT_TRUE(lint_one(b.take()).empty());
+}
+
+TEST(UnprotectedStore, StoreAfterUnlockFires)
+{
+    FnBuilder b("fix.late_store");
+    b.switch_to(b.block("entry"));
+    const uint32_t root = b.arg();
+    const uint32_t v = b.cconst(1);
+    b.lock(root, 0);
+    b.store(root, 64, v);
+    b.unlock(root, 0);
+    b.store(root, 72, v); // outside the FASE's lock scope
+    b.ret();
+    const auto diags = lint_one(b.take());
+    EXPECT_EQ(count_check(diags, "unprotected-store"), 1u);
+}
+
+// --- nv-lifetime ------------------------------------------------------
+
+TEST(NvLifetime, UseAfterFreeFiresExactlyOnce)
+{
+    FnBuilder b("fix.uaf");
+    b.switch_to(b.block("entry"));
+    (void)b.arg();
+    const uint32_t p = b.alloc(16);
+    const uint32_t v = b.cconst(3);
+    b.store(p, 0, v);
+    b.free_(p);
+    (void)b.load(p, 0); // read of freed allocation
+    b.ret();
+    const auto diags = lint_one(b.take());
+    ASSERT_EQ(diags.size(), 1u) << diags[0].render();
+    EXPECT_EQ(diags[0].check, "nv-lifetime");
+    EXPECT_EQ(diags[0].severity, Severity::kError);
+    EXPECT_NE(diags[0].message.find("use-after-free"),
+              std::string::npos);
+}
+
+TEST(NvLifetime, DoubleFreeFiresExactlyOnce)
+{
+    FnBuilder b("fix.dfree");
+    b.switch_to(b.block("entry"));
+    (void)b.arg();
+    const uint32_t p = b.alloc(16);
+    b.free_(p);
+    b.free_(p);
+    b.ret();
+    const auto diags = lint_one(b.take());
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].check, "nv-lifetime");
+    EXPECT_NE(diags[0].message.find("double free"), std::string::npos);
+}
+
+TEST(NvLifetime, FreeOfLoadedPointerIsNotMatched)
+{
+    // ir.stack.pop frees a pointer it loaded (unknown provenance);
+    // the check must stay silent rather than guess.
+    const auto diags = lint_one(ir_stack_pop().fn);
+    EXPECT_EQ(count_check(diags, "nv-lifetime"), 0u);
+}
+
+// --- cross-fase-race --------------------------------------------------
+
+TEST(CrossFaseRace, DisjointLockSetsFireExactlyOnce)
+{
+    FnBuilder a("fix.race_a");
+    a.switch_to(a.block("entry"));
+    const uint32_t ra = a.arg();
+    const uint32_t va = a.cconst(1);
+    a.lock(ra, 0);
+    a.store(ra, 64, va);
+    a.unlock(ra, 0);
+    a.ret();
+
+    FnBuilder bb("fix.race_b");
+    bb.switch_to(bb.block("entry"));
+    const uint32_t rb = bb.arg();
+    const uint32_t vb = bb.cconst(2);
+    bb.lock(rb, 128); // different lock word guarding the same slot
+    bb.store(rb, 64, vb);
+    bb.unlock(rb, 128);
+    bb.ret();
+
+    LintUnit ua(a.take());
+    LintUnit ub(bb.take());
+    const LintContext ca = ua.ctx(), cb = ub.ctx();
+    const auto diags =
+        LintRegistry::builtin().lint_corpus({&ca, &cb});
+    ASSERT_EQ(diags.size(), 1u) << diags[0].render();
+    EXPECT_EQ(diags[0].check, "cross-fase-race");
+    EXPECT_EQ(diags[0].severity, Severity::kError);
+}
+
+TEST(CrossFaseRace, SharedLockSilencesThePair)
+{
+    // Same fixture, but both FASEs guard the slot with the same lock.
+    auto make = [](const char* name) {
+        FnBuilder b(name);
+        b.switch_to(b.block("entry"));
+        const uint32_t root = b.arg();
+        const uint32_t v = b.cconst(1);
+        b.lock(root, 0);
+        b.store(root, 64, v);
+        b.unlock(root, 0);
+        b.ret();
+        return b.take();
+    };
+    LintUnit ua(make("fix.same_a"));
+    LintUnit ub(make("fix.same_b"));
+    const LintContext ca = ua.ctx(), cb = ub.ctx();
+    EXPECT_TRUE(
+        LintRegistry::builtin().lint_corpus({&ca, &cb}).empty());
+}
+
+TEST(CrossFaseRace, DistinctRootsDoNotAlias)
+{
+    // Stores at the same offset of different argument ordinals are
+    // different objects under the calling convention.
+    FnBuilder a("fix.root0");
+    a.switch_to(a.block("entry"));
+    const uint32_t r0 = a.arg();
+    const uint32_t v0 = a.cconst(1);
+    a.lock(r0, 0);
+    a.store(r0, 64, v0);
+    a.unlock(r0, 0);
+    a.ret();
+
+    FnBuilder b("fix.root1");
+    b.switch_to(b.block("entry"));
+    (void)b.arg();
+    const uint32_t r1 = b.arg();
+    const uint32_t v1 = b.cconst(2);
+    b.lock(r1, 0);
+    b.store(r1, 64, v1);
+    b.unlock(r1, 0);
+    b.ret();
+
+    LintUnit ua(a.take());
+    LintUnit ub(b.take());
+    const LintContext ca = ua.ctx(), cb = ub.ctx();
+    EXPECT_TRUE(
+        LintRegistry::builtin().lint_corpus({&ca, &cb}).empty());
+}
+
+// --- region-pressure --------------------------------------------------
+
+TEST(RegionPressure, WideOutputSetWarnsExactlyOnce)
+{
+    // One region with 10 live-out definitions: > 8 slots per line.
+    FnBuilder b("fix.wide");
+    b.switch_to(b.block("entry"));
+    const uint32_t root = b.arg();
+    uint64_t ret_mask = 0;
+    for (int i = 0; i < 10; ++i)
+        ret_mask |= 1ull << b.load(root, 8 * i);
+    b.ret();
+    Function fn = b.take();
+    fn.set_ret_mask(ret_mask);
+    const auto diags = lint_one(std::move(fn));
+    ASSERT_EQ(diags.size(), 1u) << diags[0].render();
+    EXPECT_EQ(diags[0].check, "region-pressure");
+    EXPECT_EQ(diags[0].severity, Severity::kWarning);
+}
+
+TEST(RegionPressure, RegisterIdBeyondCtxSlotsIsAnError)
+{
+    FnBuilder b("fix.highreg");
+    b.switch_to(b.block("entry"));
+    const uint32_t root = b.arg();
+    for (int i = 0; i < 15; ++i)
+        (void)b.cconst(i); // burn ids 1..15 (dead)
+    const uint32_t hi = b.load(root, 0); // id 16: unrepresentable
+    b.ret();
+    Function fn = b.take();
+    fn.set_ret_mask(1ull << hi);
+    const auto diags = lint_one(std::move(fn));
+    ASSERT_EQ(diags.size(), 1u) << diags[0].render();
+    EXPECT_EQ(diags[0].check, "region-pressure");
+    EXPECT_EQ(diags[0].severity, Severity::kError);
+}
+
+// --- dead-boundary ----------------------------------------------------
+
+TEST(DeadBoundary, ForcedUselessCutWarnsExactlyOnce)
+{
+    FnBuilder b("fix.deadcut");
+    b.switch_to(b.block("entry"));
+    (void)b.arg();
+    (void)b.cconst(1);
+    (void)b.cconst(2);
+    b.ret();
+    // A cut between two pure constants separates nothing.
+    const auto diags = lint_one(b.take(), {InstrRef{0, 1}});
+    ASSERT_EQ(diags.size(), 1u) << diags[0].render();
+    EXPECT_EQ(diags[0].check, "dead-boundary");
+    EXPECT_EQ(diags[0].severity, Severity::kWarning);
+}
+
+TEST(DeadBoundary, AntidepAndMandatoryCutsAreJustified)
+{
+    // The partitioner's own output for the corpus has no dead cuts.
+    for (IrFase (*make)() : {ir_stack_push, ir_stack_pop,
+                             ir_counter_increment, ir_array_add_loop}) {
+        const auto diags = lint_one(make().fn);
+        EXPECT_EQ(count_check(diags, "dead-boundary"), 0u);
+    }
+}
+
+// --- the clean corpus -------------------------------------------------
+
+TEST(LintCorpus, IrLibraryProducesZeroDiagnostics)
+{
+    LintUnit push(ir_stack_push().fn);
+    LintUnit pop(ir_stack_pop().fn);
+    LintUnit incr(ir_counter_increment().fn);
+    LintUnit loop(ir_array_add_loop().fn);
+    const LintContext c0 = push.ctx(), c1 = pop.ctx(), c2 = incr.ctx(),
+                      c3 = loop.ctx();
+    const auto diags =
+        LintRegistry::builtin().lint_corpus({&c0, &c1, &c2, &c3});
+    for (const Diagnostic& d : diags)
+        ADD_FAILURE() << d.render();
+    EXPECT_TRUE(diags.empty());
+}
+
+// --- CompiledFase integration ----------------------------------------
+
+TEST(CompiledFaseLint, DiagnosticsExposedInWarnMode)
+{
+    FnBuilder b("fix.leaky_compiled");
+    b.switch_to(b.block("entry"));
+    const uint32_t root = b.arg();
+    const uint32_t v = b.cconst(7);
+    b.lock(root, 0);
+    b.store(root, 64, v);
+    b.ret();
+    CompiledFase cf(900, b.take()); // default: warn, never reject
+    ASSERT_EQ(cf.diagnostics().size(), 1u);
+    EXPECT_EQ(cf.diagnostics()[0].check, "lock-discipline");
+    EXPECT_FALSE(cf.program().regions.empty());
+}
+
+TEST(CompiledFaseLint, StrictModeRejectsErrorDiagnostics)
+{
+    FnBuilder b("fix.leaky_strict");
+    b.switch_to(b.block("entry"));
+    const uint32_t root = b.arg();
+    const uint32_t v = b.cconst(7);
+    b.lock(root, 0);
+    b.store(root, 64, v);
+    b.ret();
+    EXPECT_DEATH(CompiledFase(901, b.take(), LintMode::kStrict),
+                 "lint rejected");
+}
+
+TEST(CompiledFaseLint, CleanFaseCompilesCleanInStrictMode)
+{
+    CompiledFase cf(902, ir_counter_increment().fn, LintMode::kStrict);
+    EXPECT_TRUE(cf.diagnostics().empty());
+}
+
+// --- lock dataflow unit coverage -------------------------------------
+
+TEST(LockDataflow, MustIsIntersectionMayIsUnionAtJoins)
+{
+    FnBuilder b("fix.joinsets");
+    const uint32_t entry = b.block("entry");
+    const uint32_t left = b.block("left");
+    const uint32_t right = b.block("right");
+    const uint32_t done = b.block("done");
+    b.switch_to(entry);
+    const uint32_t root = b.arg();
+    const uint32_t cond = b.arg();
+    b.lock(root, 0); // held on every path
+    b.cond_br(cond, left, right);
+    b.switch_to(left);
+    b.lock(root, 128); // held on the left path only
+    b.br(done);
+    b.switch_to(right);
+    b.br(done);
+    b.switch_to(done);
+    b.unlock(root, 128); // some-paths release: discipline warns
+    b.unlock(root, 0);
+    b.ret();
+
+    Function fn = b.take();
+    const Cfg cfg(fn);
+    const AliasAnalysis aa(fn);
+    LockDataflow ldf(fn, cfg, aa);
+    const LockDataflow::State& at_done = ldf.block_in(done);
+    EXPECT_EQ(at_done.must.size(), 1u);
+    EXPECT_EQ(at_done.may.size(), 2u);
+}
+
+} // namespace
+} // namespace ido::compiler::lint

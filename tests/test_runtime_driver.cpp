@@ -189,8 +189,6 @@ TEST_F(DriverFixture, StoreAfterLockDetected)
 
 TEST_F(DriverFixture, UnlockAfterStoreDetected)
 {
-    static uint64_t holder_arg;
-    holder_arg = data_off + 512;
     auto r0 = +[](RuntimeThread& t, RegionCtx& ctx) -> uint32_t {
         t.fase_lock(ctx.r[0] + 512);
         return 1;
@@ -259,10 +257,6 @@ TEST_F(DriverFixture, DeferredFreeRunsAfterFase)
 
 TEST_F(DriverFixture, NestedFaseForbidden)
 {
-    static baselines::OriginRuntime* rt_ptr;
-    static RuntimeThread* th_ptr;
-    rt_ptr = &runtime;
-    th_ptr = th.get();
     static const FaseProgram inner = make_program(
         112, {{+[](RuntimeThread&, RegionCtx&) -> uint32_t {
                    return kRegionEnd;

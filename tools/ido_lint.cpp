@@ -1,0 +1,147 @@
+/**
+ * @file
+ * ido_lint: static crash-consistency and lock-discipline analysis of
+ * the IR FASE corpus.
+ *
+ * Runs every registered lint check (see src/compiler/lint/lint.h) over
+ * the ir_library FASEs -- the same bodies the compiler pipeline and the
+ * benchmarks execute -- including the corpus-wide cross-FASE race
+ * check, and prints a diagnostic report.
+ *
+ * Usage: ido_lint [--Werror] [--quiet] [--list-checks] [name...]
+ *   --Werror       exit nonzero on warnings as well as errors
+ *   --quiet        print only diagnostics and the final summary
+ *   --list-checks  print the check catalogue and exit
+ *   name...        lint only the named FASEs (default: whole corpus)
+ *
+ * Exit status: 0 clean (or warnings without --Werror), 1 findings,
+ * 2 usage error.
+ */
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/ir_library.h"
+#include "compiler/lint/lint.h"
+
+namespace {
+
+using namespace ido::compiler;
+
+struct CorpusEntry
+{
+    const char* name;
+    IrFase (*make)();
+};
+
+constexpr CorpusEntry kCorpus[] = {
+    {"ir.stack.push", ir_stack_push},
+    {"ir.stack.pop", ir_stack_pop},
+    {"ir.counter.incr", ir_counter_increment},
+    {"ir.array.addloop", ir_array_add_loop},
+};
+
+void
+list_checks()
+{
+    std::printf("registered lint checks:\n");
+    for (const auto& pass : lint::LintRegistry::builtin().passes()) {
+        std::printf("  %-18s %s [%s]\n", pass->id(), pass->summary(),
+                    pass->scope() == lint::LintPass::Scope::kCorpus
+                        ? "corpus"
+                        : "function");
+    }
+}
+
+int
+usage(const char* argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--Werror] [--quiet] [--list-checks] "
+                 "[name...]\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool werror = false;
+    bool quiet = false;
+    std::vector<std::string> selected;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--Werror") == 0) {
+            werror = true;
+        } else if (std::strcmp(argv[i], "--quiet") == 0) {
+            quiet = true;
+        } else if (std::strcmp(argv[i], "--list-checks") == 0) {
+            list_checks();
+            return 0;
+        } else if (argv[i][0] == '-') {
+            return usage(argv[0]);
+        } else {
+            selected.emplace_back(argv[i]);
+        }
+    }
+
+    std::vector<std::unique_ptr<lint::LintUnit>> units;
+    for (const CorpusEntry& e : kCorpus) {
+        if (!selected.empty()) {
+            bool wanted = false;
+            for (const std::string& s : selected)
+                wanted = wanted || s == e.name;
+            if (!wanted)
+                continue;
+        }
+        units.push_back(
+            std::make_unique<lint::LintUnit>(e.make().fn));
+    }
+    if (units.empty()) {
+        std::fprintf(stderr, "ido_lint: no FASE matched\n");
+        return 2;
+    }
+
+    std::vector<lint::LintContext> ctxs;
+    ctxs.reserve(units.size());
+    for (const auto& u : units)
+        ctxs.push_back(u->ctx());
+    std::vector<const lint::LintContext*> ctx_ptrs;
+    for (const lint::LintContext& c : ctxs)
+        ctx_ptrs.push_back(&c);
+
+    if (!quiet) {
+        std::printf("ido-lint: %zu FASEs, %zu checks\n", units.size(),
+                    lint::LintRegistry::builtin().passes().size());
+        for (const auto& u : units) {
+            std::printf("  %-18s %2u blocks %2u regions "
+                        "(%u antidep + %u mandatory cuts)\n",
+                        u->fn.name().c_str(), u->fn.num_blocks(),
+                        u->part.num_regions(),
+                        u->part.antidep_cut_count(),
+                        u->part.mandatory_cut_count());
+        }
+    }
+
+    const std::vector<lint::Diagnostic> diags =
+        lint::LintRegistry::builtin().lint_corpus(ctx_ptrs);
+    for (const lint::Diagnostic& d : diags)
+        std::printf("%s\n", d.render().c_str());
+
+    const uint32_t errors =
+        lint::count_at_least(diags, lint::Severity::kError);
+    const uint32_t warnings =
+        static_cast<uint32_t>(diags.size()) - errors;
+    if (!quiet || !diags.empty()) {
+        std::printf("ido-lint: %u error(s), %u warning(s)\n", errors,
+                    warnings);
+    }
+    if (errors > 0)
+        return 1;
+    if (werror && !diags.empty())
+        return 1;
+    return 0;
+}
