@@ -51,6 +51,10 @@ main()
                             baselines::runtime_kind_name(kind),
                             threads, result.mops(),
                             persist_profile(result.total_ops).c_str());
+                emit_json_row(mix.set_pct == 50 ? "fig5_memcached_5050"
+                                                : "fig5_memcached_1090",
+                              baselines::runtime_kind_name(kind),
+                              threads, result.total_ops, secs);
             }
         }
     }

@@ -49,6 +49,11 @@ main()
                             baselines::runtime_kind_name(kind),
                             threads, result.mops(),
                             persist_profile(result.total_ops).c_str());
+                emit_json_row(
+                    (std::string("fig7_") + ds::ds_kind_name(s))
+                        .c_str(),
+                    baselines::runtime_kind_name(kind), threads,
+                    result.total_ops, secs);
             }
         }
     }

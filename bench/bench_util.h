@@ -11,6 +11,10 @@
  * Environment knobs:
  *   IDO_BENCH_SECONDS   duration per configuration (default 0.3)
  *   IDO_BENCH_THREADS   max worker threads (default: 8)
+ *   IDO_BENCH_JSON      directory: append one JSON line per measured
+ *                       configuration to $IDO_BENCH_JSON/BENCH_<bench>
+ *                       .json, embedding the full MetricsRegistry
+ *                       snapshot (counters + histograms)
  */
 #pragma once
 
@@ -22,6 +26,7 @@
 #include "baselines/runtime_factory.h"
 #include "nvm/persist_domain.h"
 #include "nvm/persistent_heap.h"
+#include "stats/metrics.h"
 #include "stats/persist_stats.h"
 
 namespace ido::bench {
@@ -86,6 +91,39 @@ inline void
 print_header(const char* title)
 {
     std::printf("\n=== %s ===\n", title);
+}
+
+/**
+ * Append one machine-readable result row (JSON-lines) for the
+ * configuration just measured.  No-op unless IDO_BENCH_JSON names a
+ * directory.  persist_counters_flush_tls() must already have run on
+ * the workers (workload_run joins them, so it has), since the embedded
+ * metrics snapshot reads the global registry.
+ */
+inline void
+emit_json_row(const char* bench, const char* runtime, uint32_t threads,
+              uint64_t ops, double seconds)
+{
+    const char* dir = std::getenv("IDO_BENCH_JSON");
+    if (!dir || !*dir)
+        return;
+    const std::string path =
+        std::string(dir) + "/BENCH_" + bench + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "a");
+    if (!f)
+        return;
+    char head[256];
+    std::snprintf(head, sizeof(head),
+                  "{\"bench\":\"%s\",\"runtime\":\"%s\","
+                  "\"threads\":%u,\"ops\":%llu,\"seconds\":%.6f,"
+                  "\"metrics\":",
+                  bench, runtime, threads,
+                  static_cast<unsigned long long>(ops), seconds);
+    const std::string metrics = MetricsRegistry::instance().format_json();
+    std::fputs(head, f);
+    std::fwrite(metrics.data(), 1, metrics.size(), f);
+    std::fputs("}\n", f);
+    std::fclose(f);
 }
 
 } // namespace ido::bench

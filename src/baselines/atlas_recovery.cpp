@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "baselines/atlas_runtime.h"
+#include "trace/trace.h"
 #include "common/panic.h"
 
 namespace ido::baselines {
@@ -87,6 +88,7 @@ void
 AtlasRuntime::recover()
 {
     locks_.new_epoch();
+    trace::emit(trace::EventKind::kRecoveryBegin, 1);
 
     // Phase 1: traverse all logs, rebuild FASE instances.
     std::vector<FaseInstance> fases;
@@ -199,11 +201,14 @@ AtlasRuntime::recover()
     });
     for (size_t i : doomed) {
         const auto& stores = fases[i].stores;
+        trace::emit(trace::EventKind::kRecoverUndoBegin, i);
         for (auto it = stores.rbegin(); it != stores.rend(); ++it) {
             void* p = heap_.resolve<void>(it->addr_off);
             dom_.store(p, &it->old_val, it->size);
             dom_.flush(p, it->size);
         }
+        trace::emit(trace::EventKind::kRecoverUndoEnd, i,
+                    stores.size());
     }
     dom_.fence();
 
@@ -213,6 +218,7 @@ AtlasRuntime::recover()
         dom_.flush(&log->lap, sizeof(uint64_t));
     }
     dom_.fence();
+    trace::emit(trace::EventKind::kRecoveryEnd, 1);
 }
 
 } // namespace ido::baselines

@@ -7,6 +7,7 @@
 #include "common/panic.h"
 #include "ido/ido_log.h" // pack_recovery_pc / kInactivePc helpers
 #include "stats/persist_stats.h"
+#include "trace/trace.h"
 
 namespace ido::baselines {
 
@@ -70,6 +71,7 @@ JustdoRuntime::recover()
     }
     if (active.empty())
         return;
+    trace::emit(trace::EventKind::kRecoveryBegin, 3, active.size());
 
     std::barrier barrier(static_cast<std::ptrdiff_t>(active.size()));
     std::vector<std::thread> workers;
@@ -91,7 +93,9 @@ JustdoRuntime::recover()
                         recovery_pc_fase(pc));
                 RegionCtx ctx;
                 th.restore_ctx(ctx);
+                trace::emit(trace::EventKind::kRecoverResumeBegin, pc);
                 th.resume_fase(*prog, recovery_pc_region(pc), ctx);
+                trace::emit(trace::EventKind::kRecoverResumeEnd, pc);
             } catch (const rt::SimCrashException&) {
                 if (!arrived)
                     barrier.arrive_and_drop();
@@ -100,6 +104,7 @@ JustdoRuntime::recover()
     }
     for (std::thread& t : workers)
         t.join();
+    trace::emit(trace::EventKind::kRecoveryEnd, 3, active.size());
 }
 
 // --------------------------------------------------------------------------
@@ -110,6 +115,8 @@ JustdoThread::JustdoThread(JustdoRuntime& rt)
     : RuntimeThread(rt), rec_off_(rt.allocate_log_rec())
 {
     rec_ = heap().resolve<JustdoLogRec>(rec_off_);
+    trace::emit(trace::EventKind::kLogRecAttach, rec_off_,
+                dom().load_val(&rec_->thread_tag));
 }
 
 JustdoThread::JustdoThread(JustdoRuntime& rt, uint64_t existing_rec_off)
@@ -118,11 +125,14 @@ JustdoThread::JustdoThread(JustdoRuntime& rt, uint64_t existing_rec_off)
     rec_ = heap().resolve<JustdoLogRec>(rec_off_);
     lock_bitmap_mirror_ = dom().load_val(&rec_->lock_bitmap);
     cur_snap_mirror_ = dom().load_val(&rec_->cur_snap) & 1;
+    trace::emit(trace::EventKind::kLogRecAttach, rec_off_,
+                dom().load_val(&rec_->thread_tag));
 }
 
 void
 JustdoThread::reacquire_crashed_locks()
 {
+    trace::emit(trace::EventKind::kRecoverLocksBegin);
     for (size_t slot = 0; slot < 16; ++slot) {
         if (!(lock_bitmap_mirror_ & (1ull << slot)))
             continue;
@@ -135,14 +145,17 @@ JustdoThread::reacquire_crashed_locks()
         }
         rt::TransientLock& l =
             rt_.locks().lock_for(heap().resolve<uint64_t>(holder_off));
-        acquire_transient(l);
+        acquire_transient(l, holder_off);
         held_.push_back(HeldLock{holder_off, static_cast<uint8_t>(slot)});
     }
+    trace::emit(trace::EventKind::kRecoverLocksEnd, 0, held_.size());
 }
 
 void
 JustdoThread::restore_ctx(RegionCtx& ctx) const
 {
+    trace::emit(trace::EventKind::kRecoverRestoreCtx, rec_off_,
+                cur_snap_mirror_ & 1);
     const JustdoCtxSnapshot& s = rec_->snap[cur_snap_mirror_ & 1];
     for (size_t i = 0; i < rt::kNumIntRegs; ++i)
         ctx.r[i] = s.intRF[i];

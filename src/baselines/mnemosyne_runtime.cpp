@@ -4,6 +4,7 @@
 
 #include "common/panic.h"
 #include "stats/persist_stats.h"
+#include "trace/trace.h"
 
 namespace ido::baselines {
 
@@ -61,12 +62,14 @@ void
 MnemosyneRuntime::recover()
 {
     locks_.new_epoch();
+    trace::emit(trace::EventKind::kRecoveryBegin, 2);
     for (uint64_t off : thread_log_offsets()) {
         auto* log = heap_.resolve<MnemosyneThreadLog>(off);
         if (dom_.load_val(&log->committed) != 1)
             continue; // never reached its commit point: discard
         const uint64_t count = dom_.load_val(&log->count);
         const auto* buf = heap_.resolve<uint8_t>(log->buf_off);
+        trace::emit(trace::EventKind::kRecoverUndoBegin, off);
         for (uint64_t i = 0; i < count; ++i) {
             RedoEntry e;
             dom_.load(buf + i * sizeof(RedoEntry), &e, sizeof(e));
@@ -78,7 +81,9 @@ MnemosyneRuntime::recover()
         dom_.store_val(&log->committed, uint64_t{0});
         dom_.flush(&log->committed, sizeof(uint64_t));
         dom_.fence();
+        trace::emit(trace::EventKind::kRecoverUndoEnd, off, count);
     }
+    trace::emit(trace::EventKind::kRecoveryEnd, 2);
 }
 
 // --------------------------------------------------------------------------

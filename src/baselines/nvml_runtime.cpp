@@ -5,6 +5,7 @@
 
 #include "common/panic.h"
 #include "stats/persist_stats.h"
+#include "trace/trace.h"
 
 namespace ido::baselines {
 
@@ -64,11 +65,13 @@ void
 NvmlRuntime::recover()
 {
     locks_.new_epoch();
+    trace::emit(trace::EventKind::kRecoveryBegin, 4);
     for (uint64_t off : thread_log_offsets()) {
         auto* log = heap_.resolve<NvmlThreadLog>(off);
         const uint64_t lap = dom_.load_val(&log->lap);
         const auto* buf = heap_.resolve<uint8_t>(log->buf_off);
         const size_t n_slots = log->buf_bytes / sizeof(NvmlEntry);
+        trace::emit(trace::EventKind::kRecoverUndoBegin, off);
         // Collect the interrupted transaction's live entries.
         std::vector<NvmlEntry> live;
         for (size_t i = 0; i < n_slots; ++i) {
@@ -88,7 +91,9 @@ NvmlRuntime::recover()
         dom_.store_val(&log->lap, lap + 1);
         dom_.flush(&log->lap, sizeof(uint64_t));
         dom_.fence();
+        trace::emit(trace::EventKind::kRecoverUndoEnd, off, live.size());
     }
+    trace::emit(trace::EventKind::kRecoveryEnd, 4);
 }
 
 // --------------------------------------------------------------------------
@@ -125,6 +130,16 @@ NvmlThread::on_fase_end(const rt::FaseProgram&, rt::RegionCtx&)
     dom().flush(&log_->lap, sizeof(uint64_t));
     dom().fence();
     snapshotted_.clear();
+    // Commit point passed: release the transaction's deferred locks.
+    // Releasing earlier (at the unlock region) would publish this
+    // transaction's unflushed stores to other threads, and a crash
+    // before the lap bump would then undo state their committed
+    // transactions already built on.
+    for (auto& [holder_off, l] : tx_locks_) {
+        l->unlock();
+        trace::emit(trace::EventKind::kLockRelease, holder_off);
+    }
+    tx_locks_.clear();
 }
 
 void
@@ -170,6 +185,40 @@ NvmlThread::do_store(uint64_t off, const void* src, size_t n)
         done += take;
     }
     dirty_.emplace_back(off, static_cast<uint32_t>(n));
+}
+
+void
+NvmlThread::do_lock(uint64_t holder_off, rt::TransientLock& l)
+{
+    // Re-acquiring a lock whose release was deferred: we still own the
+    // transient lock, so just re-adopt it (avoids self-deadlock).
+    for (size_t i = 0; i < tx_locks_.size(); ++i) {
+        if (tx_locks_[i].first == holder_off) {
+            tx_locks_.erase(tx_locks_.begin() + static_cast<long>(i));
+            held_.push_back(HeldLock{holder_off, 0});
+            return;
+        }
+    }
+    RuntimeThread::do_lock(holder_off, l);
+}
+
+void
+NvmlThread::do_unlock(uint64_t holder_off, rt::TransientLock& l)
+{
+    if (!in_fase_) {
+        RuntimeThread::do_unlock(holder_off, l);
+        return;
+    }
+    // 2PL: drop logical ownership now, release the transient lock only
+    // at commit (on_fase_end).  A crashed transaction abandons its
+    // deferred locks; recovery's LockTable::new_epoch() reclaims them.
+    for (size_t i = 0; i < held_.size(); ++i) {
+        if (held_[i].holder_off == holder_off) {
+            held_.erase(held_.begin() + static_cast<long>(i));
+            break;
+        }
+    }
+    tx_locks_.emplace_back(holder_off, &l);
 }
 
 } // namespace ido::baselines

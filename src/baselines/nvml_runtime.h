@@ -14,6 +14,17 @@
  * The missing lock instrumentation is exactly why NVML beats Atlas on
  * single-threaded Redis (Fig. 6) -- Atlas's automatic dependence
  * tracking buys nothing there and costs fences.
+ *
+ * Lock discipline: locks released inside a transaction are *deferred*
+ * to commit (two-phase locking), mirroring PMDK's pmemobj_tx_lock,
+ * which holds transaction locks until the transaction ends.  Releasing
+ * at the unlock site would let another thread read this transaction's
+ * uncommitted (unflushed) stores; if the crash then drops them, the
+ * reader's committed state embeds values that never became durable --
+ * and the reader's own committed effects can be rolled back by this
+ * transaction's undo log, resurrecting freed objects (observed as the
+ * queue-invariant / allocator double-free flakes in the concurrent
+ * crash sweeps).
  */
 #pragma once
 
@@ -88,6 +99,8 @@ class NvmlThread final : public rt::RuntimeThread
     void on_fase_end(const rt::FaseProgram& prog,
                      rt::RegionCtx& ctx) override;
     void do_store(uint64_t off, const void* src, size_t n) override;
+    void do_lock(uint64_t holder_off, rt::TransientLock& l) override;
+    void do_unlock(uint64_t holder_off, rt::TransientLock& l) override;
 
   private:
     NvmlThreadLog* log_;
@@ -95,6 +108,8 @@ class NvmlThread final : public rt::RuntimeThread
     uint64_t cursor_ = 0;
     std::unordered_set<uint64_t> snapshotted_;
     std::vector<std::pair<uint64_t, uint32_t>> dirty_;
+    /** Locks whose release is deferred to commit (2PL). */
+    std::vector<std::pair<uint64_t, rt::TransientLock*>> tx_locks_;
 };
 
 } // namespace ido::baselines

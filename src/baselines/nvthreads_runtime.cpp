@@ -5,6 +5,7 @@
 
 #include "common/panic.h"
 #include "stats/persist_stats.h"
+#include "trace/trace.h"
 
 namespace ido::baselines {
 
@@ -65,12 +66,14 @@ void
 NvthreadsRuntime::recover()
 {
     locks_.new_epoch();
+    trace::emit(trace::EventKind::kRecoveryBegin, 5);
     for (uint64_t off : thread_log_offsets()) {
         auto* log = heap_.resolve<NvthreadsThreadLog>(off);
         if (dom_.load_val(&log->committed) != 1)
             continue; // commit never became durable: discard buffers
         const uint64_t npages = dom_.load_val(&log->npages);
         const auto* buf = heap_.resolve<uint8_t>(log->buf_off);
+        trace::emit(trace::EventKind::kRecoverUndoBegin, off);
         for (uint64_t i = 0; i < npages; ++i) {
             const auto* e = reinterpret_cast<const NvtPageLogEntry*>(
                 buf + i * sizeof(NvtPageLogEntry));
@@ -93,7 +96,9 @@ NvthreadsRuntime::recover()
         dom_.store_val(&log->committed, uint64_t{0});
         dom_.flush(&log->committed, sizeof(uint64_t));
         dom_.fence();
+        trace::emit(trace::EventKind::kRecoverUndoEnd, off, npages);
     }
+    trace::emit(trace::EventKind::kRecoveryEnd, 5);
 }
 
 // --------------------------------------------------------------------------

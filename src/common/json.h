@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Minimal JSON string escaping, shared by every machine-readable
+ * emitter in the repo (MetricsRegistry snapshots, the Chrome trace
+ * exporter, ido_lint --json).  Only escaping lives here -- each emitter
+ * composes its own structure with snprintf/ostream, which keeps the
+ * dependency surface at zero.
+ */
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace ido {
+
+/** Escape s for inclusion inside a JSON string literal (no quotes). */
+inline std::string
+json_escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace ido

@@ -3,6 +3,8 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "common/json.h"
+
 namespace ido::compiler::lint {
 
 const char*
@@ -26,6 +28,20 @@ Diagnostic::render() const
     std::snprintf(buf, sizeof(buf), "%s[%s] %s @ bb%u:%u: %s",
                   severity_name(severity), check.c_str(), fase.c_str(),
                   loc.block, loc.index, message.c_str());
+    return buf;
+}
+
+std::string
+Diagnostic::render_json() const
+{
+    char buf[640];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"check\":\"%s\",\"severity\":\"%s\","
+                  "\"fase\":\"%s\",\"block\":%u,\"instr\":%u,"
+                  "\"message\":\"%s\"}",
+                  json_escape(check).c_str(), severity_name(severity),
+                  json_escape(fase).c_str(), loc.block, loc.index,
+                  json_escape(message).c_str());
     return buf;
 }
 

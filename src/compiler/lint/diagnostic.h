@@ -38,6 +38,10 @@ struct Diagnostic
 
     /** "error[lock-discipline] ir.stack.push @ bb0:3: ..." */
     std::string render() const;
+
+    /** One JSON object: {"check":...,"severity":...,"fase":...,
+     *  "block":N,"instr":N,"message":...} */
+    std::string render_json() const;
 };
 
 /** printf-style constructor for check implementations. */

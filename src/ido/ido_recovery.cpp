@@ -17,6 +17,7 @@
 
 #include "common/panic.h"
 #include "ido/ido_runtime.h"
+#include "trace/trace.h"
 
 namespace ido {
 
@@ -34,6 +35,7 @@ IdoRuntime::recover()
     }
     if (active.empty())
         return;
+    trace::emit(trace::EventKind::kRecoveryBegin, 0, active.size());
 
     std::barrier barrier(static_cast<std::ptrdiff_t>(active.size()));
     std::vector<std::thread> workers;
@@ -57,7 +59,9 @@ IdoRuntime::recover()
                         recovery_pc_fase(pc));
                 rt::RegionCtx ctx;
                 th.restore_ctx(ctx);
+                trace::emit(trace::EventKind::kRecoverResumeBegin, pc);
                 th.resume_fase(*prog, recovery_pc_region(pc), ctx);
+                trace::emit(trace::EventKind::kRecoverResumeEnd, pc);
             } catch (const rt::SimCrashException&) {
                 // Recovery itself "crashed" (test injection).  The log
                 // record still names the interrupted region, so a later
@@ -70,6 +74,7 @@ IdoRuntime::recover()
     }
     for (std::thread& t : workers)
         t.join();
+    trace::emit(trace::EventKind::kRecoveryEnd, 0, active.size());
 
     // Post-condition: every record is inactive and no locks are held
     // (unless recovery itself was crash-injected, in which case the

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/panic.h"
+#include "trace/trace.h"
 
 namespace ido {
 
@@ -72,6 +73,8 @@ IdoThread::IdoThread(IdoRuntime& rt)
 {
     rec_ = heap().resolve<IdoLogRec>(rec_off_);
     pending_.reserve(32);
+    trace::emit(trace::EventKind::kLogRecAttach, rec_off_,
+                dom().load_val(&rec_->thread_tag));
 }
 
 IdoThread::IdoThread(IdoRuntime& rt, uint64_t existing_rec_off)
@@ -81,11 +84,14 @@ IdoThread::IdoThread(IdoRuntime& rt, uint64_t existing_rec_off)
     lock_bitmap_mirror_ = dom().load_val(&rec_->lock_bitmap);
     pending_.reserve(32);
     activated_ = true; // an interrupted FASE was, by definition, live
+    trace::emit(trace::EventKind::kLogRecAttach, rec_off_,
+                dom().load_val(&rec_->thread_tag));
 }
 
 void
 IdoThread::reacquire_crashed_locks()
 {
+    trace::emit(trace::EventKind::kRecoverLocksBegin);
     for (size_t slot = 0; slot < kMaxHeldLocks; ++slot) {
         if (!(lock_bitmap_mirror_ & (1ull << slot)))
             continue;
@@ -103,14 +109,16 @@ IdoThread::reacquire_crashed_locks()
         }
         rt::TransientLock& l =
             rt_.locks().lock_for(heap().resolve<uint64_t>(holder_off));
-        acquire_transient(l);
+        acquire_transient(l, holder_off);
         held_.push_back(HeldLock{holder_off, static_cast<uint8_t>(slot)});
     }
+    trace::emit(trace::EventKind::kRecoverLocksEnd, 0, held_.size());
 }
 
 void
 IdoThread::restore_ctx(RegionCtx& ctx) const
 {
+    trace::emit(trace::EventKind::kRecoverRestoreCtx, rec_off_);
     for (size_t i = 0; i < rt::kNumIntRegs; ++i)
         ctx.r[i] = rec_->intRF[i];
     for (size_t i = 0; i < rt::kNumFloatRegs; ++i)
@@ -148,6 +156,8 @@ IdoThread::persist_outputs(const RegionMeta& meta, const RegionCtx& ctx)
     pending_.clear();
     crash_tick();
     dom().fence(); // boundary fence 1
+    trace::emit(trace::EventKind::kPersistOutputs,
+                dom().load_val(&rec_->recovery_pc));
 }
 
 void
@@ -157,6 +167,7 @@ IdoThread::advance_recovery_pc(uint64_t pc)
     dom().store_val(&rec_->recovery_pc, pc);
     dom().flush(&rec_->recovery_pc, sizeof(uint64_t));
     dom().fence(); // boundary fence 2
+    trace::emit(trace::EventKind::kAdvancePc, pc);
     crash_tick();
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/panic.h"
 #include "nvm/persist_domain.h"
+#include "trace/trace.h"
 
 namespace ido::nvm {
 
@@ -105,6 +106,7 @@ NvAllocator::alloc(size_t size, PersistDomain& dom)
         payload_off = block_off + sizeof(BlockHeader);
     }
     dom.store_val(&st->live_count, st->live_count + 1);
+    trace::emit(trace::EventKind::kAlloc, payload_off, payload);
     return payload_off;
 }
 
@@ -139,6 +141,7 @@ NvAllocator::free_block(uint64_t payload_off, PersistDomain& dom)
     }
     std::lock_guard<std::mutex> g(mutex_);
     AllocState* st = state();
+    trace::emit(trace::EventKind::kFree, payload_off);
     auto* hdr =
         heap_.resolve<BlockHeader>(payload_off - sizeof(BlockHeader));
     const uint64_t hdr_state = dom.load_val(&hdr->state);

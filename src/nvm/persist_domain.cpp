@@ -10,6 +10,7 @@
 #include "common/cacheline.h"
 #include "common/spin_delay.h"
 #include "stats/persist_stats.h"
+#include "trace/trace.h"
 
 namespace ido::nvm {
 
@@ -74,6 +75,8 @@ RealDomain::flush(const void* addr, size_t n)
         ++count;
     }
     tls_persist_counters().flushes += count;
+    trace::emit(trace::EventKind::kFlush,
+                reinterpret_cast<uint64_t>(addr), count);
 }
 
 void
@@ -81,6 +84,7 @@ RealDomain::fence()
 {
     sfence_hw();
     tls_persist_counters().fences += 1;
+    trace::emit(trace::EventKind::kFence);
 }
 
 } // namespace ido::nvm

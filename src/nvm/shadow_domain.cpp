@@ -5,6 +5,7 @@
 
 #include "common/panic.h"
 #include "stats/persist_stats.h"
+#include "trace/trace.h"
 
 namespace ido::nvm {
 
@@ -102,6 +103,8 @@ ShadowDomain::flush(const void* addr, size_t n)
     const uintptr_t a = reinterpret_cast<uintptr_t>(addr);
     const uintptr_t first = line_base(a);
     const uintptr_t last = line_base(a + n - 1);
+    trace::emit(trace::EventKind::kFlush, a,
+                (last - first) / kCacheLineBytes + 1);
     auto& c = tls_persist_counters();
     for (uintptr_t lb = first; lb <= last; lb += kCacheLineBytes) {
         c.flushes += 1;
@@ -120,6 +123,7 @@ ShadowDomain::flush(const void* addr, size_t n)
 void
 ShadowDomain::fence()
 {
+    trace::emit(trace::EventKind::kFence);
     tls_persist_counters().fences += 1;
     const uint32_t tid = self_tid();
     for (Shard& sh : shards_) {

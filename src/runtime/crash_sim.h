@@ -17,6 +17,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "trace/trace.h"
+
 namespace ido::rt {
 
 /** Thrown at a crash opportunity once the fuse has burnt down. */
@@ -57,11 +59,17 @@ class CrashScheduler
         int64_t v = fuse_.load(std::memory_order_relaxed);
         if (v < 0)
             return;
-        if (v == 0)
+        if (v == 0) {
+            // Crash already fired; this thread dies at its next
+            // opportunity (a0=0 distinguishes it from the burner).
+            trace::emit(trace::EventKind::kCrashFired, 0);
             throw SimCrashException{};
+        }
         v = fuse_.fetch_sub(1, std::memory_order_acq_rel) - 1;
         if (v <= 0) {
             fuse_.store(0, std::memory_order_release);
+            // This thread's opportunity burnt the fuse down.
+            trace::emit(trace::EventKind::kCrashFired, 1);
             throw SimCrashException{};
         }
     }

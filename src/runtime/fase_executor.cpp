@@ -8,6 +8,7 @@
 #include "common/panic.h"
 #include "runtime/runtime.h"
 #include "stats/region_stats.h"
+#include "trace/trace.h"
 
 namespace ido::rt {
 
@@ -17,9 +18,11 @@ RuntimeThread::run_fase(const FaseProgram& prog, RegionCtx& ctx)
     IDO_ASSERT(!in_fase_, "nested run_fase (FASEs are outermost)");
     in_fase_ = true;
     cur_prog_ = &prog;
+    trace::emit(trace::EventKind::kFaseBegin, prog.fase_id);
     on_fase_begin(prog, ctx);
     run_regions(prog, 0, ctx);
     on_fase_end(prog, ctx);
+    trace::emit(trace::EventKind::kFaseEnd, prog.fase_id);
     in_fase_ = false;
     cur_prog_ = nullptr;
     IDO_ASSERT(held_.empty(), "FASE '%s' ended with locks held",
@@ -34,8 +37,12 @@ RuntimeThread::resume_fase(const FaseProgram& prog, uint32_t start_region,
     IDO_ASSERT(!in_fase_);
     in_fase_ = true;
     cur_prog_ = &prog;
+    trace::emit(trace::EventKind::kFaseResume,
+                (static_cast<uint64_t>(prog.fase_id) << 32)
+                    | start_region);
     run_regions(prog, start_region, ctx);
     on_fase_end(prog, ctx);
+    trace::emit(trace::EventKind::kFaseEnd, prog.fase_id);
     in_fase_ = false;
     cur_prog_ = nullptr;
     IDO_ASSERT(held_.empty(), "recovered FASE '%s' ended with locks held",
@@ -61,6 +68,8 @@ RuntimeThread::run_regions(const FaseProgram& prog, uint32_t start,
         lock_taken_in_region_ = false;
         if (check)
             checker_region_entry(meta, ctx);
+        trace::emit(trace::EventKind::kRegionBegin,
+                    (static_cast<uint64_t>(prog.fase_id) << 32) | idx);
         on_region_begin(prog, idx, ctx);
         crash_tick();
         const uint32_t next = meta.fn(*this, ctx);
@@ -75,6 +84,9 @@ RuntimeThread::run_regions(const FaseProgram& prog, uint32_t start,
         if (check)
             checker_region_exit(meta, ctx, next);
         on_region_boundary(prog, idx, ctx, next);
+        trace::emit(trace::EventKind::kRegionEnd,
+                    (static_cast<uint64_t>(prog.fase_id) << 32) | idx,
+                    region_stores_);
         idx = next;
     }
 }

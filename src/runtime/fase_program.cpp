@@ -45,6 +45,17 @@ FaseRegistry::try_lookup(uint32_t fase_id) const
     return table_[fase_id];
 }
 
+std::vector<const FaseProgram*>
+FaseRegistry::programs() const
+{
+    std::vector<const FaseProgram*> out;
+    for (const FaseProgram* p : table_) {
+        if (p != nullptr)
+            out.push_back(p);
+    }
+    return out;
+}
+
 void
 FaseRegistry::clear()
 {

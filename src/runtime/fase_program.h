@@ -96,6 +96,9 @@ class FaseRegistry
     /** Lookup returning nullptr instead of panicking. */
     const FaseProgram* try_lookup(uint32_t fase_id) const;
 
+    /** Every registered program (for name tables / diagnostics). */
+    std::vector<const FaseProgram*> programs() const;
+
     /** Drop all registrations (tests simulating a fresh process). */
     void clear();
 

@@ -2,6 +2,7 @@
 
 #include "common/cacheline.h"
 #include "common/panic.h"
+#include "trace/trace.h"
 
 namespace ido::rt {
 
@@ -131,14 +132,19 @@ RuntimeThread::holds_lock(uint64_t holder_off) const
 }
 
 void
-RuntimeThread::acquire_transient(TransientLock& l)
+RuntimeThread::acquire_transient(TransientLock& l, uint64_t holder_off)
 {
     // Always crash-aware: under injection a lock owner may have "died"
     // holding the lock (and the scheduler may be armed concurrently by
     // a watchdog), so every waiter re-checks the crash flag while
     // spinning instead of blocking forever.  The check is a single
     // mostly-unchanging shared load per backoff round.
+    bool contended = false;
     while (!l.try_lock()) {
+        if (!contended) {
+            contended = true;
+            trace::emit(trace::EventKind::kLockContend, holder_off);
+        }
         if (rt_.crash_scheduler().crashed())
             throw SimCrashException{};
         l.spin_wait();
@@ -154,6 +160,7 @@ RuntimeThread::fase_lock(uint64_t holder_off)
         rt_.locks().lock_for(heap().resolve<uint64_t>(holder_off));
     crash_tick();
     do_lock(holder_off, l); // acquires, then records ownership durably
+    trace::emit(trace::EventKind::kLockAcquire, holder_off);
     if (rt_.config().check_contracts)
         lock_taken_in_region_ = true;
 }
@@ -172,6 +179,7 @@ RuntimeThread::fase_unlock(uint64_t holder_off)
     TransientLock& l =
         rt_.locks().lock_for(heap().resolve<uint64_t>(holder_off));
     do_unlock(holder_off, l); // clears ownership durably, then releases
+    trace::emit(trace::EventKind::kLockRelease, holder_off);
 }
 
 void
@@ -179,8 +187,9 @@ RuntimeThread::adopt_lock_for_recovery(uint64_t holder_off)
 {
     TransientLock& l =
         rt_.locks().lock_for(heap().resolve<uint64_t>(holder_off));
-    acquire_transient(l);
+    acquire_transient(l, holder_off);
     held_.push_back(HeldLock{holder_off, 0});
+    trace::emit(trace::EventKind::kLockAcquire, holder_off);
 }
 
 // Default lock instrumentation: plain mutual exclusion (Origin, NVML,
@@ -188,7 +197,7 @@ RuntimeThread::adopt_lock_for_recovery(uint64_t holder_off)
 void
 RuntimeThread::do_lock(uint64_t holder_off, TransientLock& l)
 {
-    acquire_transient(l);
+    acquire_transient(l, holder_off);
     held_.push_back(HeldLock{holder_off, 0});
 }
 

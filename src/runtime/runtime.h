@@ -224,8 +224,11 @@ class RuntimeThread
     virtual void do_lock(uint64_t holder_off, TransientLock& l);
     virtual void do_unlock(uint64_t holder_off, TransientLock& l);
 
-    /** Acquire a transient lock, aborting if a simulated crash fires. */
-    void acquire_transient(TransientLock& l);
+    /**
+     * Acquire a transient lock, aborting if a simulated crash fires.
+     * holder_off (when known) labels the contention trace event.
+     */
+    void acquire_transient(TransientLock& l, uint64_t holder_off = 0);
 
     /** Execute deferred frees after FASE commit. */
     void drain_deferred_frees();

@@ -1,0 +1,152 @@
+#include "stats/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/json.h"
+
+namespace ido {
+
+MetricsRegistry&
+MetricsRegistry::instance()
+{
+    static MetricsRegistry* reg = new MetricsRegistry; // immortal
+    return *reg;
+}
+
+std::atomic<uint64_t>*
+MetricsRegistry::counter(const std::string& name)
+{
+    std::lock_guard<std::mutex> g(mutex_);
+    auto it = names_.find(name);
+    if (it == names_.end()) {
+        cells_.emplace_back(0);
+        it = names_.emplace(name, cells_.size() - 1).first;
+    }
+    return &cells_[it->second];
+}
+
+void
+MetricsRegistry::add(const std::string& name, uint64_t delta)
+{
+    counter(name)->fetch_add(delta, std::memory_order_relaxed);
+}
+
+uint64_t
+MetricsRegistry::counter_value(const std::string& name)
+{
+    std::lock_guard<std::mutex> g(mutex_);
+    auto it = names_.find(name);
+    if (it == names_.end())
+        return 0;
+    return cells_[it->second].load(std::memory_order_relaxed);
+}
+
+void
+MetricsRegistry::set(const std::string& name, uint64_t value)
+{
+    counter(name)->store(value, std::memory_order_relaxed);
+}
+
+void
+MetricsRegistry::histogram_merge(const std::string& name,
+                                 const Histogram& h)
+{
+    std::lock_guard<std::mutex> g(mutex_);
+    histograms_[name].merge(h);
+}
+
+Histogram
+MetricsRegistry::histogram_value(const std::string& name)
+{
+    std::lock_guard<std::mutex> g(mutex_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        return Histogram();
+    return it->second;
+}
+
+void
+MetricsRegistry::histogram_set(const std::string& name,
+                               const Histogram& h)
+{
+    std::lock_guard<std::mutex> g(mutex_);
+    histograms_[name] = h;
+}
+
+MetricsRegistry::Snapshot
+MetricsRegistry::snapshot()
+{
+    Snapshot s;
+    std::lock_guard<std::mutex> g(mutex_);
+    for (const auto& [name, idx] : names_)
+        s.counters[name] =
+            cells_[idx].load(std::memory_order_relaxed);
+    s.histograms = histograms_;
+    return s;
+}
+
+std::string
+MetricsRegistry::format_text()
+{
+    const Snapshot s = snapshot();
+    std::string out;
+    char buf[256];
+    for (const auto& [name, v] : s.counters) {
+        std::snprintf(buf, sizeof buf, "%-32s %" PRIu64 "\n",
+                      name.c_str(), v);
+        out += buf;
+    }
+    for (const auto& [name, h] : s.histograms) {
+        std::snprintf(buf, sizeof buf,
+                      "%-32s n=%" PRIu64 " mean=%.2f p50=%" PRIu64
+                      " p99=%" PRIu64 " max=%" PRIu64 "\n",
+                      name.c_str(), h.total_samples(), h.mean(),
+                      h.percentile(0.50), h.percentile(0.99),
+                      h.max_value());
+        out += buf;
+    }
+    return out;
+}
+
+std::string
+MetricsRegistry::format_json()
+{
+    const Snapshot s = snapshot();
+    std::string out = "{\"counters\":{";
+    char buf[192];
+    bool first = true;
+    for (const auto& [name, v] : s.counters) {
+        std::snprintf(buf, sizeof buf, "%s\"%s\":%" PRIu64,
+                      first ? "" : ",", json_escape(name).c_str(), v);
+        out += buf;
+        first = false;
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, h] : s.histograms) {
+        std::snprintf(buf, sizeof buf,
+                      "%s\"%s\":{\"total\":%" PRIu64
+                      ",\"mean\":%.4f,\"p50\":%" PRIu64
+                      ",\"p99\":%" PRIu64 ",\"max\":%" PRIu64 "}",
+                      first ? "" : ",", json_escape(name).c_str(),
+                      h.total_samples(), h.mean(), h.percentile(0.50),
+                      h.percentile(0.99), h.max_value());
+        out += buf;
+        first = false;
+    }
+    out += "}}";
+    return out;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> g(mutex_);
+    for (auto& cell : cells_)
+        cell.store(0, std::memory_order_relaxed);
+    for (auto& [name, h] : histograms_)
+        h = Histogram();
+}
+
+} // namespace ido

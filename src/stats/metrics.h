@@ -1,0 +1,101 @@
+/**
+ * @file
+ * MetricsRegistry: one named home for every quantitative observation.
+ *
+ * The repo grew two disjoint stats sinks -- PersistCounters (persist
+ * traffic) and RegionStatsCollector (Fig. 8 region histograms) -- each
+ * with its own global, reset call, and text format.  The registry
+ * unifies them behind a flat name -> counter / name -> histogram API
+ * with a consistent snapshot and a JSON export the benches, the trace
+ * tooling, and CI artifacts all share.
+ *
+ * Concurrency contract:
+ *  - counter cells are std::atomic<uint64_t> stored in a std::deque,
+ *    so a pointer returned by counter() stays valid forever and can be
+ *    bumped wait-free from any thread;
+ *  - name registration and histogram merges take a mutex (cold paths:
+ *    registration happens once per name, merges once per thread);
+ *  - snapshot() is safe against concurrent writers and never observes
+ *    torn per-counter values (64-bit atomic loads).
+ *
+ * Hot paths keep their thread-local accumulation (see persist_stats /
+ * region_stats); the registry is where folded totals live.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace ido {
+
+class MetricsRegistry
+{
+  public:
+    static MetricsRegistry& instance();
+
+    /**
+     * Get-or-create the counter cell for `name`.  The pointer is
+     * stable for the process lifetime; callers may cache it and use
+     * fetch_add directly on hot-ish paths.
+     */
+    std::atomic<uint64_t>* counter(const std::string& name);
+
+    /** Add `delta` to the named counter (creating it at 0 first). */
+    void add(const std::string& name, uint64_t delta);
+
+    /** Current value of the named counter; 0 if never created. */
+    uint64_t counter_value(const std::string& name);
+
+    /** Overwrite the named counter (reset paths). */
+    void set(const std::string& name, uint64_t value);
+
+    /** Merge `h` into the named histogram (creating it empty first). */
+    void histogram_merge(const std::string& name, const Histogram& h);
+
+    /** Copy of the named histogram; empty if never created. */
+    Histogram histogram_value(const std::string& name);
+
+    /** Overwrite the named histogram (reset paths). */
+    void histogram_set(const std::string& name, const Histogram& h);
+
+    /** Point-in-time copy of everything, sorted by name. */
+    struct Snapshot
+    {
+        std::map<std::string, uint64_t> counters;
+        std::map<std::string, Histogram> histograms;
+    };
+
+    Snapshot snapshot();
+
+    /** "name value" lines, one per counter, then histogram summaries. */
+    std::string format_text();
+
+    /**
+     * {"counters":{...},"histograms":{name:{"mean":..,"p50":..,
+     * "p99":..,"max":..,"total":..}}} -- the schema BENCH_*.json rows
+     * and ido_lint --json embed.
+     */
+    std::string format_json();
+
+    /** Zero every counter and clear every histogram (names persist). */
+    void reset();
+
+  private:
+    MetricsRegistry() = default;
+
+    std::mutex mutex_;
+    // deque: grows without moving elements, so counter() pointers and
+    // the indices in names_ stay valid under concurrent registration.
+    std::deque<std::atomic<uint64_t>> cells_;
+    std::map<std::string, size_t> names_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+} // namespace ido

@@ -1,14 +1,43 @@
 #include "stats/persist_stats.h"
 
 #include <cstdio>
-#include <mutex>
+
+#include "stats/metrics.h"
 
 namespace ido {
 
 namespace {
 
-std::mutex g_mutex;
-PersistCounters g_total;
+/**
+ * Thread-local counters that fold themselves into the MetricsRegistry
+ * when the owning thread exits.  This closes the accounting hole where
+ * a thread dying on an exception path (e.g. SimCrashException unwinding
+ * out of a worker) never reached its explicit persist_counters_flush_tls
+ * call and silently dropped its counts.
+ */
+struct TlsCounters
+{
+    PersistCounters c;
+
+    ~TlsCounters() { fold(); }
+
+    void
+    fold()
+    {
+        if (c.stores == 0 && c.store_bytes == 0 && c.flushes == 0 &&
+            c.fences == 0 && c.log_bytes == 0)
+            return;
+        auto& reg = MetricsRegistry::instance();
+        reg.add("persist.stores", c.stores);
+        reg.add("persist.store_bytes", c.store_bytes);
+        reg.add("persist.flushes", c.flushes);
+        reg.add("persist.fences", c.fences);
+        reg.add("persist.log_bytes", c.log_bytes);
+        c.clear();
+    }
+};
+
+thread_local TlsCounters t_counters;
 
 } // namespace
 
@@ -26,30 +55,37 @@ PersistCounters::operator+=(const PersistCounters& o)
 PersistCounters&
 tls_persist_counters()
 {
-    thread_local PersistCounters tls;
-    return tls;
+    return t_counters.c;
 }
 
 void
 persist_counters_flush_tls()
 {
-    std::lock_guard<std::mutex> g(g_mutex);
-    g_total += tls_persist_counters();
-    tls_persist_counters().clear();
+    t_counters.fold();
 }
 
 PersistCounters
 persist_counters_global()
 {
-    std::lock_guard<std::mutex> g(g_mutex);
-    return g_total;
+    auto& reg = MetricsRegistry::instance();
+    PersistCounters c;
+    c.stores = reg.counter_value("persist.stores");
+    c.store_bytes = reg.counter_value("persist.store_bytes");
+    c.flushes = reg.counter_value("persist.flushes");
+    c.fences = reg.counter_value("persist.fences");
+    c.log_bytes = reg.counter_value("persist.log_bytes");
+    return c;
 }
 
 void
 persist_counters_reset_global()
 {
-    std::lock_guard<std::mutex> g(g_mutex);
-    g_total.clear();
+    auto& reg = MetricsRegistry::instance();
+    reg.set("persist.stores", 0);
+    reg.set("persist.store_bytes", 0);
+    reg.set("persist.flushes", 0);
+    reg.set("persist.fences", 0);
+    reg.set("persist.log_bytes", 0);
 }
 
 std::string

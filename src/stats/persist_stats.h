@@ -33,8 +33,11 @@ struct PersistCounters
 PersistCounters& tls_persist_counters();
 
 /**
- * Fold the calling thread's counters into the global total and clear
- * them.  Worker threads call this before exiting.
+ * Fold the calling thread's counters into the global total (the
+ * MetricsRegistry `persist.*` counters) and clear them.  Folding also
+ * happens automatically at thread exit -- including exits that unwind
+ * through SimCrashException -- so this is only needed to make a live
+ * thread's counts visible early.
  */
 void persist_counters_flush_tls();
 

@@ -2,13 +2,32 @@
 
 #include <cstdio>
 
+#include "stats/metrics.h"
+
 namespace ido {
+
+namespace {
+
+constexpr const char* kStoresHist = "region.stores_per_region";
+constexpr const char* kLiveInHist = "region.live_in_per_region";
+
+} // namespace
 
 RegionStatsCollector&
 RegionStatsCollector::instance()
 {
-    static RegionStatsCollector collector;
-    return collector;
+    static RegionStatsCollector* collector = new RegionStatsCollector;
+    return *collector; // immortal: folded into from TLS destructors
+}
+
+RegionStatsCollector::TlsHists::~TlsHists()
+{
+    // Automatic fold at thread exit (exception unwinds included).
+    if (stores.total_samples() == 0 && live_in.total_samples() == 0)
+        return;
+    auto& reg = MetricsRegistry::instance();
+    reg.histogram_merge(kStoresHist, stores);
+    reg.histogram_merge(kLiveInHist, live_in);
 }
 
 RegionStatsCollector::TlsHists&
@@ -22,9 +41,9 @@ void
 RegionStatsCollector::flush_tls()
 {
     auto& t = tls();
-    std::lock_guard<std::mutex> g(mutex_);
-    g_stores_.merge(t.stores);
-    g_live_in_.merge(t.live_in);
+    auto& reg = MetricsRegistry::instance();
+    reg.histogram_merge(kStoresHist, t.stores);
+    reg.histogram_merge(kLiveInHist, t.live_in);
     t.stores = Histogram();
     t.live_in = Histogram();
 }
@@ -32,23 +51,21 @@ RegionStatsCollector::flush_tls()
 void
 RegionStatsCollector::reset()
 {
-    std::lock_guard<std::mutex> g(mutex_);
-    g_stores_ = Histogram();
-    g_live_in_ = Histogram();
+    auto& reg = MetricsRegistry::instance();
+    reg.histogram_set(kStoresHist, Histogram());
+    reg.histogram_set(kLiveInHist, Histogram());
 }
 
 Histogram
 RegionStatsCollector::stores_per_region() const
 {
-    std::lock_guard<std::mutex> g(mutex_);
-    return g_stores_;
+    return MetricsRegistry::instance().histogram_value(kStoresHist);
 }
 
 Histogram
 RegionStatsCollector::live_in_per_region() const
 {
-    std::lock_guard<std::mutex> g(mutex_);
-    return g_live_in_;
+    return MetricsRegistry::instance().histogram_value(kLiveInHist);
 }
 
 std::string

@@ -58,14 +58,14 @@ class RegionStatsCollector
     {
         Histogram stores;
         Histogram live_in;
+
+        /** Folds into the MetricsRegistry at thread exit. */
+        ~TlsHists();
     };
 
     TlsHists& tls();
 
     bool enabled_ = false;
-    mutable std::mutex mutex_;
-    Histogram g_stores_;
-    Histogram g_live_in_;
 };
 
 } // namespace ido

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Crash-recovery forensics: durable-log snapshots attached to a trace.
+ *
+ * After a (simulated) crash the event rings show *what each thread was
+ * doing*; the durable per-thread log records show *what recovery will
+ * see*.  A ForensicLogRec freezes the latter -- recovery_pc, the
+ * JUSTDO resume-snapshot selector, the lock-holder list, and the
+ * persisted register file -- so the ido_trace CLI can print each
+ * interrupted FASE's timeline next to the log state recovery starts
+ * from.  Collected between ShadowDomain::crash() and recover().
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/region_ctx.h"
+
+namespace ido {
+class IdoRuntime;
+namespace baselines {
+class JustdoRuntime;
+}
+} // namespace ido
+
+namespace ido::trace {
+
+/** Which runtime's log record this is. */
+enum class ForensicSource : uint32_t
+{
+    kIdo = 0,
+    kJustdo = 1,
+};
+
+/** One durable per-thread log record, frozen post-crash. */
+struct ForensicLogRec
+{
+    ForensicSource source = ForensicSource::kIdo;
+    uint64_t rec_off = 0;       ///< heap offset of the log record
+    uint64_t thread_tag = 0;    ///< the record's diagnostic thread id
+    uint64_t recovery_pc = 0;   ///< pack(fase, region) or inactive
+    uint64_t snap_selector = 0; ///< JUSTDO cur_snap (0/1); 0 for iDO
+    std::vector<uint64_t> lock_holders; ///< held lock holder offsets
+    uint64_t intRF[rt::kNumIntRegs] = {};
+    double floatRF[rt::kNumFloatRegs] = {};
+};
+
+/**
+ * Append one forensic record to the tracer's pending set (serialized
+ * by Tracer::write_file, exported by the CLI).  Thread safe.
+ */
+void add_forensic(const ForensicLogRec& rec);
+
+/** Pending forensic records (cleared by Tracer::arm / reset). */
+std::vector<ForensicLogRec> pending_forensics();
+
+/**
+ * Walk every iDO log record of rt and capture the interrupted ones
+ * (recovery_pc active).  @return records captured.
+ */
+size_t collect_ido_forensics(IdoRuntime& rt);
+
+/** JUSTDO equivalent: interrupted resume snapshots. */
+size_t collect_justdo_forensics(baselines::JustdoRuntime& rt);
+
+} // namespace ido::trace

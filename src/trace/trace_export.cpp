@@ -1,0 +1,567 @@
+#include "trace/trace_export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "baselines/runtime_factory.h"
+#include "common/json.h"
+#include "ido/ido_log.h"
+#include "runtime/fase_program.h"
+
+namespace ido::trace {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x45434152544f4449ull; // "IDOTRACE" LE
+
+// ---------------------------------------------------------------------
+// Binary reader
+// ---------------------------------------------------------------------
+
+struct ByteReader
+{
+    const uint8_t* p;
+    const uint8_t* end;
+    bool ok = true;
+
+    bool
+    take(void* dst, size_t n)
+    {
+        if (!ok || static_cast<size_t>(end - p) < n) {
+            ok = false;
+            return false;
+        }
+        std::memcpy(dst, p, n);
+        p += n;
+        return true;
+    }
+
+    uint32_t
+    u32()
+    {
+        uint32_t v = 0;
+        take(&v, sizeof(v));
+        return v;
+    }
+
+    uint64_t
+    u64()
+    {
+        uint64_t v = 0;
+        take(&v, sizeof(v));
+        return v;
+    }
+
+    std::string
+    strz()
+    {
+        std::string s;
+        while (ok && p < end && *p != 0)
+            s.push_back(static_cast<char>(*p++));
+        if (p >= end)
+            ok = false;
+        else
+            ++p; // skip NUL
+        return s;
+    }
+};
+
+std::string
+pc_name(const TraceFile& tf, uint64_t pc)
+{
+    char buf[96];
+    const uint32_t fase = recovery_pc_fase(pc);
+    const uint32_t region = recovery_pc_region(pc);
+    auto it = tf.fases.find(fase);
+    if (it == tf.fases.end()) {
+        std::snprintf(buf, sizeof buf, "fase%u/r%u", fase, region);
+        return buf;
+    }
+    if (region < it->second.regions.size()) {
+        std::snprintf(buf, sizeof buf, "%s/%s", it->second.name.c_str(),
+                      it->second.regions[region].c_str());
+        return buf;
+    }
+    std::snprintf(buf, sizeof buf, "%s/r%u", it->second.name.c_str(),
+                  region);
+    return buf;
+}
+
+std::string
+fase_name(const TraceFile& tf, uint64_t fase_id)
+{
+    auto it = tf.fases.find(static_cast<uint32_t>(fase_id));
+    if (it != tf.fases.end())
+        return it->second.name;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "fase%" PRIu64, fase_id);
+    return buf;
+}
+
+/** Display label for one event, using the FASE name table. */
+std::string
+event_label(const TraceFile& tf, const TraceRecord& r)
+{
+    const auto kind = static_cast<EventKind>(r.kind);
+    switch (kind) {
+      case EventKind::kFaseBegin:
+      case EventKind::kFaseEnd:
+        return fase_name(tf, r.a0);
+      case EventKind::kFaseResume:
+        return "resume " + pc_name(tf, r.a0);
+      case EventKind::kRegionBegin:
+      case EventKind::kRegionEnd:
+        return pc_name(tf, r.a0);
+      case EventKind::kRecoverResumeBegin:
+      case EventKind::kRecoverResumeEnd:
+        return "recovery.resume " + pc_name(tf, r.a0);
+      case EventKind::kRecoveryBegin:
+      case EventKind::kRecoveryEnd:
+        return std::string("recovery ")
+            + baselines::runtime_kind_name(
+                static_cast<baselines::RuntimeKind>(r.a0));
+      case EventKind::kRecoverLocksBegin:
+      case EventKind::kRecoverLocksEnd:
+        return "recovery.locks";
+      default:
+        return event_kind_name(kind);
+    }
+}
+
+struct SpanStats
+{
+    uint64_t count = 0;
+    uint64_t total_ns = 0;
+    uint64_t min_ns = UINT64_MAX;
+    uint64_t max_ns = 0;
+    uint64_t flushes = 0;
+    uint64_t fences = 0;
+    uint64_t lines = 0;
+};
+
+} // namespace
+
+bool
+read_trace_file(const std::string& path, TraceFile* out,
+                std::string* err)
+{
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+        if (err)
+            *err = "cannot open " + path;
+        return false;
+    }
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<uint8_t> bytes(size > 0 ? static_cast<size_t>(size) : 0);
+    if (!bytes.empty() &&
+        std::fread(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+        std::fclose(f);
+        if (err)
+            *err = "short read on " + path;
+        return false;
+    }
+    std::fclose(f);
+
+    ByteReader r{bytes.data(), bytes.data() + bytes.size()};
+    if (r.u64() != kMagic) {
+        if (err)
+            *err = path + ": not an ido-trace file (bad magic)";
+        return false;
+    }
+    const uint32_t version = r.u32();
+    r.u32(); // reserved
+    if (version != 1) {
+        if (err)
+            *err = path + ": unsupported trace version";
+        return false;
+    }
+
+    const uint32_t n_fases = r.u32();
+    for (uint32_t i = 0; r.ok && i < n_fases; ++i) {
+        const uint32_t fase_id = r.u32();
+        const uint32_t n_regions = r.u32();
+        FaseNames names;
+        names.name = r.strz();
+        for (uint32_t j = 0; r.ok && j < n_regions; ++j)
+            names.regions.push_back(r.strz());
+        out->fases[fase_id] = std::move(names);
+    }
+
+    const uint32_t n_threads = r.u32();
+    for (uint32_t i = 0; r.ok && i < n_threads; ++i) {
+        ThreadTrace t;
+        t.tid = r.u32();
+        r.u32(); // pad
+        t.emitted = r.u64();
+        t.dropped = r.u64();
+        const uint64_t n_records = r.u64();
+        t.records.resize(n_records);
+        if (n_records != 0)
+            r.take(t.records.data(), n_records * sizeof(TraceRecord));
+        out->threads.push_back(std::move(t));
+    }
+
+    const uint32_t n_forensics = r.u32();
+    for (uint32_t i = 0; r.ok && i < n_forensics; ++i) {
+        ForensicLogRec fr;
+        fr.source = static_cast<ForensicSource>(r.u32());
+        const uint32_t n_locks = r.u32();
+        fr.rec_off = r.u64();
+        fr.thread_tag = r.u64();
+        fr.recovery_pc = r.u64();
+        fr.snap_selector = r.u64();
+        for (uint32_t j = 0; r.ok && j < n_locks; ++j)
+            fr.lock_holders.push_back(r.u64());
+        r.take(fr.intRF, sizeof(fr.intRF));
+        r.take(fr.floatRF, sizeof(fr.floatRF));
+        out->forensics.push_back(std::move(fr));
+    }
+
+    if (!r.ok) {
+        if (err)
+            *err = path + ": truncated trace file";
+        return false;
+    }
+    return true;
+}
+
+TraceFile
+capture_current()
+{
+    TraceFile tf;
+    tf.threads = Tracer::snapshot();
+    tf.forensics = pending_forensics();
+    for (const rt::FaseProgram* p :
+         rt::FaseRegistry::instance().programs()) {
+        FaseNames names;
+        names.name = p->name;
+        for (const rt::RegionMeta& m : p->regions)
+            names.regions.push_back(m.name);
+        tf.fases[p->fase_id] = std::move(names);
+    }
+    return tf;
+}
+
+// ---------------------------------------------------------------------
+// Chrome trace-event JSON
+// ---------------------------------------------------------------------
+
+std::string
+export_chrome_json(const TraceFile& tf)
+{
+    std::string out = "[\n";
+    char buf[512];
+    bool first = true;
+
+    auto append = [&](const std::string& line) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += line;
+    };
+
+    for (const ThreadTrace& t : tf.threads) {
+        std::snprintf(buf, sizeof buf,
+                      "{\"ph\":\"M\",\"pid\":1,\"tid\":%u,"
+                      "\"name\":\"thread_name\","
+                      "\"args\":{\"name\":\"worker-%u\"}}",
+                      t.tid, t.tid);
+        append(buf);
+
+        // Pair begin/end kinds into complete ("X") events with a span
+        // stack; point kinds become instants.  Spans left open (the
+        // thread was crashed mid-FASE) are closed at the thread's last
+        // timestamp so chrome://tracing still renders them.
+        struct Open
+        {
+            size_t idx;        ///< index into t.records
+            EventKind end_kind;
+        };
+        std::vector<Open> stack;
+        const uint64_t last_ts =
+            t.records.empty() ? 0 : t.records.back().ts_ns;
+
+        auto emit_span = [&](const TraceRecord& b, uint64_t end_ns,
+                             bool truncated) {
+            const uint64_t dur = end_ns > b.ts_ns ? end_ns - b.ts_ns : 0;
+            std::snprintf(
+                buf, sizeof buf,
+                "{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
+                "\"dur\":%.3f,\"name\":\"%s\",\"cat\":\"%s\","
+                "\"args\":{\"a0\":%" PRIu64 ",\"a1\":%" PRIu64
+                ",\"seq\":%u%s}}",
+                t.tid, b.ts_ns / 1000.0, dur / 1000.0,
+                json_escape(event_label(tf, b)).c_str(),
+                event_kind_name(static_cast<EventKind>(b.kind)), b.a0,
+                b.a1, b.seq,
+                truncated ? ",\"truncated_by_crash\":true" : "");
+            append(buf);
+        };
+
+        for (size_t i = 0; i < t.records.size(); ++i) {
+            const TraceRecord& r = t.records[i];
+            const auto kind = static_cast<EventKind>(r.kind);
+            if (event_kind_is_begin(kind)) {
+                stack.push_back({i, event_kind_end_of(kind)});
+                continue;
+            }
+            bool closed = false;
+            for (size_t s = stack.size(); s-- > 0;) {
+                if (stack[s].end_kind == kind) {
+                    // Close this span and anything nested above it
+                    // (truncated at this end's timestamp).
+                    while (stack.size() > s + 1) {
+                        emit_span(t.records[stack.back().idx], r.ts_ns,
+                                  true);
+                        stack.pop_back();
+                    }
+                    emit_span(t.records[stack.back().idx], r.ts_ns,
+                              false);
+                    stack.pop_back();
+                    closed = true;
+                    break;
+                }
+            }
+            if (closed)
+                continue;
+            // Orphan end (its begin was overwritten in the ring) or a
+            // genuine point event: render as an instant.
+            std::snprintf(
+                buf, sizeof buf,
+                "{\"ph\":\"i\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
+                "\"s\":\"t\",\"name\":\"%s\",\"cat\":\"%s\","
+                "\"args\":{\"a0\":%" PRIu64 ",\"a1\":%" PRIu64 "}}",
+                t.tid, r.ts_ns / 1000.0,
+                json_escape(event_label(tf, r)).c_str(),
+                event_kind_name(kind), r.a0, r.a1);
+            append(buf);
+        }
+        // Spans never closed: the crash interrupted them.
+        while (!stack.empty()) {
+            emit_span(t.records[stack.back().idx], last_ts, true);
+            stack.pop_back();
+        }
+    }
+
+    out += "\n]\n";
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Per-FASE summary
+// ---------------------------------------------------------------------
+
+std::string
+format_fase_summary(const TraceFile& tf)
+{
+    // FASE spans keyed by fase_id; flushes/fences inside an open FASE
+    // span are attributed to it.
+    std::map<uint64_t, SpanStats> by_fase;
+    uint64_t total_events = 0, total_dropped = 0;
+    uint64_t fences_outside = 0, flushes_outside = 0;
+
+    for (const ThreadTrace& t : tf.threads) {
+        total_events += t.emitted;
+        total_dropped += t.dropped;
+        // (fase_id, begin_ts) stack; flush/fence go to the innermost.
+        std::vector<std::pair<uint64_t, uint64_t>> open;
+        for (const TraceRecord& r : t.records) {
+            const auto kind = static_cast<EventKind>(r.kind);
+            switch (kind) {
+              case EventKind::kFaseBegin:
+                open.emplace_back(r.a0, r.ts_ns);
+                break;
+              case EventKind::kFaseResume:
+                open.emplace_back(recovery_pc_fase(r.a0), r.ts_ns);
+                break;
+              case EventKind::kFaseEnd: {
+                if (open.empty())
+                    break;
+                auto [fase, begin_ts] = open.back();
+                open.pop_back();
+                SpanStats& s = by_fase[fase];
+                const uint64_t d =
+                    r.ts_ns > begin_ts ? r.ts_ns - begin_ts : 0;
+                ++s.count;
+                s.total_ns += d;
+                s.min_ns = std::min(s.min_ns, d);
+                s.max_ns = std::max(s.max_ns, d);
+                break;
+              }
+              case EventKind::kFlush:
+                if (open.empty()) {
+                    ++flushes_outside;
+                } else {
+                    ++by_fase[open.back().first].flushes;
+                    by_fase[open.back().first].lines += r.a1;
+                }
+                break;
+              case EventKind::kFence:
+                if (open.empty())
+                    ++fences_outside;
+                else
+                    ++by_fase[open.back().first].fences;
+                break;
+              default:
+                break;
+            }
+        }
+    }
+
+    std::string out;
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "threads %zu  events %" PRIu64 "  dropped %" PRIu64
+                  "\n\n",
+                  tf.threads.size(), total_events, total_dropped);
+    out += buf;
+    std::snprintf(buf, sizeof buf, "%-28s %8s %10s %10s %10s %8s %8s\n",
+                  "fase", "spans", "mean_us", "min_us", "max_us",
+                  "flushes", "fences");
+    out += buf;
+    for (const auto& [fase, s] : by_fase) {
+        const double mean =
+            s.count ? s.total_ns / 1000.0 / s.count : 0.0;
+        std::snprintf(buf, sizeof buf,
+                      "%-28s %8" PRIu64 " %10.2f %10.2f %10.2f %8" PRIu64
+                      " %8" PRIu64 "\n",
+                      fase_name(tf, fase).c_str(), s.count, mean,
+                      s.count ? s.min_ns / 1000.0 : 0.0,
+                      s.max_ns / 1000.0, s.flushes, s.fences);
+        out += buf;
+    }
+    std::snprintf(buf, sizeof buf,
+                  "%-28s %8s %10s %10s %10s %8" PRIu64 " %8" PRIu64 "\n",
+                  "(outside FASEs)", "-", "-", "-", "-", flushes_outside,
+                  fences_outside);
+    out += buf;
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Post-crash forensics
+// ---------------------------------------------------------------------
+
+std::string
+format_forensics(const TraceFile& tf)
+{
+    std::string out;
+    char buf[256];
+
+    if (tf.forensics.empty()) {
+        out += "no interrupted FASEs: every durable log record is "
+               "inactive (clean state)\n";
+        return out;
+    }
+
+    // Map thread_tag -> trace thread via kLogRecAttach events.  When a
+    // record was attached twice (the crashed worker, then the recovery
+    // thread adopting its log), keep the earliest attach: the forensic
+    // question is what the *owner* was doing when it died.
+    std::map<uint64_t, std::pair<uint64_t, const ThreadTrace*>> by_tag;
+    for (const ThreadTrace& t : tf.threads) {
+        for (const TraceRecord& r : t.records) {
+            if (static_cast<EventKind>(r.kind) !=
+                EventKind::kLogRecAttach)
+                continue;
+            auto it = by_tag.find(r.a1);
+            if (it == by_tag.end() || r.ts_ns < it->second.first)
+                by_tag[r.a1] = {r.ts_ns, &t};
+        }
+    }
+
+    for (const ForensicLogRec& fr : tf.forensics) {
+        std::snprintf(buf, sizeof buf,
+                      "interrupted FASE: thread_tag %" PRIu64
+                      " (%s log rec @0x%" PRIx64 ")\n",
+                      fr.thread_tag,
+                      fr.source == ForensicSource::kIdo ? "ido"
+                                                        : "justdo",
+                      fr.rec_off);
+        out += buf;
+        std::snprintf(buf, sizeof buf,
+                      "  recovery_pc  %s (0x%" PRIx64 ")\n",
+                      pc_name(tf, fr.recovery_pc).c_str(),
+                      fr.recovery_pc);
+        out += buf;
+        if (fr.source == ForensicSource::kJustdo) {
+            std::snprintf(buf, sizeof buf,
+                          "  RF snapshot  selector %" PRIu64
+                          " (double-buffered)\n",
+                          fr.snap_selector);
+            out += buf;
+        }
+        out += "  lock holders ";
+        if (fr.lock_holders.empty()) {
+            out += "(none)";
+        } else {
+            for (uint64_t h : fr.lock_holders) {
+                std::snprintf(buf, sizeof buf, "0x%" PRIx64 " ", h);
+                out += buf;
+            }
+        }
+        out += "\n  intRF        ";
+        for (size_t i = 0; i < rt::kNumIntRegs; ++i) {
+            std::snprintf(buf, sizeof buf, "%" PRIu64 "%s", fr.intRF[i],
+                          i + 1 < rt::kNumIntRegs ? " " : "\n");
+            out += buf;
+        }
+
+        auto it = by_tag.find(fr.thread_tag);
+        if (it == by_tag.end()) {
+            out += "  (no trace events recorded for this thread)\n\n";
+            continue;
+        }
+        const ThreadTrace& t = *it->second.second;
+        const size_t tail =
+            t.records.size() > 8 ? t.records.size() - 8 : 0;
+        std::snprintf(buf, sizeof buf,
+                      "  final events of worker-%u (last %zu of "
+                      "%" PRIu64 "):\n",
+                      t.tid, t.records.size() - tail, t.emitted);
+        out += buf;
+        for (size_t i = tail; i < t.records.size(); ++i) {
+            const TraceRecord& r = t.records[i];
+            std::snprintf(
+                buf, sizeof buf,
+                "    %10.3f us  %-22s %s  a1=%" PRIu64 "\n",
+                r.ts_ns / 1000.0,
+                event_kind_name(static_cast<EventKind>(r.kind)),
+                event_label(tf, r).c_str(), r.a1);
+            out += buf;
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+std::string
+format_dump(const TraceFile& tf)
+{
+    std::string out;
+    char buf[256];
+    for (const ThreadTrace& t : tf.threads) {
+        std::snprintf(buf, sizeof buf,
+                      "thread %u: emitted %" PRIu64 " dropped %" PRIu64
+                      "\n",
+                      t.tid, t.emitted, t.dropped);
+        out += buf;
+        for (const TraceRecord& r : t.records) {
+            std::snprintf(
+                buf, sizeof buf,
+                "  [%6u] %12.3f us  %-22s %s  a0=0x%" PRIx64
+                " a1=%" PRIu64 "\n",
+                r.seq, r.ts_ns / 1000.0,
+                event_kind_name(static_cast<EventKind>(r.kind)),
+                event_label(tf, r).c_str(), r.a0, r.a1);
+            out += buf;
+        }
+    }
+    return out;
+}
+
+} // namespace ido::trace

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Trace-file reading and export: Chrome trace-event JSON, per-FASE
+ * latency/fence summaries, and post-crash forensic timelines.
+ *
+ * Everything here is cold-path tooling shared by the ido_trace CLI and
+ * the tests; nothing is linked into instrumentation hot paths.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/forensics.h"
+#include "trace/trace.h"
+
+namespace ido::trace {
+
+/** Region names of one FASE, indexed by region index. */
+struct FaseNames
+{
+    std::string name;
+    std::vector<std::string> regions;
+};
+
+/** A fully parsed trace: threads + name table + forensic records. */
+struct TraceFile
+{
+    std::vector<ThreadTrace> threads;
+    std::map<uint32_t, FaseNames> fases; ///< fase_id -> names
+    std::vector<ForensicLogRec> forensics;
+};
+
+/**
+ * Parse an ido-trace binary file.  @return false (with *err set) on
+ * open failure, bad magic, or truncation.
+ */
+bool read_trace_file(const std::string& path, TraceFile* out,
+                     std::string* err);
+
+/**
+ * Build a TraceFile from the live in-process tracer state (snapshot +
+ * FaseRegistry + pending forensics) without a file round trip.
+ */
+TraceFile capture_current();
+
+/**
+ * Render the trace as a Chrome trace-event / Perfetto JSON array.
+ * Begin/end kind pairs become "X" complete events; point events become
+ * instants.  Load the output at chrome://tracing or ui.perfetto.dev.
+ */
+std::string export_chrome_json(const TraceFile& tf);
+
+/**
+ * Per-FASE latency and persist-traffic table: span count, mean/min/max
+ * duration, and the flushes/fences attributed to each FASE.
+ */
+std::string format_fase_summary(const TraceFile& tf);
+
+/**
+ * Post-crash forensic report: for every interrupted FASE, the durable
+ * log record recovery will start from (recovery_pc, snapshot selector,
+ * lock holders, register file) next to the final trace events of the
+ * thread that owned it.
+ */
+std::string format_forensics(const TraceFile& tf);
+
+/** Flat human-readable event dump (debugging aid). */
+std::string format_dump(const TraceFile& tf);
+
+} // namespace ido::trace

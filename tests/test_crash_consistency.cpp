@@ -20,6 +20,7 @@
 #include <deque>
 #include <map>
 
+#include "baselines/nvml_runtime.h"
 #include "baselines/runtime_factory.h"
 #include "common/rng.h"
 #include "ds/hashmap.h"
@@ -310,6 +311,102 @@ TEST_P(CrashConsistency, ConcurrentWorkloadInvariantsSurvive)
                 << ds::ds_kind_name(s) << " seed " << seed;
         }
     }
+}
+
+// Deterministic regression test for the NVML two-phase-locking fix
+// (the ConcurrentWorkloadInvariantsSurvive/nvml flake): releasing a
+// transaction's locks before its commit (the lap bump that retires the
+// undo log) published uncommitted, unflushed stores to other threads;
+// a crash before commit would then undo state that committed
+// transactions already built on (queue tail-unreachable invariant
+// violations, allocator double-frees).  The checkable single-thread
+// property is the lock discipline itself: at EVERY crash point, a live
+// undo log implies the transaction's queue locks are still held.
+// Sweeping the fuse visits every crash opportunity of the op sequence,
+// so the test is exhaustive and deterministic.
+TEST(NvmlLockDiscipline, UndoLiveImpliesLocksStillHeld)
+{
+    uint64_t protected_checks = 0;
+    for (int64_t fuse = 1;; ++fuse) {
+        ASSERT_LT(fuse, 100000) << "crash-free run never reached";
+        nvm::PersistentHeap heap({.size = 32u << 20});
+        nvm::RealDomain dom;
+        rt::RuntimeConfig cfg;
+        cfg.check_contracts = true;
+        auto runtime = baselines::make_runtime(RuntimeKind::kNvml,
+                                               heap, dom, cfg);
+        ds::register_all_programs();
+        auto th = runtime->make_thread();
+        ds::PQueue queue(ds::PQueue::create(*th));
+        queue.enqueue(*th, 1);
+        queue.enqueue(*th, 2);
+
+        runtime->crash_scheduler().arm(fuse);
+        bool crashed = false;
+        try {
+            uint64_t out;
+            for (int i = 0; i < 6; ++i) {
+                queue.enqueue(*th, 10 + static_cast<uint64_t>(i));
+                queue.dequeue(*th, &out);
+            }
+        } catch (const rt::SimCrashException&) {
+            crashed = true;
+        }
+        runtime->crash_scheduler().disarm();
+        if (!crashed)
+            break; // the fuse outlived the run: every point visited
+
+        // A live undo log by itself is fine (node-build stores happen
+        // before any lock is taken).  The discipline violation is a
+        // live undo entry for LOCK-PROTECTED state -- the root's head
+        // or tail pointer, written only inside the respective critical
+        // section -- while that lock is already released: exactly the
+        // window the old early-release code opened.
+        auto* nvml =
+            static_cast<baselines::NvmlRuntime*>(runtime.get());
+        auto* root = heap.resolve<ds::PQueueRoot>(queue.root_off());
+        auto lock_held = [&](uint64_t* slot) {
+            auto& l = runtime->locks().lock_for(slot);
+            if (l.try_lock()) {
+                l.unlock();
+                return false;
+            }
+            return true;
+        };
+        for (uint64_t off : nvml->thread_log_offsets()) {
+            auto* log = heap.resolve<baselines::NvmlThreadLog>(off);
+            const auto* buf = heap.resolve<uint8_t>(log->buf_off);
+            const size_t n_slots =
+                log->buf_bytes / sizeof(baselines::NvmlEntry);
+            for (size_t i = 0; i < n_slots; ++i) {
+                const auto* e =
+                    reinterpret_cast<const baselines::NvmlEntry*>(
+                        buf + i * sizeof(baselines::NvmlEntry));
+                if (e->type != 1
+                    || e->lap != static_cast<uint32_t>(log->lap))
+                    break; // end of the live (uncommitted) suffix
+                if (e->addr_off
+                    == queue.root_off() + offsetof(ds::PQueueRoot,
+                                                   head)) {
+                    ++protected_checks;
+                    EXPECT_TRUE(lock_held(&root->head_lock_holder))
+                        << "fuse " << fuse
+                        << ": uncommitted head write, head lock free";
+                } else if (e->addr_off
+                           == queue.root_off()
+                               + offsetof(ds::PQueueRoot, tail)) {
+                    ++protected_checks;
+                    EXPECT_TRUE(lock_held(&root->tail_lock_holder))
+                        << "fuse " << fuse
+                        << ": uncommitted tail write, tail lock free";
+                }
+            }
+        }
+    }
+    // The sweep visits every crash opportunity, so some fuses must
+    // land between a protected-field store and its commit -- if none
+    // did, the assertions above never ran and the test proves nothing.
+    EXPECT_GT(protected_checks, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared gtest main for every test binary: when IDO_TRACE_DIR names a
+ * directory, the ido-trace tracer is armed for the whole run and every
+ * failing test dumps its flight recorder -- the binary trace, the
+ * Chrome JSON conversion, and a MetricsRegistry snapshot -- into that
+ * directory.  CI's crash-sweep job uploads these as artifacts, so a
+ * flaky crash-consistency failure arrives with the event timeline that
+ * produced it instead of just an assertion message.
+ *
+ * With IDO_TRACE_DIR unset (the default, and the local developer
+ * path), this main is behaviorally identical to gtest_main.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "stats/metrics.h"
+#include "trace/trace.h"
+#include "trace/trace_export.h"
+
+namespace {
+
+std::string
+sanitize(const std::string& s)
+{
+    std::string out = s;
+    for (char& c : out) {
+        if (c == '/' || c == '\\' || c == ' ')
+            c = '_';
+    }
+    return out;
+}
+
+void
+write_text(const std::string& path, const std::string& text)
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return;
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+}
+
+class TraceOnFailure : public ::testing::EmptyTestEventListener
+{
+  public:
+    explicit TraceOnFailure(std::string dir) : dir_(std::move(dir)) {}
+
+    void
+    OnTestEnd(const ::testing::TestInfo& info) override
+    {
+        if (!info.result()->Failed())
+            return;
+        const std::string base = dir_ + "/"
+            + sanitize(info.test_suite_name()) + "."
+            + sanitize(info.name());
+        ido::trace::Tracer::write_file(base + ".idotrace");
+        const ido::trace::TraceFile tf = ido::trace::capture_current();
+        write_text(base + ".trace.json",
+                   ido::trace::export_chrome_json(tf));
+        write_text(base + ".metrics.json",
+                   ido::MetricsRegistry::instance().format_json());
+        std::fprintf(stderr,
+                     "[ido-trace] failure artifacts written: %s.*\n",
+                     base.c_str());
+    }
+
+  private:
+    std::string dir_;
+};
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    if (const char* dir = std::getenv("IDO_TRACE_DIR");
+        dir != nullptr && *dir != '\0') {
+        ido::trace::Tracer::arm();
+        ::testing::UnitTest::GetInstance()->listeners().Append(
+            new TraceOnFailure(dir));
+    }
+    return RUN_ALL_TESTS();
+}

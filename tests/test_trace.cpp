@@ -1,0 +1,218 @@
+/**
+ * @file
+ * ido-trace: ring-overflow drop accounting, the observer-effect guard
+ * (armed tracing must not change persist behavior), binary round
+ * trips, and the end-to-end crash -> forensics -> Chrome-JSON path on
+ * the memcached example workload.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "apps/memcached_client.h"
+#include "ds/stack.h"
+#include "ds/workload.h"
+#include "ido/ido_runtime.h"
+#include "nvm/shadow_domain.h"
+#include "stats/persist_stats.h"
+#include "trace/forensics.h"
+#include "trace/trace.h"
+#include "trace/trace_export.h"
+
+namespace ido {
+namespace {
+
+TEST(TraceRing, OverflowKeepsExactDropCount)
+{
+    trace::Tracer::arm(/*capacity=*/64);
+    for (uint64_t i = 0; i < 1000; ++i)
+        trace::emit(trace::EventKind::kFence, i);
+    trace::Tracer::disarm();
+
+    const auto threads = trace::Tracer::snapshot();
+    const trace::ThreadTrace* mine = nullptr;
+    for (const auto& t : threads) {
+        if (!t.records.empty()
+            && t.records.back().a0 == 999)
+            mine = &t;
+    }
+    ASSERT_NE(mine, nullptr);
+    EXPECT_EQ(mine->emitted, 1000u);
+    EXPECT_EQ(mine->dropped, 1000u - 64u);
+    ASSERT_EQ(mine->records.size(), 64u);
+    // Oldest-first, contiguous, ending at the last emit.
+    for (size_t i = 0; i < mine->records.size(); ++i) {
+        EXPECT_EQ(mine->records[i].a0, 936 + i);
+        EXPECT_EQ(mine->records[i].seq,
+                  static_cast<uint32_t>(936 + i));
+    }
+    EXPECT_EQ(trace::Tracer::dropped_total(), 936u);
+    trace::Tracer::reset();
+}
+
+TEST(TraceRing, NoOverflowMeansNoDrops)
+{
+    trace::Tracer::arm(/*capacity=*/1024);
+    for (uint64_t i = 0; i < 100; ++i)
+        trace::emit(trace::EventKind::kFlush, i, 1);
+    trace::Tracer::disarm();
+    uint64_t total = 0;
+    for (const auto& t : trace::Tracer::snapshot())
+        total += t.records.size();
+    EXPECT_GE(total, 100u);
+    EXPECT_EQ(trace::Tracer::dropped_total(), 0u);
+    trace::Tracer::reset();
+}
+
+// The observer-effect guard: a fixed single-threaded workload must
+// produce byte-identical persist counters whether the tracer is armed
+// or disarmed -- instrumentation may watch fences, never add them.
+TEST(TraceObserver, ArmedRunMatchesDisarmedPersistCounters)
+{
+    auto run_once = [](bool armed) {
+        nvm::PersistentHeap heap({.size = 32u << 20});
+        nvm::RealDomain dom;
+        auto runtime = std::make_unique<IdoRuntime>(
+            heap, dom, rt::RuntimeConfig{});
+        ds::register_all_programs();
+        if (armed)
+            trace::Tracer::arm();
+        persist_counters_reset_global();
+        {
+            auto th = runtime->make_thread();
+            ds::PStack stack(ds::PStack::create(*th));
+            uint64_t out;
+            for (uint64_t i = 0; i < 200; ++i) {
+                stack.push(*th, i * 3 + 1);
+                if (i % 3 == 0)
+                    stack.pop(*th, &out);
+            }
+        }
+        persist_counters_flush_tls();
+        const PersistCounters c = persist_counters_global();
+        if (armed)
+            trace::Tracer::disarm();
+        trace::Tracer::reset();
+        return c;
+    };
+
+    const PersistCounters off = run_once(false);
+    const PersistCounters on = run_once(true);
+    EXPECT_EQ(off.stores, on.stores);
+    EXPECT_EQ(off.flushes, on.flushes);
+    EXPECT_EQ(off.fences, on.fences);
+    EXPECT_EQ(off.store_bytes, on.store_bytes);
+    EXPECT_EQ(off.log_bytes, on.log_bytes);
+    EXPECT_GT(off.fences, 0u);
+}
+
+// End-to-end: memcached crash + recovery traced, forensics collected,
+// written to disk, parsed back, and exported as Chrome JSON with FASE
+// spans, boundary fences, and recovery phases.
+TEST(TraceEndToEnd, MemcachedCrashRecoveryChromeExport)
+{
+    size_t n_forensics = 0;
+    std::unique_ptr<nvm::PersistentHeap> heap;
+    std::unique_ptr<nvm::ShadowDomain> shadow;
+    std::unique_ptr<IdoRuntime> runtime;
+    uint64_t root = 0;
+    for (uint64_t seed = 1; seed <= 64 && n_forensics == 0; ++seed) {
+        heap = std::make_unique<nvm::PersistentHeap>(
+            nvm::PersistentHeap::Options{.size = 64u << 20});
+        shadow = std::make_unique<nvm::ShadowDomain>(
+            heap->base(), heap->size(), seed);
+        runtime = std::make_unique<IdoRuntime>(*heap, *shadow,
+                                               rt::RuntimeConfig{});
+        apps::MemcachedWorkloadConfig cfg;
+        cfg.threads = 4;
+        cfg.key_space = 128;
+        cfg.nbuckets = 64;
+        cfg.ops_per_thread = 1u << 20;
+        cfg.prefill = false;
+        cfg.seed = seed;
+        root = apps::memcached_setup(*runtime, cfg);
+        shadow->drain_all();
+
+        trace::Tracer::arm();
+        runtime->crash_scheduler().arm(
+            800 + static_cast<int64_t>(seed) * 101);
+        apps::memcached_run(*runtime, root, cfg);
+        shadow->crash(nvm::CrashPolicy::kRandom);
+        n_forensics = trace::collect_ido_forensics(*runtime);
+    }
+    ASSERT_GT(n_forensics, 0u)
+        << "no seed produced an interrupted FASE";
+
+    runtime = std::make_unique<IdoRuntime>(*heap, *shadow,
+                                           rt::RuntimeConfig{});
+    apps::MemcachedMini::register_programs();
+    runtime->recover();
+    shadow->drain_all();
+    trace::Tracer::disarm();
+    ASSERT_TRUE(apps::MemcachedMini::check_invariants(*heap, root));
+
+    // In-memory capture and a disk round trip must agree.
+    const trace::TraceFile live = trace::capture_current();
+    EXPECT_FALSE(live.threads.empty());
+    EXPECT_EQ(live.forensics.size(), n_forensics);
+
+    const std::string path = ::testing::TempDir() + "trace_e2e.bin";
+    ASSERT_TRUE(trace::Tracer::write_file(path));
+    trace::TraceFile disk;
+    std::string err;
+    ASSERT_TRUE(trace::read_trace_file(path, &disk, &err)) << err;
+    ASSERT_EQ(disk.threads.size(), live.threads.size());
+    uint64_t live_records = 0, disk_records = 0;
+    for (const auto& t : live.threads)
+        live_records += t.records.size();
+    for (const auto& t : disk.threads)
+        disk_records += t.records.size();
+    EXPECT_EQ(disk_records, live_records);
+    EXPECT_EQ(disk.forensics.size(), live.forensics.size());
+    std::remove(path.c_str());
+
+    const std::string json = trace::export_chrome_json(disk);
+    // FASE spans, truncated-at-crash spans, boundary persist events,
+    // and recovery phases must all be present.
+    EXPECT_NE(json.find("\"name\":\"memcached.set\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"truncated_by_crash\":true"),
+              std::string::npos);
+    EXPECT_NE(json.find("persist.fence"), std::string::npos);
+    EXPECT_NE(json.find("recovery ido"), std::string::npos);
+    EXPECT_NE(json.find("recovery.resume"), std::string::npos);
+    // Structural sanity: a JSON array with balanced brackets.
+    EXPECT_EQ(json.front(), '[');
+    int depth = 0;
+    bool in_str = false;
+    for (size_t i = 0; i < json.size(); ++i) {
+        const char c = json[i];
+        if (in_str) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                in_str = false;
+            continue;
+        }
+        if (c == '"')
+            in_str = true;
+        else if (c == '[' || c == '{')
+            ++depth;
+        else if (c == ']' || c == '}')
+            --depth;
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+
+    // The human-readable reports render without dying and mention the
+    // interrupted FASE.
+    EXPECT_NE(trace::format_fase_summary(disk).find("memcached.set"),
+              std::string::npos);
+    EXPECT_NE(trace::format_forensics(disk).find("interrupted FASE"),
+              std::string::npos);
+    trace::Tracer::reset();
+}
+
+} // namespace
+} // namespace ido

@@ -8,9 +8,12 @@
  * benchmarks execute -- including the corpus-wide cross-FASE race
  * check, and prints a diagnostic report.
  *
- * Usage: ido_lint [--Werror] [--quiet] [--list-checks] [name...]
+ * Usage: ido_lint [--Werror] [--quiet] [--json] [--list-checks]
+ *                 [name...]
  *   --Werror       exit nonzero on warnings as well as errors
  *   --quiet        print only diagnostics and the final summary
+ *   --json         machine-readable report: {"diagnostics":[...],
+ *                  "errors":N,"warnings":N} (implies --quiet)
  *   --list-checks  print the check catalogue and exit
  *   name...        lint only the named FASEs (default: whole corpus)
  *
@@ -59,8 +62,8 @@ int
 usage(const char* argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s [--Werror] [--quiet] [--list-checks] "
-                 "[name...]\n",
+                 "usage: %s [--Werror] [--quiet] [--json] "
+                 "[--list-checks] [name...]\n",
                  argv0);
     return 2;
 }
@@ -72,11 +75,15 @@ main(int argc, char** argv)
 {
     bool werror = false;
     bool quiet = false;
+    bool json = false;
     std::vector<std::string> selected;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--Werror") == 0) {
             werror = true;
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
+            quiet = true;
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            json = true;
             quiet = true;
         } else if (std::strcmp(argv[i], "--list-checks") == 0) {
             list_checks();
@@ -128,16 +135,25 @@ main(int argc, char** argv)
 
     const std::vector<lint::Diagnostic> diags =
         lint::LintRegistry::builtin().lint_corpus(ctx_ptrs);
-    for (const lint::Diagnostic& d : diags)
-        std::printf("%s\n", d.render().c_str());
-
     const uint32_t errors =
         lint::count_at_least(diags, lint::Severity::kError);
     const uint32_t warnings =
         static_cast<uint32_t>(diags.size()) - errors;
-    if (!quiet || !diags.empty()) {
-        std::printf("ido-lint: %u error(s), %u warning(s)\n", errors,
+    if (json) {
+        std::printf("{\"diagnostics\":[");
+        for (size_t i = 0; i < diags.size(); ++i) {
+            std::printf("%s%s", i ? "," : "",
+                        diags[i].render_json().c_str());
+        }
+        std::printf("],\"errors\":%u,\"warnings\":%u}\n", errors,
                     warnings);
+    } else {
+        for (const lint::Diagnostic& d : diags)
+            std::printf("%s\n", d.render().c_str());
+        if (!quiet || !diags.empty()) {
+            std::printf("ido-lint: %u error(s), %u warning(s)\n",
+                        errors, warnings);
+        }
     }
     if (errors > 0)
         return 1;

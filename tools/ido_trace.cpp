@@ -1,0 +1,110 @@
+/**
+ * @file
+ * ido_trace: convert and inspect ido-trace binary capture files.
+ *
+ * Usage: ido_trace [--chrome|--summary|--forensics|--dump] [-o OUT] FILE
+ *   --chrome     emit Chrome trace-event / Perfetto JSON
+ *                (load at chrome://tracing or ui.perfetto.dev)
+ *   --summary    per-FASE latency and persist-traffic table (default)
+ *   --forensics  post-crash timeline: durable log records next to the
+ *                final events of the threads that owned them
+ *   --dump       flat per-thread event listing
+ *   -o OUT       write to OUT instead of stdout
+ *
+ * Exit status: 0 ok, 1 unreadable/corrupt trace, 2 usage error.
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "trace/trace_export.h"
+
+namespace {
+
+int
+usage(const char* argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--chrome|--summary|--forensics|--dump] "
+                 "[-o OUT] FILE\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    enum class Mode
+    {
+        kSummary,
+        kChrome,
+        kForensics,
+        kDump
+    };
+    Mode mode = Mode::kSummary;
+    std::string out_path;
+    std::string in_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--chrome") == 0) {
+            mode = Mode::kChrome;
+        } else if (std::strcmp(argv[i], "--summary") == 0) {
+            mode = Mode::kSummary;
+        } else if (std::strcmp(argv[i], "--forensics") == 0) {
+            mode = Mode::kForensics;
+        } else if (std::strcmp(argv[i], "--dump") == 0) {
+            mode = Mode::kDump;
+        } else if (std::strcmp(argv[i], "-o") == 0) {
+            if (++i >= argc)
+                return usage(argv[0]);
+            out_path = argv[i];
+        } else if (argv[i][0] == '-') {
+            return usage(argv[0]);
+        } else if (in_path.empty()) {
+            in_path = argv[i];
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (in_path.empty())
+        return usage(argv[0]);
+
+    ido::trace::TraceFile tf;
+    std::string err;
+    if (!ido::trace::read_trace_file(in_path, &tf, &err)) {
+        std::fprintf(stderr, "ido_trace: %s: %s\n", in_path.c_str(),
+                     err.c_str());
+        return 1;
+    }
+
+    std::string text;
+    switch (mode) {
+    case Mode::kChrome:
+        text = ido::trace::export_chrome_json(tf);
+        break;
+    case Mode::kSummary:
+        text = ido::trace::format_fase_summary(tf);
+        break;
+    case Mode::kForensics:
+        text = ido::trace::format_forensics(tf);
+        break;
+    case Mode::kDump:
+        text = ido::trace::format_dump(tf);
+        break;
+    }
+
+    if (out_path.empty()) {
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        return 0;
+    }
+    std::FILE* f = std::fopen(out_path.c_str(), "wb");
+    if (!f) {
+        std::fprintf(stderr, "ido_trace: cannot open %s for writing\n",
+                     out_path.c_str());
+        return 1;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return 0;
+}
