@@ -8,9 +8,16 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
 #include "common/rng.h"
 #include "common/zipf.h"
 #include "nvm/nv_allocator.h"
+#include "nvm/nv_heap.h"
 #include "nvm/persist_domain.h"
 #include "nvm/shadow_domain.h"
 #include "runtime/indirect_lock.h"
@@ -92,6 +99,112 @@ BM_NvAllocFree(benchmark::State& state)
 }
 
 void
+BM_NvHeapAllocFree(benchmark::State& state)
+{
+    nvm::PersistentHeap heap({.size = 64u << 20});
+    nvm::RealDomain dom;
+    nvm::NvHeap h(heap, dom);
+    for (auto _ : state) {
+        const uint64_t off = h.alloc(64, dom);
+        h.free_block(off, dom);
+    }
+}
+
+// --------------------------------------------------------------------------
+// Allocator scalability series (BENCH_alloc.json)
+// --------------------------------------------------------------------------
+
+/**
+ * Fixed-duration alloc/free churn on `threads` workers; returns ops
+ * completed.  Mixed sizes keep several classes hot, matching the
+ * runtimes' log-record + ds-node mix rather than a single-class
+ * best case.
+ */
+template <typename Allocator>
+uint64_t
+alloc_churn(Allocator& alloc, nvm::PersistDomain& dom, uint32_t threads,
+            double seconds)
+{
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> total_ops{0};
+    std::vector<std::thread> workers;
+    for (uint32_t t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            Rng rng(t * 7919 + 13);
+            std::vector<uint64_t> live;
+            live.reserve(128);
+            uint64_t ops = 0;
+            while (!stop.load(std::memory_order_relaxed)) {
+                if (live.size() < 64 || rng.percent(50)) {
+                    const uint64_t off =
+                        alloc.alloc(8 + rng.next_below(248), dom);
+                    if (off != 0)
+                        live.push_back(off);
+                } else {
+                    const size_t idx = rng.next_below(live.size());
+                    alloc.free_block(live[idx], dom);
+                    live[idx] = live.back();
+                    live.pop_back();
+                }
+                ++ops;
+            }
+            for (uint64_t off : live)
+                alloc.free_block(off, dom);
+            total_ops.fetch_add(ops, std::memory_order_relaxed);
+        });
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(seconds));
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& w : workers)
+        w.join();
+    return total_ops.load();
+}
+
+/**
+ * Old-vs-new allocator throughput at 1/2/4/8 threads.  Each row lands
+ * in BENCH_alloc.json when IDO_BENCH_JSON is set; the printed table is
+ * the paper-style summary.  The v1 single-mutex allocator is kept in
+ * the tree exactly so this comparison stays honest over time.
+ */
+void
+run_alloc_series()
+{
+    const double seconds = bench::bench_seconds();
+    std::printf("\n=== allocator scalability (alloc/free churn, "
+                "%.2fs per point) ===\n",
+                seconds);
+    std::printf("%-12s %8s %14s %14s %8s\n", "allocator", "threads",
+                "ops", "ops/sec", "vs v1");
+    for (uint32_t threads : bench::thread_sweep()) {
+        nvm::RealDomain dom;
+        double v1_rate = 0;
+        {
+            nvm::PersistentHeap heap({.size = 256u << 20});
+            nvm::NvAllocator v1(heap, dom);
+            const uint64_t ops = alloc_churn(v1, dom, threads, seconds);
+            v1_rate = double(ops) / seconds;
+            std::printf("%-12s %8u %14llu %14.0f %8s\n", "nvalloc-v1",
+                        threads, static_cast<unsigned long long>(ops),
+                        v1_rate, "1.00x");
+            bench::emit_json_row("alloc", "nvalloc_v1", threads, ops,
+                                 seconds);
+        }
+        {
+            nvm::PersistentHeap heap({.size = 256u << 20});
+            nvm::NvHeap v2(heap, dom);
+            const uint64_t ops = alloc_churn(v2, dom, threads, seconds);
+            const double rate = double(ops) / seconds;
+            std::printf("%-12s %8u %14llu %14.0f %7.2fx\n", "nvheap-v2",
+                        threads, static_cast<unsigned long long>(ops),
+                        rate, v1_rate > 0 ? rate / v1_rate : 0.0);
+            bench::emit_json_row("alloc", "nvheap_v2", threads, ops,
+                                 seconds);
+        }
+    }
+}
+
+void
 BM_ZipfSample(benchmark::State& state)
 {
     ZipfSampler zipf(1000000, 0.8);
@@ -121,7 +234,18 @@ BENCHMARK(BM_FlushFenceWithDelay)->Arg(20)->Arg(100)->Arg(500);
 BENCHMARK(BM_TransientLock);
 BENCHMARK(BM_LockTableResolve);
 BENCHMARK(BM_NvAllocFree);
+BENCHMARK(BM_NvHeapAllocFree);
 BENCHMARK(BM_ZipfSample);
 BENCHMARK(BM_ShadowStoreLoad);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    run_alloc_series();
+    return 0;
+}

@@ -88,6 +88,9 @@ void
 AtlasRuntime::recover()
 {
     locks_.new_epoch();
+    // Relink any block the crashed epoch stranded mid-free
+    // (NvHeap's online leak reclamation).
+    alloc_.recover_leaks(dom_);
     trace::emit(trace::EventKind::kRecoveryBegin, 1);
 
     // Phase 1: traverse all logs, rebuild FASE instances.

@@ -18,31 +18,30 @@ AtlasRuntime::AtlasRuntime(nvm::PersistentHeap& heap,
 uint64_t
 AtlasRuntime::allocate_thread_log()
 {
-    std::lock_guard<std::mutex> g(link_mutex_);
-    const uint64_t log_off = alloc_.alloc_aligned(sizeof(AtlasThreadLog), dom_);
     const uint64_t buf_off =
         alloc_.alloc_aligned(cfg_.log_bytes_per_thread, dom_);
-    IDO_ASSERT(log_off != 0 && buf_off != 0,
-               "out of persistent memory for Atlas logs");
+    IDO_ASSERT(buf_off != 0, "out of persistent memory for Atlas logs");
 
     // Entry validity relies on a zeroed first lap.  The zeroing is not
     // flushed: if stale lines survive a crash they carry lap 0 (or a
     // retired lap) and scan as invalid either way.
-    void* buf = heap_.resolve<void>(buf_off);
-    std::memset(buf, 0, cfg_.log_bytes_per_thread);
+    std::memset(heap_.resolve<void>(buf_off), 0,
+                cfg_.log_bytes_per_thread);
 
-    auto* log = heap_.resolve<AtlasThreadLog>(log_off);
-    AtlasThreadLog init{};
-    init.next = heap_.root(nvm::RootSlot::kAtlasState);
-    init.thread_tag = next_thread_tag_++;
-    init.buf_off = buf_off;
-    init.buf_bytes =
-        cfg_.log_bytes_per_thread & ~uint64_t{sizeof(AtlasEntry) - 1};
-    init.lap = 1;
-    dom_.store(log, &init, sizeof(init));
-    dom_.flush(log, sizeof(init));
-    dom_.fence();
-    heap_.set_root(nvm::RootSlot::kAtlasState, log_off, dom_);
+    const uint64_t log_off = alloc_.alloc_linked(
+        nvm::RootSlot::kAtlasState, sizeof(AtlasThreadLog), dom_,
+        [&](void* log, uint64_t prev_head) {
+            AtlasThreadLog init{};
+            init.next = prev_head;
+            init.thread_tag =
+                next_thread_tag_.fetch_add(1, std::memory_order_relaxed);
+            init.buf_off = buf_off;
+            init.buf_bytes = cfg_.log_bytes_per_thread
+                & ~uint64_t{sizeof(AtlasEntry) - 1};
+            init.lap = 1;
+            dom_.store(log, &init, sizeof(init));
+        });
+    IDO_ASSERT(log_off != 0, "out of persistent memory for Atlas logs");
     return log_off;
 }
 

@@ -100,9 +100,8 @@ class AtlasRuntime final : public rt::Runtime
     }
 
   private:
-    std::mutex link_mutex_;
     std::atomic<uint64_t> seq_{1};
-    uint64_t next_thread_tag_ = 1;
+    std::atomic<uint64_t> next_thread_tag_{1};
 };
 
 class AtlasThread final : public rt::RuntimeThread

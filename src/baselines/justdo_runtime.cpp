@@ -23,19 +23,18 @@ JustdoRuntime::JustdoRuntime(nvm::PersistentHeap& heap,
 uint64_t
 JustdoRuntime::allocate_log_rec()
 {
-    std::lock_guard<std::mutex> g(link_mutex_);
-    const uint64_t off = alloc_.alloc_aligned(sizeof(JustdoLogRec), dom_);
+    const uint64_t off = alloc_.alloc_linked(
+        nvm::RootSlot::kJustdoState, sizeof(JustdoLogRec), dom_,
+        [&](void* rec, uint64_t prev_head) {
+            JustdoLogRec init{};
+            init.next = prev_head;
+            init.thread_tag =
+                next_thread_tag_.fetch_add(1, std::memory_order_relaxed);
+            init.snap[0].recovery_pc = kInactivePc;
+            init.snap[1].recovery_pc = kInactivePc;
+            dom_.store(rec, &init, sizeof(init));
+        });
     IDO_ASSERT(off != 0, "out of persistent memory for JUSTDO logs");
-    auto* rec = heap_.resolve<JustdoLogRec>(off);
-    JustdoLogRec init{};
-    init.next = heap_.root(nvm::RootSlot::kJustdoState);
-    init.thread_tag = next_thread_tag_++;
-    init.snap[0].recovery_pc = kInactivePc;
-    init.snap[1].recovery_pc = kInactivePc;
-    dom_.store(rec, &init, sizeof(init));
-    dom_.flush(rec, sizeof(JustdoLogRec));
-    dom_.fence();
-    heap_.set_root(nvm::RootSlot::kJustdoState, off, dom_);
     return off;
 }
 
@@ -62,6 +61,9 @@ void
 JustdoRuntime::recover()
 {
     locks_.new_epoch();
+    // Relink any block the crashed epoch stranded mid-free
+    // (NvHeap's online leak reclamation).
+    alloc_.recover_leaks(dom_);
     std::vector<uint64_t> active;
     for (uint64_t off : log_rec_offsets()) {
         auto* rec = heap_.resolve<JustdoLogRec>(off);

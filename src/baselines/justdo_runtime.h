@@ -21,6 +21,7 @@
  */
 #pragma once
 
+#include <atomic>
 #include <mutex>
 #include <vector>
 
@@ -108,8 +109,7 @@ class JustdoRuntime final : public rt::Runtime
     std::vector<uint64_t> log_rec_offsets();
 
   private:
-    std::mutex link_mutex_;
-    uint64_t next_thread_tag_ = 1;
+    std::atomic<uint64_t> next_thread_tag_{1};
 };
 
 class JustdoThread final : public rt::RuntimeThread

@@ -19,23 +19,21 @@ MnemosyneRuntime::MnemosyneRuntime(nvm::PersistentHeap& heap,
 uint64_t
 MnemosyneRuntime::allocate_thread_log()
 {
-    std::lock_guard<std::mutex> g(link_mutex_);
-    const uint64_t log_off =
-        alloc_.alloc_aligned(sizeof(MnemosyneThreadLog), dom_);
     const uint64_t buf_off =
         alloc_.alloc_aligned(cfg_.log_bytes_per_thread, dom_);
-    IDO_ASSERT(log_off != 0 && buf_off != 0,
-               "out of persistent memory for Mnemosyne logs");
-    auto* log = heap_.resolve<MnemosyneThreadLog>(log_off);
-    MnemosyneThreadLog init{};
-    init.next = heap_.root(nvm::RootSlot::kMnemosyneState);
-    init.thread_tag = next_thread_tag_++;
-    init.buf_off = buf_off;
-    init.buf_bytes = cfg_.log_bytes_per_thread;
-    dom_.store(log, &init, sizeof(init));
-    dom_.flush(log, sizeof(init));
-    dom_.fence();
-    heap_.set_root(nvm::RootSlot::kMnemosyneState, log_off, dom_);
+    IDO_ASSERT(buf_off != 0, "out of persistent memory for Mnemosyne logs");
+    const uint64_t log_off = alloc_.alloc_linked(
+        nvm::RootSlot::kMnemosyneState, sizeof(MnemosyneThreadLog), dom_,
+        [&](void* log, uint64_t prev_head) {
+            MnemosyneThreadLog init{};
+            init.next = prev_head;
+            init.thread_tag =
+                next_thread_tag_.fetch_add(1, std::memory_order_relaxed);
+            init.buf_off = buf_off;
+            init.buf_bytes = cfg_.log_bytes_per_thread;
+            dom_.store(log, &init, sizeof(init));
+        });
+    IDO_ASSERT(log_off != 0, "out of persistent memory for Mnemosyne logs");
     return log_off;
 }
 
@@ -62,6 +60,9 @@ void
 MnemosyneRuntime::recover()
 {
     locks_.new_epoch();
+    // Relink any block the crashed epoch stranded mid-free
+    // (NvHeap's online leak reclamation).
+    alloc_.recover_leaks(dom_);
     trace::emit(trace::EventKind::kRecoveryBegin, 2);
     for (uint64_t off : thread_log_offsets()) {
         auto* log = heap_.resolve<MnemosyneThreadLog>(off);

@@ -82,8 +82,7 @@ class MnemosyneRuntime final : public rt::Runtime
 
   private:
     Padded<std::atomic<uint64_t>> version_{};
-    std::mutex link_mutex_;
-    uint64_t next_thread_tag_ = 1;
+    std::atomic<uint64_t> next_thread_tag_{1};
 };
 
 class MnemosyneThread final : public rt::RuntimeThread

@@ -19,26 +19,25 @@ NvmlRuntime::NvmlRuntime(nvm::PersistentHeap& heap,
 uint64_t
 NvmlRuntime::allocate_thread_log()
 {
-    std::lock_guard<std::mutex> g(link_mutex_);
-    const uint64_t log_off = alloc_.alloc_aligned(sizeof(NvmlThreadLog), dom_);
     const uint64_t buf_off =
         alloc_.alloc_aligned(cfg_.log_bytes_per_thread, dom_);
-    IDO_ASSERT(log_off != 0 && buf_off != 0,
-               "out of persistent memory for NVML logs");
+    IDO_ASSERT(buf_off != 0, "out of persistent memory for NVML logs");
     std::memset(heap_.resolve<void>(buf_off), 0,
                 cfg_.log_bytes_per_thread);
-    auto* log = heap_.resolve<NvmlThreadLog>(log_off);
-    NvmlThreadLog init{};
-    init.next = heap_.root(nvm::RootSlot::kNvmlState);
-    init.thread_tag = next_thread_tag_++;
-    init.buf_off = buf_off;
-    init.buf_bytes =
-        cfg_.log_bytes_per_thread & ~uint64_t{sizeof(NvmlEntry) - 1};
-    init.lap = 1;
-    dom_.store(log, &init, sizeof(init));
-    dom_.flush(log, sizeof(init));
-    dom_.fence();
-    heap_.set_root(nvm::RootSlot::kNvmlState, log_off, dom_);
+    const uint64_t log_off = alloc_.alloc_linked(
+        nvm::RootSlot::kNvmlState, sizeof(NvmlThreadLog), dom_,
+        [&](void* log, uint64_t prev_head) {
+            NvmlThreadLog init{};
+            init.next = prev_head;
+            init.thread_tag =
+                next_thread_tag_.fetch_add(1, std::memory_order_relaxed);
+            init.buf_off = buf_off;
+            init.buf_bytes = cfg_.log_bytes_per_thread
+                & ~uint64_t{sizeof(NvmlEntry) - 1};
+            init.lap = 1;
+            dom_.store(log, &init, sizeof(init));
+        });
+    IDO_ASSERT(log_off != 0, "out of persistent memory for NVML logs");
     return log_off;
 }
 
@@ -65,6 +64,9 @@ void
 NvmlRuntime::recover()
 {
     locks_.new_epoch();
+    // Relink any block the crashed epoch stranded mid-free
+    // (NvHeap's online leak reclamation).
+    alloc_.recover_leaks(dom_);
     trace::emit(trace::EventKind::kRecoveryBegin, 4);
     for (uint64_t off : thread_log_offsets()) {
         auto* log = heap_.resolve<NvmlThreadLog>(off);
@@ -79,6 +81,17 @@ NvmlRuntime::recover()
             dom_.load(buf + i * sizeof(NvmlEntry), &e, sizeof(e));
             if (e.type != 1 || e.lap != static_cast<uint32_t>(lap))
                 break;
+            // A live-lap entry is durable before its data store ever
+            // happens, so a malformed one can only mean log corruption
+            // -- and undoing it would spray old_val over an arbitrary
+            // heap offset.  Fail stop with forensics instead.
+            IDO_ASSERT(e.size >= 1 && e.size <= 8
+                           && e.addr_off >= heap_.arena_begin()
+                           && e.addr_off + e.size <= heap_.size(),
+                       "NVML recovery: corrupt undo entry (slot %zu, "
+                       "addr_off=0x%llx size=%u lap=%u)",
+                       i, (unsigned long long)e.addr_off,
+                       (unsigned)e.size, (unsigned)e.lap);
             live.push_back(e);
         }
         // Undo in reverse append order.
@@ -126,7 +139,12 @@ NvmlThread::on_fase_end(const rt::FaseProgram&, rt::RegionCtx&)
     dirty_.clear();
     dom().fence(); // data durable before the log is retired
     crash_tick();
-    dom().store_val(&log_->lap, log_->lap + 1); // commit == truncate
+    // Commit == truncate: the lap bump atomically invalidates every
+    // live undo entry (they carry the old lap).  Read the lap through
+    // the domain -- the committed value is always fenced, but a direct
+    // read would silently bypass the simulated cache model.
+    const uint64_t lap = dom().load_val(&log_->lap);
+    dom().store_val(&log_->lap, lap + 1);
     dom().flush(&log_->lap, sizeof(uint64_t));
     dom().fence();
     snapshotted_.clear();

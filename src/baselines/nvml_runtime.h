@@ -28,6 +28,7 @@
  */
 #pragma once
 
+#include <atomic>
 #include <mutex>
 #include <unordered_set>
 #include <vector>
@@ -84,8 +85,7 @@ class NvmlRuntime final : public rt::Runtime
     std::vector<uint64_t> thread_log_offsets();
 
   private:
-    std::mutex link_mutex_;
-    uint64_t next_thread_tag_ = 1;
+    std::atomic<uint64_t> next_thread_tag_{1};
 };
 
 class NvmlThread final : public rt::RuntimeThread

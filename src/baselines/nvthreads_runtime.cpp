@@ -19,27 +19,25 @@ NvthreadsRuntime::NvthreadsRuntime(nvm::PersistentHeap& heap,
 uint64_t
 NvthreadsRuntime::allocate_thread_log()
 {
-    std::lock_guard<std::mutex> g(link_mutex_);
     // Room for a handful of pages per commit is plenty for the paper's
     // workloads (each critical section touches a few pages at most).
     const size_t buf_bytes =
         std::max<size_t>(cfg_.log_bytes_per_thread,
                          16 * sizeof(NvtPageLogEntry));
-    const uint64_t log_off =
-        alloc_.alloc_aligned(sizeof(NvthreadsThreadLog), dom_);
     const uint64_t buf_off = alloc_.alloc_aligned(buf_bytes, dom_);
-    IDO_ASSERT(log_off != 0 && buf_off != 0,
-               "out of persistent memory for NVThreads logs");
-    auto* log = heap_.resolve<NvthreadsThreadLog>(log_off);
-    NvthreadsThreadLog init{};
-    init.next = heap_.root(nvm::RootSlot::kNvthreadsState);
-    init.thread_tag = next_thread_tag_++;
-    init.buf_off = buf_off;
-    init.buf_bytes = buf_bytes;
-    dom_.store(log, &init, sizeof(init));
-    dom_.flush(log, sizeof(init));
-    dom_.fence();
-    heap_.set_root(nvm::RootSlot::kNvthreadsState, log_off, dom_);
+    IDO_ASSERT(buf_off != 0, "out of persistent memory for NVThreads logs");
+    const uint64_t log_off = alloc_.alloc_linked(
+        nvm::RootSlot::kNvthreadsState, sizeof(NvthreadsThreadLog), dom_,
+        [&](void* log, uint64_t prev_head) {
+            NvthreadsThreadLog init{};
+            init.next = prev_head;
+            init.thread_tag =
+                next_thread_tag_.fetch_add(1, std::memory_order_relaxed);
+            init.buf_off = buf_off;
+            init.buf_bytes = buf_bytes;
+            dom_.store(log, &init, sizeof(init));
+        });
+    IDO_ASSERT(log_off != 0, "out of persistent memory for NVThreads logs");
     return log_off;
 }
 
@@ -66,6 +64,9 @@ void
 NvthreadsRuntime::recover()
 {
     locks_.new_epoch();
+    // Relink any block the crashed epoch stranded mid-free
+    // (NvHeap's online leak reclamation).
+    alloc_.recover_leaks(dom_);
     trace::emit(trace::EventKind::kRecoveryBegin, 5);
     for (uint64_t off : thread_log_offsets()) {
         auto* log = heap_.resolve<NvthreadsThreadLog>(off);

@@ -20,6 +20,7 @@
 #include <array>
 #include <bitset>
 #include <memory>
+#include <atomic>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -79,8 +80,7 @@ class NvthreadsRuntime final : public rt::Runtime
     std::vector<uint64_t> thread_log_offsets();
 
   private:
-    std::mutex link_mutex_;
-    uint64_t next_thread_tag_ = 1;
+    std::atomic<uint64_t> next_thread_tag_{1};
 };
 
 class NvthreadsThread final : public rt::RuntimeThread

@@ -10,6 +10,18 @@
  * operand has a known provenance (allocation site or FASE argument)
  * and flags any later-reachable access or free of the same base.
  *
+ * The check mirrors NvHeap's two-phase free protocol: kFree moves a
+ * block kBlockLive -> kBlockFreeing (durably marked, parked in the
+ * freeing thread's transient cache), and only a later batched spill
+ * finalizes it to kBlockFree on a global list.  A second free or an
+ * access in either phase is a bug; the allocator's state validation
+ * panics on the non-LIVE header at run time, but only on the executed
+ * path -- the lint is the compile-time counterpart that covers every
+ * path.  Blocks another thread could have recycled (already
+ * kBlockLive again under a new owner tag) are indistinguishable from
+ * live data at run time, which is why the use-after-free arm can only
+ * exist here.
+ *
  * Conservatism note: all allocations from one site share a provenance,
  * so a loop that frees and reallocates through the same site can be
  * flagged spuriously; none of the corpus FASEs do this.
@@ -88,7 +100,9 @@ class NvLifetimeCheck final : public LintPass
                     out.push_back(make_diag(
                         kId, Severity::kError, ctx.fn.name(), g.ref,
                         "double free: allocation already freed at "
-                        "bb%u:%u",
+                        "bb%u:%u (block is kBlockFreeing/kBlockFree "
+                        "there; the runtime panics on the non-LIVE "
+                        "header only if this path executes)",
                         f.ref.block, f.ref.index));
                 }
             }
@@ -99,7 +113,10 @@ class NvLifetimeCheck final : public LintPass
                     out.push_back(make_diag(
                         kId, Severity::kError, ctx.fn.name(), a.ref,
                         "%s of memory freed at bb%u:%u "
-                        "(use-after-free)",
+                        "(use-after-free; once the block is respilled "
+                        "and recycled it is kBlockLive under another "
+                        "owner, invisible to the runtime's state "
+                        "check)",
                         a.ins->is_store() ? "store" : "load",
                         f.ref.block, f.ref.index));
                 }

@@ -26,6 +26,9 @@ IdoRuntime::recover()
 {
     // The crashed run's transient locks are all implicitly released.
     locks_.new_epoch();
+    // Relink any block the crashed epoch stranded mid-free
+    // (NvHeap's online leak reclamation).
+    alloc_.recover_leaks(dom_);
 
     std::vector<uint64_t> active;
     for (uint64_t off : log_rec_offsets()) {

@@ -26,22 +26,18 @@ IdoRuntime::traits() const
 uint64_t
 IdoRuntime::allocate_log_rec()
 {
-    std::lock_guard<std::mutex> g(link_mutex_);
-    const uint64_t off = alloc_.alloc_aligned(sizeof(IdoLogRec), dom_);
+    const uint64_t off = alloc_.alloc_linked(
+        nvm::RootSlot::kIdoLogHead, sizeof(IdoLogRec), dom_,
+        [&](void* rec, uint64_t prev_head) {
+            IdoLogRec init{};
+            init.next = prev_head;
+            init.thread_tag =
+                next_thread_tag_.fetch_add(1, std::memory_order_relaxed);
+            init.recovery_pc = kInactivePc;
+            init.lock_bitmap = 0;
+            dom_.store(rec, &init, sizeof(init));
+        });
     IDO_ASSERT(off != 0, "out of persistent memory for iDO logs");
-    auto* rec = heap_.resolve<IdoLogRec>(off);
-
-    IdoLogRec init{};
-    init.next = heap_.root(nvm::RootSlot::kIdoLogHead);
-    init.thread_tag = next_thread_tag_++;
-    init.recovery_pc = kInactivePc;
-    init.lock_bitmap = 0;
-    dom_.store(rec, &init, sizeof(init));
-    dom_.flush(rec, sizeof(IdoLogRec));
-    dom_.fence();
-    // Publish: the record is fully initialized before it becomes
-    // reachable from the persistent head.
-    heap_.set_root(nvm::RootSlot::kIdoLogHead, off, dom_);
     return off;
 }
 

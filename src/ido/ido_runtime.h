@@ -18,7 +18,7 @@
  */
 #pragma once
 
-#include <mutex>
+#include <atomic>
 #include <vector>
 
 #include "ido/ido_log.h"
@@ -45,8 +45,7 @@ class IdoRuntime final : public rt::Runtime
     std::vector<uint64_t> log_rec_offsets();
 
   private:
-    std::mutex link_mutex_;
-    uint64_t next_thread_tag_ = 1;
+    std::atomic<uint64_t> next_thread_tag_{1};
 };
 
 class IdoThread final : public rt::RuntimeThread

@@ -1,0 +1,718 @@
+#include "nvm/nv_heap.h"
+
+#include <atomic>
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/panic.h"
+#include "nvm/persist_domain.h"
+#include "stats/metrics.h"
+#include "trace/trace.h"
+
+namespace ido::nvm {
+
+namespace {
+
+constexpr size_t kClassSizes[NvHeap::kNumClasses] = {
+    16, 32, 48, 64, 96, 128, 192, 256, 384, 512, 1024, 2048, 4096,
+};
+
+std::atomic<uint64_t> g_next_heap_id{1};
+
+const char*
+state_name(uint64_t st)
+{
+    switch (st) {
+      case NvHeap::kBlockLive:
+        return "LIVE";
+      case NvHeap::kBlockFreeing:
+        return "FREEING";
+      case NvHeap::kBlockFree:
+        return "FREE";
+    }
+    return "INVALID";
+}
+
+} // namespace
+
+namespace {
+
+/** class_for_size as a 16-byte-granule lookup table (built once). */
+struct ClassTable
+{
+    uint8_t by_granule[4096 / 16 + 1];
+
+    ClassTable()
+    {
+        for (size_t g = 0; g <= 4096 / 16; ++g) {
+            const size_t size = g * 16;
+            uint8_t c = NvHeap::kNumClasses;
+            for (size_t k = 0; k < NvHeap::kNumClasses; ++k) {
+                if (size <= kClassSizes[k]) {
+                    c = static_cast<uint8_t>(k);
+                    break;
+                }
+            }
+            by_granule[g] = c;
+        }
+    }
+};
+
+const ClassTable g_class_table;
+
+} // namespace
+
+size_t
+NvHeap::class_for_size(size_t size)
+{
+    if (size > 4096)
+        return kNumClasses; // oversize: exact-size global carve
+    return g_class_table.by_granule[(size + 15) >> 4];
+}
+
+size_t
+NvHeap::class_payload(size_t cls)
+{
+    IDO_ASSERT(cls < kNumClasses);
+    return kClassSizes[cls];
+}
+
+NvHeap::NvHeap(PersistentHeap& heap, PersistDomain& dom)
+    : heap_(heap), id_(g_next_heap_id.fetch_add(1, std::memory_order_relaxed))
+{
+    auto& reg = MetricsRegistry::instance();
+    m_alloc_ = reg.counter("nvheap.alloc");
+    m_free_ = reg.counter("nvheap.free");
+    m_cache_hit_ = reg.counter("nvheap.cache_hit");
+    m_refill_ = reg.counter("nvheap.refill");
+    m_spill_ = reg.counter("nvheap.spill");
+    m_shard_pop_ = reg.counter("nvheap.shard_pop");
+    m_leak_reclaim_ = reg.counter("nvheap.leak_reclaim");
+    m_oversize_ = reg.counter("nvheap.oversize");
+
+    state_off_ = heap_.root(RootSlot::kAllocator);
+    if (state_off_ == 0) {
+        // Fresh heap: carve the metadata out of the arena start.
+        const uint64_t off = heap_.arena_begin();
+        auto* st = heap_.resolve<HeapState>(off);
+        HeapState init{};
+        init.magic = kStateMagic;
+        init.bump = (off + sizeof(HeapState) + 63) & ~uint64_t{63};
+        init.end = heap_.size();
+        init.epoch = 1;
+        dom.store(st, &init, sizeof(init));
+        dom.flush(st, sizeof(init));
+        dom.fence();
+        heap_.set_root(RootSlot::kAllocator, off, dom);
+        state_off_ = off;
+        data_begin_ = (state_off_ + sizeof(HeapState) + 63) & ~uint64_t{63};
+    } else {
+        data_begin_ = (state_off_ + sizeof(HeapState) + 63) & ~uint64_t{63};
+        HeapState* st = heap_.resolve<HeapState>(state_off_);
+        IDO_ASSERT(dom.load_val(&st->magic) == kStateMagic,
+                   "NvHeap: allocator root was written by an "
+                   "incompatible (v1) allocator");
+        // New attach epoch: everything the previous epoch held in
+        // transient caches becomes recognizably stale.
+        dom.store_val(&st->epoch, dom.load_val(&st->epoch) + 1);
+        dom.flush(&st->epoch, sizeof(uint64_t));
+        dom.fence();
+        if (heap_.recovered_from_crash())
+            recover_leaks(dom);
+    }
+}
+
+NvHeap::~NvHeap() = default;
+
+NvHeap::HeapState*
+NvHeap::state() const
+{
+    return heap_.resolve<HeapState>(state_off_);
+}
+
+uint64_t
+NvHeap::epoch() const
+{
+    return state()->epoch;
+}
+
+void
+NvHeap::set_crash_hook(std::function<void()> hook_fn)
+{
+    crash_hook_ = std::move(hook_fn);
+}
+
+NvHeap::ThreadCache&
+NvHeap::tcache()
+{
+    // Keyed by process-unique heap id, so a thread working against two
+    // heaps (or a re-created heap over the same buffer) never mixes
+    // caches.  Ids are never reused; entries for dead heaps are inert.
+    // The last-used pair is memoized so the steady state (one heap per
+    // thread) costs a single compare instead of a hash lookup.
+    thread_local uint64_t tls_last_id = 0;
+    thread_local ThreadCache* tls_last_tc = nullptr;
+    if (tls_last_id == id_)
+        return *tls_last_tc;
+    thread_local std::unordered_map<uint64_t, ThreadCache*> tls_map;
+    auto it = tls_map.find(id_);
+    if (it != tls_map.end()) {
+        tls_last_id = id_;
+        tls_last_tc = it->second;
+        return *it->second;
+    }
+    auto tc = std::make_unique<ThreadCache>();
+    ThreadCache* raw = tc.get();
+    {
+        std::lock_guard<std::mutex> g(tc_mutex_);
+        tc->owner_tag = next_owner_tag_++;
+        tcs_.push_back(std::move(tc));
+    }
+    tls_map.emplace(id_, raw);
+    tls_last_id = id_;
+    tls_last_tc = raw;
+    return *raw;
+}
+
+size_t
+NvHeap::home_shard(const ThreadCache& tc) const
+{
+    return tc.owner_tag % kNumShards;
+}
+
+void
+NvHeap::set_meta(uint64_t payload_off, uint64_t meta, PersistDomain& dom,
+                 bool fence)
+{
+    auto* hdr = heap_.resolve<BlockHeader>(payload_off - sizeof(BlockHeader));
+    dom.store_val(&hdr->meta, meta);
+    dom.flush(&hdr->meta, sizeof(uint64_t));
+    if (fence)
+        dom.fence();
+}
+
+uint64_t
+NvHeap::carve_from_chunk(ThreadCache& tc, size_t payload, uint16_t owner,
+                         PersistDomain& dom)
+{
+    const uint64_t need = sizeof(BlockHeader) + payload;
+    if (tc.chunk_cursor == 0 || tc.chunk_cursor + need > tc.chunk_end)
+        return 0;
+    const uint64_t block_off = tc.chunk_cursor;
+    BlockHeader hdr{payload, pack_meta(kBlockLive, owner, epoch())};
+    auto* hp = heap_.resolve<BlockHeader>(block_off);
+    hook();
+    dom.store(hp, &hdr, sizeof(hdr));
+    dom.flush(hp, sizeof(hdr));
+    dom.fence();
+    // The cursor is transient: a crash here leaks a LIVE-marked block
+    // (exactly like v1's pre-bump-advance window), never corrupts.
+    tc.chunk_cursor = block_off + need;
+    return block_off + sizeof(BlockHeader);
+}
+
+bool
+NvHeap::refill_chunk(ThreadCache& tc, PersistDomain& dom)
+{
+    std::lock_guard<std::mutex> g(refill_mutex_);
+    HeapState* st = state();
+    const uint64_t bump = dom.load_val(&st->bump);
+    if (bump + kChunkBytes > dom.load_val(&st->end))
+        return false;
+    // Stamp the chunk header durably, then advance the global bump.
+    // Crash in between wastes the chunk (walkers stop at the bump), a
+    // leak-not-corruption outcome.
+    auto* ch = heap_.resolve<BlockHeader>(bump);
+    BlockHeader hdr{kChunkMagic, kChunkBytes};
+    hook();
+    dom.store(ch, &hdr, sizeof(hdr));
+    dom.flush(ch, sizeof(hdr));
+    dom.fence();
+    hook();
+    dom.store_val(&st->bump, bump + kChunkBytes);
+    dom.flush(&st->bump, sizeof(uint64_t));
+    dom.fence();
+    tc.chunk_cursor = bump + sizeof(BlockHeader);
+    tc.chunk_end = bump + kChunkBytes;
+    m_refill_->fetch_add(1, std::memory_order_relaxed);
+    trace::emit(trace::EventKind::kArenaRefill, bump, kChunkBytes);
+    return true;
+}
+
+uint64_t
+NvHeap::carve_global(size_t payload, uint16_t owner, PersistDomain& dom)
+{
+    std::lock_guard<std::mutex> g(refill_mutex_);
+    HeapState* st = state();
+    const uint64_t need = sizeof(BlockHeader) + payload;
+    const uint64_t bump = dom.load_val(&st->bump);
+    if (bump + need > dom.load_val(&st->end))
+        return 0;
+    auto* hp = heap_.resolve<BlockHeader>(bump);
+    BlockHeader hdr{payload, pack_meta(kBlockLive, owner, epoch())};
+    hook();
+    dom.store(hp, &hdr, sizeof(hdr));
+    dom.flush(hp, sizeof(hdr));
+    dom.fence();
+    hook();
+    dom.store_val(&st->bump, bump + need);
+    dom.flush(&st->bump, sizeof(uint64_t));
+    dom.fence();
+    return bump + sizeof(BlockHeader);
+}
+
+uint64_t
+NvHeap::shard_pop(size_t shard, size_t cls, PersistDomain& dom)
+{
+    HeapState* st = state();
+    // Racy peek; re-checked under the shard lock.
+    if (st->shards[shard].heads[cls] == 0)
+        return 0;
+    std::lock_guard<std::mutex> g(shard_mutexes_[shard]);
+    uint64_t* head = &st->shards[shard].heads[cls];
+    const uint64_t off = dom.load_val(head);
+    if (off == 0)
+        return 0;
+    // Unlink durably *before* handing the block out: a crash after the
+    // pop leaves an unlisted FREE block (reclaimable), a crash before
+    // it leaves the list intact.  Never both live and listed.
+    const uint64_t next = dom.load_val(heap_.resolve<uint64_t>(off));
+    hook();
+    dom.store_val(head, next);
+    dom.flush(head, sizeof(uint64_t));
+    dom.fence();
+    m_shard_pop_->fetch_add(1, std::memory_order_relaxed);
+    return off;
+}
+
+void
+NvHeap::spill_cache(ThreadCache& tc, size_t cls, PersistDomain& dom)
+{
+    auto& cache = tc.free_blocks[cls];
+    const size_t spill = cache.size() / 2;
+    if (spill == 0)
+        return;
+    const size_t shard = home_shard(tc);
+    HeapState* st = state();
+    std::lock_guard<std::mutex> g(shard_mutexes_[shard]);
+    uint64_t* head = &st->shards[shard].heads[cls];
+    const uint64_t old_head = dom.load_val(head);
+
+    // Phase 2 of the free protocol, batched: chain the spilled blocks
+    // together and mark them FREE (one fence for the whole batch),
+    // then publish the new head (second fence).  Until the publish,
+    // none of them is reachable from the list, so a crash anywhere in
+    // the batch leaves only reclaimable FREE/FREEING strays.
+    const uint64_t ep = epoch();
+    for (size_t i = 0; i < spill; ++i) {
+        const uint64_t off = cache[cache.size() - 1 - i];
+        const uint64_t next =
+            (i + 1 < spill) ? cache[cache.size() - 2 - i] : old_head;
+        uint64_t* link = heap_.resolve<uint64_t>(off);
+        dom.store_val(link, next);
+        dom.flush(link, sizeof(uint64_t));
+        auto* hdr =
+            heap_.resolve<BlockHeader>(off - sizeof(BlockHeader));
+        dom.store_val(&hdr->meta, pack_meta(kBlockFree, tc.owner_tag, ep));
+        dom.flush(&hdr->meta, sizeof(uint64_t));
+    }
+    hook();
+    dom.fence();
+    hook();
+    const uint64_t new_head = cache.back();
+    dom.store_val(head, new_head);
+    dom.flush(head, sizeof(uint64_t));
+    dom.fence();
+    cache.resize(cache.size() - spill);
+    m_spill_->fetch_add(spill, std::memory_order_relaxed);
+    trace::emit(trace::EventKind::kCacheSpill, cls, spill);
+}
+
+uint64_t
+NvHeap::alloc(size_t size, PersistDomain& dom)
+{
+    if (size == 0)
+        size = 1;
+    ThreadCache& tc = tcache();
+    const size_t cls = class_for_size(size);
+
+    if (cls >= kNumClasses) {
+        const size_t payload = (size + 15) & ~size_t{15};
+        const uint64_t off = carve_global(payload, tc.owner_tag, dom);
+        if (off != 0) {
+            m_alloc_->fetch_add(1, std::memory_order_relaxed);
+            m_oversize_->fetch_add(1, std::memory_order_relaxed);
+            trace::emit(trace::EventKind::kAlloc, off, payload);
+        }
+        return off;
+    }
+
+    const size_t payload = class_payload(cls);
+    uint64_t off = 0;
+
+    // 1. Transient cache: blocks this thread freed (state FREEING).
+    //    One line write-back flips them LIVE; no shared state and no
+    //    fence -- the mark is coalesced into whichever fence next runs
+    //    on this thread.  A caller that durably publishes the offset
+    //    fences first, which persists the LIVE mark ahead of the
+    //    publish; a caller that never fences loses the block to a
+    //    crash either way (it surfaces as a reclaimable stray).
+    auto& cache = tc.free_blocks[cls];
+    if (!cache.empty()) {
+        off = cache.back();
+        cache.pop_back();
+        hook();
+        set_meta(off, pack_meta(kBlockLive, tc.owner_tag, epoch()), dom,
+                 /*fence=*/false);
+        m_cache_hit_->fetch_add(1, std::memory_order_relaxed);
+    }
+    // 2. Home-shard free list (cheap racy peek before locking).
+    if (off == 0) {
+        off = shard_pop(home_shard(tc), cls, dom);
+        if (off != 0) {
+            hook();
+            set_meta(off, pack_meta(kBlockLive, tc.owner_tag, epoch()),
+                     dom);
+        }
+    }
+    // 3. Private bump chunk (refilled from the global arena).
+    if (off == 0) {
+        off = carve_from_chunk(tc, payload, tc.owner_tag, dom);
+        if (off == 0 && refill_chunk(tc, dom))
+            off = carve_from_chunk(tc, payload, tc.owner_tag, dom);
+    }
+    // 4. Steal from any shard, then the arena tail, before giving up.
+    if (off == 0) {
+        for (size_t s = 0; s < kNumShards && off == 0; ++s)
+            off = shard_pop(s, cls, dom);
+        if (off != 0) {
+            hook();
+            set_meta(off, pack_meta(kBlockLive, tc.owner_tag, epoch()),
+                     dom);
+        }
+    }
+    if (off == 0)
+        off = carve_global(payload, tc.owner_tag, dom);
+    if (off != 0) {
+        m_alloc_->fetch_add(1, std::memory_order_relaxed);
+        trace::emit(trace::EventKind::kAlloc, off, payload);
+    }
+    return off;
+}
+
+uint64_t
+NvHeap::alloc_aligned(size_t size, PersistDomain& dom)
+{
+    // Room for the 8-byte tagged back-pointer plus worst-case slack.
+    const uint64_t raw = alloc(size + 8 + 64, dom);
+    if (raw == 0)
+        return 0;
+    const uint64_t aligned = (raw + 8 + 63) & ~uint64_t{63};
+    IDO_ASSERT(aligned >= raw + 8);
+    // Tag nibble 0x1 distinguishes the back-pointer from a plain
+    // block's header meta word (whose low nibble is 0xe or 0x2).
+    // Written back, fence coalesced: the back-pointer only matters to
+    // a post-crash free of this block, which requires the caller to
+    // have durably published the offset -- and that publish fence
+    // persists the back-pointer first.
+    auto* backptr = heap_.resolve<uint64_t>(aligned - 8);
+    dom.store_val(backptr, raw | 0x1);
+    dom.flush(backptr, sizeof(uint64_t));
+    return aligned;
+}
+
+void
+NvHeap::validate_for_free(uint64_t payload_off, const BlockHeader* hdr,
+                          uint64_t meta) const
+{
+    const uint64_t st = meta_state(meta);
+    if (st != kBlockLive) {
+        panic("nvheap: free of non-LIVE block: payload=0x%llx "
+              "header={size=0x%llx meta=0x%llx} state=%s "
+              "owner=%u epoch=%llu cur_epoch=%llu -- %s",
+              (unsigned long long)payload_off,
+              (unsigned long long)hdr->size, (unsigned long long)meta,
+              state_name(st), (unsigned)meta_owner(meta),
+              (unsigned long long)meta_epoch(meta),
+              (unsigned long long)epoch(),
+              st == kBlockFreeing || st == kBlockFree
+                  ? "double free"
+                  : "wild or corrupted pointer");
+    }
+    if (hdr->size == 0 || hdr->size > heap_.size()
+        || payload_off + hdr->size > heap_.size()) {
+        panic("nvheap: free of block with corrupt size: payload=0x%llx "
+              "header={size=0x%llx meta=0x%llx} owner=%u",
+              (unsigned long long)payload_off,
+              (unsigned long long)hdr->size, (unsigned long long)meta,
+              (unsigned)meta_owner(meta));
+    }
+}
+
+void
+NvHeap::free_block(uint64_t payload_off, PersistDomain& dom)
+{
+    // Validate the offset itself before dereferencing anything.
+    if (payload_off < data_begin_ + sizeof(BlockHeader)
+        || payload_off >= heap_.size() || (payload_off & 0xf) != 0) {
+        panic("nvheap: free of invalid offset 0x%llx "
+              "(arena data [0x%llx, 0x%llx), 16-byte aligned)",
+              (unsigned long long)payload_off,
+              (unsigned long long)data_begin_,
+              (unsigned long long)heap_.size());
+    }
+    // For a plain block the word at payload-8 *is* the header's meta
+    // word (header = {size @ -16, meta @ -8}), so one load serves both
+    // the aligned-block probe and the state validation.
+    const uint64_t below =
+        dom.load_val(heap_.resolve<uint64_t>(payload_off - 8));
+    if ((below & 0xf) == 0x1) {
+        // Aligned block: redirect to the underlying raw payload.
+        free_block(below & ~uint64_t{0xf}, dom);
+        return;
+    }
+    ThreadCache& tc = tcache();
+    auto* hdr =
+        heap_.resolve<BlockHeader>(payload_off - sizeof(BlockHeader));
+    const uint64_t meta = below;
+    validate_for_free(payload_off, hdr, meta);
+    trace::emit(trace::EventKind::kFree, payload_off);
+
+    const uint64_t size = dom.load_val(&hdr->size);
+    const size_t cls = class_for_size(size);
+
+    // Phase 1: mark the block FREEING, tagged with this thread and
+    // epoch.  From here on it can never be handed out again until
+    // either this thread recycles it (cache hit), a spill completes
+    // phase 2, or recover_leaks() relinks it after a crash.  The mark
+    // is written back but not fenced: it rides the next fence this
+    // thread issues (a spill, a carve, or the caller's next durable
+    // publish).  If a crash beats every later fence, the block reads
+    // back LIVE with a stale epoch -- a bounded leak, never a
+    // double-handout, since nothing links a block while it is parked
+    // in a transient cache.
+    hook();
+    set_meta(payload_off, pack_meta(kBlockFreeing, tc.owner_tag, epoch()),
+             dom, /*fence=*/false);
+    m_free_->fetch_add(1, std::memory_order_relaxed);
+
+    if (cls < kNumClasses && class_payload(cls) == size) {
+        auto& cache = tc.free_blocks[cls];
+        cache.push_back(payload_off);
+        if (cache.size() >= kCacheCap)
+            spill_cache(tc, cls, dom);
+    } else {
+        // Oversize blocks are not recycled (bump-only, as in v1);
+        // finalize to FREE so walkers see a settled state.
+        hook();
+        set_meta(payload_off, pack_meta(kBlockFree, tc.owner_tag, epoch()),
+                 dom);
+    }
+}
+
+uint64_t
+NvHeap::arena_remaining() const
+{
+    const HeapState* st = state();
+    return st->end - st->bump;
+}
+
+// --------------------------------------------------------------------------
+// Walks: consistency checking, live census, leak reclamation
+// --------------------------------------------------------------------------
+
+namespace {
+
+/** One extent of the global arena: a chunk or an oversize block. */
+struct Extent
+{
+    uint64_t begin;  ///< first block header (payload walk start)
+    uint64_t end;    ///< one past the extent's block area
+    bool is_chunk;
+};
+
+} // namespace
+
+/**
+ * Invoke fn(payload_off, hdr) for every block in the arena.  Blocks
+ * inside a chunk form a packed prefix; the walk stops at the first
+ * header slot never durably written (meta state unrecognizable),
+ * which by the carve protocol is always the unused tail.
+ */
+template <typename Fn>
+static void
+walk_blocks(PersistentHeap& heap, uint64_t data_begin, uint64_t bump,
+            uint64_t heap_size, bool* consistent, Fn&& fn)
+{
+    constexpr uint64_t kHdr = 16;
+    uint64_t off = data_begin;
+    while (off + kHdr <= bump) {
+        const auto* words = heap.resolve<uint64_t>(off);
+        if (words[0] == NvHeap::kChunkMagic) {
+            const uint64_t chunk_end = off + words[1];
+            if (words[1] != NvHeap::kChunkBytes || chunk_end > bump) {
+                if (consistent)
+                    *consistent = false;
+                return;
+            }
+            uint64_t b = off + kHdr;
+            while (b + kHdr <= chunk_end) {
+                const auto* bw = heap.resolve<uint64_t>(b);
+                const uint64_t st = bw[1] & 0xffff;
+                if (st != NvHeap::kBlockLive
+                    && st != NvHeap::kBlockFreeing
+                    && st != NvHeap::kBlockFree)
+                    break; // unused chunk tail
+                if (bw[0] == 0 || b + kHdr + bw[0] > chunk_end) {
+                    if (consistent)
+                        *consistent = false;
+                    return;
+                }
+                fn(b + kHdr, bw[0], bw[1]);
+                b += kHdr + bw[0];
+            }
+            off = chunk_end;
+        } else {
+            // Oversize (or arena-tail) block carved straight from the
+            // global arena.
+            const uint64_t st = words[1] & 0xffff;
+            if (st != NvHeap::kBlockLive && st != NvHeap::kBlockFreeing
+                && st != NvHeap::kBlockFree) {
+                if (consistent)
+                    *consistent = false;
+                return;
+            }
+            if (words[0] == 0 || off + kHdr + words[0] > heap_size) {
+                if (consistent)
+                    *consistent = false;
+                return;
+            }
+            fn(off + kHdr, words[0], words[1]);
+            off += kHdr + words[0];
+        }
+    }
+}
+
+uint64_t
+NvHeap::live_blocks() const
+{
+    const HeapState* st = state();
+    uint64_t live = 0;
+    walk_blocks(heap_, data_begin_, st->bump, heap_.size(), nullptr,
+                [&](uint64_t, uint64_t, uint64_t meta) {
+                    if (meta_state(meta) == kBlockLive)
+                        ++live;
+                });
+    return live;
+}
+
+bool
+NvHeap::check_consistency() const
+{
+    const HeapState* st = state();
+    if (st->magic != kStateMagic)
+        return false;
+    bool ok = true;
+    walk_blocks(heap_, data_begin_, st->bump, heap_.size(), &ok,
+                [](uint64_t, uint64_t, uint64_t) {});
+    if (!ok)
+        return false;
+    // Every free-list entry must be in state FREE with a matching
+    // class size, and the lists must be acyclic.
+    for (size_t s = 0; s < kNumShards; ++s) {
+        for (size_t c = 0; c < kNumClasses; ++c) {
+            uint64_t p = st->shards[s].heads[c];
+            size_t hops = 0;
+            while (p != 0) {
+                const auto* hdr =
+                    heap_.resolve<BlockHeader>(p - sizeof(BlockHeader));
+                if (meta_state(hdr->meta) != kBlockFree)
+                    return false;
+                if (hdr->size != kClassSizes[c])
+                    return false;
+                p = *heap_.resolve<uint64_t>(p);
+                if (++hops > heap_.size() / 16)
+                    return false; // cycle
+            }
+        }
+    }
+    return true;
+}
+
+uint64_t
+NvHeap::recover_leaks(PersistDomain& dom)
+{
+    // Serialize against every mutator path; reclamation is a recovery
+    // operation but must be safe even if called mid-run.
+    std::lock_guard<std::mutex> rg(refill_mutex_);
+    std::unique_lock<std::mutex> sg[kNumShards];
+    for (size_t s = 0; s < kNumShards; ++s)
+        sg[s] = std::unique_lock<std::mutex>(shard_mutexes_[s]);
+
+    HeapState* st = state();
+    const uint64_t cur_epoch = dom.load_val(&st->epoch);
+
+    // Pass 1: index every block reachable from a free list.
+    std::unordered_set<uint64_t> listed;
+    for (size_t s = 0; s < kNumShards; ++s) {
+        for (size_t c = 0; c < kNumClasses; ++c) {
+            uint64_t p = st->shards[s].heads[c];
+            size_t hops = 0;
+            while (p != 0) {
+                listed.insert(p);
+                p = *heap_.resolve<uint64_t>(p);
+                IDO_ASSERT(++hops <= heap_.size() / 16,
+                           "nvheap: free-list cycle during reclaim");
+            }
+        }
+    }
+
+    // Pass 2: find strays.  FREEING with a stale epoch means the
+    // freeing run died between the phases; FREE but unlisted means it
+    // died between a spill batch and its head publish (or between a
+    // shard pop's unlink and the LIVE flip).  Current-epoch FREEING
+    // blocks are parked in live transient caches -- leave them alone.
+    std::vector<uint64_t> strays;
+    walk_blocks(heap_, data_begin_, st->bump, heap_.size(), nullptr,
+                [&](uint64_t payload, uint64_t size, uint64_t meta) {
+                    const uint64_t s = meta_state(meta);
+                    const size_t cls = class_for_size(size);
+                    const bool exact = cls < kNumClasses
+                        && kClassSizes[cls] == size;
+                    if (!exact)
+                        return; // oversize: never relinked (bump-only)
+                    if (s == kBlockFreeing && meta_epoch(meta) < cur_epoch)
+                        strays.push_back(payload);
+                    else if (s == kBlockFree && !listed.count(payload))
+                        strays.push_back(payload);
+                });
+
+    // Pass 3: relink, one durable two-step per block (link+meta fence,
+    // then head publish fence) -- crashing mid-reclaim just leaves the
+    // block a stray for the next reclaim.
+    uint64_t reclaimed = 0;
+    for (const uint64_t payload : strays) {
+        const auto* hdr =
+            heap_.resolve<BlockHeader>(payload - sizeof(BlockHeader));
+        const size_t cls = class_for_size(hdr->size);
+        const size_t shard = reclaimed % kNumShards;
+        uint64_t* head = &st->shards[shard].heads[cls];
+        trace::emit(trace::EventKind::kLeakReclaim, payload,
+                    meta_state(hdr->meta));
+        uint64_t* link = heap_.resolve<uint64_t>(payload);
+        dom.store_val(link, dom.load_val(head));
+        dom.flush(link, sizeof(uint64_t));
+        set_meta(payload, pack_meta(kBlockFree, 0, cur_epoch), dom);
+        hook();
+        dom.store_val(head, payload);
+        dom.flush(head, sizeof(uint64_t));
+        dom.fence();
+        ++reclaimed;
+    }
+    if (reclaimed != 0)
+        m_leak_reclaim_->fetch_add(reclaimed, std::memory_order_relaxed);
+    return reclaimed;
+}
+
+} // namespace ido::nvm

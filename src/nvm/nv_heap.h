@@ -1,0 +1,326 @@
+/**
+ * @file
+ * NvHeap v2: the process-wide persistent-memory allocation facade.
+ *
+ * Supersedes the single-mutex NvAllocator (kept as the measured
+ * baseline in bench_micro_primitives) on every allocation path in the
+ * tree: runtime nv_alloc/nv_free, the per-runtime persistent log-record
+ * lists, and -- transitively through RuntimeThread -- all ds/ node
+ * allocation.  Design goals, in order:
+ *
+ *  1. No cross-thread blocking on the store->flush->fence hot path
+ *     (after *Delay-Free Concurrency on Faulty Persistent Memory*).
+ *     Each thread owns a private bump *chunk* carved from the global
+ *     arena under a short-lived refill lock, plus transient per-class
+ *     free caches; the common alloc and free cost one cache-line
+ *     write-back, touch no shared lock, and issue *no fence* -- the
+ *     durable mark coalesces into the next fence the thread runs
+ *     (spill, refill, or the caller's own durable publish), the
+ *     paper's persist-coalescing argument applied to the allocator.
+ *
+ *  2. A crash can leak, never corrupt, and leaks are reclaimed
+ *     *online*.  Every block header carries, colocated in its own
+ *     16 bytes (after *Fine-Grain Checkpointing with In-Cache-Line
+ *     Logging*), a packed {state, owner tag, epoch} word.  Freeing is
+ *     two-phase: the block is first durably marked kBlockFreeing
+ *     (phase 1) and parked in the freeing thread's transient cache;
+ *     only when the cache spills to a sharded persistent free list is
+ *     it durably marked kBlockFree and linked (phase 2).  A crash
+ *     between the phases strands the block in a state recover_leaks()
+ *     recognizes by its stale epoch and relinks -- it can never be
+ *     reachable from a free list and live at once, so the double-free
+ *     the v1 allocator could hit under a torn free is structurally
+ *     impossible.
+ *
+ *  3. One place for policy and observability: MetricsRegistry counters
+ *     (nvheap.*) and ido-trace events for refills, spills, cache hits
+ *     and leak reclaims are emitted here and nowhere else.
+ *
+ * Persistent layout (heap root kAllocator):
+ *
+ *   HeapState      global bump/end/epoch + kNumShards sharded
+ *                  per-class free-list heads (one 128-B shard each)
+ *   arena          a sequence of 16-KiB chunks (first word
+ *                  kChunkMagic) and oversize blocks, each chunk a
+ *                  packed run of [BlockHeader|payload] blocks
+ *
+ * Threads and epochs: the attach epoch is bumped durably each time a
+ * NvHeap attaches to existing state.  Transient caches hold blocks in
+ * state kBlockFreeing tagged with the epoch that freed them; blocks
+ * whose tag predates the current epoch can only belong to crashed (or
+ * destroyed) runs, which is what makes recover_leaks() safe to run
+ * while the new run is already allocating.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "nvm/persist_domain.h"
+#include "nvm/persistent_heap.h"
+
+namespace ido::nvm {
+
+class PersistDomain;
+
+class NvHeap
+{
+  public:
+    static constexpr size_t kNumClasses = 13;
+    static constexpr size_t kNumShards = 8;
+    /** Per-thread bump chunk carved from the global arena. */
+    static constexpr uint64_t kChunkBytes = 16384;
+    /** Transient per-class cache capacity; half spills when full. */
+    static constexpr size_t kCacheCap = 64;
+
+    // Block states (low 16 bits of the header meta word).  The low
+    // nibble must never be 0x1: that nibble distinguishes a plain
+    // header from an aligned block's tagged back-pointer.
+    static constexpr uint64_t kBlockLive = 0xa1ce;
+    static constexpr uint64_t kBlockFreeing = 0xf4e2; ///< phase 1
+    static constexpr uint64_t kBlockFree = 0xf4ee;    ///< phase 2
+
+    /** First word of a chunk; cannot collide with a block size. */
+    static constexpr uint64_t kChunkMagic = 0xc7a2c7a2c7a2c7a2ull;
+
+    /**
+     * Attach to (or initialize) the NvHeap state of a heap.  Attaching
+     * to existing state durably bumps the epoch; if the heap reports
+     * recovered_from_crash(), leaked blocks are reclaimed immediately.
+     */
+    NvHeap(PersistentHeap& heap, PersistDomain& dom);
+    ~NvHeap();
+
+    NvHeap(const NvHeap&) = delete;
+    NvHeap& operator=(const NvHeap&) = delete;
+
+    /**
+     * Allocate size bytes; returns the heap offset of the payload, or
+     * 0 if the arena is exhausted.  Payloads are 16-byte aligned.
+     */
+    uint64_t alloc(size_t size, PersistDomain& dom);
+
+    /**
+     * Allocate with the payload aligned to a cache line (durable
+     * tagged back-pointer below the payload, as in v1), for log
+     * records and line-padded nodes.
+     */
+    uint64_t alloc_aligned(size_t size, PersistDomain& dom);
+
+    /**
+     * Return a block obtained from alloc() or alloc_aligned().
+     * Validates the offset and header before touching any list and
+     * panics with a forensic dump (offset, header words, owner tag,
+     * epoch) on a double free or wild pointer.
+     */
+    void free_block(uint64_t payload_off, PersistDomain& dom);
+
+    /** Typed convenience: allocate sizeof(T), return offset. */
+    template <typename T>
+    uint64_t
+    alloc_for(PersistDomain& dom)
+    {
+        return alloc(sizeof(T), dom);
+    }
+
+    /**
+     * Allocate a line-aligned record and durably link it at the head
+     * of the persistent list rooted at `slot` -- the primitive behind
+     * every runtime's per-thread log-record list (replaces the ad-hoc
+     * link_mutex_ pattern).  `init(rec, prev_head)` must fully
+     * initialize the record through `dom`, storing prev_head into its
+     * next field; the record is flushed, fenced, and only then
+     * published as the new root, so a crash at any point leaves the
+     * list either without the record or with it fully initialized.
+     * Serialized per slot, not globally.  Returns 0 when exhausted.
+     */
+    template <typename InitFn>
+    uint64_t
+    alloc_linked(RootSlot slot, size_t size, PersistDomain& dom,
+                 InitFn&& init)
+    {
+        const uint64_t off = alloc_aligned(size, dom);
+        if (off == 0)
+            return 0;
+        std::lock_guard<std::mutex> g(
+            link_mutexes_[static_cast<size_t>(slot)]);
+        const uint64_t prev = heap_.root(slot);
+        void* rec = heap_.resolve<void>(off);
+        init(rec, prev);
+        dom.flush(rec, size);
+        dom.fence();
+        hook();
+        heap_.set_root(slot, off, dom);
+        return off;
+    }
+
+    PersistentHeap& heap() { return heap_; }
+
+    /** Bytes remaining in the *global* bump arena (diagnostics; does
+     *  not count tails of already-carved per-thread chunks). */
+    uint64_t arena_remaining() const;
+
+    /** Number of live (allocated, unfreed) blocks, by header walk. */
+    uint64_t live_blocks() const;
+
+    /**
+     * Walk every chunk and block header and verify the allocator
+     * invariants: headers well formed, free-list entries in state
+     * kBlockFree, no overlap, no cycles.  Quiescent callers only.
+     */
+    bool check_consistency() const;
+
+    /**
+     * Online leak reclamation: relink every block stranded mid-free by
+     * a crashed epoch (state kBlockFreeing with a stale epoch tag, or
+     * kBlockFree but unreachable from any free list) into the sharded
+     * free lists.  Safe to call while the current epoch is allocating:
+     * blocks parked in live transient caches carry the current epoch
+     * and are left alone.  Returns the number of blocks reclaimed.
+     */
+    uint64_t recover_leaks(PersistDomain& dom);
+
+    /** Current attach epoch (diagnostics / tests). */
+    uint64_t epoch() const;
+
+    /**
+     * Test hook fired at every durable protocol step (fence-adjacent
+     * points in alloc, free, spill, refill, link).  Crash-sweep tests
+     * install a counting hook that throws to simulate a crash at an
+     * exact protocol state.  Not thread-safe against concurrent
+     * allocator use; install before the workload starts.
+     */
+    void set_crash_hook(std::function<void()> hook_fn);
+
+  private:
+    /** 16-byte header preceding every payload. */
+    struct BlockHeader
+    {
+        uint64_t size; ///< payload size (rounded to its class)
+        uint64_t meta; ///< pack(state, owner, epoch)
+    };
+
+    /** One shard of per-class free-list heads (two cache lines). */
+    struct ShardList
+    {
+        uint64_t heads[kNumClasses];
+        uint64_t pad[3];
+    };
+    static_assert(sizeof(ShardList) == 128);
+
+    /** Persistent allocator metadata, stored at root kAllocator. */
+    struct HeapState
+    {
+        uint64_t magic; ///< kStateMagic (v1 images have an offset here)
+        uint64_t bump;  ///< next unused global arena offset
+        uint64_t end;   ///< arena end offset
+        uint64_t epoch; ///< attach epoch (bumped durably per attach)
+        uint64_t pad0[4];
+        ShardList shards[kNumShards];
+    };
+    static_assert(sizeof(HeapState) == 64 + kNumShards * sizeof(ShardList));
+
+    static constexpr uint64_t kStateMagic = 0x52e4ea9b1d02ull;
+
+    /** Transient per-thread allocation state (volatile by design:
+     *  losing one in a crash leaks recoverable blocks, nothing more). */
+    struct ThreadCache
+    {
+        uint64_t chunk_cursor = 0; ///< next carve offset (0 = none)
+        uint64_t chunk_end = 0;
+        uint16_t owner_tag = 0;
+        std::vector<uint64_t> free_blocks[kNumClasses];
+    };
+
+    static uint64_t
+    pack_meta(uint64_t state, uint16_t owner, uint64_t epoch)
+    {
+        return (state & 0xffff) | (uint64_t{owner} << 16)
+               | ((epoch & 0xffffffff) << 32);
+    }
+    static uint64_t meta_state(uint64_t meta) { return meta & 0xffff; }
+    static uint16_t
+    meta_owner(uint64_t meta)
+    {
+        return static_cast<uint16_t>(meta >> 16);
+    }
+    static uint64_t meta_epoch(uint64_t meta) { return meta >> 32; }
+
+    static size_t class_for_size(size_t size);
+    static size_t class_payload(size_t cls);
+
+    HeapState* state() const;
+    ThreadCache& tcache();
+    size_t home_shard(const ThreadCache& tc) const;
+
+    void
+    hook()
+    {
+        if (crash_hook_)
+            crash_hook_();
+    }
+
+    /** Write a block's meta word and issue its line write-back.  With
+     *  fence=false the sfence is *coalesced*: the write-back is ordered
+     *  before any later fence on this thread (both domain models
+     *  guarantee this), so it becomes durable no later than the next
+     *  protocol fence or the caller's own durable publish of the
+     *  offset -- the paper's persist-coalescing discipline applied to
+     *  the allocator's hot path. */
+    void set_meta(uint64_t payload_off, uint64_t meta, PersistDomain& dom,
+                  bool fence = true);
+
+    /** Carve one block from the thread's chunk; 0 if it doesn't fit. */
+    uint64_t carve_from_chunk(ThreadCache& tc, size_t payload,
+                              uint16_t owner, PersistDomain& dom);
+
+    /** Refill the thread's chunk from the global arena. */
+    bool refill_chunk(ThreadCache& tc, PersistDomain& dom);
+
+    /** Pop from one shard's class list; 0 if empty. */
+    uint64_t shard_pop(size_t shard, size_t cls, PersistDomain& dom);
+
+    /** Spill half of one transient class cache to the home shard. */
+    void spill_cache(ThreadCache& tc, size_t cls, PersistDomain& dom);
+
+    /** Carve an exact-size block from the global arena (oversize and
+     *  arena-tail allocations). */
+    uint64_t carve_global(size_t payload, uint16_t owner,
+                          PersistDomain& dom);
+
+    /** Validate a block header before freeing; panics on violation. */
+    void validate_for_free(uint64_t payload_off, const BlockHeader* hdr,
+                           uint64_t meta) const;
+
+    PersistentHeap& heap_;
+    uint64_t state_off_ = 0;
+    uint64_t data_begin_ = 0; ///< first byte after HeapState
+    const uint64_t id_;       ///< process-unique instance id (TLS key)
+
+    std::mutex refill_mutex_; ///< global bump pointer
+    std::mutex shard_mutexes_[kNumShards];
+    std::mutex link_mutexes_[static_cast<size_t>(RootSlot::kCount)];
+
+    std::mutex tc_mutex_; ///< guards tcs_ registration only
+    std::deque<std::unique_ptr<ThreadCache>> tcs_;
+    uint16_t next_owner_tag_ = 1; ///< under tc_mutex_
+
+    std::function<void()> crash_hook_;
+
+    // MetricsRegistry counter cells (stable for process lifetime).
+    std::atomic<uint64_t>* m_alloc_;
+    std::atomic<uint64_t>* m_free_;
+    std::atomic<uint64_t>* m_cache_hit_;
+    std::atomic<uint64_t>* m_refill_;
+    std::atomic<uint64_t>* m_spill_;
+    std::atomic<uint64_t>* m_shard_pop_;
+    std::atomic<uint64_t>* m_leak_reclaim_;
+    std::atomic<uint64_t>* m_oversize_;
+};
+
+} // namespace ido::nvm

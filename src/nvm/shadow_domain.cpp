@@ -52,11 +52,17 @@ ShadowDomain::store(void* dst, const void* src, size_t n)
             it = sh.lines.emplace(lb, line).first;
         } else if (it->second.state == LineState::kPending) {
             // A write-back was requested but not yet fenced; the new
-            // store re-dirties the line.  Whether the earlier request
-            // already completed is unknowable -- resolve it with a coin
-            // flip so both legal outcomes are exercised.
-            if ((lb >> 6) & 1)
-                write_back(lb, it->second);
+            // store re-dirties the line.  The in-flight write-back
+            // must be treated as having completed with the pre-store
+            // content: on real hardware the flusher's clwb+sfence
+            // guarantees at least that content becomes durable, and a
+            // completed-early write-back is always a legal outcome.
+            // (This used to be resolved with a per-line coin flip; the
+            // "never completed" half silently voided another thread's
+            // already-issued flush -- the root cause of the rare nvml
+            // crash-consistency flake and the v1 allocator's spurious
+            // double-free panic.)
+            write_back(lb, it->second);
             it->second.state = LineState::kDirty;
             it->second.owner_tid = self_tid();
         }
@@ -114,6 +120,14 @@ ShadowDomain::flush(const void* addr, size_t n)
         std::lock_guard<std::mutex> g(sh.mutex);
         auto it = sh.lines.find(lb);
         if (it != sh.lines.end()) {
+            // If another thread already has a write-back in flight for
+            // this line, both threads' fences must now cover it (both
+            // issued a clwb of identical content).  Ownership is a
+            // single tid, so complete the first request immediately --
+            // a legal outcome -- before this thread takes it over.
+            if (it->second.state == LineState::kPending
+                && it->second.owner_tid != self_tid())
+                write_back(lb, it->second);
             it->second.state = LineState::kPending;
             it->second.owner_tid = self_tid();
         }

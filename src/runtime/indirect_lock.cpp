@@ -27,12 +27,18 @@ LockTable::lock_for(uint64_t* holder_slot)
             return *m;
         }
         // Stale (previous epoch or never initialized): install a fresh
-        // transient lock.  The pool retains ownership.
+        // transient lock carved from the tail slab.  The table retains
+        // ownership for its whole lifetime, so a loser's lock leaking
+        // into the slab is harmless.
         TransientLock* fresh;
         {
             std::lock_guard<std::mutex> g(alloc_mutex_);
-            pool_.push_back(std::make_unique<TransientLock>());
-            fresh = pool_.back().get();
+            if (slab_used_ == Slab::kLocksPerSlab) {
+                slabs_.push_back(std::make_unique<Slab>());
+                slab_used_ = 0;
+            }
+            fresh = &slabs_.back()->cells[slab_used_++].lock;
+            ++locks_created_;
         }
         const uint64_t next =
             (static_cast<uint64_t>(cur_epoch & 0xffff) << kEpochShift)
@@ -57,7 +63,7 @@ size_t
 LockTable::locks_created() const
 {
     std::lock_guard<std::mutex> g(alloc_mutex_);
-    return pool_.size();
+    return locks_created_;
 }
 
 } // namespace ido::rt

@@ -24,6 +24,7 @@
  */
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -113,8 +114,22 @@ class LockTable
      *  never misinterprets a stale holder tag. */
     static std::atomic<uint32_t> g_next_epoch;
 
+    // Locks are carved from slabs rather than allocated one by one:
+    // the install path holds alloc_mutex_ for a pointer bump in the
+    // common case, and each lock gets its own cache line so two hot
+    // locks resolved back to back never ping-pong a shared line.
+    struct Slab {
+        static constexpr size_t kLocksPerSlab = 64;
+        struct alignas(64) Cell {
+            TransientLock lock;
+        };
+        std::array<Cell, kLocksPerSlab> cells;
+    };
+
     mutable std::mutex alloc_mutex_;
-    std::vector<std::unique_ptr<TransientLock>> pool_;
+    std::vector<std::unique_ptr<Slab>> slabs_;
+    size_t slab_used_ = Slab::kLocksPerSlab; // full: first use allocates
+    size_t locks_created_ = 0;
     std::atomic<uint32_t> epoch_;
 };
 

@@ -33,7 +33,7 @@
 #include <unordered_set>
 #include <vector>
 
-#include "nvm/nv_allocator.h"
+#include "nvm/nv_heap.h"
 #include "nvm/persist_domain.h"
 #include "nvm/persistent_heap.h"
 #include "runtime/crash_sim.h"
@@ -100,7 +100,7 @@ class Runtime
 
     nvm::PersistentHeap& heap() { return heap_; }
     nvm::PersistDomain& domain() { return dom_; }
-    nvm::NvAllocator& allocator() { return alloc_; }
+    nvm::NvHeap& allocator() { return alloc_; }
     LockTable& locks() { return locks_; }
     CrashScheduler& crash_scheduler() { return crash_; }
     const RuntimeConfig& config() const { return cfg_; }
@@ -109,7 +109,7 @@ class Runtime
     nvm::PersistentHeap& heap_;
     nvm::PersistDomain& dom_;
     RuntimeConfig cfg_;
-    nvm::NvAllocator alloc_;
+    nvm::NvHeap alloc_;
     LockTable locks_;
     CrashScheduler crash_;
 };

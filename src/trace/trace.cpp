@@ -441,6 +441,12 @@ event_kind_name(EventKind k)
         return "recovery.undo.begin";
       case EventKind::kRecoverUndoEnd:
         return "recovery.undo.end";
+      case EventKind::kArenaRefill:
+        return "alloc.refill";
+      case EventKind::kCacheSpill:
+        return "alloc.spill";
+      case EventKind::kLeakReclaim:
+        return "alloc.reclaim";
       case EventKind::kMaxKind:
         break;
     }

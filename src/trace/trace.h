@@ -59,7 +59,7 @@ enum class EventKind : uint16_t
     kFlush, ///< a0 = address/offset, a1 = cache lines written back
     kFence, ///< persist fence retired
 
-    // Allocator (nv_allocator)
+    // Allocator (nv_heap / nv_allocator)
     kAlloc, ///< a0 = payload offset, a1 = bytes
     kFree,  ///< a0 = payload offset
 
@@ -81,6 +81,11 @@ enum class EventKind : uint16_t
     kRecoverResumeEnd,   ///< a0 = resume pc
     kRecoverUndoBegin,   ///< a0 = log record offset (undo/redo walk)
     kRecoverUndoEnd,     ///< a1 = entries applied
+
+    // NvHeap v2 (nv_heap)
+    kArenaRefill, ///< a0 = chunk offset, a1 = chunk bytes
+    kCacheSpill,  ///< a0 = size class, a1 = blocks spilled to a shard
+    kLeakReclaim, ///< a0 = payload offset, a1 = pre-reclaim state word
 
     kMaxKind
 };

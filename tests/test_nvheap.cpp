@@ -1,0 +1,447 @@
+/**
+ * @file
+ * NvHeap v2 tests: facade semantics (per-thread caches, sharded free
+ * lists, alloc_linked), free_block forensics, a deterministic
+ * crash-at-every-fuse-point sweep over alloc/free under all three
+ * ShadowDomain crash policies, and a multi-thread alloc/free stress
+ * run.  The sweep is the acceptance gate for the two-phase free
+ * protocol: after any crash the heap must check consistent, nothing
+ * may be handed out twice, and leak reclamation must converge.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "nvm/nv_heap.h"
+#include "nvm/persist_domain.h"
+#include "nvm/shadow_domain.h"
+
+namespace ido::nvm {
+namespace {
+
+struct NvHeapFixture : public ::testing::Test
+{
+    NvHeapFixture()
+        : heap({.size = 4u << 20}), dom(), h(heap, dom)
+    {
+    }
+
+    PersistentHeap heap;
+    RealDomain dom;
+    NvHeap h;
+};
+
+TEST_F(NvHeapFixture, BasicAllocNonZeroAligned)
+{
+    const uint64_t a = h.alloc(24, dom);
+    const uint64_t b = h.alloc(24, dom);
+    ASSERT_NE(a, 0u);
+    ASSERT_NE(b, 0u);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a % 16, 0u);
+    EXPECT_EQ(b % 16, 0u);
+}
+
+TEST_F(NvHeapFixture, FreeThenReuseHitsThreadCache)
+{
+    const uint64_t a = h.alloc(32, dom);
+    h.free_block(a, dom);
+    // The block parks in this thread's transient cache (phase 1) and
+    // the next same-class alloc must take it straight back.
+    const uint64_t b = h.alloc(32, dom);
+    EXPECT_EQ(a, b);
+}
+
+TEST_F(NvHeapFixture, AlignedAllocIsLineAligned)
+{
+    for (size_t sz : {24u, 100u, 2000u}) {
+        const uint64_t off = h.alloc_aligned(sz, dom);
+        ASSERT_NE(off, 0u);
+        EXPECT_EQ(off % 64, 0u) << "size " << sz;
+        std::memset(heap.resolve<void>(off), 0x5a, sz);
+    }
+    EXPECT_TRUE(h.check_consistency());
+}
+
+TEST_F(NvHeapFixture, AlignedBlocksSurviveFreeAndReuse)
+{
+    const uint64_t a = h.alloc_aligned(128, dom);
+    h.free_block(a, dom);
+    const uint64_t b = h.alloc(8, dom);
+    ASSERT_NE(b, 0u);
+    EXPECT_TRUE(h.check_consistency());
+}
+
+TEST_F(NvHeapFixture, LiveCountTracksAllocFree)
+{
+    const uint64_t base = h.live_blocks();
+    const uint64_t a = h.alloc(40, dom);
+    const uint64_t b = h.alloc(40, dom);
+    EXPECT_EQ(h.live_blocks(), base + 2);
+    h.free_block(a, dom);
+    EXPECT_EQ(h.live_blocks(), base + 1);
+    h.free_block(b, dom);
+    EXPECT_EQ(h.live_blocks(), base);
+}
+
+TEST_F(NvHeapFixture, OversizeRoundTrip)
+{
+    const uint64_t a = h.alloc(100000, dom);
+    ASSERT_NE(a, 0u);
+    auto* p = heap.resolve<uint8_t>(a);
+    p[0] = 1;
+    p[99999] = 2;
+    EXPECT_EQ(p[0], 1);
+    EXPECT_EQ(p[99999], 2);
+    h.free_block(a, dom);
+    EXPECT_TRUE(h.check_consistency());
+}
+
+TEST_F(NvHeapFixture, SpillAndShardRefillRoundTrip)
+{
+    // Overflow one class cache so half of it spills to the sharded
+    // global lists, then drain it all back out.
+    std::vector<uint64_t> offs;
+    for (size_t i = 0; i < NvHeap::kCacheCap + 8; ++i)
+        offs.push_back(h.alloc(48, dom));
+    for (uint64_t off : offs)
+        h.free_block(off, dom);
+    EXPECT_TRUE(h.check_consistency());
+    std::set<uint64_t> seen;
+    for (size_t i = 0; i < offs.size(); ++i) {
+        const uint64_t off = h.alloc(48, dom);
+        ASSERT_NE(off, 0u);
+        EXPECT_TRUE(seen.insert(off).second)
+            << "offset 0x" << std::hex << off << " handed out twice";
+    }
+    EXPECT_TRUE(h.check_consistency());
+}
+
+TEST_F(NvHeapFixture, ExhaustionReturnsZero)
+{
+    uint64_t last = 1;
+    int count = 0;
+    while ((last = h.alloc(1u << 16, dom)) != 0 && count < 10000)
+        ++count;
+    EXPECT_EQ(last, 0u);
+    EXPECT_GT(count, 10);
+    EXPECT_TRUE(h.check_consistency());
+}
+
+TEST_F(NvHeapFixture, ConsistencyAfterChurn)
+{
+    Rng rng(3);
+    std::vector<uint64_t> live;
+    for (int i = 0; i < 2000; ++i) {
+        if (live.empty() || rng.percent(60)) {
+            const uint64_t off = h.alloc(8 + rng.next_below(200), dom);
+            if (off != 0)
+                live.push_back(off);
+        } else {
+            const size_t idx = rng.next_below(live.size());
+            h.free_block(live[idx], dom);
+            live[idx] = live.back();
+            live.pop_back();
+        }
+    }
+    EXPECT_TRUE(h.check_consistency());
+}
+
+TEST_F(NvHeapFixture, AllocLinkedBuildsList)
+{
+    struct Rec
+    {
+        uint64_t next;
+        uint64_t tag;
+    };
+    std::vector<uint64_t> offs;
+    for (uint64_t i = 1; i <= 5; ++i) {
+        const uint64_t off = h.alloc_linked(
+            RootSlot::kUser0, sizeof(Rec), dom,
+            [&](void* rec, uint64_t prev_head) {
+                Rec init{prev_head, i};
+                dom.store(rec, &init, sizeof(init));
+            });
+        ASSERT_NE(off, 0u);
+        offs.push_back(off);
+    }
+    // Head is the last record; walk recovers insertion order reversed.
+    uint64_t off = heap.root(RootSlot::kUser0);
+    for (uint64_t i = 5; i >= 1; --i) {
+        ASSERT_NE(off, 0u);
+        const auto* r = heap.resolve<Rec>(off);
+        EXPECT_EQ(r->tag, i);
+        EXPECT_EQ(off, offs[i - 1]);
+        off = r->next;
+    }
+    EXPECT_EQ(off, 0u);
+}
+
+TEST_F(NvHeapFixture, ReattachFindsExistingState)
+{
+    const uint64_t a = h.alloc(64, dom);
+    ASSERT_NE(a, 0u);
+    const uint64_t before = h.epoch();
+    NvHeap again(heap, dom);
+    // epoch() reads the shared persistent word, so both handles now
+    // see the attach bump.
+    EXPECT_EQ(again.epoch(), before + 1);
+    const uint64_t b = again.alloc(64, dom);
+    EXPECT_NE(b, 0u);
+    EXPECT_NE(a, b);
+    EXPECT_TRUE(again.check_consistency());
+}
+
+using NvHeapDeath = NvHeapFixture;
+
+TEST_F(NvHeapDeath, DoubleFreePanicsWithForensics)
+{
+    const uint64_t a = h.alloc(32, dom);
+    h.free_block(a, dom);
+    EXPECT_DEATH(h.free_block(a, dom), "double free");
+}
+
+TEST_F(NvHeapDeath, WildOffsetPanics)
+{
+    const uint64_t a = h.alloc(32, dom);
+    (void)a;
+    EXPECT_DEATH(h.free_block(a + 8, dom), "free of invalid offset");
+}
+
+TEST_F(NvHeapDeath, InteriorGarbagePanics)
+{
+    const uint64_t a = h.alloc(256, dom);
+    // A 16-aligned offset into the payload: past the bounds check, the
+    // header validation must reject it with the forensic dump.
+    EXPECT_DEATH(h.free_block(a + 64, dom),
+                 "wild or corrupted pointer");
+}
+
+// --------------------------------------------------------------------------
+// Deterministic crash sweep
+// --------------------------------------------------------------------------
+
+struct HookCrash
+{
+};
+
+/**
+ * The scripted workload for the sweep.  Deliberately touches every
+ * protocol arm: chunk carves, refills (2-KiB blocks drain a 16-KiB
+ * chunk in seven allocs), cache hits, spills (overflowing one class
+ * cache), shard pops, oversize carves, alloc_linked publishes, and
+ * aligned blocks.  `tracked` collects payload extents of every block
+ * the script holds live (never freed).  Hot-path marks are
+ * fence-coalesced, so a tracked block is only durably kBlockLive once
+ * its owner fences -- keep() fences exactly like a real caller
+ * durably publishing the offset, which is what licenses the
+ * no-overlap assertion after recovery.
+ */
+void
+run_script(NvHeap& h, PersistDomain& dom,
+           std::vector<std::pair<uint64_t, uint64_t>>* tracked)
+{
+    std::vector<uint64_t> scratch;
+    auto keep = [&](uint64_t off, uint64_t sz) {
+        ASSERT_NE(off, 0u);
+        dom.fence();
+        if (tracked)
+            tracked->emplace_back(off, sz);
+    };
+    // Chunk carving + one refill.
+    for (int i = 0; i < 9; ++i)
+        keep(h.alloc(2048, dom), 2048);
+    // Small blocks: carve, free (phase 1), re-alloc (cache hit).
+    for (int i = 0; i < 8; ++i)
+        scratch.push_back(h.alloc(32, dom));
+    for (uint64_t off : scratch)
+        h.free_block(off, dom);
+    scratch.clear();
+    for (int i = 0; i < 4; ++i)
+        keep(h.alloc(32, dom), 32);
+    // Overflow one class cache to force a spill to the shard lists.
+    for (size_t i = 0; i < NvHeap::kCacheCap + 4; ++i)
+        scratch.push_back(h.alloc(64, dom));
+    for (uint64_t off : scratch)
+        h.free_block(off, dom);
+    scratch.clear();
+    // Oversize, aligned, and linked allocations.
+    keep(h.alloc(6000, dom), 6000);
+    keep(h.alloc_aligned(200, dom), 200);
+    const uint64_t rec = h.alloc_linked(
+        RootSlot::kUser1, 32, dom, [&](void* p, uint64_t prev_head) {
+            uint64_t words[4] = {prev_head, 0xbeef, 0, 0};
+            dom.store(p, words, sizeof(words));
+        });
+    keep(rec, 32);
+}
+
+/**
+ * Crash at fuse point N for every N until the script completes, under
+ * each crash policy.  After every crash: reattach, reclaim leaks, and
+ * verify (a) the surviving metadata checks consistent, (b) reclamation
+ * converges (a second pass finds nothing), and (c) nothing the crashed
+ * run held live is ever handed out again or overlapped by a new block.
+ */
+TEST(NvHeapCrashSweep, EveryFusePointEveryPolicy)
+{
+    for (const CrashPolicy policy :
+         {CrashPolicy::kDropAll, CrashPolicy::kPersistAll,
+          CrashPolicy::kRandom}) {
+        int completed_at = -1;
+        for (int fuse = 1; fuse < 100000; ++fuse) {
+            PersistentHeap heap({.size = 4u << 20});
+            ShadowDomain shadow(heap.base(), heap.size(),
+                                static_cast<uint64_t>(fuse) * 31 + 7);
+            std::vector<std::pair<uint64_t, uint64_t>> held;
+            bool crashed = false;
+            {
+                NvHeap h(heap, shadow);
+                heap.mark_running(shadow);
+                int steps = 0;
+                h.set_crash_hook([&] {
+                    if (++steps == fuse)
+                        throw HookCrash{};
+                });
+                try {
+                    run_script(h, shadow, &held);
+                } catch (const HookCrash&) {
+                    crashed = true;
+                }
+                if (::testing::Test::HasFatalFailure())
+                    return;
+                h.set_crash_hook(nullptr);
+                // The crashed instance is abandoned here; its
+                // destructor must not touch the heap.
+            }
+            if (!crashed) {
+                completed_at = fuse;
+                break;
+            }
+            shadow.crash(policy);
+            heap.simulate_fresh_open();
+            ASSERT_TRUE(heap.recovered_from_crash());
+
+            RealDomain dom;
+            NvHeap rec(heap, dom); // ctor runs recover_leaks
+            ASSERT_TRUE(rec.check_consistency())
+                << "policy " << static_cast<int>(policy) << " fuse "
+                << fuse;
+            EXPECT_EQ(rec.recover_leaks(dom), 0u)
+                << "reclamation did not converge (fuse " << fuse
+                << ")";
+            // No double allocation: blocks the crashed run held live
+            // were durably kBlockLive when alloc returned, so no new
+            // allocation may overlap them.
+            std::sort(held.begin(), held.end());
+            std::set<uint64_t> fresh;
+            for (int i = 0; i < 120; ++i) {
+                const uint64_t off = rec.alloc(48, dom);
+                ASSERT_NE(off, 0u);
+                ASSERT_TRUE(fresh.insert(off).second)
+                    << "offset handed out twice after recovery";
+                for (const auto& [ho, hs] : held) {
+                    ASSERT_FALSE(off < ho + hs && ho < off + 48)
+                        << "post-crash alloc 0x" << std::hex << off
+                        << " overlaps surviving block 0x" << ho
+                        << " (policy " << std::dec
+                        << static_cast<int>(policy) << ", fuse "
+                        << fuse << ")";
+                }
+            }
+            ASSERT_TRUE(rec.check_consistency());
+        }
+        // The loop must terminate by completing the script, and the
+        // script must actually contain fuse points.
+        EXPECT_GT(completed_at, 20)
+            << "script has suspiciously few protocol steps";
+    }
+}
+
+// --------------------------------------------------------------------------
+// Concurrency
+// --------------------------------------------------------------------------
+
+TEST(NvHeapStress, EightThreadAllocFreeChurn)
+{
+    PersistentHeap heap({.size = 64u << 20});
+    RealDomain dom;
+    NvHeap h(heap, dom);
+    constexpr int kThreads = 8;
+    constexpr int kOpsPerThread = 4000;
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t) {
+        ts.emplace_back([&, t] {
+            Rng rng(static_cast<uint64_t>(t) * 1009 + 17);
+            std::vector<uint64_t> live;
+            for (int i = 0; i < kOpsPerThread; ++i) {
+                if (live.empty() || rng.percent(55)) {
+                    const size_t sz = 8 + rng.next_below(300);
+                    const uint64_t off = h.alloc(sz, dom);
+                    if (off == 0) {
+                        failed.store(true);
+                        return;
+                    }
+                    // Stamp the payload; torn or shared blocks would
+                    // trip the consistency walk or the stamps below.
+                    auto* p = heap.resolve<uint64_t>(off);
+                    *p = (uint64_t{static_cast<uint64_t>(t)} << 32)
+                         | static_cast<uint32_t>(i);
+                    live.push_back(off);
+                } else {
+                    const size_t idx = rng.next_below(live.size());
+                    h.free_block(live[idx], dom);
+                    live[idx] = live.back();
+                    live.pop_back();
+                }
+            }
+            for (uint64_t off : live)
+                h.free_block(off, dom);
+        });
+    }
+    for (auto& t : ts)
+        t.join();
+    EXPECT_FALSE(failed.load());
+    EXPECT_TRUE(h.check_consistency());
+    EXPECT_EQ(h.live_blocks(), 0u);
+}
+
+TEST(NvHeapStress, CrossThreadFreeIsSafe)
+{
+    // Producer allocates, consumer frees: blocks migrate between the
+    // two threads' caches through the sharded lists.
+    PersistentHeap heap({.size = 16u << 20});
+    RealDomain dom;
+    NvHeap h(heap, dom);
+    constexpr int kRounds = 2000;
+    std::vector<uint64_t> handoff(kRounds, 0);
+    std::atomic<int> ready{0};
+    std::thread producer([&] {
+        for (int i = 0; i < kRounds; ++i) {
+            handoff[i] = h.alloc(96, dom);
+            ASSERT_NE(handoff[i], 0u);
+            ready.store(i + 1, std::memory_order_release);
+        }
+    });
+    std::thread consumer([&] {
+        for (int i = 0; i < kRounds; ++i) {
+            while (ready.load(std::memory_order_acquire) <= i)
+                std::this_thread::yield();
+            h.free_block(handoff[i], dom);
+        }
+    });
+    producer.join();
+    consumer.join();
+    EXPECT_TRUE(h.check_consistency());
+    EXPECT_EQ(h.live_blocks(), 0u);
+}
+
+} // namespace
+} // namespace ido::nvm

@@ -6,6 +6,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <thread>
 
@@ -124,6 +125,50 @@ TEST_F(ShadowFixture, FenceIsPerThread)
     });
     a2.join();
     EXPECT_EQ(image(4096), 13u);
+}
+
+// Regression for the nvml crash-consistency flake: thread A flushes a
+// line, thread B stores to the same line before A fences.  On real
+// hardware A's clwb+sfence guarantees the pre-store content is durable
+// regardless of B's write; the shadow model used to resolve the
+// in-flight write-back with a per-line coin flip whose "never
+// completed" half silently voided A's fence.
+TEST_F(ShadowFixture, FlushedContentSurvivesConcurrentStoreToLine)
+{
+    for (const uint64_t off : {uint64_t{4096}, uint64_t{4160}}) {
+        std::atomic<int> phase{0};
+        std::thread a([&] {
+            shadow.store_val(cell(off), uint64_t{0xAAAA});
+            shadow.flush(cell(off), 8);
+            phase.store(1);
+            while (phase.load() != 2)
+                std::this_thread::yield();
+            shadow.fence();
+        });
+        std::thread b([&] {
+            while (phase.load() != 1)
+                std::this_thread::yield();
+            shadow.store_val(cell(off) + 1, uint64_t{0xBBBB});
+            phase.store(2);
+        });
+        a.join();
+        b.join();
+        shadow.crash(CrashPolicy::kDropAll);
+        EXPECT_EQ(image(off), 0xAAAAu) << "line at offset " << off;
+    }
+}
+
+TEST_F(ShadowFixture, StoreAfterOwnFlushKeepsFlushedContentDurable)
+{
+    shadow.store_val(cell(4096), uint64_t{1});
+    shadow.flush(cell(4096), 8);
+    // Re-dirty the line before fencing: the clwb'd content (1) must
+    // still become durable; the newer store (2) is not guaranteed and
+    // under this model is dropped by the crash.
+    shadow.store_val(cell(4096), uint64_t{2});
+    shadow.fence();
+    shadow.crash(CrashPolicy::kDropAll);
+    EXPECT_EQ(image(4096), 1u);
 }
 
 TEST_F(ShadowFixture, DrainAllWritesEverything)
