@@ -13,6 +13,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
+#include "common/stopwatch.h"
 #include "ido/ido_runtime.h"
 
 using namespace ido;
@@ -61,7 +62,8 @@ make_program(uint32_t id, rt::RegionFn def, uint16_t mask)
 }
 
 void
-run_variant(benchmark::State& state, const rt::FaseProgram& prog)
+run_variant(benchmark::State& state, const rt::FaseProgram& prog,
+            const char* label)
 {
     nvm::PersistentHeap heap({.size = 64u << 20});
     nvm::RealDomain dom;
@@ -70,17 +72,20 @@ run_variant(benchmark::State& state, const rt::FaseProgram& prog)
     auto th = runtime.make_thread();
     tls_persist_counters().clear();
     uint64_t ops = 0;
+    Stopwatch clock;
     for (auto _ : state) {
         rt::RegionCtx ctx;
         th->run_fase(prog, ctx);
         ++ops;
     }
+    const double secs = clock.elapsed_seconds();
     const PersistCounters& c = tls_persist_counters();
     state.counters["flushes/op"] =
         benchmark::Counter(double(c.flushes) / double(ops ? ops : 1));
     state.counters["fences/op"] =
         benchmark::Counter(double(c.fences) / double(ops ? ops : 1));
     persist_counters_flush_tls();
+    emit_json_row("ablation_coalesce", label, 1, ops, secs);
 }
 
 void
@@ -88,7 +93,7 @@ BM_CoalescePacked(benchmark::State& state)
 {
     static const rt::FaseProgram prog =
         make_program(8002, define_packed, kPacked);
-    run_variant(state, prog);
+    run_variant(state, prog, "packed");
 }
 
 void
@@ -96,7 +101,7 @@ BM_CoalesceSplit(benchmark::State& state)
 {
     static const rt::FaseProgram prog =
         make_program(8003, define_split, kSplit);
-    run_variant(state, prog);
+    run_variant(state, prog, "split");
 }
 
 } // namespace

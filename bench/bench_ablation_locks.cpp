@@ -13,6 +13,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
+#include "common/stopwatch.h"
 #include "runtime/runtime.h"
 
 using namespace ido;
@@ -62,12 +63,14 @@ BM_LockRoundTrip(benchmark::State& state)
     persist_counters_reset_global();
     tls_persist_counters().clear();
     uint64_t ops = 0;
+    Stopwatch clock;
     for (auto _ : state) {
         rt::RegionCtx ctx;
         ctx.r[0] = holder;
         th->run_fase(lock_pair_program(), ctx);
         ++ops;
     }
+    const double secs = clock.elapsed_seconds();
     const PersistCounters& c = tls_persist_counters();
     state.counters["fences/op"] =
         benchmark::Counter(double(c.fences) / double(ops ? ops : 1));
@@ -75,6 +78,10 @@ BM_LockRoundTrip(benchmark::State& state)
         benchmark::Counter(double(c.flushes) / double(ops ? ops : 1));
     state.SetLabel(baselines::runtime_kind_name(kind));
     persist_counters_flush_tls();
+    // One row per benchmark run; warm-up runs append too, which a
+    // JSON-lines file tolerates (consumers keep the last row per key).
+    emit_json_row("ablation_locks", baselines::runtime_kind_name(kind),
+                  1, ops, secs);
 }
 
 } // namespace

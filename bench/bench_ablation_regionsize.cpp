@@ -15,6 +15,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
+#include "common/stopwatch.h"
 #include "runtime/runtime.h"
 
 using namespace ido;
@@ -69,6 +70,7 @@ BM_RegionGranularity(benchmark::State& state)
 
     tls_persist_counters().clear();
     uint64_t ops = 0;
+    Stopwatch clock;
     for (auto _ : state) {
         rt::RegionCtx ctx;
         ctx.r[0] = data;
@@ -83,6 +85,11 @@ BM_RegionGranularity(benchmark::State& state)
     state.SetLabel(std::string(baselines::runtime_kind_name(kind))
                    + " k=" + std::to_string(k));
     persist_counters_flush_tls();
+    const std::string label =
+        std::string(baselines::runtime_kind_name(kind)) + "_k"
+        + std::to_string(k);
+    emit_json_row("ablation_regionsize", label.c_str(), 1, ops,
+                  clock.elapsed_seconds());
 }
 
 } // namespace

@@ -50,9 +50,11 @@ main()
         wl.threads = 2;
         wl.duration_seconds = secs;
         const uint64_t root = ds::workload_setup(*runtime, wl);
-        ds::workload_run(*runtime, root, wl);
+        const auto result = ds::workload_run(*runtime, root, wl);
         std::fputs(collector.format_fig8(ds::ds_kind_name(s)).c_str(),
                    stdout);
+        emit_json_row("fig8_regions", ds::ds_kind_name(s), wl.threads,
+                      result.total_ops, secs);
     }
 
     {
@@ -68,8 +70,10 @@ main()
         wl.set_pct = 50;
         wl.duration_seconds = secs;
         const uint64_t root = apps::memcached_setup(*runtime, wl);
-        apps::memcached_run(*runtime, root, wl);
+        const auto result = apps::memcached_run(*runtime, root, wl);
         std::fputs(collector.format_fig8("memcached").c_str(), stdout);
+        emit_json_row("fig8_regions", "memcached", wl.threads,
+                      result.total_ops, secs);
     }
 
     {
@@ -84,8 +88,10 @@ main()
         wl.key_range = 100000;
         wl.duration_seconds = secs;
         const uint64_t root = apps::redis_setup(*runtime, wl);
-        apps::redis_run(*runtime, root, wl);
+        const auto result = apps::redis_run(*runtime, root, wl);
         std::fputs(collector.format_fig8("redis").c_str(), stdout);
+        emit_json_row("fig8_regions", "redis", 1, result.total_ops,
+                      secs);
     }
 
     // --- static region characteristics from the compiler pipeline -----

@@ -47,6 +47,13 @@ main()
             std::printf("%-10s %8u %10.3f\n",
                         baselines::runtime_kind_name(kind), delay,
                         result.mops());
+            // The latency sweep lives in the runtime label so every
+            // row of the figure lands in one BENCH_ file.
+            const std::string label =
+                std::string(baselines::runtime_kind_name(kind)) + "_d"
+                + std::to_string(delay);
+            emit_json_row("fig9a_memcached", label.c_str(),
+                          cfg.threads, result.total_ops, secs);
         }
     }
 
@@ -67,6 +74,11 @@ main()
             std::printf("%-10s %8u %10.3f\n",
                         baselines::runtime_kind_name(kind), delay,
                         result.mops());
+            const std::string label =
+                std::string(baselines::runtime_kind_name(kind)) + "_d"
+                + std::to_string(delay);
+            emit_json_row("fig9b_redis", label.c_str(), 1,
+                          result.total_ops, secs);
         }
     }
     return 0;

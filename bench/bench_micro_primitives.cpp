@@ -2,7 +2,7 @@
  * @file
  * Microbenchmarks of the substrate primitives every runtime is built
  * from: persist fences, cache-line write-backs, transient spinlocks,
- * the NVM allocator, the Zipf sampler, and the shadow domain's
+ * the NvHeap allocator, the Zipf sampler, and the shadow domain's
  * interposition overhead.  These calibrate the cost model behind the
  * figure harnesses.
  */
@@ -16,7 +16,6 @@
 #include "bench_util.h"
 #include "common/rng.h"
 #include "common/zipf.h"
-#include "nvm/nv_allocator.h"
 #include "nvm/nv_heap.h"
 #include "nvm/persist_domain.h"
 #include "nvm/shadow_domain.h"
@@ -87,18 +86,6 @@ BM_LockTableResolve(benchmark::State& state)
 }
 
 void
-BM_NvAllocFree(benchmark::State& state)
-{
-    nvm::PersistentHeap heap({.size = 64u << 20});
-    nvm::RealDomain dom;
-    nvm::NvAllocator alloc(heap, dom);
-    for (auto _ : state) {
-        const uint64_t off = alloc.alloc(64, dom);
-        alloc.free_block(off, dom);
-    }
-}
-
-void
 BM_NvHeapAllocFree(benchmark::State& state)
 {
     nvm::PersistentHeap heap({.size = 64u << 20});
@@ -162,10 +149,12 @@ alloc_churn(Allocator& alloc, nvm::PersistDomain& dom, uint32_t threads,
 }
 
 /**
- * Old-vs-new allocator throughput at 1/2/4/8 threads.  Each row lands
- * in BENCH_alloc.json when IDO_BENCH_JSON is set; the printed table is
- * the paper-style summary.  The v1 single-mutex allocator is kept in
- * the tree exactly so this comparison stays honest over time.
+ * NvHeap throughput at 1/2/4/8 threads.  Each row lands in
+ * BENCH_alloc.json when IDO_BENCH_JSON is set; the printed table is
+ * the paper-style summary.  The scaling column is relative to the
+ * single-thread rate of the same build, which is what the sharded
+ * design is supposed to improve (the retired v1 single-mutex
+ * allocator flat-lined here -- see DESIGN.md Sec. 9).
  */
 void
 run_alloc_series()
@@ -175,32 +164,21 @@ run_alloc_series()
                 "%.2fs per point) ===\n",
                 seconds);
     std::printf("%-12s %8s %14s %14s %8s\n", "allocator", "threads",
-                "ops", "ops/sec", "vs v1");
+                "ops", "ops/sec", "scaling");
+    double one_thread_rate = 0;
     for (uint32_t threads : bench::thread_sweep()) {
         nvm::RealDomain dom;
-        double v1_rate = 0;
-        {
-            nvm::PersistentHeap heap({.size = 256u << 20});
-            nvm::NvAllocator v1(heap, dom);
-            const uint64_t ops = alloc_churn(v1, dom, threads, seconds);
-            v1_rate = double(ops) / seconds;
-            std::printf("%-12s %8u %14llu %14.0f %8s\n", "nvalloc-v1",
-                        threads, static_cast<unsigned long long>(ops),
-                        v1_rate, "1.00x");
-            bench::emit_json_row("alloc", "nvalloc_v1", threads, ops,
-                                 seconds);
-        }
-        {
-            nvm::PersistentHeap heap({.size = 256u << 20});
-            nvm::NvHeap v2(heap, dom);
-            const uint64_t ops = alloc_churn(v2, dom, threads, seconds);
-            const double rate = double(ops) / seconds;
-            std::printf("%-12s %8u %14llu %14.0f %7.2fx\n", "nvheap-v2",
-                        threads, static_cast<unsigned long long>(ops),
-                        rate, v1_rate > 0 ? rate / v1_rate : 0.0);
-            bench::emit_json_row("alloc", "nvheap_v2", threads, ops,
-                                 seconds);
-        }
+        nvm::PersistentHeap heap({.size = 256u << 20});
+        nvm::NvHeap v2(heap, dom);
+        const uint64_t ops = alloc_churn(v2, dom, threads, seconds);
+        const double rate = double(ops) / seconds;
+        if (threads == 1)
+            one_thread_rate = rate;
+        std::printf("%-12s %8u %14llu %14.0f %7.2fx\n", "nvheap-v2",
+                    threads, static_cast<unsigned long long>(ops), rate,
+                    one_thread_rate > 0 ? rate / one_thread_rate : 0.0);
+        bench::emit_json_row("alloc", "nvheap_v2", threads, ops,
+                             seconds);
     }
 }
 
@@ -233,7 +211,6 @@ BENCHMARK(BM_FlushFence);
 BENCHMARK(BM_FlushFenceWithDelay)->Arg(20)->Arg(100)->Arg(500);
 BENCHMARK(BM_TransientLock);
 BENCHMARK(BM_LockTableResolve);
-BENCHMARK(BM_NvAllocFree);
 BENCHMARK(BM_NvHeapAllocFree);
 BENCHMARK(BM_ZipfSample);
 BENCHMARK(BM_ShadowStoreLoad);

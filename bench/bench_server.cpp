@@ -1,0 +1,138 @@
+/**
+ * @file
+ * ido-serve group-commit ablation: throughput and fences per request
+ * for batch limits K in {1, 4, 16}, on the memcached-canonical
+ * read-heavy mix (2 sets per 16 requests).  K=1 is the stock
+ * per-request iDO protocol (the batcher never opens a persist group);
+ * larger K lets each shard execute up to K pipelined requests between
+ * batch-open and the single batch-close fence, eliding the
+ * recovery-pc and lock-record fences of every read-only tail
+ * (ido_runtime.h states the exact soundness rule).
+ *
+ * Acceptance (checked by CI from BENCH_server.json): K=16 cuts
+ * fences/request by at least 2x vs K=1 at equal or better throughput.
+ *
+ * Clients are real loopback-TCP connections pipelining bursts, since
+ * a blocking client can never present a shard with more than one
+ * queued request and would degenerate every K to 1.
+ */
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "apps/memcached_client.h"
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "net/memc_client.h"
+#include "net/server.h"
+
+using namespace ido;
+using namespace ido::bench;
+
+namespace {
+
+constexpr uint32_t kClients = 4;
+constexpr uint32_t kBurst = 64;      ///< pipelined requests per flush
+constexpr uint64_t kKeySpace = 2048; ///< prefilled working set
+
+struct KResult
+{
+    uint64_t requests = 0;
+    uint64_t fences = 0;
+    double seconds = 0.0;
+};
+
+KResult
+run_at_batch_limit(uint32_t batch_limit, double secs)
+{
+    BenchWorld world(baselines::RuntimeKind::kIdo);
+    apps::MemcachedMini::register_programs();
+    net::ServerConfig scfg;
+    scfg.shards = 4;
+    scfg.batch_limit = batch_limit;
+    scfg.nbuckets = 1024;
+    net::Server server(*world.runtime, scfg);
+    std::thread srv([&] { server.run(); });
+
+    {
+        net::MemcClient c;
+        if (!c.connect_retry("127.0.0.1", server.port(), 100, 10)) {
+            std::fprintf(stderr, "bench_server: connect failed\n");
+            std::exit(1);
+        }
+        for (uint64_t i = 0; i < kKeySpace; ++i)
+            c.pipeline_set(apps::memcached_key_text(i), i);
+        if (c.pipeline_flush() != kKeySpace) {
+            std::fprintf(stderr, "bench_server: prefill failed\n");
+            std::exit(1);
+        }
+    }
+    persist_counters_reset_global();
+
+    std::vector<std::thread> clients;
+    std::vector<uint64_t> ops(kClients, 0);
+    std::atomic<bool> stop{false};
+    for (uint32_t t = 0; t < kClients; ++t) {
+        clients.emplace_back([&, t] {
+            net::MemcClient c;
+            if (!c.connect_retry("127.0.0.1", server.port(), 100, 10))
+                return;
+            Rng rng(1234 + t);
+            while (!stop.load(std::memory_order_relaxed)) {
+                for (uint32_t i = 0; i < kBurst; ++i) {
+                    const uint64_t idx = rng.next_below(kKeySpace);
+                    const std::string key = apps::memcached_key_text(idx);
+                    if (i % 8 == 0)
+                        c.pipeline_set(key, rng.next());
+                    else
+                        c.pipeline_get(key);
+                }
+                if (c.pipeline_flush() != kBurst)
+                    return; // server gone
+                ops[t] += kBurst;
+            }
+        });
+    }
+    Stopwatch clock;
+    while (clock.elapsed_seconds() < secs)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& c : clients)
+        c.join();
+    KResult r;
+    r.seconds = clock.elapsed_seconds();
+    server.stop(); // joins shard workers: TLS fence counters flushed
+    srv.join();
+    for (uint32_t t = 0; t < kClients; ++t)
+        r.requests += ops[t];
+    r.fences = persist_counters_global().fences;
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    const double secs = bench_seconds();
+    print_header("ido-serve group commit (4 shards, 4 pipelined "
+                 "clients, 2 sets / 14 gets per 16 requests)");
+    std::printf("%-8s %12s %12s %14s\n", "K", "Mreq/s", "fences",
+                "fences/req");
+    for (uint32_t k : {1u, 4u, 16u}) {
+        const KResult r = run_at_batch_limit(k, secs);
+        const double fpr =
+            r.requests ? double(r.fences) / double(r.requests) : 0.0;
+        std::printf("%-8u %12.3f %12llu %14.3f\n", k,
+                    r.requests / r.seconds / 1e6,
+                    static_cast<unsigned long long>(r.fences), fpr);
+        // One BENCH_server.json; the K ablation lives in the runtime
+        // label so CI can compare rows from a single file.
+        const std::string label = "ido_k" + std::to_string(k);
+        emit_json_row("server", label.c_str(), kClients, r.requests,
+                      r.seconds);
+    }
+    return 0;
+}

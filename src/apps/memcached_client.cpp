@@ -5,10 +5,17 @@
 
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "net/memc_client.h"
 #include "stats/persist_stats.h"
 #include "stats/region_stats.h"
 
 namespace ido::apps {
+
+const char*
+transport_name(McTransport t)
+{
+    return t == McTransport::kSocket ? "socket" : "inproc";
+}
 
 std::pair<uint64_t, uint64_t>
 memcached_key(uint64_t index)
@@ -17,6 +24,23 @@ memcached_key(uint64_t index)
     const uint64_t lo = splitmix64(s);
     const uint64_t hi = splitmix64(s);
     return {lo, hi};
+}
+
+std::string
+memcached_key_text(uint64_t index)
+{
+    return "k" + std::to_string(index);
+}
+
+bool
+memcached_prefill_socket(const MemcachedWorkloadConfig& cfg)
+{
+    net::MemcClient c;
+    if (!c.connect_retry("127.0.0.1", cfg.port, 100, 10))
+        return false;
+    for (uint64_t i = 0; i < cfg.key_space / 2; ++i)
+        c.pipeline_set(memcached_key_text(i), i);
+    return c.pipeline_flush() == cfg.key_space / 2;
 }
 
 uint64_t
@@ -46,21 +70,37 @@ memcached_run(rt::Runtime& rt, uint64_t root_off,
     Stopwatch clock;
     for (uint32_t t = 0; t < cfg.threads; ++t) {
         threads.emplace_back([&, t] {
+            const bool count_mode = cfg.ops_per_thread != 0;
+            Rng rng(cfg.seed + 7919 * (t + 1));
+            auto deadline_hit = [&] {
+                if (count_mode)
+                    return ops[t] >= cfg.ops_per_thread;
+                return (ops[t] & 63) == 0
+                       && clock.elapsed_seconds() >= cfg.duration_seconds;
+            };
+            if (cfg.transport == McTransport::kSocket) {
+                net::MemcClient c;
+                if (!c.connect_retry("127.0.0.1", cfg.port, 100, 10))
+                    return;
+                uint64_t value = 0;
+                while (!deadline_hit()) {
+                    const uint64_t idx = rng.next_below(cfg.key_space);
+                    const std::string key = memcached_key_text(idx);
+                    if (rng.percent(cfg.set_pct)) {
+                        if (!c.set(key, rng.next()))
+                            break; // server gone
+                    } else if (c.get(key, &value)) {
+                        hits[t]++;
+                    }
+                    ops[t]++;
+                }
+                return;
+            }
             auto th = rt.make_thread();
             MemcachedMini cache(rt.heap(), root_off);
-            Rng rng(cfg.seed + 7919 * (t + 1));
-            const bool count_mode = cfg.ops_per_thread != 0;
             uint64_t value = 0;
             try {
-                for (;;) {
-                    if (count_mode) {
-                        if (ops[t] >= cfg.ops_per_thread)
-                            break;
-                    } else if ((ops[t] & 63) == 0
-                               && clock.elapsed_seconds()
-                                      >= cfg.duration_seconds) {
-                        break;
-                    }
+                while (!deadline_hit()) {
                     const uint64_t idx =
                         rng.next_below(cfg.key_space);
                     const auto [lo, hi] = memcached_key(idx);

@@ -4,18 +4,33 @@
  * client threads issue requests with uniformly distributed 16-byte
  * keys and 8-byte values, in either the insertion-intensive mix
  * (50% set / 50% get) or the search-intensive mix (10% set / 90% get).
- * Client and "server" share the process (the paper ran both on the
- * same machine; we elide the network, which would add an equal
- * constant to every runtime).
+ *
+ * Two transports:
+ *  - kInProcess: client threads call MemcachedMini directly (the
+ *    paper ran client and server on the same machine; this elides the
+ *    network, which would add an equal constant to every runtime);
+ *  - kSocket: client threads speak the memcached text protocol over
+ *    loopback TCP to an ido-serve instance (net/server.h), paying for
+ *    the full parse / shard / group-commit / reply path.
  */
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "apps/memcached_mini.h"
 #include "runtime/runtime.h"
 
 namespace ido::apps {
+
+/** How workload threads reach the cache. */
+enum class McTransport
+{
+    kInProcess, ///< direct MemcachedMini calls on shared memory
+    kSocket,    ///< memcached text protocol over loopback TCP
+};
+
+const char* transport_name(McTransport t);
 
 struct MemcachedWorkloadConfig
 {
@@ -28,6 +43,8 @@ struct MemcachedWorkloadConfig
     uint64_t nshards = 4;
     uint64_t nbuckets = 4096;
     bool prefill = true;
+    McTransport transport = McTransport::kInProcess;
+    uint16_t port = 0; ///< kSocket: ido-serve port on 127.0.0.1
 };
 
 struct MemcachedWorkloadResult
@@ -45,16 +62,26 @@ struct MemcachedWorkloadResult
     }
 };
 
-/** Create (and optionally prefill) the cache; returns root offset. */
+/** Create (and optionally prefill) the cache; returns root offset.
+ *  kInProcess transport only -- with kSocket the server owns the
+ *  cache; prefill through memcached_prefill_socket instead. */
 uint64_t memcached_setup(rt::Runtime& rt,
                          const MemcachedWorkloadConfig& cfg);
 
-/** Run the memaslap-style stress test. */
+/** kSocket prefill: load key_space/2 keys through one connection
+ *  (before the clock starts).  False if the server is unreachable. */
+bool memcached_prefill_socket(const MemcachedWorkloadConfig& cfg);
+
+/** Run the memaslap-style stress test over cfg.transport.  With
+ *  kSocket, `rt` and `root_off` are unused (pass 0). */
 MemcachedWorkloadResult
 memcached_run(rt::Runtime& rt, uint64_t root_off,
               const MemcachedWorkloadConfig& cfg);
 
 /** Derive the i-th 16-byte key of the key space. */
 std::pair<uint64_t, uint64_t> memcached_key(uint64_t index);
+
+/** The i-th key as protocol text (kSocket transport). */
+std::string memcached_key_text(uint64_t index);
 
 } // namespace ido::apps

@@ -354,11 +354,17 @@ MemcachedMini::MemcachedMini(nvm::PersistentHeap& heap, uint64_t root_off)
     nbuckets_ = heap.resolve<McShard>(shard_off_[0])->nbuckets;
 }
 
+uint64_t
+MemcachedMini::shard_index(uint64_t key_lo, uint64_t key_hi) const
+{
+    return mix64(key_lo, key_hi) % nshards_;
+}
+
 std::pair<uint64_t, uint64_t>
 MemcachedMini::locate(uint64_t key_lo, uint64_t key_hi) const
 {
     const uint64_t h = mix64(key_lo, key_hi);
-    const uint64_t shard = shard_off_[h % nshards_];
+    const uint64_t shard = shard_off_[shard_index(key_lo, key_hi)];
     const uint64_t bucket =
         shard + sizeof(McShard) + ((h >> 8) & (nbuckets_ - 1)) * 8;
     return {shard, bucket};

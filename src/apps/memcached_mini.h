@@ -77,6 +77,15 @@ class MemcachedMini
     bool del(rt::RuntimeThread& th, uint64_t key_lo, uint64_t key_hi);
 
     uint64_t root_off() const { return root_off_; }
+    uint64_t nshards() const { return nshards_; }
+
+    /**
+     * Index of the McShard owning this key.  Keyspace-sharding hook
+     * for ido-serve: routing every request for a shard to one worker
+     * thread makes that shard's lock thread-private, the contract the
+     * group-persist batcher relies on (runtime.h).
+     */
+    uint64_t shard_index(uint64_t key_lo, uint64_t key_hi) const;
 
     /** Items across all shards (quiescent state only). */
     static uint64_t size(nvm::PersistentHeap& heap, uint64_t root_off);

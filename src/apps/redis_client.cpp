@@ -27,6 +27,8 @@ RedisWorkloadResult
 redis_run(rt::Runtime& rt, uint64_t root_off,
           const RedisWorkloadConfig& cfg)
 {
+    if (cfg.transport != McTransport::kInProcess)
+        return RedisWorkloadResult{}; // no redis protocol in ido-serve
     auto th = rt.make_thread();
     RedisMini store(rt.heap(), root_off);
     Rng rng(cfg.seed);

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "apps/memcached_client.h" // McTransport
 #include "apps/redis_mini.h"
 #include "runtime/runtime.h"
 
@@ -24,6 +25,10 @@ struct RedisWorkloadConfig
     uint64_t seed = 42;
     uint64_t nbuckets = 1u << 16;
     bool prefill = true;
+    /** ido-serve speaks only the memcached protocol, so kSocket is not
+     *  available here; redis_run returns an empty result for it (and
+     *  bench_fig6_redis reports the transport as unavailable). */
+    McTransport transport = McTransport::kInProcess;
 };
 
 struct RedisWorkloadResult

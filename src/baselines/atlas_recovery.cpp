@@ -87,7 +87,7 @@ read_log_entries(nvm::PersistentHeap& heap, nvm::PersistDomain& dom,
 void
 AtlasRuntime::recover()
 {
-    locks_.new_epoch();
+    bump_lock_epoch();
     // Relink any block the crashed epoch stranded mid-free
     // (NvHeap's online leak reclamation).
     alloc_.recover_leaks(dom_);

@@ -60,7 +60,7 @@ JustdoRuntime::make_thread()
 void
 JustdoRuntime::recover()
 {
-    locks_.new_epoch();
+    bump_lock_epoch();
     // Relink any block the crashed epoch stranded mid-free
     // (NvHeap's online leak reclamation).
     alloc_.recover_leaks(dom_);

@@ -59,7 +59,7 @@ MnemosyneRuntime::make_thread()
 void
 MnemosyneRuntime::recover()
 {
-    locks_.new_epoch();
+    bump_lock_epoch();
     // Relink any block the crashed epoch stranded mid-free
     // (NvHeap's online leak reclamation).
     alloc_.recover_leaks(dom_);

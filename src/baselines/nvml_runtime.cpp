@@ -63,7 +63,7 @@ NvmlRuntime::make_thread()
 void
 NvmlRuntime::recover()
 {
-    locks_.new_epoch();
+    bump_lock_epoch();
     // Relink any block the crashed epoch stranded mid-free
     // (NvHeap's online leak reclamation).
     alloc_.recover_leaks(dom_);

@@ -63,7 +63,7 @@ NvthreadsRuntime::make_thread()
 void
 NvthreadsRuntime::recover()
 {
-    locks_.new_epoch();
+    bump_lock_epoch();
     // Relink any block the crashed epoch stranded mid-free
     // (NvHeap's online leak reclamation).
     alloc_.recover_leaks(dom_);

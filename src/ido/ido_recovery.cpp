@@ -25,7 +25,7 @@ void
 IdoRuntime::recover()
 {
     // The crashed run's transient locks are all implicitly released.
-    locks_.new_epoch();
+    bump_lock_epoch();
     // Relink any block the crashed epoch stranded mid-free
     // (NvHeap's online leak reclamation).
     alloc_.recover_leaks(dom_);
@@ -64,6 +64,7 @@ IdoRuntime::recover()
                 th.restore_ctx(ctx);
                 trace::emit(trace::EventKind::kRecoverResumeBegin, pc);
                 th.resume_fase(*prog, recovery_pc_region(pc), ctx);
+                th.release_leftover_locks();
                 trace::emit(trace::EventKind::kRecoverResumeEnd, pc);
             } catch (const rt::SimCrashException&) {
                 // Recovery itself "crashed" (test injection).  The log

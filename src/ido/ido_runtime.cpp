@@ -3,12 +3,26 @@
 #include <cstring>
 
 #include "common/panic.h"
+#include "stats/metrics.h"
 #include "trace/trace.h"
 
 namespace ido {
 
 using rt::RegionCtx;
 using rt::RegionMeta;
+
+namespace {
+
+// Stable MetricsRegistry cells for the group-commit fence accounting
+// (BENCH_server.json divides persist.fences by these to show the K
+// ablation).
+std::atomic<uint64_t>&
+group_metric(const char* name)
+{
+    return *MetricsRegistry::instance().counter(name);
+}
+
+} // namespace
 
 IdoRuntime::IdoRuntime(nvm::PersistentHeap& heap, nvm::PersistDomain& dom,
                        const rt::RuntimeConfig& cfg)
@@ -112,6 +126,18 @@ IdoThread::reacquire_crashed_locks()
 }
 
 void
+IdoThread::release_leftover_locks()
+{
+    while (!held_.empty()) {
+        const HeldLock h = held_.back();
+        rt::TransientLock& l =
+            rt_.locks().lock_for(heap().resolve<uint64_t>(h.holder_off));
+        do_unlock(h.holder_off, l); // erases from held_, clears record
+        trace::emit(trace::EventKind::kLockRelease, h.holder_off);
+    }
+}
+
+void
 IdoThread::restore_ctx(RegionCtx& ctx) const
 {
     trace::emit(trace::EventKind::kRecoverRestoreCtx, rec_off_);
@@ -122,8 +148,57 @@ IdoThread::restore_ctx(RegionCtx& ctx) const
 }
 
 void
+IdoThread::fence_pending_pc()
+{
+    if (!pc_flush_pending_)
+        return;
+    // The deferred boundary fence 2.  It must retire before any newer
+    // register-slot or heap line becomes write-back-pending: a crash
+    // resolves outstanding lines independently, and a dropped pc next
+    // to a persisted newer line would resume an old region against
+    // state it never produced (see ido_runtime.h).
+    crash_tick();
+    dom().fence();
+    pc_flush_pending_ = false;
+    marker_flush_pending_ = false; // same fence covers lock records
+}
+
+void
+IdoThread::begin_persist_group()
+{
+    IDO_ASSERT(!in_fase_, "persist group opened inside a FASE");
+    if (group_mode_)
+        return;
+    group_mode_ = true;
+    static std::atomic<uint64_t>& groups = group_metric("ido.group.begun");
+    groups.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+IdoThread::end_persist_group()
+{
+    IDO_ASSERT(!in_fase_, "persist group closed inside a FASE");
+    if (!group_mode_)
+        return;
+    group_mode_ = false;
+    if (pc_flush_pending_ || marker_flush_pending_) {
+        // The batch-close fence: one sfence publishes every deferred
+        // recovery_pc advance and lock-ownership record of the group.
+        // Replies for the whole batch are released only after this.
+        crash_tick();
+        dom().fence();
+        pc_flush_pending_ = false;
+        marker_flush_pending_ = false;
+        static std::atomic<uint64_t>& closes =
+            group_metric("ido.group.close_fences");
+        closes.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void
 IdoThread::persist_outputs(const RegionMeta& meta, const RegionCtx& ctx)
 {
+    fence_pending_pc();
     // Output registers to their fixed slots.  With fixed slots, persist
     // coalescing (Sec. IV-B) is a matter of flushing whole RF lines:
     // eight u64 registers share one line.
@@ -157,12 +232,28 @@ IdoThread::persist_outputs(const RegionMeta& meta, const RegionCtx& ctx)
 }
 
 void
-IdoThread::advance_recovery_pc(uint64_t pc)
+IdoThread::advance_recovery_pc(uint64_t pc, bool tail_read_only)
 {
     crash_tick();
     dom().store_val(&rec_->recovery_pc, pc);
     dom().flush(&rec_->recovery_pc, sizeof(uint64_t));
-    dom().fence(); // boundary fence 2
+    if (group_mode_ && tail_read_only) {
+        // Deferred: persists at the next fence_pending_pc() or at the
+        // batch-close fence.  Sound only because the caller guarantees
+        // no may_store region executes while this flush is pending:
+        // cache lines dirtied by a store persist (or not) on their own
+        // at a crash, independent of any fence, so a pending pc flush
+        // must never race newer heap stores.  With only read-only
+        // regions ahead, a dropped pc merely lags and recovery
+        // re-executes the already-persisted tail -- the same cursor
+        // window the stock protocol exposes between boundary fences.
+        pc_flush_pending_ = true;
+        static std::atomic<uint64_t>& elided =
+            group_metric("ido.group.fences_elided");
+        elided.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        dom().fence(); // boundary fence 2
+    }
     trace::emit(trace::EventKind::kAdvancePc, pc);
     crash_tick();
 }
@@ -197,7 +288,11 @@ IdoThread::on_region_begin(const rt::FaseProgram& prog, uint32_t idx,
     }
     if (args_meta.out_int || args_meta.out_float)
         persist_outputs(args_meta, ctx);
-    advance_recovery_pc(pack_recovery_pc(prog.fase_id, idx));
+    // Never deferred: the region about to run stores to the heap, and
+    // if its dirty lines persisted while the activation pc dropped, the
+    // record would stay inactive and recovery would never repair them.
+    advance_recovery_pc(pack_recovery_pc(prog.fase_id, idx),
+                        /*tail_read_only=*/false);
     activated_ = true;
 }
 
@@ -223,7 +318,21 @@ IdoThread::on_region_boundary(const rt::FaseProgram& prog,
     const uint64_t pc = (next_idx == rt::kRegionEnd)
         ? kInactivePc
         : pack_recovery_pc(prog.fase_id, next_idx);
-    advance_recovery_pc(pc);
+    // The pc fence is deferrable (group mode) only when every region
+    // still to run in this FASE is store-free: then nothing dirties the
+    // heap while the flush is pending, and a dropped pc can only
+    // re-execute the fenced, idempotent tail.  Any may_store region
+    // ahead forces the fence here (see advance_recovery_pc).
+    bool tail_read_only = true;
+    if (next_idx != rt::kRegionEnd) {
+        for (size_t j = next_idx; j < prog.regions.size(); ++j) {
+            if (prog.regions[j].may_store) {
+                tail_read_only = false;
+                break;
+            }
+        }
+    }
+    advance_recovery_pc(pc, tail_read_only);
 }
 
 void
@@ -269,7 +378,18 @@ IdoThread::do_lock(uint64_t holder_off, rt::TransientLock& l)
                 (slot < 7 ? (slot + 2) : 1) * sizeof(uint64_t));
     if (slot >= 7)
         dom().flush(&rec_->lock_array[slot], sizeof(uint64_t));
-    dom().fence(); // the single ordered write per lock op (Sec. III-B)
+    if (group_mode_) {
+        // Thread-private lock (group contract): nobody else can take
+        // it, so the ownership record may trail until the batch-close
+        // fence.  A crash-torn record at worst skips a reacquisition
+        // that has no contenders.
+        marker_flush_pending_ = true;
+        static std::atomic<uint64_t>& elided =
+            group_metric("ido.group.fences_elided");
+        elided.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        dom().fence(); // the single ordered write per lock op (III-B)
+    }
     held_.push_back(HeldLock{holder_off, static_cast<uint8_t>(slot)});
 }
 
@@ -292,7 +412,18 @@ IdoThread::do_unlock(uint64_t holder_off, rt::TransientLock& l)
                 (slot < 7 ? (slot + 2) : 1) * sizeof(uint64_t));
     if (slot >= 7)
         dom().flush(&rec_->lock_array[slot], sizeof(uint64_t));
-    dom().fence(); // single fence, then release
+    if (group_mode_) {
+        // Releasing before the cleared record is durable is safe only
+        // because the lock is thread-private in a group: if the crash
+        // keeps the stale record, recovery reacquires an uncontended
+        // lock and the resumed unlock region releases it again.
+        marker_flush_pending_ = true;
+        static std::atomic<uint64_t>& elided =
+            group_metric("ido.group.fences_elided");
+        elided.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        dom().fence(); // single fence, then release
+    }
     crash_tick();
     l.unlock();
 }

@@ -69,6 +69,54 @@ class IdoThread final : public rt::RuntimeThread
     /** Recovery step 4: rebuild the register file from the log. */
     void restore_ctx(rt::RegionCtx& ctx) const;
 
+    /**
+     * Recovery step 5 epilogue.  A group-mode crash can leave a stale
+     * ownership record: the unfenced slot-clear of an already-released
+     * lock, resolved in favour of the older value.  Recovery then
+     * reacquires a lock the resumed FASE never releases (its unlock
+     * region names a different -- or no -- holder).  Releasing the
+     * leftovers here restores the "no locks held after recovery"
+     * post-condition; under the stock protocol this is a no-op.
+     */
+    void release_leftover_locks();
+
+    /**
+     * Group-persist mode (ido-serve group commit).  Between begin and
+     * end, the two kinds of fences whose only role is to *publish
+     * markers* are deferred:
+     *
+     *  - boundary fence 2 (recovery_pc advance) keeps its store+flush
+     *    but fences lazily WHEN every region still to run in the FASE
+     *    is store-free (the trailing unlock region, and the FASE-end
+     *    inactive marker).  The durable pc then only LAGS program
+     *    order across fenced, idempotent work, so every crash state is
+     *    one the stock protocol already reaches between a boundary's
+     *    fence 1 and fence 2.  The restriction is load-bearing: cache
+     *    lines dirtied by a store persist (or not) independently at a
+     *    crash, regardless of fences, so deferring the pc fence across
+     *    a may_store region lets that region's lines persist while the
+     *    pc drops -- recovery then resumes an earlier region against
+     *    newer state (a cross-region WAR, e.g. a build region
+     *    reloading a list head its link region already moved), or, for
+     *    the activation pc, never resumes at all.  The crash-point
+     *    sweep in test_group_commit.cpp exercises exactly this.
+     *
+     *  - lock-operation fences (Sec. III-B's one-fence-per-lock-op)
+     *    are deferred entirely.  Sound only under the group contract
+     *    (runtime.h): every lock taken inside a group is thread-
+     *    private, so a crash-torn ownership record at worst skips a
+     *    reacquisition nobody contends, or reacquires a lock already
+     *    released (both handled by the existing torn-record and
+     *    idempotent-unlock paths).
+     *
+     * Boundary fence 1 (persist_outputs) is NEVER deferred: region
+     * outputs must not be outrun by the pc line.  end_persist_group
+     * issues one closing fence covering every deferred marker, so a
+     * reply released after it implies full durability of the batch.
+     */
+    void begin_persist_group() override;
+    void end_persist_group() override;
+
   protected:
     void on_fase_begin(const rt::FaseProgram& prog,
                        rt::RegionCtx& ctx) override;
@@ -86,8 +134,13 @@ class IdoThread final : public rt::RuntimeThread
     void persist_outputs(const rt::RegionMeta& meta,
                          const rt::RegionCtx& ctx);
 
-    /** Step 2: durably advance recovery_pc. */
-    void advance_recovery_pc(uint64_t pc);
+    /**
+     * Step 2: durably advance recovery_pc.  The fence is deferred
+     * (group mode) only when `tail_read_only`: the caller asserts that
+     * no may_store region runs before the next fence, the condition
+     * that keeps a lagging durable pc sound (class comment above).
+     */
+    void advance_recovery_pc(uint64_t pc, bool tail_read_only);
 
     struct PendingRange
     {
@@ -95,10 +148,16 @@ class IdoThread final : public rt::RuntimeThread
         uint32_t len;
     };
 
+    /** Fence a deferred recovery_pc flush (group mode), if any. */
+    void fence_pending_pc();
+
     IdoLogRec* rec_;
     uint64_t rec_off_;
     uint64_t lock_bitmap_mirror_ = 0; ///< volatile copy of rec_->lock_bitmap
     bool activated_ = false; ///< lazy: logging live for this FASE?
+    bool group_mode_ = false;      ///< inside begin/end_persist_group?
+    bool pc_flush_pending_ = false;   ///< recovery_pc flushed, unfenced
+    bool marker_flush_pending_ = false; ///< lock records flushed, unfenced
     std::vector<PendingRange> pending_;
 };
 

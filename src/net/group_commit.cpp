@@ -1,0 +1,50 @@
+#include "net/group_commit.h"
+
+#include "runtime/runtime.h"
+#include "stats/metrics.h"
+#include "trace/trace.h"
+
+namespace ido::net {
+
+GroupCommit::GroupCommit(rt::RuntimeThread& th, uint32_t batch_limit,
+                         uint64_t shard_index)
+    : th_(th), batch_limit_(batch_limit == 0 ? 1 : batch_limit),
+      shard_index_(shard_index)
+{
+}
+
+void
+GroupCommit::run_batch(const std::vector<ShardJob>& jobs, const Exec& exec,
+                       std::vector<ShardReply>* out)
+{
+    if (jobs.empty())
+        return;
+    static std::atomic<uint64_t>& batches =
+        *MetricsRegistry::instance().counter("net.group.batches");
+    static std::atomic<uint64_t>& requests =
+        *MetricsRegistry::instance().counter("net.group.requests");
+    batches.fetch_add(1, std::memory_order_relaxed);
+    requests.fetch_add(jobs.size(), std::memory_order_relaxed);
+
+    const bool grouped = batch_limit_ > 1;
+    if (grouped) {
+        trace::emit(trace::EventKind::kGroupOpen, shard_index_);
+        th_.begin_persist_group();
+    }
+    for (const ShardJob& job : jobs) {
+        ShardReply r;
+        r.conn_id = job.conn_id;
+        r.seq = job.seq;
+        r.data = exec(job);
+        out->push_back(std::move(r));
+    }
+    if (grouped) {
+        // Retires every deferred progress-marker fence; only after
+        // this may the replies above reach a client.
+        th_.end_persist_group();
+        trace::emit(trace::EventKind::kGroupClose, shard_index_,
+                    jobs.size());
+    }
+}
+
+} // namespace ido::net

@@ -1,0 +1,269 @@
+#include "net/memc_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+namespace ido::net {
+
+namespace {
+
+/// Per-read timeout: generous for CI, small enough that a test which
+/// kills the server mid-reply fails fast instead of hanging.
+constexpr int kReadTimeoutMs = 5000;
+
+std::string
+format_set(const std::string& key, uint64_t value)
+{
+    char data[32];
+    int dlen = std::snprintf(data, sizeof data, "%" PRIu64, value);
+    char head[320];
+    int hlen = std::snprintf(head, sizeof head, "set %s 0 0 %d\r\n",
+                             key.c_str(), dlen);
+    std::string out(head, static_cast<size_t>(hlen));
+    out.append(data, static_cast<size_t>(dlen));
+    out += "\r\n";
+    return out;
+}
+
+} // namespace
+
+MemcClient::~MemcClient()
+{
+    close();
+}
+
+bool
+MemcClient::connect(const std::string& host, uint16_t port)
+{
+    close();
+    int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        return false;
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        return false;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        ::close(fd);
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    fd_ = fd;
+    inbuf_.clear();
+    return true;
+}
+
+bool
+MemcClient::connect_retry(const std::string& host, uint16_t port,
+                          int attempts, int backoff_ms)
+{
+    int delay = backoff_ms;
+    for (int i = 0; i < attempts; ++i) {
+        if (connect(host, port))
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+        delay = std::min(delay * 2, backoff_ms * 10);
+    }
+    return false;
+}
+
+void
+MemcClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    inbuf_.clear();
+    pipeline_.clear();
+    pipeline_kinds_.clear();
+}
+
+bool
+MemcClient::send_all(const char* data, size_t n)
+{
+    size_t off = 0;
+    while (off < n) {
+        ssize_t w = ::send(fd_, data + off, n - off, MSG_NOSIGNAL);
+        if (w > 0) {
+            off += static_cast<size_t>(w);
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        return false; // EPIPE/ECONNRESET: server died
+    }
+    return true;
+}
+
+bool
+MemcClient::read_line(std::string* out)
+{
+    for (;;) {
+        const size_t nl = inbuf_.find('\n');
+        if (nl != std::string::npos) {
+            size_t len = nl;
+            if (len > 0 && inbuf_[len - 1] == '\r')
+                --len;
+            out->assign(inbuf_, 0, len);
+            inbuf_.erase(0, nl + 1);
+            return true;
+        }
+        struct pollfd pfd = {fd_, POLLIN, 0};
+        int pr = ::poll(&pfd, 1, kReadTimeoutMs);
+        if (pr <= 0)
+            return false; // timeout or error
+        char buf[8192];
+        ssize_t n = ::read(fd_, buf, sizeof buf);
+        if (n > 0) {
+            inbuf_.append(buf, static_cast<size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false; // EOF or hard error
+    }
+}
+
+bool
+MemcClient::set(const std::string& key, uint64_t value)
+{
+    if (fd_ < 0)
+        return false;
+    const std::string wire = format_set(key, value);
+    if (!send_all(wire.data(), wire.size()))
+        return false;
+    std::string line;
+    return read_line(&line) && line == "STORED";
+}
+
+bool
+MemcClient::get(const std::string& key, uint64_t* value)
+{
+    if (fd_ < 0)
+        return false;
+    const std::string wire = "get " + key + "\r\n";
+    if (!send_all(wire.data(), wire.size()))
+        return false;
+    std::string line;
+    if (!read_line(&line))
+        return false;
+    if (line == "END")
+        return false; // miss
+    if (line.rfind("VALUE ", 0) != 0)
+        return false;
+    std::string data;
+    if (!read_line(&data))
+        return false;
+    uint64_t v = 0;
+    for (char ch : data) {
+        if (ch < '0' || ch > '9')
+            return false;
+        v = v * 10 + static_cast<uint64_t>(ch - '0');
+    }
+    std::string end;
+    if (!read_line(&end) || end != "END")
+        return false;
+    if (value)
+        *value = v;
+    return true;
+}
+
+bool
+MemcClient::del(const std::string& key)
+{
+    if (fd_ < 0)
+        return false;
+    const std::string wire = "delete " + key + "\r\n";
+    if (!send_all(wire.data(), wire.size()))
+        return false;
+    std::string line;
+    return read_line(&line) && line == "DELETED";
+}
+
+std::string
+MemcClient::version()
+{
+    if (fd_ < 0)
+        return std::string();
+    const char wire[] = "version\r\n";
+    if (!send_all(wire, sizeof wire - 1))
+        return std::string();
+    std::string line;
+    if (!read_line(&line))
+        return std::string();
+    return line;
+}
+
+void
+MemcClient::pipeline_set(const std::string& key, uint64_t value)
+{
+    pipeline_ += format_set(key, value);
+    pipeline_kinds_.push_back(0);
+}
+
+void
+MemcClient::pipeline_get(const std::string& key)
+{
+    pipeline_ += "get " + key + "\r\n";
+    pipeline_kinds_.push_back(1);
+}
+
+size_t
+MemcClient::pipeline_flush(size_t max_acks)
+{
+    const std::vector<uint8_t> kinds = std::move(pipeline_kinds_);
+    pipeline_kinds_.clear();
+    const size_t expected = std::min(kinds.size(), max_acks);
+    if (fd_ < 0) {
+        pipeline_.clear();
+        return 0;
+    }
+    const bool sent = send_all(pipeline_.data(), pipeline_.size());
+    pipeline_.clear();
+    size_t acks = 0;
+    // Count acks even after a send failure: the server may have
+    // executed (and durably committed) a prefix before dying.
+    while (acks < expected) {
+        std::string line;
+        if (!read_line(&line))
+            break;
+        if (kinds[acks] == 0) {
+            if (line != "STORED")
+                break;
+        } else {
+            // get: zero or one VALUE+data line pair, then END.
+            bool ok = true;
+            while (line.rfind("VALUE ", 0) == 0) {
+                std::string data;
+                if (!read_line(&data) || !read_line(&line)) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (!ok || line != "END")
+                break;
+        }
+        ++acks;
+    }
+    (void)sent;
+    return acks;
+}
+
+} // namespace ido::net

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Blocking memcached-text-protocol client used by the crash harness,
+ * the socket transport of the workload generator, and bench_server.
+ *
+ * Two modes:
+ *  - simple RPC: set()/get()/del() send one request and wait for its
+ *    reply;
+ *  - pipelined: pipeline_set() queues requests locally, and
+ *    pipeline_flush() writes them all then counts acknowledgements.
+ *    Replies arrive strictly in request order (server.h), so the ack
+ *    count identifies exactly *which prefix* of the pipeline the
+ *    server made durable -- the property the kill-9 test verifies.
+ *
+ * connect_retry() implements the bounded retry/backoff a client needs
+ * to ride through a server crash + recovery window.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ido::net {
+
+class MemcClient
+{
+  public:
+    MemcClient() = default;
+    ~MemcClient();
+
+    MemcClient(const MemcClient&) = delete;
+    MemcClient& operator=(const MemcClient&) = delete;
+
+    /** One connection attempt.  False on refusal/timeout. */
+    bool connect(const std::string& host, uint16_t port);
+
+    /**
+     * Up to `attempts` connection attempts, sleeping backoff_ms
+     * (doubling, capped at 10x) between tries.  Rides through a
+     * server restart.  False once the budget is exhausted.
+     */
+    bool connect_retry(const std::string& host, uint16_t port,
+                       int attempts, int backoff_ms);
+
+    bool connected() const { return fd_ >= 0; }
+    void close();
+
+    // --- simple RPC (one round trip each) -----------------------------
+
+    /** True iff the server acknowledged STORED. */
+    bool set(const std::string& key, uint64_t value);
+
+    /** True on hit; fills *value. */
+    bool get(const std::string& key, uint64_t* value);
+
+    /** True iff DELETED (false on NOT_FOUND or error). */
+    bool del(const std::string& key);
+
+    /** Server version line, empty on failure (liveness probe). */
+    std::string version();
+
+    // --- pipelining ---------------------------------------------------
+
+    /** Queue a set locally; nothing is sent yet. */
+    void pipeline_set(const std::string& key, uint64_t value);
+
+    /** Queue a get locally; its reply counts as one ack on flush. */
+    void pipeline_get(const std::string& key);
+
+    /**
+     * Send every queued request, then read replies until all are
+     * acknowledged or the connection dies (server killed mid-batch).
+     * A set's ack is its STORED line; a get's ack is its terminating
+     * END (hit or miss).
+     * @param max_acks stop reading after this many acks, leaving the
+     *        rest outstanding -- the kill -9 harness uses this to
+     *        SIGKILL the server at a chosen point mid-pipeline.
+     * @return the number of acks received -- the durable prefix
+     *         length of this pipeline.
+     */
+    size_t pipeline_flush(size_t max_acks = SIZE_MAX);
+
+    size_t pipeline_pending() const { return pipeline_kinds_.size(); }
+
+  private:
+    bool send_all(const char* data, size_t n);
+    /** Read until `out` contains a full line; false on EOF/timeout. */
+    bool read_line(std::string* out);
+
+    int fd_ = -1;
+    std::string inbuf_;    ///< bytes read past the last parsed line
+    std::string pipeline_; ///< queued wire bytes
+    std::vector<uint8_t> pipeline_kinds_; ///< queued ops (0=set, 1=get)
+};
+
+} // namespace ido::net

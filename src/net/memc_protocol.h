@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Incremental parser and reply formatter for the memcached text
+ * protocol (the wire format of the paper's Sec. V-A workload).
+ *
+ * Scope: the four commands a memaslap-style load (and a human with
+ * `nc`) needs -- `set`, `get`, `delete`, `quit` -- plus `version`.
+ * Values are stored as the 8-byte integers memcached_mini holds, so
+ * the data block of a `set` must be the decimal text of a u64 and
+ * `get` replies render the same way.  Keys are arbitrary text up to
+ * 250 bytes (memcached's limit) and are mapped onto memcached_mini's
+ * 16-byte key words by hashing.
+ *
+ * The parser is push-based and allocation-light: feed() consumes any
+ * byte chunking the socket produces (a request split across a hundred
+ * reads, or a hundred pipelined requests in one read) and next() pops
+ * completed requests in arrival order.  Protocol errors produce a
+ * kError request carrying the reply line; errors that desynchronise
+ * framing (oversized line, bad byte count) additionally poison the
+ * parser so the connection can be dropped, which is what memcached
+ * itself does.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+
+namespace ido::net {
+
+enum class MemcOp : uint8_t
+{
+    kGet = 0,
+    kSet,
+    kDelete,
+    kVersion,
+    kQuit,
+    kError, ///< malformed input; `message` holds the reply line
+};
+
+struct MemcRequest
+{
+    MemcOp op = MemcOp::kError;
+    std::string key;
+    uint64_t value = 0;    ///< kSet: parsed data block
+    uint32_t flags = 0;    ///< kSet: client flags, echoed by get
+    std::string message;   ///< kError: full reply line (CRLF included)
+};
+
+class MemcParser
+{
+  public:
+    /** Consume n bytes from the peer (any chunking). */
+    void feed(const char* data, size_t n);
+
+    /** Pop the next completed request; false if none pending. */
+    bool next(MemcRequest* out);
+
+    /** True after an unrecoverable framing error: drop the connection. */
+    bool poisoned() const { return poisoned_; }
+
+    /** Bytes buffered but not yet parsed (tests / backpressure). */
+    size_t buffered_bytes() const { return buf_.size(); }
+
+  private:
+    void parse_available();
+    void parse_line(const char* line, size_t len);
+
+    enum class State : uint8_t { kCommand, kData };
+
+    std::string buf_;
+    std::deque<MemcRequest> ready_;
+    MemcRequest cur_;      ///< the set awaiting its data block
+    size_t data_bytes_ = 0;
+    State state_ = State::kCommand;
+    bool poisoned_ = false;
+};
+
+// --- reply formatting (exact memcached framing) ------------------------
+
+std::string memc_reply_stored();
+std::string memc_reply_value(const std::string& key, uint32_t flags,
+                             uint64_t value); ///< VALUE..data..END
+std::string memc_reply_miss();               ///< END (get miss)
+std::string memc_reply_deleted(bool found);  ///< DELETED / NOT_FOUND
+std::string memc_reply_version();
+std::string memc_reply_error();              ///< unknown command
+
+/**
+ * Map a text key onto memcached_mini's (key_lo, key_hi) words.
+ * Deterministic across processes (no seed), so a client can address
+ * the same item before and after a server restart.
+ */
+std::pair<uint64_t, uint64_t> memc_key_words(const std::string& key);
+
+} // namespace ido::net

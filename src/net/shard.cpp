@@ -1,0 +1,124 @@
+#include "net/shard.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "apps/memcached_mini.h"
+#include "common/panic.h"
+#include "net/memc_protocol.h"
+#include "runtime/runtime.h"
+#include "stats/metrics.h"
+#include "stats/persist_stats.h"
+
+namespace ido::net {
+
+McShardWorker::McShardWorker(rt::Runtime& rt, const ShardConfig& cfg,
+                             PublishFn publish)
+    : rt_(rt), cfg_(cfg), publish_(std::move(publish))
+{
+}
+
+McShardWorker::~McShardWorker()
+{
+    stop();
+}
+
+void
+McShardWorker::start()
+{
+    thread_ = std::thread([this] { thread_main(); });
+}
+
+void
+McShardWorker::submit(ShardJob job)
+{
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        queue_.push_back(std::move(job));
+    }
+    cv_.notify_one();
+}
+
+void
+McShardWorker::stop()
+{
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        if (stopping_ && !thread_.joinable())
+            return;
+        stopping_ = true;
+    }
+    cv_.notify_one();
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void
+McShardWorker::thread_main()
+{
+    // The RuntimeThread is created *here* so its durable log record
+    // and trace ring belong to this worker thread.
+    std::unique_ptr<rt::RuntimeThread> th = rt_.make_thread();
+    apps::MemcachedMini cache(th->heap(), cfg_.root_off);
+    GroupCommit committer(*th, cfg_.batch_limit, cfg_.index);
+
+    static std::atomic<uint64_t>& net_requests =
+        *MetricsRegistry::instance().counter("net.requests");
+
+    const GroupCommit::Exec exec = [&](const ShardJob& job) -> std::string {
+        const MemcRequest& rq = job.req;
+        auto [lo, hi] = memc_key_words(rq.key);
+        // Thread-privacy guard: the loop must never route a key here
+        // that another worker's shard owns (the group contract).
+        IDO_ASSERT(cache.shard_index(lo, hi) == cfg_.index,
+                   "request routed to the wrong shard worker");
+        net_requests.fetch_add(1, std::memory_order_relaxed);
+        switch (rq.op) {
+        case MemcOp::kSet:
+            cache.set(*th, lo, hi, rq.value);
+            return memc_reply_stored();
+        case MemcOp::kGet: {
+            uint64_t value = 0;
+            if (cache.get(*th, lo, hi, &value))
+                return memc_reply_value(rq.key, rq.flags, value);
+            return memc_reply_miss();
+        }
+        case MemcOp::kDelete:
+            return memc_reply_deleted(cache.del(*th, lo, hi));
+        default:
+            return memc_reply_error();
+        }
+    };
+
+    std::vector<ShardJob> batch;
+    std::vector<ShardReply> replies;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> g(mu_);
+            cv_.wait(g, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty() && stopping_)
+                break;
+            const size_t take =
+                std::min<size_t>(queue_.size(), cfg_.batch_limit);
+            batch.assign(std::make_move_iterator(queue_.begin()),
+                         std::make_move_iterator(queue_.begin() +
+                                                 static_cast<long>(take)));
+            queue_.erase(queue_.begin(),
+                         queue_.begin() + static_cast<long>(take));
+        }
+        replies.clear();
+        committer.run_batch(batch, exec, &replies);
+        served_ += batch.size();
+        batch.clear();
+        // run_batch returned, so the batch-close fence retired: the
+        // replies are safe to release to clients.
+        if (publish_ && !replies.empty())
+            publish_(std::move(replies));
+        replies.clear();
+    }
+    // Fold this thread's persist counters into the global registry
+    // before the thread (and its TLS) goes away.
+    persist_counters_flush_tls();
+}
+
+} // namespace ido::net

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shard worker: one thread owning one McShard's slice of the keyspace.
+ *
+ * The event loop routes every request whose key hashes to shard i onto
+ * worker i's queue, so worker i is the *only* thread that ever takes
+ * shard i's FASE-boundary lock.  That thread-privacy is what licenses
+ * the group-persist batcher to defer lock-record fences (runtime.h);
+ * thread_main asserts it per request in debug builds.
+ *
+ * Each worker owns its own RuntimeThread (created on the worker thread
+ * itself, so per-thread durable log records and trace rings attach to
+ * it) and drains its queue in batches of at most K = batch_limit jobs
+ * through GroupCommit before publishing the replies back to the loop.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/group_commit.h"
+
+namespace ido::rt {
+class Runtime;
+}
+
+namespace ido::net {
+
+struct ShardConfig
+{
+    uint64_t index = 0;       ///< which McShard this worker owns
+    uint32_t batch_limit = 1; ///< K: max pipelined requests per batch
+    uint64_t root_off = 0;    ///< McRoot heap offset
+};
+
+class McShardWorker
+{
+  public:
+    /** Called from the worker thread with a finished batch's replies. */
+    using PublishFn = std::function<void(std::vector<ShardReply>&&)>;
+
+    McShardWorker(rt::Runtime& rt, const ShardConfig& cfg,
+                  PublishFn publish);
+    ~McShardWorker();
+
+    McShardWorker(const McShardWorker&) = delete;
+    McShardWorker& operator=(const McShardWorker&) = delete;
+
+    /** Start the worker thread. */
+    void start();
+
+    /** Enqueue one job (loop thread). */
+    void submit(ShardJob job);
+
+    /** Drain the queue, then stop and join the worker thread. */
+    void stop();
+
+    uint64_t requests_served() const { return served_; }
+
+  private:
+    void thread_main();
+
+    rt::Runtime& rt_;
+    ShardConfig cfg_;
+    PublishFn publish_;
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<ShardJob> queue_;
+    bool stopping_ = false;
+
+    std::thread thread_;
+    uint64_t served_ = 0; ///< worker thread only; read after stop()
+};
+
+} // namespace ido::net

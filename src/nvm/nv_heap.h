@@ -2,9 +2,8 @@
  * @file
  * NvHeap v2: the process-wide persistent-memory allocation facade.
  *
- * Supersedes the single-mutex NvAllocator (kept as the measured
- * baseline in bench_micro_primitives) on every allocation path in the
- * tree: runtime nv_alloc/nv_free, the per-runtime persistent log-record
+ * Replaced the retired single-mutex NvAllocator v1 on every
+ * allocation path in the tree: runtime nv_alloc/nv_free, the per-runtime persistent log-record
  * lists, and -- transitively through RuntimeThread -- all ds/ node
  * allocation.  Design goals, in order:
  *

@@ -5,7 +5,7 @@
  * Mirrors the Atlas-style region support the paper leverages (Sec. IV-C):
  * persistent memory regions are represented as files incorporated into
  * the address space via mmap, and they support memory allocation methods
- * such as nv_malloc (see nv_allocator.h).  An anonymous (non-file) mode
+ * such as NvHeap (see nv_heap.h).  An anonymous (non-file) mode
  * backs unit tests and benchmarks, where crashes are simulated in-process
  * via ShadowDomain rather than by killing the process.
  *
@@ -32,7 +32,10 @@ enum class RootSlot : uint32_t
     kJustdoState,     ///< JUSTDO log area
     kNvmlState,       ///< NVML undo-log area
     kNvthreadsState,  ///< NVThreads page-log area
-    kLockHolders,     ///< indirect-lock-holder table (Sec. III-B)
+    kLockEpoch,       ///< indirect-lock epoch counter (Sec. III-B):
+                      ///< bumped durably at every runtime attach and
+                      ///< recovery so holder-slot tags written by dead
+                      ///< processes are never misread as current
     kAllocator,       ///< nv_malloc metadata
     kUser0,
     kUser1,

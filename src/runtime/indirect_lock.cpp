@@ -59,6 +59,13 @@ LockTable::new_epoch()
                  std::memory_order_release);
 }
 
+void
+LockTable::set_epoch(uint32_t epoch)
+{
+    IDO_ASSERT((epoch & 0xffff) != 0, "lock epoch tag 0 is reserved");
+    epoch_.store(epoch, std::memory_order_release);
+}
+
 size_t
 LockTable::locks_created() const
 {

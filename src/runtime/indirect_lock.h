@@ -99,6 +99,17 @@ class LockTable
      */
     void new_epoch();
 
+    /**
+     * Adopt an externally-allocated epoch.  Runtimes drive this from
+     * the heap's persistent lock-epoch counter (RootSlot::kLockEpoch),
+     * which is what makes tags unique across *process* lifetimes: a
+     * restarted server must not reuse a tag a crashed run left in
+     * holder slots, or it would adopt pointers into the dead process's
+     * address space.  `epoch & 0xffff` must be nonzero (tag 0 means
+     * never-initialized).
+     */
+    void set_epoch(uint32_t epoch);
+
     uint32_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
     /** Number of transient locks created so far (diagnostics). */
@@ -110,8 +121,9 @@ class LockTable
     static constexpr int kEpochShift = 48;
     static constexpr uint64_t kPtrMask = (1ull << kEpochShift) - 1;
 
-    /** Epochs are process-unique so a new LockTable over an old heap
-     *  never misinterprets a stale holder tag. */
+    /** Fallback allocator for tables not attached to a heap (tests):
+     *  process-unique only.  Runtimes override via set_epoch with the
+     *  heap-persistent counter, which is unique across restarts too. */
     static std::atomic<uint32_t> g_next_epoch;
 
     // Locks are carved from slabs rather than allocated one by one:

@@ -10,6 +10,22 @@ Runtime::Runtime(nvm::PersistentHeap& heap, nvm::PersistDomain& dom,
                  const RuntimeConfig& cfg)
     : heap_(heap), dom_(dom), cfg_(cfg), alloc_(heap, dom)
 {
+    bump_lock_epoch();
+}
+
+uint32_t
+Runtime::bump_lock_epoch()
+{
+    uint64_t n = heap_.root(nvm::RootSlot::kLockEpoch);
+    // Tag 0 is reserved: a zero-initialized holder slot must never
+    // look current.  (The tag is the low 16 bits of the epoch.)
+    do {
+        ++n;
+    } while ((n & 0xffff) == 0);
+    heap_.set_root(nvm::RootSlot::kLockEpoch, n, dom_);
+    const auto epoch = static_cast<uint32_t>(n);
+    locks_.set_epoch(epoch);
+    return epoch;
 }
 
 Runtime::~Runtime() = default;

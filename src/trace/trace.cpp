@@ -447,6 +447,16 @@ event_kind_name(EventKind k)
         return "alloc.spill";
       case EventKind::kLeakReclaim:
         return "alloc.reclaim";
+      case EventKind::kConnOpen:
+        return "net.conn.open";
+      case EventKind::kConnClose:
+        return "net.conn.close";
+      case EventKind::kGroupOpen:
+        return "net.group.open";
+      case EventKind::kGroupClose:
+        return "net.group.close";
+      case EventKind::kNetRequest:
+        return "net.request";
       case EventKind::kMaxKind:
         break;
     }
@@ -476,6 +486,10 @@ event_kind_end_of(EventKind k)
         return EventKind::kRecoverResumeEnd;
       case EventKind::kRecoverUndoBegin:
         return EventKind::kRecoverUndoEnd;
+      case EventKind::kConnOpen:
+        return EventKind::kConnClose;
+      case EventKind::kGroupOpen:
+        return EventKind::kGroupClose;
       default:
         return EventKind::kNone;
     }

@@ -59,7 +59,7 @@ enum class EventKind : uint16_t
     kFlush, ///< a0 = address/offset, a1 = cache lines written back
     kFence, ///< persist fence retired
 
-    // Allocator (nv_heap / nv_allocator)
+    // Allocator (nv_heap)
     kAlloc, ///< a0 = payload offset, a1 = bytes
     kFree,  ///< a0 = payload offset
 
@@ -86,6 +86,13 @@ enum class EventKind : uint16_t
     kArenaRefill, ///< a0 = chunk offset, a1 = chunk bytes
     kCacheSpill,  ///< a0 = size class, a1 = blocks spilled to a shard
     kLeakReclaim, ///< a0 = payload offset, a1 = pre-reclaim state word
+
+    // ido-serve network front-end (src/net)
+    kConnOpen,    ///< a0 = connection id
+    kConnClose,   ///< a0 = connection id, a1 = requests served
+    kGroupOpen,   ///< a0 = shard index; group-persist batch starts
+    kGroupClose,  ///< a0 = shard index, a1 = requests in the batch
+    kNetRequest,  ///< a0 = connection id, a1 = opcode (MemcOp)
 
     kMaxKind
 };

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Group-persist batcher tests (net/group_commit + the IdoThread
+ * persist-group protocol).
+ *
+ * 1. A deterministic crash-point sweep: a mixed set/get/del batch runs
+ *    under the shadow domain with the crash fuse armed at every
+ *    successive tick, under all three crash policies.  The batch-close
+ *    fence has not retired when the crash fires, so *no* request is
+ *    acknowledged: after iDO recovery each touched key must hold
+ *    exactly its old or its new value (replay or vanish, atomically),
+ *    untouched keys must be byte-identical, and the cache structure
+ *    must check out.  The post-recovery write probes for leaked locks
+ *    (a stale group-mode lock record must not deadlock later FASEs).
+ *
+ * 2. A deterministic fence-reduction measurement: the same workload at
+ *    batch limit K=1 (stock protocol) and K=16 must show at least a
+ *    2x reduction in persist fences -- the acceptance criterion the
+ *    server bench re-verifies end to end.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/memcached_mini.h"
+#include "ido/ido_runtime.h"
+#include "net/group_commit.h"
+#include "net/memc_protocol.h"
+#include "nvm/persist_domain.h"
+#include "nvm/shadow_domain.h"
+#include "runtime/crash_sim.h"
+#include "stats/persist_stats.h"
+
+namespace ido {
+namespace {
+
+using apps::MemcachedMini;
+using net::GroupCommit;
+using net::MemcOp;
+using net::MemcRequest;
+using net::ShardJob;
+using net::ShardReply;
+
+std::string
+key_name(int i)
+{
+    return "key" + std::to_string(i);
+}
+
+/** Build the scripted batch: updates, an insert, deletes, reads. */
+std::vector<ShardJob>
+scripted_batch()
+{
+    auto set = [](int i, uint64_t v) {
+        ShardJob j;
+        j.req.op = MemcOp::kSet;
+        j.req.key = key_name(i);
+        j.req.value = v;
+        return j;
+    };
+    auto get = [](int i) {
+        ShardJob j;
+        j.req.op = MemcOp::kGet;
+        j.req.key = key_name(i);
+        return j;
+    };
+    auto del = [](int i) {
+        ShardJob j;
+        j.req.op = MemcOp::kDelete;
+        j.req.key = key_name(i);
+        return j;
+    };
+    return {set(0, 200), set(6, 206), del(1), get(2),
+            set(3, 203), del(7),      get(0), set(2, 202)};
+}
+
+/** Execute one job against the cache (the shard-worker exec body). */
+std::string
+exec_job(MemcachedMini& cache, rt::RuntimeThread& th, const ShardJob& job)
+{
+    auto [lo, hi] = net::memc_key_words(job.req.key);
+    switch (job.req.op) {
+    case MemcOp::kSet:
+        cache.set(th, lo, hi, job.req.value);
+        return net::memc_reply_stored();
+    case MemcOp::kGet: {
+        uint64_t v = 0;
+        if (cache.get(th, lo, hi, &v))
+            return net::memc_reply_value(job.req.key, 0, v);
+        return net::memc_reply_miss();
+    }
+    case MemcOp::kDelete:
+        return net::memc_reply_deleted(cache.del(th, lo, hi));
+    default:
+        return net::memc_reply_error();
+    }
+}
+
+TEST(GroupCommitCrashSweep, BatchAtomicAtEveryCrashPoint)
+{
+    MemcachedMini::register_programs();
+    // Old values the prefill establishes, and the value each scripted
+    // request would leave behind.  A crashed, unacknowledged request
+    // must resolve to exactly one of the two.
+    const std::map<int, uint64_t> before = {{0, 100}, {1, 101}, {2, 102},
+                                            {3, 103}, {4, 104}, {5, 105}};
+    const std::map<int, std::optional<uint64_t>> after = {
+        {0, 200},          {1, std::nullopt}, {2, 202},
+        {3, 203},          {4, 104},          {5, 105},
+        {6, 206},          {7, std::nullopt}};
+
+    for (const nvm::CrashPolicy policy :
+         {nvm::CrashPolicy::kDropAll, nvm::CrashPolicy::kPersistAll,
+          nvm::CrashPolicy::kRandom}) {
+        int completed_at = -1;
+        for (int64_t fuse = 1; fuse < 100000; ++fuse) {
+            nvm::PersistentHeap heap({.size = 32u << 20});
+            nvm::ShadowDomain shadow(heap.base(), heap.size(),
+                                     static_cast<uint64_t>(fuse) * 17 + 3);
+            rt::RuntimeConfig cfg;
+            cfg.check_contracts = true;
+            auto runtime = std::make_unique<IdoRuntime>(heap, shadow, cfg);
+
+            uint64_t root;
+            {
+                auto setup = runtime->make_thread();
+                root = MemcachedMini::create(*setup, 1, 64);
+                MemcachedMini cache(heap, root);
+                for (const auto& [i, v] : before) {
+                    auto [lo, hi] = net::memc_key_words(key_name(i));
+                    cache.set(*setup, lo, hi, v);
+                }
+            }
+            shadow.drain_all();
+
+            bool crashed = false;
+            {
+                auto th = runtime->make_thread();
+                MemcachedMini cache(heap, root);
+                GroupCommit committer(*th, /*batch_limit=*/16,
+                                      /*shard_index=*/0);
+                std::vector<ShardReply> replies;
+                runtime->crash_scheduler().arm(fuse);
+                try {
+                    committer.run_batch(
+                        scripted_batch(),
+                        [&](const ShardJob& j) {
+                            return exec_job(cache, *th, j);
+                        },
+                        &replies);
+                } catch (const rt::SimCrashException&) {
+                    crashed = true;
+                }
+                runtime->crash_scheduler().disarm();
+            }
+            if (!crashed) {
+                completed_at = static_cast<int>(fuse);
+                break;
+            }
+            shadow.crash(policy);
+
+            runtime = std::make_unique<IdoRuntime>(heap, shadow, cfg);
+            MemcachedMini::register_programs();
+            runtime->recover();
+            shadow.drain_all();
+            ASSERT_TRUE(MemcachedMini::check_invariants(heap, root))
+                << "policy " << static_cast<int>(policy) << " fuse "
+                << fuse;
+
+            auto th = runtime->make_thread();
+            MemcachedMini cache(heap, root);
+            for (const auto& [i, new_val] : after) {
+                auto [lo, hi] = net::memc_key_words(key_name(i));
+                uint64_t v = 0;
+                const bool present = cache.get(*th, lo, hi, &v);
+                auto b = before.find(i);
+                const bool old_ok =
+                    (b == before.end()) ? !present
+                                        : (present && v == b->second);
+                const bool new_ok =
+                    !new_val.has_value() ? !present
+                                         : (present && v == *new_val);
+                EXPECT_TRUE(old_ok || new_ok)
+                    << "key " << i << " neither old nor new after crash"
+                    << " (present=" << present << " v=" << v
+                    << ", policy " << static_cast<int>(policy)
+                    << ", fuse " << fuse << ")";
+            }
+            // Liveness probe: a leaked lock from a stale group-mode
+            // ownership record would deadlock this FASE.
+            auto [plo, phi] = net::memc_key_words("probe");
+            cache.set(*th, plo, phi, 777);
+            uint64_t pv = 0;
+            EXPECT_TRUE(cache.get(*th, plo, phi, &pv));
+            EXPECT_EQ(pv, 777u);
+        }
+        EXPECT_GT(completed_at, 30)
+            << "batch has suspiciously few crash points (policy "
+            << static_cast<int>(policy) << ")";
+    }
+}
+
+/**
+ * The acceptance arithmetic: K=16 must at least halve fences per
+ * request vs the K=1 stock protocol on a read-heavy mix (2 sets per
+ * 16 requests, near memcached's canonical ~10/90 write/read split).
+ * Update FASEs keep the boundary fences guarding their may_store
+ * regions even under group mode (soundness: ido_runtime.h), so the
+ * elision payoff concentrates on the read paths -- which dominate
+ * real cache traffic.  Deterministic (real domain, fixed keys).
+ */
+TEST(GroupCommitFences, K16HalvesFencesVsK1)
+{
+    MemcachedMini::register_programs();
+    const int kBatches = 8;
+    const int kPerBatch = 16;
+
+    auto fences_for = [&](uint32_t batch_limit) -> uint64_t {
+        nvm::PersistentHeap heap({.size = 32u << 20});
+        nvm::RealDomain dom;
+        rt::RuntimeConfig cfg;
+        auto runtime = std::make_unique<IdoRuntime>(heap, dom, cfg);
+        auto th = runtime->make_thread();
+        const uint64_t root = MemcachedMini::create(*th, 1, 64);
+        MemcachedMini cache(heap, root);
+        for (int i = 0; i < 8; ++i) {
+            auto [lo, hi] = net::memc_key_words(key_name(i));
+            cache.set(*th, lo, hi, 1);
+        }
+        GroupCommit committer(*th, batch_limit, 0);
+        const uint64_t fences_before = tls_persist_counters().fences;
+        for (int b = 0; b < kBatches; ++b) {
+            std::vector<ShardJob> jobs;
+            for (int i = 0; i < kPerBatch; ++i) {
+                ShardJob j;
+                if (i % 8 == 0) {
+                    j.req.op = MemcOp::kSet;
+                    j.req.key = key_name(i % 8);
+                    j.req.value = static_cast<uint64_t>(b * 100 + i);
+                } else {
+                    j.req.op = MemcOp::kGet;
+                    j.req.key = key_name(i % 8);
+                }
+                jobs.push_back(std::move(j));
+            }
+            // K=1 degenerates to one-request batches of the stock
+            // protocol, exactly like an unbatched server.
+            std::vector<ShardReply> replies;
+            if (batch_limit == 1) {
+                for (ShardJob& j : jobs)
+                    committer.run_batch(
+                        {j},
+                        [&](const ShardJob& jj) {
+                            return exec_job(cache, *th, jj);
+                        },
+                        &replies);
+            } else {
+                committer.run_batch(
+                    jobs,
+                    [&](const ShardJob& jj) {
+                        return exec_job(cache, *th, jj);
+                    },
+                    &replies);
+            }
+        }
+        return tls_persist_counters().fences - fences_before;
+    };
+
+    const uint64_t fences_k1 = fences_for(1);
+    const uint64_t fences_k16 = fences_for(16);
+    ASSERT_GT(fences_k16, 0u);
+    EXPECT_GE(fences_k1, 2 * fences_k16)
+        << "K=16 must reduce fences/request by at least 2x (K=1: "
+        << fences_k1 << ", K=16: " << fences_k16 << ")";
+}
+
+} // namespace
+} // namespace ido

@@ -443,5 +443,89 @@ TEST(NvHeapStress, CrossThreadFreeIsSafe)
     EXPECT_EQ(h.live_blocks(), 0u);
 }
 
+// --------------------------------------------------------------------------
+// Properties inherited from the retired v1 allocator suite
+// --------------------------------------------------------------------------
+
+TEST_F(NvHeapFixture, FreeListPerClass)
+{
+    // Freed blocks return to their own size class, not a shared pool:
+    // re-allocating each size must reuse the matching block.
+    const uint64_t small = h.alloc(16, dom);
+    const uint64_t big = h.alloc(512, dom);
+    ASSERT_NE(small, 0u);
+    ASSERT_NE(big, 0u);
+    h.free_block(small, dom);
+    h.free_block(big, dom);
+    EXPECT_EQ(h.alloc(512, dom), big);
+    EXPECT_EQ(h.alloc(16, dom), small);
+}
+
+TEST_F(NvHeapFixture, NoOverlappingPayloads)
+{
+    Rng rng(5);
+    std::vector<std::pair<uint64_t, size_t>> blocks;
+    for (int i = 0; i < 500; ++i) {
+        const size_t sz = 8 + rng.next_below(100);
+        const uint64_t off = h.alloc(sz, dom);
+        ASSERT_NE(off, 0u);
+        blocks.emplace_back(off, sz);
+    }
+    std::sort(blocks.begin(), blocks.end());
+    for (size_t i = 1; i < blocks.size(); ++i) {
+        EXPECT_GE(blocks[i].first,
+                  blocks[i - 1].first + blocks[i - 1].second)
+            << "blocks " << i - 1 << " and " << i << " overlap";
+    }
+}
+
+/**
+ * Crash-safety property from the v1 suite, now over NvHeap: random
+ * alloc/free traffic through the shadow domain, crash at an arbitrary
+ * point with random line loss, and the surviving metadata is never
+ * corrupt (leaks allowed and reclaimed, overlap/corruption not).
+ * Complements the scripted EveryFusePointEveryPolicy sweep with
+ * unscripted interleavings.
+ */
+TEST(NvHeapCrashRandom, MetadataSurvivesRandomCrashes)
+{
+    for (uint64_t seed = 1; seed <= 20; ++seed) {
+        PersistentHeap heap({.size = 4u << 20});
+        ShadowDomain shadow(heap.base(), heap.size(), seed);
+        Rng rng(seed);
+        {
+            NvHeap alloc(heap, shadow);
+            heap.mark_running(shadow);
+            std::vector<uint64_t> live;
+            const int crash_after = 20 + rng.next_below(200);
+            for (int i = 0; i < crash_after; ++i) {
+                if (live.empty() || rng.percent(70)) {
+                    const uint64_t off =
+                        alloc.alloc(8 + rng.next_below(100), shadow);
+                    if (off)
+                        live.push_back(off);
+                } else {
+                    const size_t idx = rng.next_below(live.size());
+                    alloc.free_block(live[idx], shadow);
+                    live[idx] = live.back();
+                    live.pop_back();
+                }
+            }
+            // The crashed instance is abandoned without cleanup.
+        }
+        shadow.crash(CrashPolicy::kRandom);
+        heap.simulate_fresh_open();
+        ASSERT_TRUE(heap.recovered_from_crash());
+
+        RealDomain dom;
+        NvHeap recovered(heap, dom); // ctor reclaims leaks
+        EXPECT_TRUE(recovered.check_consistency()) << "seed " << seed;
+        EXPECT_EQ(recovered.recover_leaks(dom), 0u) << "seed " << seed;
+        for (int i = 0; i < 50; ++i)
+            EXPECT_NE(recovered.alloc(48, dom), 0u);
+        EXPECT_TRUE(recovered.check_consistency()) << "seed " << seed;
+    }
+}
+
 } // namespace
 } // namespace ido::nvm

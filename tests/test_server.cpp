@@ -1,0 +1,410 @@
+/**
+ * @file
+ * ido-serve end-to-end tests.
+ *
+ * - InProcess*: a Server on an anonymous heap in this process, driven
+ *   over real loopback sockets: protocol conformance, pipelining with
+ *   cross-shard reply reordering, connection lifecycle.
+ *
+ * - KillNineUnderLoad: the headline crash test.  Forks the real
+ *   ido_serve binary (found via $IDO_SERVE_BIN, set by CMake) on a
+ *   file-backed heap, pumps pipelined sets, SIGKILLs the server at a
+ *   deterministic acknowledgement count mid-pipeline, restarts it
+ *   (which runs iDO recovery), reconnects with bounded retry/backoff,
+ *   and verifies: every acknowledged write survived, every observed
+ *   value is one the client actually sent and no older than the last
+ *   acknowledged one (per-key order holds), and the cache answers
+ *   fresh traffic.
+ *
+ * - Soak: repeats that crash cycle for $IDO_SOAK_SECONDS (default 2;
+ *   CI runs 30) with a seeded random kill point per round.
+ */
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/memcached_mini.h"
+#include "common/rng.h"
+#include "ido/ido_runtime.h"
+#include "net/memc_client.h"
+#include "net/server.h"
+#include "nvm/persist_domain.h"
+#include "nvm/persistent_heap.h"
+
+namespace ido {
+namespace {
+
+using net::MemcClient;
+
+// --------------------------------------------------------------------------
+// In-process smoke tests
+// --------------------------------------------------------------------------
+
+struct InProcessServer
+{
+    InProcessServer(uint32_t shards, uint32_t batch_limit)
+        : heap({.size = 64u << 20}), dom(),
+          runtime(heap, dom, rt::RuntimeConfig{})
+    {
+        apps::MemcachedMini::register_programs();
+        net::ServerConfig cfg;
+        cfg.port = 0;
+        cfg.shards = shards;
+        cfg.batch_limit = batch_limit;
+        cfg.nbuckets = 64;
+        server = std::make_unique<net::Server>(runtime, cfg);
+        thread = std::thread([this] { server->run(); });
+    }
+
+    ~InProcessServer()
+    {
+        server->stop();
+        thread.join();
+    }
+
+    nvm::PersistentHeap heap;
+    nvm::RealDomain dom;
+    IdoRuntime runtime;
+    std::unique_ptr<net::Server> server;
+    std::thread thread;
+};
+
+TEST(InProcessServer_, ProtocolBasics)
+{
+    InProcessServer s(/*shards=*/2, /*batch_limit=*/4);
+    MemcClient c;
+    ASSERT_TRUE(c.connect_retry("127.0.0.1", s.server->port(), 50, 10));
+
+    EXPECT_NE(c.version().find("VERSION"), std::string::npos);
+
+    uint64_t v = 0;
+    EXPECT_FALSE(c.get("absent", &v));
+    EXPECT_TRUE(c.set("alpha", 11));
+    EXPECT_TRUE(c.get("alpha", &v));
+    EXPECT_EQ(v, 11u);
+    EXPECT_TRUE(c.set("alpha", 12)); // update in place
+    EXPECT_TRUE(c.get("alpha", &v));
+    EXPECT_EQ(v, 12u);
+    EXPECT_TRUE(c.del("alpha"));
+    EXPECT_FALSE(c.del("alpha"));
+    EXPECT_FALSE(c.get("alpha", &v));
+}
+
+TEST(InProcessServer_, PipelinedAcrossShardsStaysOrdered)
+{
+    InProcessServer s(/*shards=*/4, /*batch_limit=*/8);
+    MemcClient c;
+    ASSERT_TRUE(c.connect_retry("127.0.0.1", s.server->port(), 50, 10));
+
+    // Keys hash across all 4 shard workers; replies must still come
+    // back in request order, which pipeline_flush depends on.
+    const int kOps = 200;
+    for (int i = 0; i < kOps; ++i)
+        c.pipeline_set("pk" + std::to_string(i), 1000 + i);
+    EXPECT_EQ(c.pipeline_flush(), static_cast<size_t>(kOps));
+    for (int i = 0; i < kOps; ++i) {
+        uint64_t v = 0;
+        ASSERT_TRUE(c.get("pk" + std::to_string(i), &v)) << i;
+        EXPECT_EQ(v, 1000u + i);
+    }
+}
+
+TEST(InProcessServer_, MalformedInputAnsweredInOrder)
+{
+    InProcessServer s(/*shards=*/1, /*batch_limit=*/4);
+    MemcClient c;
+    ASSERT_TRUE(c.connect_retry("127.0.0.1", s.server->port(), 50, 10));
+    // A bogus command between two valid ones: ERROR must arrive
+    // between the two STOREDs, not reordered around them.
+    EXPECT_TRUE(c.set("m1", 1));
+    uint64_t v = 0;
+    EXPECT_FALSE(c.get("nosuchcommandkey", &v));
+    EXPECT_TRUE(c.set("m2", 2));
+}
+
+// --------------------------------------------------------------------------
+// Kill -9 under load (real process, file-backed heap)
+// --------------------------------------------------------------------------
+
+struct ServerProcess
+{
+    pid_t pid = -1;
+    uint16_t port = 0;
+};
+
+/** Launch $IDO_SERVE_BIN and wait for its port file.  pid<0 on error. */
+ServerProcess
+spawn_server(const std::string& bin, const std::string& heap_path,
+             const std::string& port_path, int shards, int batch,
+             bool reset)
+{
+    ServerProcess sp;
+    ::unlink(port_path.c_str());
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        return sp;
+    if (pid == 0) {
+        const std::string heap_arg = "--heap=" + heap_path;
+        const std::string port_arg = "--port-file=" + port_path;
+        const std::string shards_arg =
+            "--shards=" + std::to_string(shards);
+        const std::string batch_arg = "--batch=" + std::to_string(batch);
+        std::vector<const char*> args = {
+            bin.c_str(),       heap_arg.c_str(),  port_arg.c_str(),
+            shards_arg.c_str(), batch_arg.c_str()};
+        if (reset)
+            args.push_back("--reset");
+        args.push_back(nullptr);
+        ::execv(bin.c_str(), const_cast<char* const*>(args.data()));
+        ::_exit(127);
+    }
+    // Readiness handshake: poll for the port file.
+    for (int i = 0; i < 1000; ++i) {
+        std::FILE* f = std::fopen(port_path.c_str(), "r");
+        if (f) {
+            unsigned p = 0;
+            const int got = std::fscanf(f, "%u", &p);
+            std::fclose(f);
+            if (got == 1 && p != 0) {
+                sp.pid = pid;
+                sp.port = static_cast<uint16_t>(p);
+                return sp;
+            }
+        }
+        int status = 0;
+        if (::waitpid(pid, &status, WNOHANG) == pid)
+            return sp; // died before binding
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    return sp;
+}
+
+void
+kill_server(ServerProcess& sp)
+{
+    if (sp.pid > 0) {
+        ::kill(sp.pid, SIGKILL);
+        ::waitpid(sp.pid, nullptr, 0);
+        sp.pid = -1;
+    }
+}
+
+/** Per-key client-side model of what the server may legally hold. */
+struct KeyModel
+{
+    std::vector<uint64_t> sent; ///< every value ever pipelined, in order
+    size_t acked = 0;           ///< prefix of `sent` known durable
+};
+
+std::string
+e2e_key(int i)
+{
+    return "ek" + std::to_string(i);
+}
+
+/**
+ * Verify the recovered server against the model: each key's value must
+ * be one the client sent, at or after the last acknowledged write
+ * (at-least-once execution of unacked requests is legal; losing an
+ * acked one, inventing a value, or reordering backwards is not).
+ */
+void
+verify_model(MemcClient& c, const std::map<int, KeyModel>& model)
+{
+    for (const auto& [i, km] : model) {
+        if (km.sent.empty())
+            continue;
+        uint64_t v = 0;
+        const bool present = c.get(e2e_key(i), &v);
+        if (km.acked > 0) {
+            ASSERT_TRUE(present)
+                << "key " << i << " lost " << km.acked << " acked writes";
+        }
+        if (!present)
+            continue;
+        size_t idx = km.sent.size();
+        for (size_t s = 0; s < km.sent.size(); ++s) {
+            if (km.sent[s] == v) {
+                idx = s;
+                break;
+            }
+        }
+        ASSERT_LT(idx, km.sent.size())
+            << "key " << i << " holds value " << v
+            << " the client never sent";
+        if (km.acked > 0) {
+            EXPECT_GE(idx + 1, km.acked)
+                << "key " << i << " rolled back behind its last acked "
+                << "write (value " << v << ")";
+        }
+    }
+}
+
+struct TempDir
+{
+    TempDir()
+    {
+        char tmpl[] = "/tmp/ido_serve_test_XXXXXX";
+        char* d = ::mkdtemp(tmpl);
+        EXPECT_NE(d, nullptr);
+        path = d ? d : "";
+    }
+    ~TempDir()
+    {
+        if (path.empty())
+            return;
+        ::unlink((path + "/cache.heap").c_str());
+        ::unlink((path + "/port").c_str());
+        ::rmdir(path.c_str());
+    }
+    std::string path;
+};
+
+/**
+ * One crash round: pipeline `total` sets over `keys` keys, SIGKILL the
+ * server after `kill_after_acks` acknowledgements, restart, reconnect
+ * with retry/backoff, verify the model, and leave the server running.
+ */
+void
+crash_round(const std::string& bin, const std::string& heap_path,
+            const std::string& port_path, std::map<int, KeyModel>* model,
+            uint64_t* next_value, ServerProcess* sp, int keys, int total,
+            size_t kill_after_acks)
+{
+    MemcClient c;
+    ASSERT_TRUE(c.connect_retry("127.0.0.1", sp->port, 100, 20));
+
+    std::vector<int> order;
+    for (int n = 0; n < total; ++n) {
+        const int i = n % keys;
+        const uint64_t v = (*next_value)++;
+        c.pipeline_set(e2e_key(i), v);
+        (*model)[i].sent.push_back(v);
+        order.push_back(i);
+    }
+    const size_t acks = c.pipeline_flush(kill_after_acks);
+    // In-order replies: exactly the first `acks` pipelined requests
+    // are known durable.  Per key, everything but this round's
+    // unacked tail is acknowledged.
+    std::map<int, size_t> sent_count, acked_count;
+    for (int n = 0; n < total; ++n)
+        ++sent_count[order[static_cast<size_t>(n)]];
+    for (size_t n = 0; n < acks; ++n)
+        ++acked_count[order[n]];
+    for (auto& [i, km] : *model) {
+        auto sent_it = sent_count.find(i);
+        if (sent_it == sent_count.end())
+            continue; // key untouched this round
+        const size_t unacked = sent_it->second - acked_count[i];
+        km.acked = km.sent.size() - unacked;
+    }
+
+    kill_server(*sp); // mid-pipeline: outstanding requests die with it
+    c.close();
+
+    *sp = spawn_server(bin, heap_path, port_path, /*shards=*/4,
+                       /*batch=*/16, /*reset=*/false);
+    ASSERT_GT(sp->pid, 0) << "server failed to restart after kill -9";
+
+    MemcClient c2;
+    ASSERT_TRUE(c2.connect_retry("127.0.0.1", sp->port, 100, 20));
+    verify_model(c2, *model);
+
+    // The recovered server must accept fresh traffic on every shard.
+    for (int i = 0; i < keys; ++i) {
+        const uint64_t v = (*next_value)++;
+        ASSERT_TRUE(c2.set(e2e_key(i), v)) << "post-recovery set failed";
+        (*model)[i].sent.push_back(v);
+        (*model)[i].acked = (*model)[i].sent.size();
+    }
+}
+
+const char*
+serve_bin()
+{
+    return std::getenv("IDO_SERVE_BIN");
+}
+
+TEST(KillNine, UnderLoadEveryAckedWriteSurvives)
+{
+    const char* bin = serve_bin();
+    if (!bin)
+        GTEST_SKIP() << "IDO_SERVE_BIN not set";
+    TempDir dir;
+    ASSERT_FALSE(dir.path.empty());
+    const std::string heap_path = dir.path + "/cache.heap";
+    const std::string port_path = dir.path + "/port";
+
+    ServerProcess sp = spawn_server(bin, heap_path, port_path, 4, 16,
+                                    /*reset=*/true);
+    ASSERT_GT(sp.pid, 0) << "server failed to start";
+
+    std::map<int, KeyModel> model;
+    uint64_t next_value = 1;
+    // Three deterministic kill points: early (mid first batches), mid,
+    // and late (most of the pipeline acked).
+    crash_round(bin, heap_path, port_path, &model, &next_value, &sp,
+                /*keys=*/32, /*total=*/400, /*kill_after_acks=*/37);
+    crash_round(bin, heap_path, port_path, &model, &next_value, &sp,
+                /*keys=*/32, /*total=*/400, /*kill_after_acks=*/201);
+    crash_round(bin, heap_path, port_path, &model, &next_value, &sp,
+                /*keys=*/32, /*total=*/400, /*kill_after_acks=*/389);
+    kill_server(sp);
+}
+
+TEST(KillNine, Soak)
+{
+    const char* bin = serve_bin();
+    if (!bin)
+        GTEST_SKIP() << "IDO_SERVE_BIN not set";
+    double budget = 2.0;
+    if (const char* s = std::getenv("IDO_SOAK_SECONDS"))
+        budget = std::atof(s);
+
+    TempDir dir;
+    ASSERT_FALSE(dir.path.empty());
+    const std::string heap_path = dir.path + "/cache.heap";
+    const std::string port_path = dir.path + "/port";
+
+    ServerProcess sp = spawn_server(bin, heap_path, port_path, 4, 16,
+                                    /*reset=*/true);
+    ASSERT_GT(sp.pid, 0) << "server failed to start";
+
+    std::map<int, KeyModel> model;
+    uint64_t next_value = 1;
+    Rng rng(20260806); // fixed seed: deterministic kill points
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(budget);
+    int rounds = 0;
+    while (std::chrono::steady_clock::now() < deadline) {
+        const size_t kill_at = 1 + rng.next_below(390);
+        crash_round(bin, heap_path, port_path, &model, &next_value, &sp,
+                    /*keys=*/32, /*total=*/400, kill_at);
+        if (::testing::Test::HasFatalFailure())
+            break;
+        ++rounds;
+    }
+    kill_server(sp);
+    EXPECT_GE(rounds, 1) << "soak budget too small to run one round";
+    std::printf("soak: %d crash/recover rounds, %llu writes modeled\n",
+                rounds,
+                static_cast<unsigned long long>(next_value - 1));
+}
+
+} // namespace
+} // namespace ido

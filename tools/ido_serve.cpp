@@ -1,0 +1,176 @@
+/**
+ * @file
+ * ido-serve: the memcached-protocol server binary over the iDO FASE
+ * runtime (src/net).  This is the process the kill -9 harness aims
+ * at: a file-backed persistent heap, iDO recovery on reattach, and
+ * group-persist batching of pipelined requests.
+ *
+ * Usage:
+ *   ido_serve --heap=/path/cache.heap [--port=0] [--port-file=PATH]
+ *             [--shards=4] [--batch=16] [--buckets=256]
+ *             [--heap-bytes=67108864] [--reset]
+ *
+ * Lifecycle:
+ *   1. open the heap; if the previous instance died mid-run
+ *      (recovered_from_crash), run iDO recovery: reacquire locks from
+ *      the persistent indirect lock holders, restore contexts, resume
+ *      every interrupted FASE to completion;
+ *   2. bind, write the bound port to --port-file (the harness's
+ *      readiness handshake), print LISTENING, serve;
+ *   3. on SIGINT/SIGTERM, drain and mark the heap clean.
+ *
+ * A `quit`-less client disconnect, a kill -9, or a crash anywhere in
+ * between leaves the heap recoverable by the next invocation.
+ */
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "apps/memcached_mini.h"
+#include "ido/ido_runtime.h"
+#include "net/server.h"
+#include "nvm/persist_domain.h"
+#include "nvm/persistent_heap.h"
+
+using namespace ido;
+
+namespace {
+
+net::Server* g_server = nullptr;
+
+void
+on_signal(int)
+{
+    // EventLoop::stop() only writes an eventfd: async-signal-safe.
+    if (g_server)
+        g_server->stop();
+}
+
+bool
+parse_flag(const char* arg, const char* name, std::string* out)
+{
+    const size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) != 0 || arg[n] != '=')
+        return false;
+    *out = arg + n + 1;
+    return true;
+}
+
+uint64_t
+parse_u64_or_die(const std::string& s, const char* what)
+{
+    char* end = nullptr;
+    const uint64_t v = std::strtoull(s.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+        std::fprintf(stderr, "ido_serve: bad %s: '%s'\n", what, s.c_str());
+        std::exit(2);
+    }
+    return v;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: ido_serve --heap=PATH [--port=N] [--port-file=PATH]\n"
+        "                 [--shards=N] [--batch=K] [--buckets=N]\n"
+        "                 [--heap-bytes=N] [--reset]\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string heap_path;
+    std::string port_file;
+    uint64_t port = 0;
+    uint64_t shards = 4;
+    uint64_t batch = 16;
+    uint64_t buckets = 256;
+    uint64_t heap_bytes = 64u << 20;
+    bool reset = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string val;
+        if (parse_flag(argv[i], "--heap", &val))
+            heap_path = val;
+        else if (parse_flag(argv[i], "--port-file", &val))
+            port_file = val;
+        else if (parse_flag(argv[i], "--port", &val))
+            port = parse_u64_or_die(val, "--port");
+        else if (parse_flag(argv[i], "--shards", &val))
+            shards = parse_u64_or_die(val, "--shards");
+        else if (parse_flag(argv[i], "--batch", &val))
+            batch = parse_u64_or_die(val, "--batch");
+        else if (parse_flag(argv[i], "--buckets", &val))
+            buckets = parse_u64_or_die(val, "--buckets");
+        else if (parse_flag(argv[i], "--heap-bytes", &val))
+            heap_bytes = parse_u64_or_die(val, "--heap-bytes");
+        else if (std::strcmp(argv[i], "--reset") == 0)
+            reset = true;
+        else
+            return usage();
+    }
+    if (heap_path.empty() || port > 65535 || shards < 1 || shards > 7 ||
+        batch < 1)
+        return usage();
+
+    nvm::PersistentHeap heap(
+        {.path = heap_path, .size = heap_bytes, .reset = reset});
+    nvm::RealDomain dom;
+    ido::IdoRuntime rt(heap, dom, rt::RuntimeConfig{});
+    apps::MemcachedMini::register_programs();
+
+    if (heap.recovered_from_crash()) {
+        std::fprintf(stderr,
+                     "ido_serve: unclean shutdown detected, running "
+                     "iDO recovery\n");
+        rt.recover();
+        std::fprintf(stderr, "ido_serve: recovery complete\n");
+    }
+    heap.mark_running(dom);
+
+    net::ServerConfig cfg;
+    cfg.port = static_cast<uint16_t>(port);
+    cfg.shards = static_cast<uint32_t>(shards);
+    cfg.batch_limit = static_cast<uint32_t>(batch);
+    cfg.nbuckets = buckets;
+    net::Server server(rt, cfg);
+
+    g_server = &server;
+    struct sigaction sa = {};
+    sa.sa_handler = on_signal;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+
+    // The readiness handshake: the port file appears only once the
+    // socket is bound, so a harness can poll for it then connect.
+    if (!port_file.empty()) {
+        std::FILE* f = std::fopen((port_file + ".tmp").c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "ido_serve: cannot write %s\n",
+                         port_file.c_str());
+            return 1;
+        }
+        std::fprintf(f, "%u\n", server.port());
+        std::fclose(f);
+        std::rename((port_file + ".tmp").c_str(), port_file.c_str());
+    }
+    std::printf("LISTENING 127.0.0.1:%u shards=%llu batch=%llu\n",
+                server.port(), static_cast<unsigned long long>(shards),
+                static_cast<unsigned long long>(batch));
+    std::fflush(stdout);
+
+    server.run();
+    g_server = nullptr;
+
+    heap.mark_clean(dom);
+    std::printf("ido_serve: clean shutdown (%llu requests served)\n",
+                static_cast<unsigned long long>(server.requests_served()));
+    return 0;
+}
