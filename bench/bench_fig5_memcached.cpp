@@ -58,9 +58,26 @@ main()
                          .c_str());
         std::printf("%-10s %8s %10s %9s   %s\n", "runtime", "threads",
                     "Mops/s", "transport", "persist profile");
-        for (auto kind : baselines::all_runtime_kinds()) {
+        // Every runtime at its stock configuration, plus the flush
+        // elision ablation of iDO (ido_noelide): CI's fence-diet gate
+        // compares the two iDO rows' flushes/op.
+        struct RunCfg
+        {
+            baselines::RuntimeKind kind;
+            const char* label;
+            bool flush_elision;
+        };
+        std::vector<RunCfg> run_cfgs;
+        for (auto kind : baselines::all_runtime_kinds())
+            run_cfgs.push_back(
+                {kind, baselines::runtime_kind_name(kind), true});
+        run_cfgs.push_back(
+            {baselines::RuntimeKind::kIdo, "ido_noelide", false});
+        for (const RunCfg& rc : run_cfgs) {
+            const auto kind = rc.kind;
             for (uint32_t threads : thread_sweep()) {
-                BenchWorld world(kind);
+                BenchWorld world(kind, 512u << 20, 0, 4u << 20,
+                                 rc.flush_elision);
                 apps::MemcachedWorkloadConfig cfg;
                 cfg.threads = threads;
                 cfg.set_pct = mix.set_pct;
@@ -96,8 +113,7 @@ main()
                     result =
                         apps::memcached_run(*world.runtime, root, cfg);
                 }
-                std::printf("%-10s %8u %10.3f %9s   %s\n",
-                            baselines::runtime_kind_name(kind),
+                std::printf("%-10s %8u %10.3f %9s   %s\n", rc.label,
                             threads, result.mops(),
                             apps::transport_name(transport),
                             persist_profile(result.total_ops).c_str());
@@ -106,9 +122,8 @@ main()
                                     ? "fig5_memcached_5050"
                                     : "fig5_memcached_1090")
                     + "_" + apps::transport_name(transport);
-                emit_json_row(row_name.c_str(),
-                              baselines::runtime_kind_name(kind),
-                              threads, result.total_ops, secs);
+                emit_json_row(row_name.c_str(), rc.label, threads,
+                              result.total_ops, secs);
             }
         }
     }

@@ -28,21 +28,47 @@ Diagnostic::render() const
     std::snprintf(buf, sizeof(buf), "%s[%s] %s @ bb%u:%u: %s",
                   severity_name(severity), check.c_str(), fase.c_str(),
                   loc.block, loc.index, message.c_str());
-    return buf;
+    std::string s = buf;
+    for (const TraceStep& step : trace) {
+        std::snprintf(buf, sizeof(buf), "\n    bb%u:%u  %s",
+                      step.loc.block, step.loc.index,
+                      step.note.c_str());
+        s += buf;
+    }
+    return s;
 }
 
 std::string
 Diagnostic::render_json() const
 {
-    char buf[640];
-    std::snprintf(buf, sizeof(buf),
-                  "{\"check\":\"%s\",\"severity\":\"%s\","
-                  "\"fase\":\"%s\",\"block\":%u,\"instr\":%u,"
-                  "\"message\":\"%s\"}",
-                  json_escape(check).c_str(), severity_name(severity),
-                  json_escape(fase).c_str(), loc.block, loc.index,
-                  json_escape(message).c_str());
-    return buf;
+    char buf[64];
+    std::string s = "{\"check\":\"" + json_escape(check)
+                    + "\",\"severity\":\"" + severity_name(severity)
+                    + "\",\"fase\":\"" + json_escape(fase) + "\"";
+    if (region == kNoRegion) {
+        s += ",\"region\":null";
+    } else {
+        std::snprintf(buf, sizeof(buf), ",\"region\":%u", region);
+        s += buf;
+    }
+    std::snprintf(buf, sizeof(buf), ",\"block\":%u,\"instr\":%u",
+                  loc.block, loc.index);
+    s += buf;
+    s += ",\"message\":\"" + json_escape(message) + "\"";
+    if (!trace.empty()) {
+        s += ",\"trace\":[";
+        for (size_t i = 0; i < trace.size(); ++i) {
+            std::snprintf(buf, sizeof(buf),
+                          "%s{\"block\":%u,\"instr\":%u,\"note\":\"",
+                          i ? "," : "", trace[i].loc.block,
+                          trace[i].loc.index);
+            s += buf;
+            s += json_escape(trace[i].note) + "\"}";
+        }
+        s += "]";
+    }
+    s += "}";
+    return s;
 }
 
 Diagnostic
@@ -54,13 +80,19 @@ make_diag(const char* check, Severity severity, const std::string& fase,
     va_start(ap, fmt);
     std::vsnprintf(buf, sizeof(buf), fmt, ap);
     va_end(ap);
+    return make_diag(check, severity, fase, loc, std::string(buf));
+}
 
+Diagnostic
+make_diag(const char* check, Severity severity, const std::string& fase,
+          InstrRef loc, std::string message)
+{
     Diagnostic d;
     d.check = check;
     d.severity = severity;
     d.fase = fase;
     d.loc = loc;
-    d.message = buf;
+    d.message = std::move(message);
     return d;
 }
 
@@ -73,6 +105,27 @@ count_at_least(const std::vector<Diagnostic>& diags, Severity floor)
             ++n;
     }
     return n;
+}
+
+void
+dedupe_diagnostics(std::vector<Diagnostic>& diags)
+{
+    std::vector<Diagnostic> kept;
+    kept.reserve(diags.size());
+    for (Diagnostic& d : diags) {
+        bool dup = false;
+        for (const Diagnostic& k : kept) {
+            if (k.check == d.check && k.severity == d.severity
+                && k.fase == d.fase && k.loc == d.loc
+                && k.message == d.message) {
+                dup = true;
+                break;
+            }
+        }
+        if (!dup)
+            kept.push_back(std::move(d));
+    }
+    diags = std::move(kept);
 }
 
 } // namespace ido::compiler::lint

@@ -9,6 +9,27 @@
  * errors are findings the analysis *proves* (strict mode refuses to
  * compile the FASE), warnings are conservative may-happen findings,
  * notes are informational.
+ *
+ * Machine-readable location: every diagnostic carries (fase, region,
+ * block, instr).  The region index is annotated centrally by the lint
+ * driver from the RegionPartition (kNoRegion when the position does
+ * not name an instruction).  Checks that prove a finding by exhibiting
+ * an execution path attach it as a trace of (position, note) steps --
+ * for persist-ordering findings this is the crash-frontier
+ * counterexample: the path along which a crash observes the bug.
+ *
+ * JSON schema (one object per diagnostic, stable field order):
+ *
+ *   {"check":   string,   stable check id
+ *    "severity":string,   "note" | "warning" | "error"
+ *    "fase":    string,   function name
+ *    "region":  number|null,  region index, null = no instruction
+ *    "block":   number,   basic block of the anchor
+ *    "instr":   number,   instruction index within the block
+ *    "message": string,
+ *    "trace":   [{"block":number,"instr":number,"note":string}, ...]}
+ *
+ * "trace" is present only when non-empty.
  */
 #pragma once
 
@@ -28,19 +49,31 @@ enum class Severity : uint8_t
 
 const char* severity_name(Severity s);
 
+/** One step of a counterexample path attached to a diagnostic. */
+struct TraceStep
+{
+    InstrRef loc;
+    std::string note; ///< what happens at this step
+};
+
 struct Diagnostic
 {
+    /** `region` value when the anchor names no instruction. */
+    static constexpr uint32_t kNoRegion = 0xffffffffu;
+
     std::string check;   ///< stable check id, e.g. "lock-discipline"
     Severity severity = Severity::kWarning;
     std::string fase;    ///< function (FASE) name
+    uint32_t region = kNoRegion; ///< annotated by the lint driver
     InstrRef loc;        ///< anchoring instruction position
     std::string message; ///< human-readable finding
+    std::vector<TraceStep> trace; ///< counterexample path (may be empty)
 
-    /** "error[lock-discipline] ir.stack.push @ bb0:3: ..." */
+    /** "error[lock-discipline] ir.stack.push @ bb0:3: ..." plus one
+     *  indented line per trace step. */
     std::string render() const;
 
-    /** One JSON object: {"check":...,"severity":...,"fase":...,
-     *  "block":N,"instr":N,"message":...} */
+    /** One JSON object following the schema in the file comment. */
     std::string render_json() const;
 };
 
@@ -50,8 +83,21 @@ Diagnostic make_diag(const char* check, Severity severity,
                      const char* fmt, ...)
     __attribute__((format(printf, 5, 6)));
 
+/** Prebuilt-message constructor (for messages beyond printf's reach). */
+Diagnostic make_diag(const char* check, Severity severity,
+                     const std::string& fase, InstrRef loc,
+                     std::string message);
+
 /** Count diagnostics at or above a severity. */
 uint32_t count_at_least(const std::vector<Diagnostic>& diags,
                         Severity floor);
+
+/**
+ * Drop diagnostics identical in (check, severity, fase, loc, message),
+ * keeping the first of each group (and with it, its trace).  Checks
+ * that walk one op once per path through it would otherwise report
+ * the same finding once per path.  Order is preserved.
+ */
+void dedupe_diagnostics(std::vector<Diagnostic>& diags);
 
 } // namespace ido::compiler::lint

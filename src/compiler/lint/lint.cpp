@@ -15,6 +15,27 @@ run_partitioner(const Function& fn, const Cfg& cfg,
     return p.run();
 }
 
+/**
+ * Annotate diagnostics [from, end) with the region index of their
+ * anchor position, resolved against the FASE's own partition.  Checks
+ * stay location-agnostic; the driver fills in what only it knows.
+ */
+void
+annotate_regions(const LintContext& ctx, std::vector<Diagnostic>& out,
+                 size_t from)
+{
+    for (size_t i = from; i < out.size(); ++i) {
+        Diagnostic& d = out[i];
+        if (d.region != Diagnostic::kNoRegion
+            || d.fase != ctx.fn.name())
+            continue;
+        if (d.loc.block >= ctx.fn.num_blocks()
+            || d.loc.index >= ctx.fn.block(d.loc.block).instrs.size())
+            continue;
+        d.region = ctx.part.region_of(d.loc);
+    }
+}
+
 } // namespace
 
 LintUnit::LintUnit(Function f, std::vector<InstrRef> forced_cuts)
@@ -41,6 +62,7 @@ LintRegistry::builtin()
         r->add(make_cross_fase_race_check());
         r->add(make_region_pressure_check());
         r->add(make_dead_boundary_check());
+        r->add(make_persist_ordering_check());
         return r;
     }();
     return *reg;
@@ -54,6 +76,8 @@ LintRegistry::lint_function(const LintContext& ctx) const
         if (pass->scope() == LintPass::Scope::kFunction)
             pass->run_function(ctx, out);
     }
+    annotate_regions(ctx, out, 0);
+    dedupe_diagnostics(out);
     return out;
 }
 
@@ -63,15 +87,22 @@ LintRegistry::lint_corpus(
 {
     std::vector<Diagnostic> out;
     for (const LintContext* ctx : ctxs) {
+        const size_t from = out.size();
         for (const auto& pass : passes_) {
             if (pass->scope() == LintPass::Scope::kFunction)
                 pass->run_function(*ctx, out);
         }
+        annotate_regions(*ctx, out, from);
     }
+    const size_t corpus_from = out.size();
     for (const auto& pass : passes_) {
         if (pass->scope() == LintPass::Scope::kCorpus)
             pass->run_corpus(ctxs, out);
     }
+    // Corpus-scope findings may anchor to any FASE in the set.
+    for (const LintContext* ctx : ctxs)
+        annotate_regions(*ctx, out, corpus_from);
+    dedupe_diagnostics(out);
     return out;
 }
 

@@ -19,6 +19,9 @@
  *   region-pressure   regions whose live sets overflow the log ABI
  *   dead-boundary     cuts that neither separate an antidependence
  *                     pair nor follow a mandatory placement rule
+ *   persist-ordering  cache-line persist-state dataflow: validates the
+ *                     flush-elision plan (missing-persist,
+ *                     fence-without-flush, unsound-deferral)
  */
 #pragma once
 
@@ -80,7 +83,7 @@ class LintPass
 class LintRegistry
 {
   public:
-    /** The registry holding all six built-in checks. */
+    /** The registry holding all seven built-in checks. */
     static const LintRegistry& builtin();
 
     void add(std::unique_ptr<LintPass> pass);
@@ -131,5 +134,6 @@ std::unique_ptr<LintPass> make_nv_lifetime_check();
 std::unique_ptr<LintPass> make_cross_fase_race_check();
 std::unique_ptr<LintPass> make_region_pressure_check();
 std::unique_ptr<LintPass> make_dead_boundary_check();
+std::unique_ptr<LintPass> make_persist_ordering_check();
 
 } // namespace ido::compiler::lint

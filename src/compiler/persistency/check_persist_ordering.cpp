@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The persist-ordering lint check: translation validation of the
+ * flush-elision optimizer.
+ *
+ * Runs compute_persist_plan over the FASE and then re-proves every
+ * claim the plan makes with verify_persist_plan.  A sound pipeline
+ * produces no diagnostics at all; any finding is an error naming the
+ * crash-frontier it exhibits ("missing-persist",
+ * "fence-without-flush", "unsound-deferral").  Hand-crafted unsound
+ * plans are exercised directly through verify_persist_plan in tests;
+ * this pass is the always-on gate over what the compiler actually
+ * ships.
+ */
+#include "compiler/lint/lint.h"
+#include "compiler/persistency/flush_elision.h"
+#include "compiler/persistency/persist_verify.h"
+
+namespace ido::compiler::lint {
+
+namespace {
+
+class PersistOrderingCheck final : public LintPass
+{
+  public:
+    const char*
+    id() const override
+    {
+        return "persist-ordering";
+    }
+
+    const char*
+    summary() const override
+    {
+        return "cache-line persist-state dataflow validates the "
+               "flush-elision plan";
+    }
+
+    void
+    run_function(const LintContext& ctx,
+                 std::vector<Diagnostic>& out) const override
+    {
+        const persistency::PersistPlan plan =
+            persistency::compute_persist_plan(ctx.fn, ctx.cfg, ctx.aa,
+                                              ctx.part, ctx.info);
+        std::vector<Diagnostic> diags =
+            persistency::verify_persist_plan(ctx.fn, ctx.cfg, ctx.aa,
+                                             ctx.part, ctx.info, plan);
+        for (Diagnostic& d : diags)
+            out.push_back(std::move(d));
+    }
+};
+
+} // namespace
+
+std::unique_ptr<LintPass>
+make_persist_ordering_check()
+{
+    return std::make_unique<PersistOrderingCheck>();
+}
+
+} // namespace ido::compiler::lint

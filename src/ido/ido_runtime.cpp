@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/cacheline.h"
 #include "common/panic.h"
 #include "stats/metrics.h"
 #include "trace/trace.h"
@@ -221,10 +222,45 @@ IdoThread::persist_outputs(const RegionMeta& meta, const RegionCtx& ctx)
     }
     // Heap writes of the finished region, tracked at run time
     // (Sec. III-A: pointer-accessed locations are written back at the
-    // end of each idempotent region).
-    for (const PendingRange& p : pending_)
-        dom().flush(heap().resolve<void>(p.off), p.len);
+    // end of each idempotent region).  With flush_elision on, ranges
+    // are deduplicated to distinct cache lines first: two stores of one
+    // region that landed on one line need one clwb, not two (the
+    // dynamic half of ido-verify's flush diet; duplicate line flushes
+    // before one fence are redundant by ISA semantics).
+    if (rt_.config().flush_elision && pending_.size() > 1) {
+        line_scratch_.clear();
+        for (const PendingRange& p : pending_) {
+            const uintptr_t a = reinterpret_cast<uintptr_t>(
+                heap().resolve<void>(p.off));
+            const uintptr_t first = line_base(a);
+            const uintptr_t last = line_base(a + p.len - 1);
+            for (uintptr_t lb = first; lb <= last;
+                 lb += kCacheLineBytes) {
+                bool seen = false;
+                for (const uintptr_t s : line_scratch_) {
+                    if (s == lb) {
+                        seen = true;
+                        break;
+                    }
+                }
+                if (seen)
+                    continue;
+                line_scratch_.push_back(lb);
+                dom().flush(reinterpret_cast<void*>(lb), 1);
+            }
+        }
+        if (line_scratch_.size() < pending_.size()) {
+            static std::atomic<uint64_t>& deduped =
+                group_metric("ido.elide.boundary_lines_deduped");
+            deduped.fetch_add(pending_.size() - line_scratch_.size(),
+                              std::memory_order_relaxed);
+        }
+    } else {
+        for (const PendingRange& p : pending_)
+            dom().flush(heap().resolve<void>(p.off), p.len);
+    }
     pending_.clear();
+    dom().audit_covered_boundary(); // ido-verify elision cross-check
     crash_tick();
     dom().fence(); // boundary fence 1
     trace::emit(trace::EventKind::kPersistOutputs,
@@ -351,6 +387,27 @@ IdoThread::do_store(uint64_t off, const void* src, size_t n)
                "store in a region not marked may_store (metadata bug)");
     dom().store(heap().resolve<void>(off), src, n);
     pending_.push_back(PendingRange{off, static_cast<uint32_t>(n)});
+}
+
+void
+IdoThread::do_store_covered(uint64_t off, const void* src, size_t n)
+{
+    if (!in_fase_) {
+        do_store(off, src, n); // durable write-through path
+        return;
+    }
+    IDO_ASSERT(activated_,
+               "store in a region not marked may_store (metadata bug)");
+    // The compiler proved a non-elided witness store in this same
+    // region dirties the same cache line, so the witness's pending
+    // range already gets this line written back at the boundary; skip
+    // the push.  The shadow domain's audit mode checks the claim.
+    void* p = heap().resolve<void>(off);
+    dom().store(p, src, n);
+    dom().note_covered_store(p, n);
+    static std::atomic<uint64_t>& covered =
+        group_metric("ido.elide.covered_stores");
+    covered.fetch_add(1, std::memory_order_relaxed);
 }
 
 void

@@ -126,6 +126,8 @@ class IdoThread final : public rt::RuntimeThread
                             uint32_t finished_idx, rt::RegionCtx& ctx,
                             uint32_t next_idx) override;
     void do_store(uint64_t off, const void* src, size_t n) override;
+    void do_store_covered(uint64_t off, const void* src,
+                          size_t n) override;
     void do_lock(uint64_t holder_off, rt::TransientLock& l) override;
     void do_unlock(uint64_t holder_off, rt::TransientLock& l) override;
 
@@ -159,6 +161,8 @@ class IdoThread final : public rt::RuntimeThread
     bool pc_flush_pending_ = false;   ///< recovery_pc flushed, unfenced
     bool marker_flush_pending_ = false; ///< lock records flushed, unfenced
     std::vector<PendingRange> pending_;
+    /** Scratch for boundary-time pending-line dedup (flush_elision). */
+    std::vector<uintptr_t> line_scratch_;
 };
 
 } // namespace ido

@@ -162,9 +162,64 @@ ShadowDomain::write_back(uintptr_t line_addr, const ShadowLine& line)
 }
 
 void
+ShadowDomain::set_elision_audit(bool on)
+{
+    std::lock_guard<std::mutex> g(audit_mutex_);
+    audit_ = on;
+    noted_.clear();
+}
+
+void
+ShadowDomain::note_covered_store(const void* addr, size_t n)
+{
+    if (!audit_ || n == 0)
+        return;
+    const uintptr_t a = reinterpret_cast<uintptr_t>(addr);
+    if (!in_range(a, n))
+        return;
+    const uintptr_t first = line_base(a);
+    const uintptr_t last = line_base(a + n - 1);
+    std::lock_guard<std::mutex> g(audit_mutex_);
+    auto& mine = noted_[self_tid()];
+    for (uintptr_t lb = first; lb <= last; lb += kCacheLineBytes)
+        mine.insert(lb);
+}
+
+void
+ShadowDomain::audit_covered_boundary()
+{
+    if (!audit_)
+        return;
+    std::unordered_set<uintptr_t> mine;
+    {
+        std::lock_guard<std::mutex> g(audit_mutex_);
+        auto it = noted_.find(self_tid());
+        if (it == noted_.end())
+            return;
+        mine.swap(it->second);
+    }
+    for (const uintptr_t lb : mine) {
+        Shard& sh = shard_for(lb);
+        std::lock_guard<std::mutex> g(sh.mutex);
+        auto it = sh.lines.find(lb);
+        if (it != sh.lines.end()
+            && it->second.state == LineState::kDirty) {
+            panic("elision audit: line %#llx dirty at its covered "
+                  "region boundary -- the elided write-back was "
+                  "load-bearing and a crash at the fence loses it",
+                  static_cast<unsigned long long>(lb));
+        }
+    }
+}
+
+void
 ShadowDomain::crash(CrashPolicy policy)
 {
     std::lock_guard<std::mutex> cg(crash_mutex_);
+    {
+        std::lock_guard<std::mutex> g(audit_mutex_);
+        noted_.clear();
+    }
     for (Shard& sh : shards_) {
         std::lock_guard<std::mutex> g(sh.mutex);
         for (auto& [addr, line] : sh.lines) {
@@ -190,6 +245,10 @@ ShadowDomain::crash(CrashPolicy policy)
 void
 ShadowDomain::drain_all()
 {
+    {
+        std::lock_guard<std::mutex> g(audit_mutex_);
+        noted_.clear();
+    }
     for (Shard& sh : shards_) {
         std::lock_guard<std::mutex> g(sh.mutex);
         for (auto& [addr, line] : sh.lines)

@@ -1,9 +1,11 @@
 /**
  * @file
  * ido-lint checks against deliberately-bad IR fixtures: each of the
- * six checks must fire exactly once on its seeded violation and stay
+ * seven checks must fire exactly once on its seeded violation and stay
  * silent on the clean ir_library corpus; CompiledFase must expose the
- * diagnostics and reject error findings in strict mode.
+ * diagnostics and reject error findings in strict mode.  Also covers
+ * the diagnostic plumbing itself: de-duplication, region annotation
+ * and the machine-readable JSON schema.
  */
 #include <gtest/gtest.h>
 
@@ -425,6 +427,75 @@ TEST(LockDataflow, MustIsIntersectionMayIsUnionAtJoins)
     const LockDataflow::State& at_done = ldf.block_in(done);
     EXPECT_EQ(at_done.must.size(), 1u);
     EXPECT_EQ(at_done.may.size(), 2u);
+}
+
+// --- diagnostic plumbing ----------------------------------------------
+
+TEST(Diagnostics, DedupeKeepsFirstOfEachGroup)
+{
+    std::vector<Diagnostic> diags;
+    Diagnostic first = make_diag("x-check", Severity::kWarning, "f",
+                                 InstrRef{0, 1}, "dup");
+    first.trace.push_back({InstrRef{0, 0}, "witness path"});
+    diags.push_back(first);
+    // Same (check, severity, fase, loc, message): a per-path repeat.
+    diags.push_back(make_diag("x-check", Severity::kWarning, "f",
+                              InstrRef{0, 1}, "dup"));
+    // Different anchor: a distinct finding, must survive.
+    diags.push_back(make_diag("x-check", Severity::kWarning, "f",
+                              InstrRef{0, 2}, "dup"));
+    dedupe_diagnostics(diags);
+    ASSERT_EQ(diags.size(), 2u);
+    EXPECT_EQ(diags[0].loc, (InstrRef{0, 1}));
+    EXPECT_EQ(diags[0].trace.size(), 1u); // first kept with its trace
+    EXPECT_EQ(diags[1].loc, (InstrRef{0, 2}));
+}
+
+TEST(Diagnostics, DriverAnnotatesRegionIndex)
+{
+    // A naked store fires unprotected-store; the driver must stamp the
+    // machine-readable region index from the partition.
+    FnBuilder b("fix.region.annot");
+    const uint32_t entry = b.block("entry");
+    b.switch_to(entry);
+    const uint32_t root = b.arg();
+    const uint32_t v = b.cconst(1);
+    b.store(root, 64, v);
+    b.ret();
+
+    LintUnit unit(b.take());
+    const auto diags =
+        LintRegistry::builtin().lint_function(unit.ctx());
+    ASSERT_EQ(count_check(diags, "unprotected-store"), 1u);
+    for (const Diagnostic& d : diags) {
+        if (d.check != "unprotected-store")
+            continue;
+        ASSERT_NE(d.region, Diagnostic::kNoRegion);
+        EXPECT_EQ(d.region, unit.part.region_of(d.loc));
+    }
+}
+
+TEST(Diagnostics, JsonSchemaCarriesRegionAndTrace)
+{
+    Diagnostic d = make_diag("persist-ordering", Severity::kError,
+                             "fase.x", InstrRef{1, 2}, "msg");
+    // Without annotation: region is null, trace absent.
+    EXPECT_NE(d.render_json().find("\"region\":null"),
+              std::string::npos);
+    EXPECT_EQ(d.render_json().find("\"trace\""), std::string::npos);
+
+    d.region = 3;
+    d.trace.push_back({InstrRef{0, 4}, "boundary"});
+    const std::string j = d.render_json();
+    EXPECT_NE(j.find("\"check\":\"persist-ordering\""),
+              std::string::npos);
+    EXPECT_NE(j.find("\"severity\":\"error\""), std::string::npos);
+    EXPECT_NE(j.find("\"region\":3"), std::string::npos);
+    EXPECT_NE(j.find("\"block\":1,\"instr\":2"), std::string::npos);
+    EXPECT_NE(
+        j.find("\"trace\":[{\"block\":0,\"instr\":4,"
+               "\"note\":\"boundary\"}]"),
+        std::string::npos);
 }
 
 } // namespace

@@ -157,7 +157,10 @@ main(int argc, char** argv)
     }
     if (errors > 0)
         return 1;
-    if (werror && !diags.empty())
+    // --Werror promotes warnings, not notes: informational findings
+    // must never fail CI.  (This also holds in --json mode, which
+    // exits nonzero on errors like every other mode.)
+    if (werror && lint::count_at_least(diags, lint::Severity::kWarning) > 0)
         return 1;
     return 0;
 }
