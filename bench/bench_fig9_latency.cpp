@@ -31,7 +31,8 @@ main()
 
     print_header("Fig.9a memcached (insertion mix, 4 threads) vs "
                  "NVM latency");
-    std::printf("%-10s %8s %10s\n", "runtime", "delay_ns", "Mops/s");
+    std::printf("%-10s %8s %10s %10s %10s %10s\n", "runtime",
+                "delay_ns", "Mops/s", "p50_us", "p99_us", "p999_us");
     for (auto kind : kinds) {
         for (uint32_t delay : delays) {
             BenchWorld world(kind, 512u << 20, 0);
@@ -39,26 +40,32 @@ main()
             cfg.threads = 4;
             cfg.set_pct = 50;
             cfg.duration_seconds = secs;
+            cfg.measure_latency = true;
             const uint64_t root =
                 apps::memcached_setup(*world.runtime, cfg);
             world.dom.set_flush_delay_ns(delay); // measure only
             const auto result =
                 apps::memcached_run(*world.runtime, root, cfg);
-            std::printf("%-10s %8u %10.3f\n",
+            std::printf("%-10s %8u %10.3f %10.1f %10.1f %10.1f\n",
                         baselines::runtime_kind_name(kind), delay,
-                        result.mops());
+                        result.mops(),
+                        result.latency.percentile(0.50) / 1e3,
+                        result.latency.percentile(0.99) / 1e3,
+                        result.latency.percentile(0.999) / 1e3);
             // The latency sweep lives in the runtime label so every
             // row of the figure lands in one BENCH_ file.
             const std::string label =
                 std::string(baselines::runtime_kind_name(kind)) + "_d"
                 + std::to_string(delay);
             emit_json_row("fig9a_memcached", label.c_str(),
-                          cfg.threads, result.total_ops, secs);
+                          cfg.threads, result.total_ops, secs,
+                          &result.latency);
         }
     }
 
     print_header("Fig.9b redis (1M keys) vs NVM latency");
-    std::printf("%-10s %8s %10s\n", "runtime", "delay_ns", "Mops/s");
+    std::printf("%-10s %8s %10s %10s %10s %10s\n", "runtime",
+                "delay_ns", "Mops/s", "p50_us", "p99_us", "p999_us");
     for (auto kind : kinds) {
         for (uint32_t delay : delays) {
             BenchWorld world(kind, 1536u << 20, 0);
@@ -66,19 +73,23 @@ main()
             cfg.key_range = 1000000;
             cfg.nbuckets = 1u << 18;
             cfg.duration_seconds = secs;
+            cfg.measure_latency = true;
             const uint64_t root =
                 apps::redis_setup(*world.runtime, cfg);
             world.dom.set_flush_delay_ns(delay); // measure only
             const auto result =
                 apps::redis_run(*world.runtime, root, cfg);
-            std::printf("%-10s %8u %10.3f\n",
+            std::printf("%-10s %8u %10.3f %10.1f %10.1f %10.1f\n",
                         baselines::runtime_kind_name(kind), delay,
-                        result.mops());
+                        result.mops(),
+                        result.latency.percentile(0.50) / 1e3,
+                        result.latency.percentile(0.99) / 1e3,
+                        result.latency.percentile(0.999) / 1e3);
             const std::string label =
                 std::string(baselines::runtime_kind_name(kind)) + "_d"
                 + std::to_string(delay);
             emit_json_row("fig9b_redis", label.c_str(), 1,
-                          result.total_ops, secs);
+                          result.total_ops, secs, &result.latency);
         }
     }
     return 0;

@@ -18,6 +18,7 @@
  */
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
@@ -25,8 +26,11 @@
 #include "bench/bench_util.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "net/admin.h"
 #include "net/memc_client.h"
 #include "net/server.h"
+#include "stats/metrics.h"
+#include "stats/stat_plane.h"
 
 using namespace ido;
 using namespace ido::bench;
@@ -41,18 +45,32 @@ struct KResult
 {
     uint64_t requests = 0;
     uint64_t fences = 0;
+    uint64_t scrapes = 0;
     double seconds = 0.0;
+    LatencyHistogram lat; ///< server-side end-to-end request ns
 };
+
+/** IDO_STAT_SCRAPE_MS: poll the admin /metrics endpoint at this
+ *  period during the run (0 = no scraper).  Lets CI measure the
+ *  overhead of live scraping on top of the instrumentation itself. */
+uint64_t
+scrape_period_ms()
+{
+    const char* env = std::getenv("IDO_STAT_SCRAPE_MS");
+    return env ? std::strtoull(env, nullptr, 10) : 0;
+}
 
 KResult
 run_at_batch_limit(uint32_t batch_limit, double secs)
 {
+    const uint64_t scrape_ms = scrape_period_ms();
     BenchWorld world(baselines::RuntimeKind::kIdo);
     apps::MemcachedMini::register_programs();
     net::ServerConfig scfg;
     scfg.shards = 4;
     scfg.batch_limit = batch_limit;
     scfg.nbuckets = 1024;
+    scfg.admin = scrape_ms > 0;
     net::Server server(*world.runtime, scfg);
     std::thread srv([&] { server.run(); });
 
@@ -70,6 +88,14 @@ run_at_batch_limit(uint32_t batch_limit, double secs)
         }
     }
     persist_counters_reset_global();
+    // Drop the prefill traffic from the server-side request
+    // percentiles so each K row reports only the measured window.
+    auto& reg = MetricsRegistry::instance();
+    LatencyRecorder* const recs[] = {reg.latency("net.lat.req.get"),
+                                     reg.latency("net.lat.req.set"),
+                                     reg.latency("net.lat.req.delete")};
+    for (auto* rec : recs)
+        rec->reset();
 
     std::vector<std::thread> clients;
     std::vector<uint64_t> ops(kClients, 0);
@@ -95,19 +121,38 @@ run_at_batch_limit(uint32_t batch_limit, double secs)
             }
         });
     }
+    KResult r;
+    std::thread scraper;
+    if (scrape_ms > 0) {
+        scraper = std::thread([&] {
+            std::string body;
+            while (!stop.load(std::memory_order_relaxed)) {
+                if (net::admin_http_get(server.admin_port(), "/metrics",
+                                        &body))
+                    r.scrapes++;
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(scrape_ms));
+            }
+        });
+    }
     Stopwatch clock;
     while (clock.elapsed_seconds() < secs)
         std::this_thread::sleep_for(std::chrono::milliseconds(5));
     stop.store(true, std::memory_order_relaxed);
     for (auto& c : clients)
         c.join();
-    KResult r;
+    if (scraper.joinable())
+        scraper.join();
     r.seconds = clock.elapsed_seconds();
     server.stop(); // joins shard workers: TLS fence counters flushed
     srv.join();
     for (uint32_t t = 0; t < kClients; ++t)
         r.requests += ops[t];
     r.fences = persist_counters_global().fences;
+    // Server-side percentiles (empty when IDO_STAT=off: the shards
+    // never record, and emit_json_row skips an empty histogram).
+    for (auto* rec : recs)
+        r.lat.merge(rec->snapshot());
     return r;
 }
 
@@ -119,20 +164,26 @@ main()
     const double secs = bench_seconds();
     print_header("ido-serve group commit (4 shards, 4 pipelined "
                  "clients, 2 sets / 14 gets per 16 requests)");
-    std::printf("%-8s %12s %12s %14s\n", "K", "Mreq/s", "fences",
-                "fences/req");
+    std::printf("%-8s %12s %12s %14s %10s %10s %10s\n", "K", "Mreq/s",
+                "fences", "fences/req", "p50_us", "p99_us", "p999_us");
     for (uint32_t k : {1u, 4u, 16u}) {
         const KResult r = run_at_batch_limit(k, secs);
         const double fpr =
             r.requests ? double(r.fences) / double(r.requests) : 0.0;
-        std::printf("%-8u %12.3f %12llu %14.3f\n", k,
-                    r.requests / r.seconds / 1e6,
-                    static_cast<unsigned long long>(r.fences), fpr);
+        std::printf("%-8u %12.3f %12llu %14.3f %10.1f %10.1f %10.1f\n",
+                    k, r.requests / r.seconds / 1e6,
+                    static_cast<unsigned long long>(r.fences), fpr,
+                    r.lat.percentile(0.50) / 1e3,
+                    r.lat.percentile(0.99) / 1e3,
+                    r.lat.percentile(0.999) / 1e3);
+        if (r.scrapes)
+            std::printf("         (admin /metrics scraped %llu times)\n",
+                        static_cast<unsigned long long>(r.scrapes));
         // One BENCH_server.json; the K ablation lives in the runtime
         // label so CI can compare rows from a single file.
         const std::string label = "ido_k" + std::to_string(k);
         emit_json_row("server", label.c_str(), kClients, r.requests,
-                      r.seconds);
+                      r.seconds, &r.lat);
     }
     return 0;
 }

@@ -107,7 +107,8 @@ print_header(const char* title)
  */
 inline void
 emit_json_row(const char* bench, const char* runtime, uint32_t threads,
-              uint64_t ops, double seconds)
+              uint64_t ops, double seconds,
+              const LatencyHistogram* lat = nullptr)
 {
     const char* dir = std::getenv("IDO_BENCH_JSON");
     if (!dir || !*dir)
@@ -120,12 +121,35 @@ emit_json_row(const char* bench, const char* runtime, uint32_t threads,
     char head[256];
     std::snprintf(head, sizeof(head),
                   "{\"bench\":\"%s\",\"runtime\":\"%s\","
-                  "\"threads\":%u,\"ops\":%llu,\"seconds\":%.6f,"
-                  "\"metrics\":",
+                  "\"threads\":%u,\"ops\":%llu,\"seconds\":%.6f,",
                   bench, runtime, threads,
                   static_cast<unsigned long long>(ops), seconds);
-    const std::string metrics = MetricsRegistry::instance().format_json();
     std::fputs(head, f);
+    if (lat != nullptr && lat->total() > 0) {
+        // Per-op latency percentiles (ido-stat): the Fig. 9 latency
+        // sweep and bench_server record request latencies into a
+        // LatencyHistogram and publish them alongside throughput.
+        std::snprintf(head, sizeof(head),
+                      "\"lat\":{\"count\":%llu,\"mean_ns\":%.1f,"
+                      "\"p50_ns\":%llu,\"p90_ns\":%llu,"
+                      "\"p99_ns\":%llu,\"p999_ns\":%llu,"
+                      "\"max_ns\":%llu},",
+                      static_cast<unsigned long long>(lat->total()),
+                      lat->mean(),
+                      static_cast<unsigned long long>(
+                          lat->percentile(0.50)),
+                      static_cast<unsigned long long>(
+                          lat->percentile(0.90)),
+                      static_cast<unsigned long long>(
+                          lat->percentile(0.99)),
+                      static_cast<unsigned long long>(
+                          lat->percentile(0.999)),
+                      static_cast<unsigned long long>(
+                          lat->max_value()));
+        std::fputs(head, f);
+    }
+    std::fputs("\"metrics\":", f);
+    const std::string metrics = MetricsRegistry::instance().format_json();
     std::fwrite(metrics.data(), 1, metrics.size(), f);
     std::fputs("}\n", f);
     std::fclose(f);

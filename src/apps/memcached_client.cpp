@@ -8,6 +8,7 @@
 #include "net/memc_client.h"
 #include "stats/persist_stats.h"
 #include "stats/region_stats.h"
+#include "stats/stat_plane.h"
 
 namespace ido::apps {
 
@@ -67,10 +68,15 @@ memcached_run(rt::Runtime& rt, uint64_t root_off,
 {
     std::vector<std::thread> threads;
     std::vector<uint64_t> ops(cfg.threads, 0), hits(cfg.threads, 0);
+    // Per-thread histograms: recording is thread-private and merged
+    // after the join, so measuring adds no shared-state traffic.
+    std::vector<LatencyHistogram> lat(cfg.measure_latency ? cfg.threads
+                                                          : 0);
     Stopwatch clock;
     for (uint32_t t = 0; t < cfg.threads; ++t) {
         threads.emplace_back([&, t] {
             const bool count_mode = cfg.ops_per_thread != 0;
+            const bool timed = cfg.measure_latency;
             Rng rng(cfg.seed + 7919 * (t + 1));
             auto deadline_hit = [&] {
                 if (count_mode)
@@ -86,12 +92,15 @@ memcached_run(rt::Runtime& rt, uint64_t root_off,
                 while (!deadline_hit()) {
                     const uint64_t idx = rng.next_below(cfg.key_space);
                     const std::string key = memcached_key_text(idx);
+                    const uint64_t t0 = timed ? stat_now_ns() : 0;
                     if (rng.percent(cfg.set_pct)) {
                         if (!c.set(key, rng.next()))
                             break; // server gone
                     } else if (c.get(key, &value)) {
                         hits[t]++;
                     }
+                    if (timed)
+                        lat[t].record(stat_now_ns() - t0);
                     ops[t]++;
                 }
                 return;
@@ -104,11 +113,14 @@ memcached_run(rt::Runtime& rt, uint64_t root_off,
                     const uint64_t idx =
                         rng.next_below(cfg.key_space);
                     const auto [lo, hi] = memcached_key(idx);
+                    const uint64_t t0 = timed ? stat_now_ns() : 0;
                     if (rng.percent(cfg.set_pct)) {
                         cache.set(*th, lo, hi, rng.next());
                     } else if (cache.get(*th, lo, hi, &value)) {
                         hits[t]++;
                     }
+                    if (timed)
+                        lat[t].record(stat_now_ns() - t0);
                     ops[t]++;
                 }
             } catch (const rt::SimCrashException&) {
@@ -125,6 +137,8 @@ memcached_run(rt::Runtime& rt, uint64_t root_off,
     for (uint32_t t = 0; t < cfg.threads; ++t) {
         result.total_ops += ops[t];
         result.hits += hits[t];
+        if (cfg.measure_latency)
+            result.latency.merge(lat[t]);
     }
     return result;
 }

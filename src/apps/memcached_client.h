@@ -19,6 +19,7 @@
 #include <string>
 
 #include "apps/memcached_mini.h"
+#include "common/latency_histogram.h"
 #include "runtime/runtime.h"
 
 namespace ido::apps {
@@ -45,6 +46,9 @@ struct MemcachedWorkloadConfig
     bool prefill = true;
     McTransport transport = McTransport::kInProcess;
     uint16_t port = 0; ///< kSocket: ido-serve port on 127.0.0.1
+    /// Record per-op latency into result.latency (ido-stat).  Two
+    /// extra clock reads per op -- leave off for pure-throughput runs.
+    bool measure_latency = false;
 };
 
 struct MemcachedWorkloadResult
@@ -52,6 +56,7 @@ struct MemcachedWorkloadResult
     uint64_t total_ops = 0;
     uint64_t hits = 0;
     double seconds = 0.0;
+    LatencyHistogram latency; ///< per-op ns; empty unless measured
 
     double
     mops() const

@@ -5,6 +5,7 @@
 #include "common/zipf.h"
 #include "stats/persist_stats.h"
 #include "stats/region_stats.h"
+#include "stats/stat_plane.h"
 
 namespace ido::apps {
 
@@ -48,12 +49,16 @@ redis_run(rt::Runtime& rt, uint64_t root_off,
                 break;
             }
             const uint64_t key = 1 + zipf.next(rng);
+            const uint64_t t0 =
+                cfg.measure_latency ? stat_now_ns() : 0;
             if (rng.percent(cfg.get_pct)) {
                 if (store.get(*th, key, &value))
                     result.hits++;
             } else {
                 store.set(*th, key, rng.next() | 1);
             }
+            if (cfg.measure_latency)
+                result.latency.record(stat_now_ns() - t0);
             result.total_ops++;
         }
     } catch (const rt::SimCrashException&) {

@@ -29,6 +29,8 @@ struct RedisWorkloadConfig
      *  available here; redis_run returns an empty result for it (and
      *  bench_fig6_redis reports the transport as unavailable). */
     McTransport transport = McTransport::kInProcess;
+    /// Record per-op latency into result.latency (ido-stat).
+    bool measure_latency = false;
 };
 
 struct RedisWorkloadResult
@@ -36,6 +38,7 @@ struct RedisWorkloadResult
     uint64_t total_ops = 0;
     uint64_t hits = 0;
     double seconds = 0.0;
+    LatencyHistogram latency; ///< per-op ns; empty unless measured
 
     double
     mops() const

@@ -72,11 +72,14 @@ Histogram::percentile(double q) const
 {
     if (total_ == 0)
         return 0;
+    q = std::clamp(q, 0.0, 1.0);
     const double target = q * static_cast<double>(total_);
     uint64_t acc = 0;
     for (size_t i = 0; i < bins_.size(); ++i) {
         acc += bins_[i];
-        if (static_cast<double>(acc) >= target)
+        // acc != 0 skips the empty prefix: q == 0 (target 0) must
+        // return the smallest *recorded* value, not bin 0.
+        if (acc != 0 && static_cast<double>(acc) >= target)
             return i;
     }
     return max_value();

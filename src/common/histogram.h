@@ -39,7 +39,11 @@ class Histogram
     /** Largest recorded value; 0 if empty. */
     uint64_t max_value() const;
 
-    /** Smallest v such that cdf(v) >= q (q in [0,1]). */
+    /**
+     * Smallest *recorded* v such that cdf(v) >= q.  q is clamped into
+     * [0,1], so q == 0 returns the minimum recorded value and q == 1
+     * the maximum; 0 if the histogram is empty.
+     */
     uint64_t percentile(double q) const;
 
     /**

@@ -11,12 +11,17 @@
  *  5. each thread executes to the end of its FASE, at which point no
  *     lock is held and recovery is complete.
  */
+#include <atomic>
 #include <barrier>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
 #include "common/panic.h"
 #include "ido/ido_runtime.h"
+#include "stats/persist_stats.h"
+#include "stats/recovery_timeline.h"
+#include "stats/stat_plane.h"
 #include "trace/trace.h"
 
 namespace ido {
@@ -24,31 +29,65 @@ namespace ido {
 void
 IdoRuntime::recover()
 {
+    RecoveryTimeline& tl = RecoveryTimeline::instance();
+    tl.start("crash");
+    persist_counters_flush_tls();
+    const PersistCounters persist_before = persist_counters_global();
+    std::atomic<uint64_t> locks_reacquired{0};
+    const auto seal_timeline = [&] {
+        // Worker-thread persist counters folded at their exits; only
+        // the caller's TLS still needs flushing.
+        persist_counters_flush_tls();
+        const PersistCounters after = persist_counters_global();
+        tl.set_field("locks_reacquired",
+                     locks_reacquired.load(std::memory_order_relaxed));
+        tl.set_field("flushes",
+                     after.flushes - persist_before.flushes);
+        tl.set_field("fences", after.fences - persist_before.fences);
+        tl.finish();
+        tl.publish_metrics();
+        if (const char* d = std::getenv("IDO_TRACE_DIR");
+            d != nullptr && *d != '\0')
+            tl.write_file(d);
+    };
+
     // The crashed run's transient locks are all implicitly released.
+    uint64_t t0 = stat_now_ns();
     bump_lock_epoch();
     // Relink any block the crashed epoch stranded mid-free
     // (NvHeap's online leak reclamation).
-    alloc_.recover_leaks(dom_);
+    const uint64_t reclaimed = alloc_.recover_leaks(dom_);
+    tl.add_phase("leak-reclaim", stat_now_ns() - t0, reclaimed);
+    tl.set_field("leaks_reclaimed", reclaimed);
 
+    t0 = stat_now_ns();
     std::vector<uint64_t> active;
     for (uint64_t off : log_rec_offsets()) {
         auto* rec = heap_.resolve<IdoLogRec>(off);
         if (dom_.load_val(&rec->recovery_pc) != kInactivePc)
             active.push_back(off);
     }
-    if (active.empty())
+    tl.add_phase("scan-log-records", stat_now_ns() - t0, active.size());
+    tl.set_field("fases_resumed", active.size());
+    if (active.empty()) {
+        seal_timeline();
         return;
+    }
     trace::emit(trace::EventKind::kRecoveryBegin, 0, active.size());
+    t0 = stat_now_ns();
 
     std::barrier barrier(static_cast<std::ptrdiff_t>(active.size()));
     std::vector<std::thread> workers;
     workers.reserve(active.size());
     for (uint64_t rec_off : active) {
-        workers.emplace_back([this, rec_off, &barrier] {
+        workers.emplace_back(
+            [this, rec_off, &barrier, &locks_reacquired] {
             bool arrived = false;
             try {
                 IdoThread th(*this, rec_off);
-                th.reacquire_crashed_locks();
+                locks_reacquired.fetch_add(
+                    th.reacquire_crashed_locks(),
+                    std::memory_order_relaxed);
                 // No recovery thread may start executing before every
                 // lock held at crash time has been reclaimed by its
                 // owner; otherwise a FASE could race with a
@@ -79,6 +118,8 @@ IdoRuntime::recover()
     for (std::thread& t : workers)
         t.join();
     trace::emit(trace::EventKind::kRecoveryEnd, 0, active.size());
+    tl.add_phase("resume-fases", stat_now_ns() - t0, active.size());
+    seal_timeline();
 
     // Post-condition: every record is inactive and no locks are held
     // (unless recovery itself was crash-injected, in which case the

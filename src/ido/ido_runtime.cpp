@@ -99,10 +99,11 @@ IdoThread::IdoThread(IdoRuntime& rt, uint64_t existing_rec_off)
                 dom().load_val(&rec_->thread_tag));
 }
 
-void
+uint64_t
 IdoThread::reacquire_crashed_locks()
 {
     trace::emit(trace::EventKind::kRecoverLocksBegin);
+    const size_t held_before = held_.size();
     for (size_t slot = 0; slot < kMaxHeldLocks; ++slot) {
         if (!(lock_bitmap_mirror_ & (1ull << slot)))
             continue;
@@ -124,6 +125,7 @@ IdoThread::reacquire_crashed_locks()
         held_.push_back(HeldLock{holder_off, static_cast<uint8_t>(slot)});
     }
     trace::emit(trace::EventKind::kRecoverLocksEnd, 0, held_.size());
+    return held_.size() - held_before;
 }
 
 void

@@ -64,7 +64,8 @@ class IdoThread final : public rt::RuntimeThread
      * Recovery step 3 (Sec. III-C): reacquire every lock named in the
      * adopted record's lock_array.
      */
-    void reacquire_crashed_locks();
+    /** @return number of crash-held locks reclaimed (recovery stats). */
+    uint64_t reacquire_crashed_locks();
 
     /** Recovery step 4: rebuild the register file from the log. */
     void restore_ctx(rt::RegionCtx& ctx) const;

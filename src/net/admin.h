@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Admin endpoint: a loopback HTTP listener riding the server's epoll
+ * EventLoop (ido-stat).
+ *
+ * Scraping must never block a shard worker, so the endpoint lives
+ * entirely on the loop thread: accept, a bounded read of the request
+ * head, one route handler call (which only snapshots the metrics
+ * registry -- no FASE locks), and a single buffered write.  Handlers
+ * produce the whole body up front; there is no streaming, keep-alive,
+ * or chunking -- every response closes the connection, which is all a
+ * Prometheus scraper or `curl` needs.
+ *
+ * Protocol floor on purpose: "GET <path> HTTP/1.x" requests only,
+ * 404 for unknown paths, 405 for anything that is not a GET, and a
+ * 16 KiB cap on the request head (a scraper's GET fits in one MTU).
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "net/event_loop.h"
+
+namespace ido::net {
+
+class AdminEndpoint
+{
+  public:
+    /** Returns the response body for one GET of its route. */
+    using Handler = std::function<std::string()>;
+
+    /** Bind + listen on loopback:`port` (0 = kernel-assigned). */
+    explicit AdminEndpoint(uint16_t port = 0);
+    ~AdminEndpoint();
+
+    AdminEndpoint(const AdminEndpoint&) = delete;
+    AdminEndpoint& operator=(const AdminEndpoint&) = delete;
+
+    uint16_t port() const { return port_; }
+
+    /** Register a GET route ("/metrics").  Call before start(). */
+    void route(const std::string& path, const std::string& content_type,
+               Handler handler);
+
+    /** Register the listener with the loop (loop thread only). */
+    void start(EventLoop& loop);
+
+    /** Deregister all fds from the loop (loop thread only). */
+    void stop();
+
+  private:
+    struct AdminConn
+    {
+        int fd = -1;
+        std::string in;  ///< request head accumulating
+        std::string out; ///< response bytes awaiting write
+        bool responded = false;
+    };
+
+    struct Route
+    {
+        std::string content_type;
+        Handler handler;
+    };
+
+    void on_accept(uint32_t events);
+    void on_conn_event(int fd, uint32_t events);
+    void respond(AdminConn& c);
+    void flush(AdminConn& c);
+    void close_conn(int fd);
+
+    int listen_fd_ = -1;
+    uint16_t port_ = 0;
+    EventLoop* loop_ = nullptr;
+    std::map<std::string, Route> routes_;
+    std::unordered_map<int, std::unique_ptr<AdminConn>> conns_;
+};
+
+/**
+ * Blocking convenience client (tools / tests): GET `path` from
+ * 127.0.0.1:`port`, store the response *body* in `*body`.
+ * @return true iff the request round-tripped with a 200.
+ */
+bool admin_http_get(uint16_t port, const std::string& path,
+                    std::string* body, int timeout_ms = 5000);
+
+} // namespace ido::net

@@ -40,6 +40,7 @@ struct ShardJob
 {
     uint64_t conn_id = 0;
     uint64_t seq = 0; ///< per-connection sequence for in-order replies
+    uint64_t t_enqueue_ns = 0; ///< stat_now_ns() at routing; 0 = untimed
     MemcRequest req;
 };
 

@@ -211,6 +211,32 @@ MemcClient::version()
     return line;
 }
 
+bool
+MemcClient::stats(std::map<std::string, std::string>* out)
+{
+    if (out)
+        out->clear();
+    if (fd_ < 0)
+        return false;
+    const char wire[] = "stats\r\n";
+    if (!send_all(wire, sizeof wire - 1))
+        return false;
+    for (;;) {
+        std::string line;
+        if (!read_line(&line))
+            return false;
+        if (line == "END")
+            return true;
+        if (line.rfind("STAT ", 0) != 0)
+            return false; // protocol error
+        const size_t sp = line.find(' ', 5);
+        if (sp == std::string::npos)
+            return false;
+        if (out)
+            (*out)[line.substr(5, sp - 5)] = line.substr(sp + 1);
+    }
+}
+
 void
 MemcClient::pipeline_set(const std::string& key, uint64_t value)
 {

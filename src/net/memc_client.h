@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,13 @@ class MemcClient
 
     /** Server version line, empty on failure (liveness probe). */
     std::string version();
+
+    /**
+     * `stats`: parse the multi-line "STAT <key> <value>" reply into
+     * *out (cleared first) until the terminating END.
+     * @return true iff END arrived (out may legitimately be empty).
+     */
+    bool stats(std::map<std::string, std::string>* out);
 
     // --- pipelining ---------------------------------------------------
 

@@ -187,6 +187,16 @@ MemcParser::parse_line(const char* line, size_t len)
         ready_.push_back(std::move(r));
         return;
     }
+    if (cmd == "stats") {
+        if (toks.size() != 1) { // sub-arguments not supported
+            ready_.push_back(make_error("ERROR\r\n"));
+            return;
+        }
+        MemcRequest r;
+        r.op = MemcOp::kStats;
+        ready_.push_back(std::move(r));
+        return;
+    }
     if (cmd == "version") {
         MemcRequest r;
         r.op = MemcOp::kVersion;
@@ -244,6 +254,12 @@ std::string
 memc_reply_error()
 {
     return "ERROR\r\n";
+}
+
+std::string
+memc_reply_stat(const std::string& key, const std::string& value)
+{
+    return "STAT " + key + " " + value + "\r\n";
 }
 
 std::pair<uint64_t, uint64_t>

@@ -36,6 +36,7 @@ enum class MemcOp : uint8_t
     kDelete,
     kVersion,
     kQuit,
+    kStats, ///< admin: metrics snapshot as STAT lines (loop thread)
     kError, ///< malformed input; `message` holds the reply line
 };
 
@@ -86,6 +87,8 @@ std::string memc_reply_miss();               ///< END (get miss)
 std::string memc_reply_deleted(bool found);  ///< DELETED / NOT_FOUND
 std::string memc_reply_version();
 std::string memc_reply_error();              ///< unknown command
+std::string memc_reply_stat(const std::string& key,
+                            const std::string& value); ///< STAT k v
 
 /**
  * Map a text key onto memcached_mini's (key_lo, key_hi) words.

@@ -14,6 +14,9 @@
 #include "common/panic.h"
 #include "nvm/persistent_heap.h"
 #include "runtime/runtime.h"
+#include "stats/metrics.h"
+#include "stats/recovery_timeline.h"
+#include "stats/stat_plane.h"
 #include "trace/trace.h"
 
 namespace ido::net {
@@ -72,6 +75,31 @@ Server::Server(rt::Runtime& rt, const ServerConfig& cfg) : rt_(rt), cfg_(cfg)
     IDO_ASSERT(rc == 0, "getsockname() failed");
     port_ = ntohs(addr.sin_port);
     set_nonblocking(listen_fd_);
+
+    // ido-stat plane: loop-side gauges plus (optionally) the loopback
+    // admin HTTP endpoint.  Both read only registry snapshots and
+    // relaxed atomics -- a scrape never touches a shard lock.
+    auto& reg = MetricsRegistry::instance();
+    reg.register_gauge("net.conns", [this] {
+        return conn_count_.load(std::memory_order_relaxed);
+    });
+    reg.register_gauge("net.pending_out_bytes", [this] {
+        return pending_out_.load(std::memory_order_relaxed);
+    });
+    if (cfg_.admin) {
+        admin_ = std::make_unique<AdminEndpoint>(cfg_.admin_port);
+        admin_->route("/metrics",
+                      "text/plain; version=0.0.4; charset=utf-8",
+                      [] { return stat_prometheus_text(); });
+        admin_->route("/stats.json", "application/json", [] {
+            return MetricsRegistry::instance().format_json();
+        });
+        admin_->route("/recovery", "application/json", [] {
+            return RecoveryTimeline::instance().to_json();
+        });
+        admin_->route("/healthz", "text/plain",
+                      [] { return std::string("ok\n"); });
+    }
 }
 
 Server::~Server()
@@ -84,6 +112,9 @@ Server::~Server()
             ::close(c->fd);
     if (listen_fd_ >= 0)
         ::close(listen_fd_);
+    auto& reg = MetricsRegistry::instance();
+    reg.unregister_gauge("net.conns");
+    reg.unregister_gauge("net.pending_out_bytes");
 }
 
 void
@@ -113,7 +144,11 @@ Server::run()
     loop_.set_wake_handler([this] { drain_completions(); });
     loop_.add(listen_fd_, EPOLLIN,
               [this](uint32_t ev) { on_accept(ev); });
+    if (admin_)
+        admin_->start(loop_);
     loop_.run();
+    if (admin_)
+        admin_->stop();
     loop_.del(listen_fd_);
 
     // Workers drain their queues before joining, then publish nothing
@@ -159,6 +194,7 @@ Server::on_accept(uint32_t events)
         c->id = next_conn_id_++;
         const uint64_t id = c->id;
         conns_[id] = std::move(c);
+        conn_count_.fetch_add(1, std::memory_order_relaxed);
         trace::emit(trace::EventKind::kConnOpen, id);
         loop_.add(fd, EPOLLIN,
                   [this, id](uint32_t ev) { on_conn_event(id, ev); });
@@ -227,11 +263,20 @@ Server::route_request(Conn& c, MemcRequest&& rq)
         ShardJob job;
         job.conn_id = c.id;
         job.seq = seq;
+        // Stamp the ido-stat clock here -- parse time -- so the
+        // end-to-end latency covers queue-wait, execute, and the
+        // group-commit publish fence.  0 keeps the workers' timing
+        // paths entirely cold when the plane is off.
+        job.t_enqueue_ns = stat_enabled() ? stat_now_ns() : 0;
         job.req = std::move(rq);
         ++c.inflight;
         workers_[shard]->submit(std::move(job));
         return;
     }
+    case MemcOp::kStats:
+        ++served_on_loop_;
+        local_reply(c, seq, stats_reply());
+        return;
     case MemcOp::kVersion:
         ++served_on_loop_;
         local_reply(c, seq, memc_reply_version());
@@ -294,10 +339,26 @@ Server::flush_out(Conn& c)
         return;
     }
     const bool want = !c.out.empty();
+    account_pending(c);
     if (want != c.want_write) {
         c.want_write = want;
         loop_.mod(c.fd, EPOLLIN | (want ? EPOLLOUT : 0u));
     }
+}
+
+void
+Server::account_pending(Conn& c)
+{
+    // Reconcile this connection's contribution to the pending-bytes
+    // gauge with the current c.out size (called wherever out changes).
+    const size_t now = c.out.size();
+    if (now > c.out_accounted)
+        pending_out_.fetch_add(now - c.out_accounted,
+                               std::memory_order_relaxed);
+    else if (now < c.out_accounted)
+        pending_out_.fetch_sub(c.out_accounted - now,
+                               std::memory_order_relaxed);
+    c.out_accounted = now;
 }
 
 void
@@ -309,6 +370,9 @@ Server::close_conn(Conn& c)
     loop_.del(c.fd);
     ::close(c.fd);
     c.fd = -1;
+    c.out.clear();
+    account_pending(c);
+    conn_count_.fetch_sub(1, std::memory_order_relaxed);
     if (c.inflight == 0) {
         conns_.erase(c.id); // destroys c
     }
@@ -339,6 +403,41 @@ Server::drain_completions()
         c.reorder.emplace(r.seq, std::move(r.data));
         release_ready(c);
     }
+}
+
+std::string
+Server::stats_reply()
+{
+    // memcached `stats` framing: STAT <key> <value> lines, then END.
+    // Latency recorders expand into .count/.mean_ns/.p50_ns/... keys so
+    // a text client sees percentiles without JSON parsing.
+    const MetricsRegistry::Snapshot s =
+        MetricsRegistry::instance().snapshot();
+    std::string out;
+    out.reserve(4096);
+    for (const auto& [name, v] : s.counters)
+        out += memc_reply_stat(name, std::to_string(v));
+    for (const auto& [name, v] : s.gauges)
+        out += memc_reply_stat(name, std::to_string(v));
+    for (const auto& [name, h] : s.latencies) {
+        out += memc_reply_stat(name + ".count",
+                               std::to_string(h.total()));
+        out += memc_reply_stat(
+            name + ".mean_ns",
+            std::to_string(static_cast<uint64_t>(h.mean())));
+        out += memc_reply_stat(name + ".p50_ns",
+                               std::to_string(h.percentile(0.50)));
+        out += memc_reply_stat(name + ".p90_ns",
+                               std::to_string(h.percentile(0.90)));
+        out += memc_reply_stat(name + ".p99_ns",
+                               std::to_string(h.percentile(0.99)));
+        out += memc_reply_stat(name + ".p999_ns",
+                               std::to_string(h.percentile(0.999)));
+        out += memc_reply_stat(name + ".max_ns",
+                               std::to_string(h.max_value()));
+    }
+    out += "END\r\n";
+    return out;
 }
 
 } // namespace ido::net

@@ -22,6 +22,7 @@
  */
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -30,6 +31,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/admin.h"
 #include "net/event_loop.h"
 #include "net/memc_protocol.h"
 #include "net/shard.h"
@@ -46,6 +48,8 @@ struct ServerConfig
     uint32_t shards = 4;      ///< == McShard count, 1..7
     uint32_t batch_limit = 16; ///< K: group-persist batch size (1 = stock)
     uint64_t nbuckets = 256;  ///< hash buckets per shard (power of two)
+    bool admin = false;       ///< serve /metrics, /stats.json, /recovery
+    uint16_t admin_port = 0;  ///< 0: kernel-assigned; see admin_port()
 };
 
 class Server
@@ -65,6 +69,12 @@ class Server
 
     /** The bound port (useful when cfg.port was 0). */
     uint16_t port() const { return port_; }
+
+    /** Bound admin port; 0 when cfg.admin was false. */
+    uint16_t admin_port() const
+    {
+        return admin_ ? admin_->port() : 0;
+    }
 
     uint64_t root_off() const { return root_off_; }
 
@@ -89,6 +99,7 @@ class Server
         std::map<uint64_t, std::string> reorder; ///< done, out-of-order
         uint64_t inflight = 0;    ///< submitted, reply not yet released
         uint64_t served = 0;
+        size_t out_accounted = 0; ///< c.out bytes counted in pending_out_
         bool closing = false;     ///< quit seen: close once drained
         bool want_write = false;  ///< EPOLLOUT currently requested
     };
@@ -102,6 +113,8 @@ class Server
     void flush_out(Conn& c);
     void close_conn(Conn& c);
     void drain_completions();
+    void account_pending(Conn& c);
+    std::string stats_reply();
 
     rt::Runtime& rt_;
     ServerConfig cfg_;
@@ -118,6 +131,11 @@ class Server
     std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
     uint64_t next_conn_id_ = 1;
     uint64_t served_on_loop_ = 0; ///< version/quit/errors answered inline
+
+    // ido-stat: admin plane + gauges readable from the scrape side.
+    std::unique_ptr<AdminEndpoint> admin_;
+    std::atomic<uint64_t> conn_count_{0};
+    std::atomic<uint64_t> pending_out_{0}; ///< un-written reply bytes
 };
 
 } // namespace ido::net

@@ -9,6 +9,7 @@
 #include "runtime/runtime.h"
 #include "stats/metrics.h"
 #include "stats/persist_stats.h"
+#include "stats/stat_plane.h"
 
 namespace ido::net {
 
@@ -16,11 +17,17 @@ McShardWorker::McShardWorker(rt::Runtime& rt, const ShardConfig& cfg,
                              PublishFn publish)
     : rt_(rt), cfg_(cfg), publish_(std::move(publish))
 {
+    MetricsRegistry::instance().register_gauge(
+        "net.shard." + std::to_string(cfg_.index) + ".queue_depth",
+        [this] { return queue_depth_.load(std::memory_order_relaxed); });
 }
 
 McShardWorker::~McShardWorker()
 {
     stop();
+    // The gauge captures `this`; it must not outlive the worker.
+    MetricsRegistry::instance().unregister_gauge(
+        "net.shard." + std::to_string(cfg_.index) + ".queue_depth");
 }
 
 void
@@ -36,6 +43,7 @@ McShardWorker::submit(ShardJob job)
         std::lock_guard<std::mutex> g(mu_);
         queue_.push_back(std::move(job));
     }
+    queue_depth_.fetch_add(1, std::memory_order_relaxed);
     cv_.notify_one();
 }
 
@@ -65,6 +73,20 @@ McShardWorker::thread_main()
     static std::atomic<uint64_t>& net_requests =
         *MetricsRegistry::instance().counter("net.requests");
 
+    // ido-stat instruments: per-op end-to-end latency plus its
+    // queue-wait / execute / fence-publish decomposition.  Pointers
+    // are cached once; recording is wait-free per-thread shards.
+    auto& reg = MetricsRegistry::instance();
+    LatencyRecorder* const lat_get = reg.latency("net.lat.req.get");
+    LatencyRecorder* const lat_set = reg.latency("net.lat.req.set");
+    LatencyRecorder* const lat_del = reg.latency("net.lat.req.delete");
+    LatencyRecorder* const lat_queue = reg.latency("net.lat.queue");
+    LatencyRecorder* const lat_exec = reg.latency("net.lat.exec");
+    LatencyRecorder* const lat_publish = reg.latency("net.lat.publish");
+    const uint64_t slow_ns = stat_slow_threshold_ns();
+    uint64_t last_exec_end_ns = 0;
+    uint64_t batches_since_fold = 0;
+
     const GroupCommit::Exec exec = [&](const ShardJob& job) -> std::string {
         const MemcRequest& rq = job.req;
         auto [lo, hi] = memc_key_words(rq.key);
@@ -73,21 +95,33 @@ McShardWorker::thread_main()
         IDO_ASSERT(cache.shard_index(lo, hi) == cfg_.index,
                    "request routed to the wrong shard worker");
         net_requests.fetch_add(1, std::memory_order_relaxed);
+        const uint64_t t0 = job.t_enqueue_ns ? stat_now_ns() : 0;
+        std::string reply;
         switch (rq.op) {
         case MemcOp::kSet:
             cache.set(*th, lo, hi, rq.value);
-            return memc_reply_stored();
+            reply = memc_reply_stored();
+            break;
         case MemcOp::kGet: {
             uint64_t value = 0;
             if (cache.get(*th, lo, hi, &value))
-                return memc_reply_value(rq.key, rq.flags, value);
-            return memc_reply_miss();
+                reply = memc_reply_value(rq.key, rq.flags, value);
+            else
+                reply = memc_reply_miss();
+            break;
         }
         case MemcOp::kDelete:
-            return memc_reply_deleted(cache.del(*th, lo, hi));
+            reply = memc_reply_deleted(cache.del(*th, lo, hi));
+            break;
         default:
-            return memc_reply_error();
+            reply = memc_reply_error();
+            break;
         }
+        if (t0 != 0) {
+            last_exec_end_ns = stat_now_ns();
+            lat_exec->record(last_exec_end_ns - t0);
+        }
+        return reply;
     };
 
     std::vector<ShardJob> batch;
@@ -106,10 +140,57 @@ McShardWorker::thread_main()
             queue_.erase(queue_.begin(),
                          queue_.begin() + static_cast<long>(take));
         }
+        queue_depth_.fetch_sub(batch.size(), std::memory_order_relaxed);
+        // Queue-wait phase ends for every job in the batch now, when
+        // the worker picks it up (jobs routed with stats off carry
+        // t_enqueue_ns == 0 and are skipped entirely).
+        if (!batch.empty() && batch.front().t_enqueue_ns != 0) {
+            const uint64_t t_pickup = stat_now_ns();
+            for (const ShardJob& j : batch)
+                if (j.t_enqueue_ns != 0 && t_pickup > j.t_enqueue_ns)
+                    lat_queue->record(t_pickup - j.t_enqueue_ns);
+        }
         replies.clear();
+        last_exec_end_ns = 0;
         committer.run_batch(batch, exec, &replies);
+        if (last_exec_end_ns != 0) {
+            // run_batch has retired the batch-close fence by now: the
+            // gap since the last job's execute end is the group-commit
+            // publish phase, shared by every job in the batch.
+            const uint64_t t_done = stat_now_ns();
+            lat_publish->record(t_done - last_exec_end_ns);
+            for (const ShardJob& j : batch) {
+                if (j.t_enqueue_ns == 0 || t_done <= j.t_enqueue_ns)
+                    continue;
+                const uint64_t total = t_done - j.t_enqueue_ns;
+                switch (j.req.op) {
+                case MemcOp::kGet:
+                    lat_get->record(total);
+                    break;
+                case MemcOp::kSet:
+                    lat_set->record(total);
+                    break;
+                case MemcOp::kDelete:
+                    lat_del->record(total);
+                    break;
+                default:
+                    break;
+                }
+                if (slow_ns != 0 && total >= slow_ns)
+                    stat_note_slow_request(
+                        total, static_cast<uint32_t>(cfg_.index));
+            }
+        }
         served_ += batch.size();
         batch.clear();
+        // Fold TLS persist counters into the registry on a coarse
+        // cadence so a live `stats` / /metrics scrape sees fence and
+        // flush traffic without waiting for worker exit.  Amortized to
+        // five locked adds per 64 batches -- noise next to a fence.
+        if (++batches_since_fold >= 64) {
+            persist_counters_flush_tls();
+            batches_since_fold = 0;
+        }
         // run_batch returned, so the batch-close fence retired: the
         // replies are safe to release to clients.
         if (publish_ && !replies.empty())

@@ -15,6 +15,7 @@
  */
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -76,6 +77,9 @@ class McShardWorker
 
     std::thread thread_;
     uint64_t served_ = 0; ///< worker thread only; read after stop()
+    /// Jobs submitted but not yet taken into a batch (ido-stat gauge
+    /// net.shard.<i>.queue_depth; readable from the scrape thread).
+    std::atomic<uint64_t> queue_depth_{0};
 };
 
 } // namespace ido::net

@@ -121,9 +121,45 @@ NvHeap::NvHeap(PersistentHeap& heap, PersistDomain& dom)
         if (heap_.recovered_from_crash())
             recover_leaks(dom);
     }
+
+    // ido-stat occupancy gauges.  The bump/end reads take the refill
+    // mutex so a scrape-thread evaluation never races a refill's plain
+    // stores.  Estimates derive from the global nvheap.* counters:
+    // live = allocs - frees; pooled = frees - reuses (cache hits +
+    // shard pops).  If a later NvHeap re-registers these names its
+    // registration wins, and whichever instance dies first removes the
+    // name -- a gauge never outlives the state it reads.
+    reg.register_gauge("nvheap.arena_remaining_bytes", [this] {
+        std::lock_guard<std::mutex> g(refill_mutex_);
+        return arena_remaining();
+    });
+    reg.register_gauge("nvheap.arena_used_bytes", [this] {
+        std::lock_guard<std::mutex> g(refill_mutex_);
+        const HeapState* st = state();
+        return st->bump - data_begin_;
+    });
+    reg.register_gauge("nvheap.live_blocks_est", [this] {
+        const uint64_t a = m_alloc_->load(std::memory_order_relaxed);
+        const uint64_t f = m_free_->load(std::memory_order_relaxed);
+        return a > f ? a - f : 0;
+    });
+    reg.register_gauge("nvheap.free_pool_blocks_est", [this] {
+        const uint64_t f = m_free_->load(std::memory_order_relaxed);
+        const uint64_t reused =
+            m_cache_hit_->load(std::memory_order_relaxed)
+            + m_shard_pop_->load(std::memory_order_relaxed);
+        return f > reused ? f - reused : 0;
+    });
 }
 
-NvHeap::~NvHeap() = default;
+NvHeap::~NvHeap()
+{
+    auto& reg = MetricsRegistry::instance();
+    reg.unregister_gauge("nvheap.arena_remaining_bytes");
+    reg.unregister_gauge("nvheap.arena_used_bytes");
+    reg.unregister_gauge("nvheap.live_blocks_est");
+    reg.unregister_gauge("nvheap.free_pool_blocks_est");
+}
 
 NvHeap::HeapState*
 NvHeap::state() const

@@ -74,15 +74,53 @@ MetricsRegistry::histogram_set(const std::string& name,
     histograms_[name] = h;
 }
 
+LatencyRecorder*
+MetricsRegistry::latency(const std::string& name)
+{
+    std::lock_guard<std::mutex> g(mutex_);
+    auto it = latencies_.find(name);
+    if (it == latencies_.end())
+        it = latencies_
+                 .emplace(name, std::make_unique<LatencyRecorder>())
+                 .first;
+    return it->second.get();
+}
+
+void
+MetricsRegistry::register_gauge(const std::string& name,
+                                std::function<uint64_t()> fn)
+{
+    std::lock_guard<std::mutex> g(mutex_);
+    gauges_[name] = std::move(fn);
+}
+
+void
+MetricsRegistry::unregister_gauge(const std::string& name)
+{
+    std::lock_guard<std::mutex> g(mutex_);
+    gauges_.erase(name);
+}
+
 MetricsRegistry::Snapshot
 MetricsRegistry::snapshot()
 {
     Snapshot s;
-    std::lock_guard<std::mutex> g(mutex_);
-    for (const auto& [name, idx] : names_)
-        s.counters[name] =
-            cells_[idx].load(std::memory_order_relaxed);
-    s.histograms = histograms_;
+    std::vector<std::pair<std::string, std::function<uint64_t()>>> fns;
+    {
+        std::lock_guard<std::mutex> g(mutex_);
+        for (const auto& [name, idx] : names_)
+            s.counters[name] =
+                cells_[idx].load(std::memory_order_relaxed);
+        s.histograms = histograms_;
+        for (const auto& [name, rec] : latencies_)
+            s.latencies[name] = rec->snapshot();
+        fns.assign(gauges_.begin(), gauges_.end());
+    }
+    // Gauge callbacks run outside the registry lock: they may take
+    // their owner's locks (heap refill mutex etc.) without inverting
+    // against a concurrent counter registration.
+    for (auto& [name, fn] : fns)
+        s.gauges[name] = fn ? fn() : 0;
     return s;
 }
 
@@ -95,6 +133,21 @@ MetricsRegistry::format_text()
     for (const auto& [name, v] : s.counters) {
         std::snprintf(buf, sizeof buf, "%-32s %" PRIu64 "\n",
                       name.c_str(), v);
+        out += buf;
+    }
+    for (const auto& [name, v] : s.gauges) {
+        std::snprintf(buf, sizeof buf, "%-32s %" PRIu64 " (gauge)\n",
+                      name.c_str(), v);
+        out += buf;
+    }
+    for (const auto& [name, h] : s.latencies) {
+        std::snprintf(buf, sizeof buf,
+                      "%-32s n=%" PRIu64 " mean=%.0fns p50=%" PRIu64
+                      " p99=%" PRIu64 " p999=%" PRIu64 " max=%" PRIu64
+                      "\n",
+                      name.c_str(), h.total(), h.mean(),
+                      h.percentile(0.50), h.percentile(0.99),
+                      h.percentile(0.999), h.max_value());
         out += buf;
     }
     for (const auto& [name, h] : s.histograms) {
@@ -114,11 +167,36 @@ MetricsRegistry::format_json()
 {
     const Snapshot s = snapshot();
     std::string out = "{\"counters\":{";
-    char buf[192];
+    char buf[384];
     bool first = true;
     for (const auto& [name, v] : s.counters) {
         std::snprintf(buf, sizeof buf, "%s\"%s\":%" PRIu64,
                       first ? "" : ",", json_escape(name).c_str(), v);
+        out += buf;
+        first = false;
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, v] : s.gauges) {
+        std::snprintf(buf, sizeof buf, "%s\"%s\":%" PRIu64,
+                      first ? "" : ",", json_escape(name).c_str(), v);
+        out += buf;
+        first = false;
+    }
+    out += "},\"latencies\":{";
+    first = true;
+    for (const auto& [name, h] : s.latencies) {
+        std::snprintf(buf, sizeof buf,
+                      "%s\"%s\":{\"count\":%" PRIu64
+                      ",\"mean_ns\":%.1f,\"min_ns\":%" PRIu64
+                      ",\"p50_ns\":%" PRIu64 ",\"p90_ns\":%" PRIu64
+                      ",\"p99_ns\":%" PRIu64 ",\"p999_ns\":%" PRIu64
+                      ",\"max_ns\":%" PRIu64 "}",
+                      first ? "" : ",", json_escape(name).c_str(),
+                      h.total(), h.mean(), h.min_value(),
+                      h.percentile(0.50), h.percentile(0.90),
+                      h.percentile(0.99), h.percentile(0.999),
+                      h.max_value());
         out += buf;
         first = false;
     }
@@ -147,6 +225,8 @@ MetricsRegistry::reset()
         cell.store(0, std::memory_order_relaxed);
     for (auto& [name, h] : histograms_)
         h = Histogram();
+    for (auto& [name, rec] : latencies_)
+        rec->reset();
 }
 
 } // namespace ido

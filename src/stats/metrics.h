@@ -26,12 +26,15 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/latency_histogram.h"
 
 namespace ido {
 
@@ -65,11 +68,34 @@ class MetricsRegistry
     /** Overwrite the named histogram (reset paths). */
     void histogram_set(const std::string& name, const Histogram& h);
 
+    /**
+     * Get-or-create the named latency recorder (ido-stat).  Stable for
+     * the process lifetime; hot paths cache the pointer and call
+     * record() directly (lock-free per-thread shards).
+     */
+    LatencyRecorder* latency(const std::string& name);
+
+    /**
+     * Register a gauge: a named callback evaluated at snapshot time
+     * (conn counts, queue depths, heap occupancy).  Re-registering a
+     * name replaces its callback.  The callback runs outside the
+     * registry lock but must still be cheap and thread-safe, and must
+     * not call back into the registry.
+     */
+    void register_gauge(const std::string& name,
+                        std::function<uint64_t()> fn);
+
+    /** Remove a gauge (owners with shorter lifetimes than the
+     *  process must unregister before their state dies). */
+    void unregister_gauge(const std::string& name);
+
     /** Point-in-time copy of everything, sorted by name. */
     struct Snapshot
     {
         std::map<std::string, uint64_t> counters;
+        std::map<std::string, uint64_t> gauges;
         std::map<std::string, Histogram> histograms;
+        std::map<std::string, LatencyHistogram> latencies;
     };
 
     Snapshot snapshot();
@@ -84,7 +110,8 @@ class MetricsRegistry
      */
     std::string format_json();
 
-    /** Zero every counter and clear every histogram (names persist). */
+    /** Zero every counter, histogram, and latency recorder (names and
+     *  gauge registrations persist). */
     void reset();
 
   private:
@@ -96,6 +123,9 @@ class MetricsRegistry
     std::deque<std::atomic<uint64_t>> cells_;
     std::map<std::string, size_t> names_;
     std::map<std::string, Histogram> histograms_;
+    // unique_ptr: latency() pointers stay valid as the map rebalances.
+    std::map<std::string, std::unique_ptr<LatencyRecorder>> latencies_;
+    std::map<std::string, std::function<uint64_t()>> gauges_;
 };
 
 } // namespace ido

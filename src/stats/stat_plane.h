@@ -1,0 +1,52 @@
+/**
+ * @file
+ * ido-stat plane: gating, clocks, and exposition for live server
+ * observability.
+ *
+ * Everything the net layer's instrumentation needs in one place:
+ *  - stat_enabled(): one cached env lookup (IDO_STAT=off|0 disables),
+ *    so every timing site is a single predicted branch when the plane
+ *    is off -- the 5%-overhead acceptance gate depends on this;
+ *  - stat_now_ns(): steady-clock nanoseconds (the currency of every
+ *    LatencyRecorder in the registry);
+ *  - stat_prometheus_text(): renders the MetricsRegistry snapshot in
+ *    Prometheus text exposition format (counters as *_total, gauges,
+ *    latency recorders as summaries with quantile labels);
+ *  - slow-request capture: when IDO_STAT_SLOW_NS is set and a request's
+ *    end-to-end latency crosses it, the shard snapshots the armed ring
+ *    tracer to IDO_TRACE_DIR/slow_req_*.idotrace (bounded budget, so a
+ *    latency storm cannot fill the disk).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ido {
+
+/** False iff IDO_STAT is "off" or "0" (checked once per process). */
+bool stat_enabled();
+
+/** Steady-clock nanoseconds; origin is arbitrary but process-wide. */
+uint64_t stat_now_ns();
+
+/**
+ * Full MetricsRegistry snapshot in Prometheus text exposition format.
+ * Metric names are sanitized ('.' and other non-[a-zA-Z0-9_:] become
+ * '_') and prefixed "ido_"; counters get a "_total" suffix, latency
+ * recorders become summaries (quantile-labelled samples + _sum/_count).
+ */
+std::string stat_prometheus_text();
+
+/** IDO_STAT_SLOW_NS as ns (0 = capture disabled; checked once). */
+uint64_t stat_slow_threshold_ns();
+
+/**
+ * Note a request that took `total_ns` end to end on `shard`.  Bumps
+ * net.slow_requests and, while the budget (kSlowCaptureBudget) lasts
+ * and the tracer is armed and IDO_TRACE_DIR is set, writes a
+ * slow_req_<shard>_<n>.idotrace snapshot there.
+ */
+void stat_note_slow_request(uint64_t total_ns, uint32_t shard);
+
+} // namespace ido

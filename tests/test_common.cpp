@@ -151,6 +151,22 @@ TEST(Histogram, Percentiles)
     EXPECT_EQ(h.percentile(1.0), 99u);
 }
 
+// q=0 must land on the smallest populated value even when bucket 0 is
+// empty (the old `acc >= 0` walk returned 0 unconditionally), and
+// out-of-range quantiles clamp instead of walking off the array.
+TEST(Histogram, PercentileZeroAndClamp)
+{
+    Histogram h;
+    h.add(5);
+    h.add(9);
+    EXPECT_EQ(h.percentile(0.0), 5u);
+    EXPECT_EQ(h.percentile(-0.5), 5u);
+    EXPECT_EQ(h.percentile(1.5), 9u);
+    Histogram empty;
+    EXPECT_EQ(empty.percentile(0.0), 0u);
+    EXPECT_EQ(empty.percentile(1.0), 0u);
+}
+
 TEST(Histogram, MergeAddsCounts)
 {
     Histogram a, b;

@@ -112,6 +112,54 @@ TEST(Metrics, ThreadExitFoldsPersistCountersAfterSimCrash)
     EXPECT_EQ(after.flushes, before.flushes + 2);
 }
 
+// Registry snapshots racing latency-recorder writers on short-lived
+// threads (workers registering a shard, recording, and exiting while a
+// reader folds): totals must only grow and land exactly.  This is the
+// test the tsan CI leg leans on for the ido-stat recording path.
+TEST(Metrics, LatencySnapshotVsConcurrentThreadExit)
+{
+    auto& reg = MetricsRegistry::instance();
+    LatencyRecorder* rec = reg.latency("t.lat.exit");
+    rec->reset();
+    constexpr int kRounds = 12;
+    constexpr uint64_t kPerRound = 4000;
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> bad{0};
+    std::thread reader([&] {
+        uint64_t prev = 0;
+        while (!stop.load(std::memory_order_acquire)) {
+            const auto snap = reg.snapshot();
+            auto it = snap.latencies.find("t.lat.exit");
+            const uint64_t v =
+                it == snap.latencies.end() ? 0 : it->second.total();
+            if (v < prev || v > kRounds * kPerRound)
+                bad.fetch_add(1, std::memory_order_relaxed);
+            prev = v;
+        }
+    });
+    for (int r = 0; r < kRounds; ++r) {
+        std::thread w([&] {
+            // Re-resolve through the registry as a worker would.
+            LatencyRecorder* mine =
+                MetricsRegistry::instance().latency("t.lat.exit");
+            for (uint64_t i = 0; i < kPerRound; ++i)
+                mine->record(100 + i % 1000);
+        });
+        w.join();
+    }
+    stop.store(true, std::memory_order_release);
+    reader.join();
+
+    EXPECT_EQ(bad.load(), 0u) << "regressing/overshooting fold";
+    EXPECT_EQ(rec->snapshot().total(), kRounds * kPerRound)
+        << "samples from exited threads lost";
+    const std::string j = reg.format_json();
+    EXPECT_NE(j.find("\"latencies\":{"), std::string::npos);
+    EXPECT_NE(j.find("\"t.lat.exit\":{"), std::string::npos);
+    EXPECT_NE(j.find("\"p999_ns\":"), std::string::npos);
+}
+
 TEST(Metrics, JsonExportSchema)
 {
     auto& reg = MetricsRegistry::instance();

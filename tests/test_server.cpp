@@ -39,6 +39,7 @@
 #include "apps/memcached_mini.h"
 #include "common/rng.h"
 #include "ido/ido_runtime.h"
+#include "net/admin.h"
 #include "net/memc_client.h"
 #include "net/server.h"
 #include "nvm/persist_domain.h"
@@ -55,7 +56,8 @@ using net::MemcClient;
 
 struct InProcessServer
 {
-    InProcessServer(uint32_t shards, uint32_t batch_limit)
+    InProcessServer(uint32_t shards, uint32_t batch_limit,
+                    bool admin = false)
         : heap({.size = 64u << 20}), dom(),
           runtime(heap, dom, rt::RuntimeConfig{})
     {
@@ -65,6 +67,7 @@ struct InProcessServer
         cfg.shards = shards;
         cfg.batch_limit = batch_limit;
         cfg.nbuckets = 64;
+        cfg.admin = admin;
         server = std::make_unique<net::Server>(runtime, cfg);
         thread = std::thread([this] { server->run(); });
     }
@@ -135,6 +138,79 @@ TEST(InProcessServer_, MalformedInputAnsweredInOrder)
     EXPECT_TRUE(c.set("m2", 2));
 }
 
+// `stats` round-trip: after acked traffic the reply must carry the
+// request counter, the connection gauge, and -- because reply release
+// happens after latency recording -- a nonzero per-op sample count.
+TEST(InProcessServer_, StatsCommandReportsTrafficAndLatency)
+{
+    InProcessServer s(/*shards=*/2, /*batch_limit=*/4);
+    MemcClient c;
+    ASSERT_TRUE(c.connect_retry("127.0.0.1", s.server->port(), 50, 10));
+    for (int i = 0; i < 20; ++i)
+        ASSERT_TRUE(c.set("sk" + std::to_string(i), 100 + i));
+    uint64_t v = 0;
+    ASSERT_TRUE(c.get("sk3", &v));
+
+    std::map<std::string, std::string> st;
+    ASSERT_TRUE(c.stats(&st));
+    ASSERT_TRUE(st.count("net.requests"));
+    EXPECT_GE(std::stoull(st["net.requests"]), 21u);
+    ASSERT_TRUE(st.count("net.conns"));
+    EXPECT_GE(std::stoull(st["net.conns"]), 1u);
+    // Default build runs with IDO_STAT on; each acked set was recorded
+    // before its reply was released.
+    ASSERT_TRUE(st.count("net.lat.req.set.count"));
+    EXPECT_GE(std::stoull(st["net.lat.req.set.count"]), 20u);
+    ASSERT_TRUE(st.count("net.lat.req.set.p99_ns"));
+    EXPECT_GT(std::stoull(st["net.lat.req.set.p99_ns"]), 0u);
+    // Phase decomposition recorders ride along.
+    EXPECT_TRUE(st.count("net.lat.queue.count"));
+    EXPECT_TRUE(st.count("net.lat.exec.count"));
+    EXPECT_TRUE(st.count("net.lat.publish.count"));
+    // Interleaves with normal traffic on the same connection.
+    EXPECT_TRUE(c.set("after-stats", 7));
+    ASSERT_TRUE(c.get("after-stats", &v));
+    EXPECT_EQ(v, 7u);
+}
+
+// The admin endpoint serves Prometheus text, the JSON snapshot, and
+// health without blocking shard workers.
+TEST(InProcessServer_, AdminEndpointServesMetrics)
+{
+    InProcessServer s(/*shards=*/2, /*batch_limit=*/4, /*admin=*/true);
+    ASSERT_NE(s.server->admin_port(), 0);
+    MemcClient c;
+    ASSERT_TRUE(c.connect_retry("127.0.0.1", s.server->port(), 50, 10));
+    ASSERT_TRUE(c.set("adm", 1));
+
+    std::string body;
+    ASSERT_TRUE(
+        net::admin_http_get(s.server->admin_port(), "/metrics", &body));
+    EXPECT_NE(body.find("ido_net_requests_total"), std::string::npos);
+    EXPECT_NE(body.find("# TYPE"), std::string::npos);
+
+    ASSERT_TRUE(net::admin_http_get(s.server->admin_port(),
+                                    "/stats.json", &body));
+    EXPECT_NE(body.find("\"counters\""), std::string::npos);
+    EXPECT_NE(body.find("\"latencies\""), std::string::npos);
+
+    ASSERT_TRUE(
+        net::admin_http_get(s.server->admin_port(), "/healthz", &body));
+    EXPECT_EQ(body, "ok\n");
+
+    ASSERT_TRUE(
+        net::admin_http_get(s.server->admin_port(), "/recovery", &body));
+    EXPECT_NE(body.find("\"recorded\""), std::string::npos);
+
+    EXPECT_FALSE(net::admin_http_get(s.server->admin_port(),
+                                     "/no-such-route", &body));
+
+    // Scraping must not have disturbed the data path.
+    uint64_t v = 0;
+    ASSERT_TRUE(c.get("adm", &v));
+    EXPECT_EQ(v, 1u);
+}
+
 // --------------------------------------------------------------------------
 // Kill -9 under load (real process, file-backed heap)
 // --------------------------------------------------------------------------
@@ -145,14 +221,18 @@ struct ServerProcess
     uint16_t port = 0;
 };
 
-/** Launch $IDO_SERVE_BIN and wait for its port file.  pid<0 on error. */
+/** Launch $IDO_SERVE_BIN and wait for its port file.  pid<0 on error.
+ *  A nonempty `admin_port_path` also starts the admin endpoint and
+ *  writes its port there. */
 ServerProcess
 spawn_server(const std::string& bin, const std::string& heap_path,
              const std::string& port_path, int shards, int batch,
-             bool reset)
+             bool reset, const std::string& admin_port_path = "")
 {
     ServerProcess sp;
     ::unlink(port_path.c_str());
+    if (!admin_port_path.empty())
+        ::unlink(admin_port_path.c_str());
     const pid_t pid = ::fork();
     if (pid < 0)
         return sp;
@@ -162,9 +242,13 @@ spawn_server(const std::string& bin, const std::string& heap_path,
         const std::string shards_arg =
             "--shards=" + std::to_string(shards);
         const std::string batch_arg = "--batch=" + std::to_string(batch);
+        const std::string admin_arg =
+            "--admin-port-file=" + admin_port_path;
         std::vector<const char*> args = {
             bin.c_str(),       heap_arg.c_str(),  port_arg.c_str(),
             shards_arg.c_str(), batch_arg.c_str()};
+        if (!admin_port_path.empty())
+            args.push_back(admin_arg.c_str());
         if (reset)
             args.push_back("--reset");
         args.push_back(nullptr);
@@ -270,10 +354,24 @@ struct TempDir
             return;
         ::unlink((path + "/cache.heap").c_str());
         ::unlink((path + "/port").c_str());
+        ::unlink((path + "/admin_port").c_str());
         ::rmdir(path.c_str());
     }
     std::string path;
 };
+
+/** Port number from a port file written by ido_serve; 0 on error. */
+uint16_t
+read_port_file(const std::string& path)
+{
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return 0;
+    unsigned p = 0;
+    const int got = std::fscanf(f, "%u", &p);
+    std::fclose(f);
+    return got == 1 ? static_cast<uint16_t>(p) : 0;
+}
 
 /**
  * One crash round: pipeline `total` sets over `keys` keys, SIGKILL the
@@ -284,7 +382,8 @@ void
 crash_round(const std::string& bin, const std::string& heap_path,
             const std::string& port_path, std::map<int, KeyModel>* model,
             uint64_t* next_value, ServerProcess* sp, int keys, int total,
-            size_t kill_after_acks)
+            size_t kill_after_acks,
+            const std::string& admin_port_path = "")
 {
     MemcClient c;
     ASSERT_TRUE(c.connect_retry("127.0.0.1", sp->port, 100, 20));
@@ -318,7 +417,7 @@ crash_round(const std::string& bin, const std::string& heap_path,
     c.close();
 
     *sp = spawn_server(bin, heap_path, port_path, /*shards=*/4,
-                       /*batch=*/16, /*reset=*/false);
+                       /*batch=*/16, /*reset=*/false, admin_port_path);
     ASSERT_GT(sp->pid, 0) << "server failed to restart after kill -9";
 
     MemcClient c2;
@@ -349,9 +448,10 @@ TEST(KillNine, UnderLoadEveryAckedWriteSurvives)
     ASSERT_FALSE(dir.path.empty());
     const std::string heap_path = dir.path + "/cache.heap";
     const std::string port_path = dir.path + "/port";
+    const std::string admin_path = dir.path + "/admin_port";
 
     ServerProcess sp = spawn_server(bin, heap_path, port_path, 4, 16,
-                                    /*reset=*/true);
+                                    /*reset=*/true, admin_path);
     ASSERT_GT(sp.pid, 0) << "server failed to start";
 
     std::map<int, KeyModel> model;
@@ -359,11 +459,36 @@ TEST(KillNine, UnderLoadEveryAckedWriteSurvives)
     // Three deterministic kill points: early (mid first batches), mid,
     // and late (most of the pipeline acked).
     crash_round(bin, heap_path, port_path, &model, &next_value, &sp,
-                /*keys=*/32, /*total=*/400, /*kill_after_acks=*/37);
+                /*keys=*/32, /*total=*/400, /*kill_after_acks=*/37,
+                admin_path);
     crash_round(bin, heap_path, port_path, &model, &next_value, &sp,
-                /*keys=*/32, /*total=*/400, /*kill_after_acks=*/201);
+                /*keys=*/32, /*total=*/400, /*kill_after_acks=*/201,
+                admin_path);
     crash_round(bin, heap_path, port_path, &model, &next_value, &sp,
-                /*keys=*/32, /*total=*/400, /*kill_after_acks=*/389);
+                /*keys=*/32, /*total=*/400, /*kill_after_acks=*/389,
+                admin_path);
+
+    // The respawned server ran real crash recovery: the structured
+    // timeline must be recorded and its counters published.
+    MemcClient c;
+    ASSERT_TRUE(c.connect_retry("127.0.0.1", sp.port, 100, 20));
+    std::map<std::string, std::string> st;
+    ASSERT_TRUE(c.stats(&st));
+    ASSERT_TRUE(st.count("recovery.count"))
+        << "recovery counters missing after kill -9 respawn";
+    EXPECT_GE(std::stoull(st["recovery.count"]), 1u);
+    ASSERT_TRUE(st.count("recovery.wall_ns"));
+
+    const uint16_t admin_port = read_port_file(admin_path);
+    ASSERT_NE(admin_port, 0) << "admin port file missing";
+    std::string body;
+    ASSERT_TRUE(net::admin_http_get(admin_port, "/recovery", &body));
+    EXPECT_NE(body.find("\"recorded\":true"), std::string::npos) << body;
+    EXPECT_NE(body.find("\"trigger\":\"crash\""), std::string::npos)
+        << body;
+    EXPECT_NE(body.find("\"phases\":["), std::string::npos) << body;
+    EXPECT_NE(body.find("scan-log-records"), std::string::npos) << body;
+
     kill_server(sp);
 }
 

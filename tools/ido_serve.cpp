@@ -9,6 +9,12 @@
  *   ido_serve --heap=/path/cache.heap [--port=0] [--port-file=PATH]
  *             [--shards=4] [--batch=16] [--buckets=256]
  *             [--heap-bytes=67108864] [--reset]
+ *             [--admin] [--admin-port=0] [--admin-port-file=PATH]
+ *
+ * With --admin (implied by either --admin-port or --admin-port-file)
+ * a loopback HTTP endpoint serves /metrics (Prometheus), /stats.json,
+ * /recovery (the structured recovery timeline) and /healthz off the
+ * same epoll loop; `ido_top` and the CI scrape job poll it.
  *
  * Lifecycle:
  *   1. open the heap; if the previous instance died mid-run
@@ -33,6 +39,9 @@
 #include "net/server.h"
 #include "nvm/persist_domain.h"
 #include "nvm/persistent_heap.h"
+#include "stats/recovery_timeline.h"
+#include "stats/stat_plane.h"
+#include "trace/trace.h"
 
 using namespace ido;
 
@@ -77,7 +86,8 @@ usage()
         stderr,
         "usage: ido_serve --heap=PATH [--port=N] [--port-file=PATH]\n"
         "                 [--shards=N] [--batch=K] [--buckets=N]\n"
-        "                 [--heap-bytes=N] [--reset]\n");
+        "                 [--heap-bytes=N] [--reset] [--admin]\n"
+        "                 [--admin-port=N] [--admin-port-file=PATH]\n");
     return 2;
 }
 
@@ -88,7 +98,10 @@ main(int argc, char** argv)
 {
     std::string heap_path;
     std::string port_file;
+    std::string admin_port_file;
     uint64_t port = 0;
+    uint64_t admin_port = 0;
+    bool admin = false;
     uint64_t shards = 4;
     uint64_t batch = 16;
     uint64_t buckets = 256;
@@ -103,6 +116,14 @@ main(int argc, char** argv)
             port_file = val;
         else if (parse_flag(argv[i], "--port", &val))
             port = parse_u64_or_die(val, "--port");
+        else if (parse_flag(argv[i], "--admin-port-file", &val)) {
+            admin_port_file = val;
+            admin = true;
+        } else if (parse_flag(argv[i], "--admin-port", &val)) {
+            admin_port = parse_u64_or_die(val, "--admin-port");
+            admin = true;
+        } else if (std::strcmp(argv[i], "--admin") == 0)
+            admin = true;
         else if (parse_flag(argv[i], "--shards", &val))
             shards = parse_u64_or_die(val, "--shards");
         else if (parse_flag(argv[i], "--batch", &val))
@@ -116,22 +137,39 @@ main(int argc, char** argv)
         else
             return usage();
     }
-    if (heap_path.empty() || port > 65535 || shards < 1 || shards > 7 ||
-        batch < 1)
+    if (heap_path.empty() || port > 65535 || admin_port > 65535 ||
+        shards < 1 || shards > 7 || batch < 1)
         return usage();
 
+    // Slow-request forensics need an armed ring tracer to snapshot.
+    if (stat_slow_threshold_ns() > 0 && !trace::Tracer::armed())
+        trace::Tracer::arm();
+
+    const uint64_t t_attach0 = stat_now_ns();
     nvm::PersistentHeap heap(
         {.path = heap_path, .size = heap_bytes, .reset = reset});
     nvm::RealDomain dom;
     ido::IdoRuntime rt(heap, dom, rt::RuntimeConfig{});
     apps::MemcachedMini::register_programs();
+    const uint64_t attach_ns = stat_now_ns() - t_attach0;
 
     if (heap.recovered_from_crash()) {
         std::fprintf(stderr,
                      "ido_serve: unclean shutdown detected, running "
                      "iDO recovery\n");
+        // recover() records the "crash" RecoveryTimeline (phases,
+        // FASEs resumed, flush/fence deltas) and publishes the
+        // recovery.* counters the crash harness asserts on.
         rt.recover();
         std::fprintf(stderr, "ido_serve: recovery complete\n");
+    } else {
+        // Clean attach: record a timeline for /recovery anyway so a
+        // scraper always sees the latest attach, but publish no
+        // recovery.* counters -- those mean "a crash was recovered".
+        auto& tl = RecoveryTimeline::instance();
+        tl.start("clean");
+        tl.add_phase("heap-attach", attach_ns);
+        tl.finish();
     }
     heap.mark_running(dom);
 
@@ -140,6 +178,8 @@ main(int argc, char** argv)
     cfg.shards = static_cast<uint32_t>(shards);
     cfg.batch_limit = static_cast<uint32_t>(batch);
     cfg.nbuckets = buckets;
+    cfg.admin = admin;
+    cfg.admin_port = static_cast<uint16_t>(admin_port);
     net::Server server(rt, cfg);
 
     g_server = &server;
@@ -161,9 +201,22 @@ main(int argc, char** argv)
         std::fclose(f);
         std::rename((port_file + ".tmp").c_str(), port_file.c_str());
     }
-    std::printf("LISTENING 127.0.0.1:%u shards=%llu batch=%llu\n",
+    if (!admin_port_file.empty()) {
+        std::FILE* f = std::fopen((admin_port_file + ".tmp").c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "ido_serve: cannot write %s\n",
+                         admin_port_file.c_str());
+            return 1;
+        }
+        std::fprintf(f, "%u\n", server.admin_port());
+        std::fclose(f);
+        std::rename((admin_port_file + ".tmp").c_str(),
+                    admin_port_file.c_str());
+    }
+    std::printf("LISTENING 127.0.0.1:%u shards=%llu batch=%llu admin=%u\n",
                 server.port(), static_cast<unsigned long long>(shards),
-                static_cast<unsigned long long>(batch));
+                static_cast<unsigned long long>(batch),
+                server.admin_port());
     std::fflush(stdout);
 
     server.run();

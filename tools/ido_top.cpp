@@ -1,0 +1,242 @@
+/**
+ * @file
+ * ido_top: live terminal view of a running ido_serve.
+ *
+ * Polls the admin endpoint's /stats.json at a fixed interval and
+ * renders, per frame:
+ *  - throughput (requests/s) and fences/op, computed as deltas between
+ *    consecutive frames (counters are cumulative);
+ *  - per-op latency percentiles (p50/p99/p999) straight from the
+ *    server's live recorders -- cumulative since server start, which
+ *    is what the recorders expose;
+ *  - per-shard queue depth and connection/pending-bytes gauges.
+ *
+ * JSON handling is a deliberately tiny scanner over the flat schema
+ * MetricsRegistry::format_json() emits ("name":value and
+ * "name":{"k":v,...}); it does not parse general JSON and never needs
+ * to.
+ *
+ * Usage:
+ *   ido_top --port=N [--host=127.0.0.1] [--interval-ms=1000]
+ *           [--frames=0] [--raw]
+ *
+ * --frames=0 polls forever (^C to quit); --raw dumps the fetched JSON
+ * instead of the rendered table (CI smoke uses --frames=2 --raw).
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/admin.h"
+
+using namespace ido;
+
+namespace {
+
+bool
+parse_flag(const char* arg, const char* name, std::string* out)
+{
+    const size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) != 0 || arg[n] != '=')
+        return false;
+    *out = arg + n + 1;
+    return true;
+}
+
+/**
+ * Extract every "name":<number> pair from the flat metrics JSON into
+ * *out, flattening one nesting level: {"net.lat.req.get":{"p50_ns":7}}
+ * yields "net.lat.req.get.p50_ns".  Quoted string values are skipped.
+ */
+void
+scan_numbers(const std::string& json,
+             std::map<std::string, double>* out)
+{
+    std::vector<std::string> stack;
+    size_t i = 0;
+    while (i < json.size()) {
+        if (json[i] != '"') {
+            if (json[i] == '}' && !stack.empty())
+                stack.pop_back();
+            ++i;
+            continue;
+        }
+        const size_t kend = json.find('"', i + 1);
+        if (kend == std::string::npos)
+            return;
+        const std::string key = json.substr(i + 1, kend - i - 1);
+        i = kend + 1;
+        if (i >= json.size() || json[i] != ':')
+            continue;
+        ++i;
+        if (i >= json.size())
+            return;
+        if (json[i] == '{') {
+            stack.push_back(key);
+            ++i;
+            continue;
+        }
+        if (json[i] == '"') { // string value: skip it
+            const size_t vend = json.find('"', i + 1);
+            if (vend == std::string::npos)
+                return;
+            i = vend + 1;
+            continue;
+        }
+        char* end = nullptr;
+        const double v = std::strtod(json.c_str() + i, &end);
+        if (end == json.c_str() + i)
+            continue;
+        i = static_cast<size_t>(end - json.c_str());
+        std::string full;
+        for (const std::string& s : stack) {
+            // The top-level section names ("counters", "latencies",
+            // ...) are schema, not metric name.
+            if (s == "counters" || s == "gauges" || s == "latencies"
+                || s == "histograms")
+                continue;
+            full += s + ".";
+        }
+        full += key;
+        (*out)[full] = v;
+    }
+}
+
+double
+get(const std::map<std::string, double>& m, const std::string& k)
+{
+    auto it = m.find(k);
+    return it == m.end() ? 0.0 : it->second;
+}
+
+void
+render(const std::map<std::string, double>& cur,
+       const std::map<std::string, double>& prev, double dt_s,
+       uint64_t frame)
+{
+    const double req_delta = get(cur, "net.requests")
+                             - get(prev, "net.requests");
+    const double fence_delta = get(cur, "persist.fences")
+                               - get(prev, "persist.fences");
+    const double rps = dt_s > 0 ? req_delta / dt_s : 0.0;
+    const double fpo = req_delta > 0 ? fence_delta / req_delta : 0.0;
+
+    std::printf("--- frame %llu ---------------------------------------\n",
+                static_cast<unsigned long long>(frame));
+    std::printf("throughput %10.0f req/s    fences/op %5.2f    "
+                "conns %.0f    pending %.0f B\n",
+                rps, fpo, get(cur, "net.conns"),
+                get(cur, "net.pending_out_bytes"));
+    std::printf("%-10s %10s %12s %12s %12s\n", "op", "count",
+                "p50(us)", "p99(us)", "p999(us)");
+    for (const char* op : { "get", "set", "delete" }) {
+        const std::string base = std::string("net.lat.req.") + op;
+        if (get(cur, base + ".count") == 0)
+            continue;
+        std::printf("%-10s %10.0f %12.1f %12.1f %12.1f\n", op,
+                    get(cur, base + ".count"),
+                    get(cur, base + ".p50_ns") / 1e3,
+                    get(cur, base + ".p99_ns") / 1e3,
+                    get(cur, base + ".p999_ns") / 1e3);
+    }
+    for (const char* phase : { "queue", "exec", "publish" }) {
+        const std::string base = std::string("net.lat.") + phase;
+        if (get(cur, base + ".count") == 0)
+            continue;
+        std::printf("%-10s %10.0f %12.1f %12.1f %12.1f\n", phase,
+                    get(cur, base + ".count"),
+                    get(cur, base + ".p50_ns") / 1e3,
+                    get(cur, base + ".p99_ns") / 1e3,
+                    get(cur, base + ".p999_ns") / 1e3);
+    }
+    std::string depths;
+    for (int s = 0; s < 16; ++s) {
+        const std::string k =
+            "net.shard." + std::to_string(s) + ".queue_depth";
+        if (cur.find(k) == cur.end())
+            break;
+        depths += (s ? " " : "") + std::to_string(
+                      static_cast<uint64_t>(get(cur, k)));
+    }
+    if (!depths.empty())
+        std::printf("shard queue depth: [%s]\n", depths.c_str());
+    std::fflush(stdout);
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: ido_top --port=N [--host=127.0.0.1]\n"
+                 "               [--interval-ms=1000] [--frames=0] "
+                 "[--raw]\n"
+                 "(host must be 127.0.0.1; the admin endpoint only "
+                 "binds loopback)\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    uint64_t port = 0;
+    uint64_t interval_ms = 1000;
+    uint64_t frames = 0;
+    bool raw = false;
+    std::string host = "127.0.0.1";
+
+    for (int i = 1; i < argc; ++i) {
+        std::string val;
+        if (parse_flag(argv[i], "--port", &val))
+            port = std::strtoull(val.c_str(), nullptr, 10);
+        else if (parse_flag(argv[i], "--host", &val))
+            host = val;
+        else if (parse_flag(argv[i], "--interval-ms", &val))
+            interval_ms = std::strtoull(val.c_str(), nullptr, 10);
+        else if (parse_flag(argv[i], "--frames", &val))
+            frames = std::strtoull(val.c_str(), nullptr, 10);
+        else if (std::strcmp(argv[i], "--raw") == 0)
+            raw = true;
+        else
+            return usage();
+    }
+    if (port == 0 || port > 65535 || host != "127.0.0.1")
+        return usage();
+
+    std::map<std::string, double> prev;
+    auto t_prev = std::chrono::steady_clock::now();
+    for (uint64_t frame = 0; frames == 0 || frame < frames; ++frame) {
+        if (frame != 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(interval_ms));
+        std::string body;
+        if (!net::admin_http_get(static_cast<uint16_t>(port),
+                                 "/stats.json", &body)) {
+            std::fprintf(stderr,
+                         "ido_top: GET 127.0.0.1:%llu/stats.json "
+                         "failed\n",
+                         static_cast<unsigned long long>(port));
+            return 1;
+        }
+        if (raw) {
+            std::printf("%s\n", body.c_str());
+            std::fflush(stdout);
+            continue;
+        }
+        std::map<std::string, double> cur;
+        scan_numbers(body, &cur);
+        const auto t_now = std::chrono::steady_clock::now();
+        const double dt_s =
+            std::chrono::duration<double>(t_now - t_prev).count();
+        render(cur, prev, frame == 0 ? 0.0 : dt_s, frame);
+        prev.swap(cur);
+        t_prev = t_now;
+    }
+    return 0;
+}
