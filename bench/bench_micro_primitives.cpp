@@ -20,6 +20,7 @@
 #include "compiler/ir_library.h"
 #include "ds/stack.h"
 #include "ido/ido_runtime.h"
+#include "nvm/heap_gc.h"
 #include "nvm/nv_heap.h"
 #include "nvm/persist_domain.h"
 #include "nvm/shadow_domain.h"
@@ -253,6 +254,120 @@ run_boundary_series()
     }
 }
 
+// --------------------------------------------------------------------------
+// Heap GC / compaction series (BENCH_heap.json)
+// --------------------------------------------------------------------------
+
+/**
+ * Reachability GC and compaction cost on a churned typed corpus.
+ * Builds a rooted chain, deletes three quarters of it (the sparse-heap
+ * shape a long-running server produces), plants a batch of unrooted
+ * blocks, and times the three GC entry points.  One BENCH_heap.json
+ * row per phase -- audit ops are blocks walked, repair ops blocks
+ * reclaimed, compact ops blocks relocated -- and every row's embedded
+ * metrics snapshot carries heap.fragmentation plus the heap.gc.*
+ * counters the CI churn gate reads.
+ */
+void
+run_heap_series()
+{
+    struct Node
+    {
+        uint64_t next;
+        uint64_t tag;
+        uint64_t pad[2];
+    };
+    nvm::TypeDescriptor d;
+    d.name = "bench.heap_node";
+    d.payload_size = sizeof(Node);
+    d.link_offsets = {0};
+    nvm::TypeRegistry::instance().register_type(nvm::TypeId::kTestBlock,
+                                                d);
+
+    nvm::PersistentHeap heap({.size = 256u << 20});
+    nvm::RealDomain dom;
+    nvm::NvHeap h(heap, dom);
+    constexpr uint64_t kNodes = 20000;
+    for (uint64_t t = 0; t < kNodes; ++t) {
+        h.alloc_linked(nvm::RootSlot::kUser0, nvm::TypeId::kTestBlock,
+                       sizeof(Node), dom,
+                       [&](void* p, uint64_t prev_head) {
+                           Node n{prev_head, t, {0, 0}};
+                           dom.store(p, &n, sizeof(n));
+                       });
+    }
+    // Delete 3 of every 4 nodes, unlinking durably as a mutator would.
+    uint64_t head = nvm::RootRegistry::get_ref(heap,
+                                               nvm::RootSlot::kUser0);
+    while (head != 0) {
+        const Node* n = heap.resolve<Node>(head);
+        if (n->tag % 4 == 0)
+            break;
+        const uint64_t next = n->next;
+        nvm::RootRegistry::set_ref(heap, nvm::RootSlot::kUser0, next,
+                                   dom);
+        h.free_block(head, dom);
+        head = next;
+    }
+    for (uint64_t prev = head; prev != 0;) {
+        Node* pn = heap.resolve<Node>(prev);
+        const uint64_t cur = pn->next;
+        if (cur == 0)
+            break;
+        if (heap.resolve<Node>(cur)->tag % 4 == 0) {
+            prev = cur;
+            continue;
+        }
+        const uint64_t next = heap.resolve<Node>(cur)->next;
+        dom.store_val(&pn->next, next);
+        dom.flush(&pn->next, sizeof(uint64_t));
+        dom.fence();
+        h.free_block(cur, dom);
+    }
+    // Unrooted blocks give the repair phase real work.
+    constexpr uint64_t kLeaks = 1000;
+    for (uint64_t i = 0; i < kLeaks; ++i) {
+        const uint64_t off =
+            h.alloc(sizeof(Node), dom, nvm::TypeId::kTestBlock);
+        Node z{0, 0, {0, 0}};
+        dom.store(heap.resolve<void>(off), &z, sizeof(z));
+    }
+
+    std::printf("\n=== heap GC / compaction (%llu-node corpus, 1/4 "
+                "live) ===\n",
+                static_cast<unsigned long long>(kNodes));
+    std::printf("%-12s %10s %14s %14s\n", "phase", "ops", "ops/sec",
+                "notes");
+    nvm::HeapGc gc(h, dom);
+    const auto timed = [&](const char* phase, auto&& run,
+                           auto&& ops_of) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const nvm::GcStats s = run();
+        const double seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        nvm::HeapGc::publish(s);
+        const uint64_t ops = ops_of(s);
+        char notes[128];
+        std::snprintf(notes, sizeof(notes),
+                      "live %llu  leaked %llu  retired %llu",
+                      static_cast<unsigned long long>(s.live_blocks),
+                      static_cast<unsigned long long>(s.leaked_blocks),
+                      static_cast<unsigned long long>(s.chunks_retired));
+        std::printf("%-12s %10llu %14.0f %s\n", phase,
+                    static_cast<unsigned long long>(ops),
+                    seconds > 0 ? double(ops) / seconds : 0.0, notes);
+        bench::emit_json_row("heap", phase, 1, ops, seconds);
+    };
+    timed("gc_audit", [&] { return gc.audit(); },
+          [](const nvm::GcStats& s) { return s.blocks; });
+    timed("gc_repair", [&] { return gc.repair(); },
+          [](const nvm::GcStats& s) { return s.reclaimed_blocks; });
+    timed("gc_compact", [&] { return gc.compact(); },
+          [](const nvm::GcStats& s) { return s.relocated_blocks; });
+}
+
 void
 BM_ZipfSample(benchmark::State& state)
 {
@@ -296,5 +411,6 @@ main(int argc, char** argv)
     benchmark::Shutdown();
     run_alloc_series();
     run_boundary_series();
+    run_heap_series();
     return 0;
 }

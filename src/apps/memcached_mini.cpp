@@ -22,6 +22,51 @@ using rt::RuntimeThread;
 //   r14 = count                   r15 = count +- 1
 namespace {
 
+// GC layout facts.  The root links its shard table; a shard is
+// variable-shape (nbuckets chain heads follow the header) so its links
+// -- lru_head, lru_tail, and every bucket head -- are enumerated
+// dynamically; items link next/lru_next/lru_prev.
+const bool g_mc_types = [] {
+    nvm::TypeDescriptor root;
+    root.name = "mc_root";
+    root.payload_size = sizeof(McRoot);
+    root.enumerate_link_fields = [](const nvm::PersistentHeap& heap,
+                                    uint64_t payload_off,
+                                    std::vector<uint64_t>* out) {
+        const auto* r = heap.resolve<McRoot>(payload_off);
+        for (uint64_t s = 0; s < r->nshards && s < 7; ++s)
+            out->push_back(payload_off + offsetof(McRoot, shard_off)
+                           + s * 8);
+    };
+    nvm::TypeRegistry::instance().register_type(nvm::TypeId::kMcRoot,
+                                                std::move(root));
+
+    nvm::TypeDescriptor shard;
+    shard.name = "mc_shard";
+    shard.payload_size = 0; // header + nbuckets chain heads
+    shard.enumerate_link_fields = [](const nvm::PersistentHeap& heap,
+                                     uint64_t payload_off,
+                                     std::vector<uint64_t>* out) {
+        const auto* sh = heap.resolve<McShard>(payload_off);
+        out->push_back(payload_off + offsetof(McShard, lru_head));
+        out->push_back(payload_off + offsetof(McShard, lru_tail));
+        for (uint64_t b = 0; b < sh->nbuckets; ++b)
+            out->push_back(payload_off + sizeof(McShard) + b * 8);
+    };
+    nvm::TypeRegistry::instance().register_type(nvm::TypeId::kMcShard,
+                                                std::move(shard));
+
+    nvm::TypeDescriptor item;
+    item.name = "mc_item";
+    item.payload_size = sizeof(McItem);
+    item.link_offsets = {offsetof(McItem, next),
+                         offsetof(McItem, lru_next),
+                         offsetof(McItem, lru_prev)};
+    nvm::TypeRegistry::instance().register_type(nvm::TypeId::kMcItem,
+                                                std::move(item));
+    return true;
+}();
+
 constexpr uint64_t kHolder = offsetof(McShard, lock_holder);
 constexpr uint64_t kLruHead = offsetof(McShard, lru_head);
 constexpr uint64_t kLruTail = offsetof(McShard, lru_tail);
@@ -77,7 +122,7 @@ set_update(RuntimeThread& th, RegionCtx& ctx)
 uint32_t
 set_build(RuntimeThread& th, RegionCtx& ctx)
 {
-    ctx.r[7] = th.nv_alloc(sizeof(McItem));
+    ctx.r[7] = th.nv_alloc_as(nvm::TypeId::kMcItem, sizeof(McItem));
     th.store_u64(ctx.r[7] + kItKeyLo, ctx.r[1]);
     th.store_u64(ctx.r[7] + kItKeyHi, ctx.r[2]);
     th.store_u64(ctx.r[7] + kItValue, ctx.r[4]);
@@ -324,12 +369,14 @@ MemcachedMini::create(rt::RuntimeThread& th, uint64_t nshards,
 {
     IDO_ASSERT(nshards >= 1 && nshards <= 7);
     IDO_ASSERT((nbuckets & (nbuckets - 1)) == 0);
-    const uint64_t root_off = th.nv_alloc(sizeof(McRoot));
+    const uint64_t root_off =
+        th.nv_alloc_as(nvm::TypeId::kMcRoot, sizeof(McRoot));
     McRoot root{};
     root.nshards = nshards;
     for (uint64_t s = 0; s < nshards; ++s) {
         const size_t bytes = sizeof(McShard) + nbuckets * 8;
-        const uint64_t shard_off = th.nv_alloc(bytes);
+        const uint64_t shard_off =
+            th.nv_alloc_as(nvm::TypeId::kMcShard, bytes);
         auto* shard = th.heap().resolve<uint8_t>(shard_off);
         std::memset(shard, 0, bytes);
         auto* hdr = reinterpret_cast<McShard*>(shard);

@@ -17,6 +17,31 @@ using rt::RuntimeThread;
 //   r7 = new item, r9 = result, r14/r15 = count/old count
 namespace {
 
+// GC layout facts: the root is variable-shape (nbuckets chain heads
+// follow the header); items link only `next`.
+const bool g_redis_types = [] {
+    nvm::TypeDescriptor root;
+    root.name = "redis_root";
+    root.payload_size = 0; // header + nbuckets chain heads
+    root.enumerate_link_fields = [](const nvm::PersistentHeap& heap,
+                                    uint64_t payload_off,
+                                    std::vector<uint64_t>* out) {
+        const auto* r = heap.resolve<RedisRoot>(payload_off);
+        for (uint64_t b = 0; b < r->nbuckets; ++b)
+            out->push_back(payload_off + sizeof(RedisRoot) + b * 8);
+    };
+    nvm::TypeRegistry::instance().register_type(nvm::TypeId::kRedisRoot,
+                                                std::move(root));
+
+    nvm::TypeDescriptor item;
+    item.name = "redis_item";
+    item.payload_size = sizeof(RedisItem);
+    item.link_offsets = {offsetof(RedisItem, next)};
+    nvm::TypeRegistry::instance().register_type(nvm::TypeId::kRedisItem,
+                                                std::move(item));
+    return true;
+}();
+
 constexpr uint64_t kCount = offsetof(RedisRoot, count);
 constexpr uint64_t kItNext = offsetof(RedisItem, next);
 constexpr uint64_t kItKey = offsetof(RedisItem, key);
@@ -55,7 +80,7 @@ rset_update(RuntimeThread& th, RegionCtx& ctx)
 uint32_t
 rset_build(RuntimeThread& th, RegionCtx& ctx)
 {
-    ctx.r[7] = th.nv_alloc(sizeof(RedisItem));
+    ctx.r[7] = th.nv_alloc_as(nvm::TypeId::kRedisItem, sizeof(RedisItem));
     th.store_u64(ctx.r[7] + kItKey, ctx.r[1]);
     th.store_u64(ctx.r[7] + kItValue, ctx.r[2]);
     th.store_u64(ctx.r[7] + kItNext, ctx.r[11]);
@@ -181,7 +206,7 @@ RedisMini::create(rt::RuntimeThread& th, uint64_t nbuckets)
 {
     IDO_ASSERT((nbuckets & (nbuckets - 1)) == 0);
     const size_t bytes = sizeof(RedisRoot) + nbuckets * 8;
-    const uint64_t root = th.nv_alloc(bytes);
+    const uint64_t root = th.nv_alloc_as(nvm::TypeId::kRedisRoot, bytes);
     auto* p = th.heap().resolve<uint8_t>(root);
     std::memset(p, 0, bytes);
     reinterpret_cast<RedisRoot*>(p)->nbuckets = nbuckets;

@@ -1,12 +1,34 @@
 #include "baselines/atlas_runtime.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <cstring>
 
 #include "common/panic.h"
 #include "stats/persist_stats.h"
 
 namespace ido::baselines {
+
+namespace {
+
+// GC layout facts: the log record links the per-runtime log list and
+// owns its entry buffer; live entries hold raw heap offsets the GC
+// cannot retarget, so any log record pins the heap against relocation.
+const bool g_atlas_log_type = [] {
+    nvm::TypeDescriptor d;
+    d.name = "atlas_log";
+    d.payload_size = sizeof(AtlasThreadLog);
+    d.link_offsets = {offsetof(AtlasThreadLog, next),
+                      offsetof(AtlasThreadLog, buf_off)};
+    d.pins_relocation = [](const nvm::PersistentHeap&, uint64_t) {
+        return true;
+    };
+    nvm::TypeRegistry::instance().register_type(nvm::TypeId::kAtlasLog,
+                                                std::move(d));
+    return true;
+}();
+
+} // namespace
 
 AtlasRuntime::AtlasRuntime(nvm::PersistentHeap& heap,
                            nvm::PersistDomain& dom,
@@ -18,8 +40,8 @@ AtlasRuntime::AtlasRuntime(nvm::PersistentHeap& heap,
 uint64_t
 AtlasRuntime::allocate_thread_log()
 {
-    const uint64_t buf_off =
-        alloc_.alloc_aligned(cfg_.log_bytes_per_thread, dom_);
+    const uint64_t buf_off = alloc_.alloc_aligned(
+        cfg_.log_bytes_per_thread, dom_, nvm::TypeId::kLogBuffer);
     IDO_ASSERT(buf_off != 0, "out of persistent memory for Atlas logs");
 
     // Entry validity relies on a zeroed first lap.  The zeroing is not
@@ -29,7 +51,8 @@ AtlasRuntime::allocate_thread_log()
                 cfg_.log_bytes_per_thread);
 
     const uint64_t log_off = alloc_.alloc_linked(
-        nvm::RootSlot::kAtlasState, sizeof(AtlasThreadLog), dom_,
+        nvm::RootSlot::kAtlasState, nvm::TypeId::kAtlasLog,
+        sizeof(AtlasThreadLog), dom_,
         [&](void* log, uint64_t prev_head) {
             AtlasThreadLog init{};
             init.next = prev_head;

@@ -1,6 +1,7 @@
 #include "baselines/justdo_runtime.h"
 
 #include <barrier>
+#include <cstddef>
 #include <cstring>
 #include <thread>
 
@@ -13,6 +14,25 @@ namespace ido::baselines {
 
 using rt::RegionCtx;
 
+namespace {
+
+// GC layout facts: JUSTDO log records link only the list; their
+// register snapshots hold raw heap offsets, so they pin relocation.
+const bool g_justdo_log_type = [] {
+    nvm::TypeDescriptor d;
+    d.name = "justdo_log";
+    d.payload_size = sizeof(JustdoLogRec);
+    d.link_offsets = {offsetof(JustdoLogRec, next)};
+    d.pins_relocation = [](const nvm::PersistentHeap&, uint64_t) {
+        return true;
+    };
+    nvm::TypeRegistry::instance().register_type(nvm::TypeId::kJustdoLogRec,
+                                                std::move(d));
+    return true;
+}();
+
+} // namespace
+
 JustdoRuntime::JustdoRuntime(nvm::PersistentHeap& heap,
                              nvm::PersistDomain& dom,
                              const rt::RuntimeConfig& cfg)
@@ -24,7 +44,8 @@ uint64_t
 JustdoRuntime::allocate_log_rec()
 {
     const uint64_t off = alloc_.alloc_linked(
-        nvm::RootSlot::kJustdoState, sizeof(JustdoLogRec), dom_,
+        nvm::RootSlot::kJustdoState, nvm::TypeId::kJustdoLogRec,
+        sizeof(JustdoLogRec), dom_,
         [&](void* rec, uint64_t prev_head) {
             JustdoLogRec init{};
             init.next = prev_head;

@@ -1,5 +1,6 @@
 #include "baselines/mnemosyne_runtime.h"
 
+#include <cstddef>
 #include <cstring>
 
 #include "common/panic.h"
@@ -7,6 +8,25 @@
 #include "trace/trace.h"
 
 namespace ido::baselines {
+
+namespace {
+
+// GC layout facts (see atlas_runtime.cpp for the pinning rationale).
+const bool g_mnemosyne_log_type = [] {
+    nvm::TypeDescriptor d;
+    d.name = "mnemosyne_log";
+    d.payload_size = sizeof(MnemosyneThreadLog);
+    d.link_offsets = {offsetof(MnemosyneThreadLog, next),
+                      offsetof(MnemosyneThreadLog, buf_off)};
+    d.pins_relocation = [](const nvm::PersistentHeap&, uint64_t) {
+        return true;
+    };
+    nvm::TypeRegistry::instance().register_type(nvm::TypeId::kMnemosyneLog,
+                                                std::move(d));
+    return true;
+}();
+
+} // namespace
 
 MnemosyneRuntime::MnemosyneRuntime(nvm::PersistentHeap& heap,
                                    nvm::PersistDomain& dom,
@@ -19,11 +39,12 @@ MnemosyneRuntime::MnemosyneRuntime(nvm::PersistentHeap& heap,
 uint64_t
 MnemosyneRuntime::allocate_thread_log()
 {
-    const uint64_t buf_off =
-        alloc_.alloc_aligned(cfg_.log_bytes_per_thread, dom_);
+    const uint64_t buf_off = alloc_.alloc_aligned(
+        cfg_.log_bytes_per_thread, dom_, nvm::TypeId::kLogBuffer);
     IDO_ASSERT(buf_off != 0, "out of persistent memory for Mnemosyne logs");
     const uint64_t log_off = alloc_.alloc_linked(
-        nvm::RootSlot::kMnemosyneState, sizeof(MnemosyneThreadLog), dom_,
+        nvm::RootSlot::kMnemosyneState, nvm::TypeId::kMnemosyneLog,
+        sizeof(MnemosyneThreadLog), dom_,
         [&](void* log, uint64_t prev_head) {
             MnemosyneThreadLog init{};
             init.next = prev_head;

@@ -1,6 +1,7 @@
 #include "baselines/nvml_runtime.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <cstring>
 
 #include "common/panic.h"
@@ -8,6 +9,25 @@
 #include "trace/trace.h"
 
 namespace ido::baselines {
+
+namespace {
+
+// GC layout facts (see atlas_runtime.cpp for the pinning rationale).
+const bool g_nvml_log_type = [] {
+    nvm::TypeDescriptor d;
+    d.name = "nvml_log";
+    d.payload_size = sizeof(NvmlThreadLog);
+    d.link_offsets = {offsetof(NvmlThreadLog, next),
+                      offsetof(NvmlThreadLog, buf_off)};
+    d.pins_relocation = [](const nvm::PersistentHeap&, uint64_t) {
+        return true;
+    };
+    nvm::TypeRegistry::instance().register_type(nvm::TypeId::kNvmlLog,
+                                                std::move(d));
+    return true;
+}();
+
+} // namespace
 
 NvmlRuntime::NvmlRuntime(nvm::PersistentHeap& heap,
                          nvm::PersistDomain& dom,
@@ -19,13 +39,14 @@ NvmlRuntime::NvmlRuntime(nvm::PersistentHeap& heap,
 uint64_t
 NvmlRuntime::allocate_thread_log()
 {
-    const uint64_t buf_off =
-        alloc_.alloc_aligned(cfg_.log_bytes_per_thread, dom_);
+    const uint64_t buf_off = alloc_.alloc_aligned(
+        cfg_.log_bytes_per_thread, dom_, nvm::TypeId::kLogBuffer);
     IDO_ASSERT(buf_off != 0, "out of persistent memory for NVML logs");
     std::memset(heap_.resolve<void>(buf_off), 0,
                 cfg_.log_bytes_per_thread);
     const uint64_t log_off = alloc_.alloc_linked(
-        nvm::RootSlot::kNvmlState, sizeof(NvmlThreadLog), dom_,
+        nvm::RootSlot::kNvmlState, nvm::TypeId::kNvmlLog,
+        sizeof(NvmlThreadLog), dom_,
         [&](void* log, uint64_t prev_head) {
             NvmlThreadLog init{};
             init.next = prev_head;

@@ -1,6 +1,7 @@
 #include "baselines/nvthreads_runtime.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <cstring>
 
 #include "common/panic.h"
@@ -8,6 +9,25 @@
 #include "trace/trace.h"
 
 namespace ido::baselines {
+
+namespace {
+
+// GC layout facts (see atlas_runtime.cpp for the pinning rationale).
+const bool g_nvthreads_log_type = [] {
+    nvm::TypeDescriptor d;
+    d.name = "nvthreads_log";
+    d.payload_size = sizeof(NvthreadsThreadLog);
+    d.link_offsets = {offsetof(NvthreadsThreadLog, next),
+                      offsetof(NvthreadsThreadLog, buf_off)};
+    d.pins_relocation = [](const nvm::PersistentHeap&, uint64_t) {
+        return true;
+    };
+    nvm::TypeRegistry::instance().register_type(nvm::TypeId::kNvthreadsLog,
+                                                std::move(d));
+    return true;
+}();
+
+} // namespace
 
 NvthreadsRuntime::NvthreadsRuntime(nvm::PersistentHeap& heap,
                                    nvm::PersistDomain& dom,
@@ -24,10 +44,12 @@ NvthreadsRuntime::allocate_thread_log()
     const size_t buf_bytes =
         std::max<size_t>(cfg_.log_bytes_per_thread,
                          16 * sizeof(NvtPageLogEntry));
-    const uint64_t buf_off = alloc_.alloc_aligned(buf_bytes, dom_);
+    const uint64_t buf_off =
+        alloc_.alloc_aligned(buf_bytes, dom_, nvm::TypeId::kLogBuffer);
     IDO_ASSERT(buf_off != 0, "out of persistent memory for NVThreads logs");
     const uint64_t log_off = alloc_.alloc_linked(
-        nvm::RootSlot::kNvthreadsState, sizeof(NvthreadsThreadLog), dom_,
+        nvm::RootSlot::kNvthreadsState, nvm::TypeId::kNvthreadsLog,
+        sizeof(NvthreadsThreadLog), dom_,
         [&](void* log, uint64_t prev_head) {
             NvthreadsThreadLog init{};
             init.next = prev_head;

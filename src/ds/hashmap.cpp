@@ -4,6 +4,31 @@
 
 namespace ido::ds {
 
+namespace {
+
+// GC layout facts: the map root is variable-shape (nbuckets inline
+// PListNode sentinels follow the header), so the links are enumerated
+// dynamically -- one `next` field per bucket sentinel.
+const bool g_map_root_type = [] {
+    nvm::TypeDescriptor d;
+    d.name = "map_root";
+    d.payload_size = 0; // header + nbuckets inline sentinels
+    d.enumerate_link_fields = [](const nvm::PersistentHeap& heap,
+                                 uint64_t payload_off,
+                                 std::vector<uint64_t>* out) {
+        const auto* root = heap.resolve<PMapRoot>(payload_off);
+        for (uint64_t b = 0; b < root->nbuckets; ++b)
+            out->push_back(payload_off + sizeof(PMapRoot)
+                           + b * sizeof(PListNode)
+                           + offsetof(PListNode, next));
+    };
+    nvm::TypeRegistry::instance().register_type(nvm::TypeId::kMapRoot,
+                                                std::move(d));
+    return true;
+}();
+
+} // namespace
+
 uint64_t
 PHashMap::hash_key(uint64_t key)
 {
@@ -20,7 +45,7 @@ PHashMap::create(rt::RuntimeThread& th, uint64_t nbuckets)
                "nbuckets must be a power of two");
     const size_t bytes =
         sizeof(PMapRoot) + nbuckets * sizeof(PListNode);
-    const uint64_t root = th.nv_alloc(bytes);
+    const uint64_t root = th.nv_alloc_as(nvm::TypeId::kMapRoot, bytes);
     auto* rp = th.heap().resolve<PMapRoot>(root);
     PMapRoot init{};
     init.nbuckets = nbuckets;

@@ -31,6 +31,19 @@ using rt::RuntimeThread;
 // one release fence.
 namespace {
 
+// GC layout facts: a list node's only traced link is `next`
+// (lock_holder carries a transient, epoch-tagged lock pointer the GC
+// must never chase).  Hash-map chain nodes share this type.
+const bool g_list_node_type = [] {
+    nvm::TypeDescriptor d;
+    d.name = "list_node";
+    d.payload_size = sizeof(PListNode);
+    d.link_offsets = {offsetof(PListNode, next)};
+    nvm::TypeRegistry::instance().register_type(nvm::TypeId::kListNode,
+                                                std::move(d));
+    return true;
+}();
+
 constexpr uint64_t
 holder(uint64_t node)
 {
@@ -98,7 +111,7 @@ ins_step(RuntimeThread& th, RegionCtx& ctx)
 uint32_t
 ins_build(RuntimeThread& th, RegionCtx& ctx)
 {
-    ctx.r[7] = th.nv_alloc(sizeof(PListNode));
+    ctx.r[7] = th.nv_alloc_as(nvm::TypeId::kListNode, sizeof(PListNode));
     th.store_u64(key_off(ctx.r[7]), ctx.r[1]);
     th.store_u64(value_off(ctx.r[7]), ctx.r[2]);
     th.store_u64(next_off(ctx.r[7]), ctx.r[4]);
@@ -305,7 +318,8 @@ POrderedList::lookup_program()
 uint64_t
 POrderedList::create(rt::RuntimeThread& th)
 {
-    const uint64_t head = th.nv_alloc(sizeof(PListNode));
+    const uint64_t head =
+        th.nv_alloc_as(nvm::TypeId::kListNode, sizeof(PListNode));
     PListNode init{};
     auto* p = th.heap().resolve<PListNode>(head);
     th.dom().store(p, &init, sizeof(init));

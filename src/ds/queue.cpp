@@ -16,6 +16,25 @@ using rt::RuntimeThread;
 //   r4 = dequeue: found flag
 namespace {
 
+// GC layout facts: the root links head and tail (the lock-holder
+// words are transient); nodes link only `next`.
+const bool g_queue_types = [] {
+    nvm::TypeDescriptor root;
+    root.name = "queue_root";
+    root.payload_size = sizeof(PQueueRoot);
+    root.link_offsets = {offsetof(PQueueRoot, head),
+                         offsetof(PQueueRoot, tail)};
+    nvm::TypeRegistry::instance().register_type(nvm::TypeId::kQueueRoot,
+                                                std::move(root));
+    nvm::TypeDescriptor node;
+    node.name = "queue_node";
+    node.payload_size = sizeof(PQueueNode);
+    node.link_offsets = {offsetof(PQueueNode, next)};
+    nvm::TypeRegistry::instance().register_type(nvm::TypeId::kQueueNode,
+                                                std::move(node));
+    return true;
+}();
+
 constexpr uint64_t
 head_holder(uint64_t root)
 {
@@ -48,7 +67,7 @@ tail_off(uint64_t root)
 uint32_t
 enq_build(RuntimeThread& th, RegionCtx& ctx)
 {
-    ctx.r[2] = th.nv_alloc(sizeof(PQueueNode));
+    ctx.r[2] = th.nv_alloc_as(nvm::TypeId::kQueueNode, sizeof(PQueueNode));
     th.store_u64(ctx.r[2] + offsetof(PQueueNode, value), ctx.r[1]);
     th.store_u64(ctx.r[2] + offsetof(PQueueNode, next), 0);
     th.fase_lock(tail_holder(ctx.r[0]));
@@ -164,8 +183,10 @@ PQueue::dequeue_program()
 uint64_t
 PQueue::create(rt::RuntimeThread& th)
 {
-    const uint64_t root = th.nv_alloc(sizeof(PQueueRoot));
-    const uint64_t dummy = th.nv_alloc(sizeof(PQueueNode));
+    const uint64_t root =
+        th.nv_alloc_as(nvm::TypeId::kQueueRoot, sizeof(PQueueRoot));
+    const uint64_t dummy =
+        th.nv_alloc_as(nvm::TypeId::kQueueNode, sizeof(PQueueNode));
     PQueueNode dummy_init{0, 0};
     auto* dp = th.heap().resolve<PQueueNode>(dummy);
     th.dom().store(dp, &dummy_init, sizeof(dummy_init));

@@ -16,6 +16,24 @@ using rt::RuntimeThread;
 //   r4 = pop: found flag
 namespace {
 
+// GC layout facts: the root links `top` (lock_holder is transient);
+// nodes link only `next`.
+const bool g_stack_types = [] {
+    nvm::TypeDescriptor root;
+    root.name = "stack_root";
+    root.payload_size = sizeof(PStackRoot);
+    root.link_offsets = {offsetof(PStackRoot, top)};
+    nvm::TypeRegistry::instance().register_type(nvm::TypeId::kStackRoot,
+                                                std::move(root));
+    nvm::TypeDescriptor node;
+    node.name = "stack_node";
+    node.payload_size = sizeof(PStackNode);
+    node.link_offsets = {offsetof(PStackNode, next)};
+    nvm::TypeRegistry::instance().register_type(nvm::TypeId::kStackNode,
+                                                std::move(node));
+    return true;
+}();
+
 constexpr uint64_t
 holder_off(uint64_t root)
 {
@@ -44,7 +62,7 @@ uint32_t
 push_build(RuntimeThread& th, RegionCtx& ctx)
 {
     ctx.r[3] = th.load_u64(top_off(ctx.r[0]));
-    ctx.r[2] = th.nv_alloc(sizeof(PStackNode));
+    ctx.r[2] = th.nv_alloc_as(nvm::TypeId::kStackNode, sizeof(PStackNode));
     th.store_u64(ctx.r[2] + offsetof(PStackNode, value), ctx.r[1]);
     th.store_u64(ctx.r[2] + offsetof(PStackNode, next), ctx.r[3]);
     return 2;
@@ -149,7 +167,8 @@ PStack::pop_program()
 uint64_t
 PStack::create(rt::RuntimeThread& th)
 {
-    const uint64_t root = th.nv_alloc(sizeof(PStackRoot));
+    const uint64_t root =
+        th.nv_alloc_as(nvm::TypeId::kStackRoot, sizeof(PStackRoot));
     PStackRoot init{};
     auto* p = th.heap().resolve<PStackRoot>(root);
     th.dom().store(p, &init, sizeof(init));

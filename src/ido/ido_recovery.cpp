@@ -19,6 +19,7 @@
 
 #include "common/panic.h"
 #include "ido/ido_runtime.h"
+#include "nvm/heap_gc.h"
 #include "stats/persist_stats.h"
 #include "stats/recovery_timeline.h"
 #include "stats/stat_plane.h"
@@ -34,6 +35,23 @@ IdoRuntime::recover()
     persist_counters_flush_tls();
     const PersistCounters persist_before = persist_counters_global();
     std::atomic<uint64_t> locks_reacquired{0};
+    // Reachability GC rides the recovery timeline: audit by default
+    // (census + leak report, writes nothing), repair when the config
+    // opts in.  It runs after the log-driven phases so resumed FASEs
+    // have retired their log records -- an interrupted record pins the
+    // heap and would otherwise show up as a pinned finding.
+    const auto run_heap_gc = [&] {
+        const uint64_t t = stat_now_ns();
+        nvm::HeapGc gc(alloc_, dom_);
+        const nvm::GcStats gs =
+            cfg_.gc_repair_on_recovery ? gc.repair() : gc.audit();
+        nvm::HeapGc::publish(gs);
+        tl.add_phase("heap-gc", stat_now_ns() - t, gs.leaked_blocks);
+        tl.set_field("leaked_blocks", gs.leaked_blocks);
+        tl.set_field("leaked_bytes", gs.leaked_bytes);
+        if (cfg_.gc_repair_on_recovery)
+            tl.set_field("gc_reclaimed_blocks", gs.reclaimed_blocks);
+    };
     const auto seal_timeline = [&] {
         // Worker-thread persist counters folded at their exits; only
         // the caller's TLS still needs flushing.
@@ -70,6 +88,7 @@ IdoRuntime::recover()
     tl.add_phase("scan-log-records", stat_now_ns() - t0, active.size());
     tl.set_field("fases_resumed", active.size());
     if (active.empty()) {
+        run_heap_gc();
         seal_timeline();
         return;
     }
@@ -119,6 +138,7 @@ IdoRuntime::recover()
         t.join();
     trace::emit(trace::EventKind::kRecoveryEnd, 0, active.size());
     tl.add_phase("resume-fases", stat_now_ns() - t0, active.size());
+    run_heap_gc();
     seal_timeline();
 
     // Post-condition: every record is inactive and no locks are held

@@ -1,5 +1,6 @@
 #include "ido/ido_runtime.h"
 
+#include <cstddef>
 #include <cstring>
 
 #include "common/cacheline.h"
@@ -23,6 +24,26 @@ group_metric(const char* name)
     return *MetricsRegistry::instance().counter(name);
 }
 
+// GC layout facts for the iDO log record.  Unlike the baselines, an
+// iDO log pins relocation only while it records an *interrupted* FASE
+// (recovery_pc active): the boundary snapshot then holds raw heap
+// offsets in its register file, which the GC cannot retarget.  An
+// idle record (recovery_pc == kInactivePc) is relocatable metadata.
+const bool g_ido_log_type = [] {
+    nvm::TypeDescriptor d;
+    d.name = "ido_log";
+    d.payload_size = sizeof(IdoLogRec);
+    d.link_offsets = {offsetof(IdoLogRec, next)};
+    d.pins_relocation = [](const nvm::PersistentHeap& heap,
+                           uint64_t payload_off) {
+        const auto* rec = heap.resolve<IdoLogRec>(payload_off);
+        return rec->recovery_pc != kInactivePc;
+    };
+    nvm::TypeRegistry::instance().register_type(nvm::TypeId::kIdoLogRec,
+                                                std::move(d));
+    return true;
+}();
+
 } // namespace
 
 IdoRuntime::IdoRuntime(nvm::PersistentHeap& heap, nvm::PersistDomain& dom,
@@ -42,7 +63,8 @@ uint64_t
 IdoRuntime::allocate_log_rec()
 {
     const uint64_t off = alloc_.alloc_linked(
-        nvm::RootSlot::kIdoLogHead, sizeof(IdoLogRec), dom_,
+        nvm::RootSlot::kIdoLogHead, nvm::TypeId::kIdoLogRec,
+        sizeof(IdoLogRec), dom_,
         [&](void* rec, uint64_t prev_head) {
             IdoLogRec init{};
             init.next = prev_head;

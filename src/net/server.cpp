@@ -43,12 +43,13 @@ Server::Server(rt::Runtime& rt, const ServerConfig& cfg) : rt_(rt), cfg_(cfg)
     // use the shard count the data was created with, whatever the
     // command line says, or keys would re-hash onto the wrong shards.
     nvm::PersistentHeap& heap = rt_.heap();
-    root_off_ = heap.root(nvm::RootSlot::kAppRoot);
+    root_off_ = nvm::RootRegistry::get_ref(heap, nvm::RootSlot::kAppRoot);
     if (root_off_ == 0) {
         std::unique_ptr<rt::RuntimeThread> th = rt_.make_thread();
         root_off_ = apps::MemcachedMini::create(*th, cfg_.shards,
                                                 cfg_.nbuckets);
-        heap.set_root(nvm::RootSlot::kAppRoot, root_off_, rt_.domain());
+        nvm::RootRegistry::set_ref(heap, nvm::RootSlot::kAppRoot,
+                                   root_off_, rt_.domain());
     } else {
         apps::MemcachedMini cache(heap, root_off_);
         cfg_.shards = static_cast<uint32_t>(cache.nshards());

@@ -67,6 +67,9 @@ McShardWorker::thread_main()
     // The RuntimeThread is created *here* so its durable log record
     // and trace ring belong to this worker thread.
     std::unique_ptr<rt::RuntimeThread> th = rt_.make_thread();
+    IDO_ASSERT(rt_.allocator().block_type(cfg_.root_off)
+                   == nvm::TypeId::kMcRoot,
+               "shard worker handed a root that is not a memcached root");
     apps::MemcachedMini cache(th->heap(), cfg_.root_off);
     GroupCommit committer(*th, cfg_.batch_limit, cfg_.index);
 

@@ -30,8 +30,17 @@ state_name(uint64_t st)
         return "FREEING";
       case NvHeap::kBlockFree:
         return "FREE";
+      case NvHeap::kBlockMoved:
+        return "MOVED";
     }
     return "INVALID";
+}
+
+bool
+recognized_state(uint64_t st)
+{
+    return st == NvHeap::kBlockLive || st == NvHeap::kBlockFreeing
+           || st == NvHeap::kBlockFree || st == NvHeap::kBlockMoved;
 }
 
 } // namespace
@@ -63,6 +72,11 @@ const ClassTable g_class_table;
 
 } // namespace
 
+template <typename Fn>
+static void walk_blocks(PersistentHeap& heap, uint64_t data_begin,
+                        uint64_t bump, uint64_t heap_size, bool* consistent,
+                        Fn&& fn);
+
 size_t
 NvHeap::class_for_size(size_t size)
 {
@@ -90,6 +104,7 @@ NvHeap::NvHeap(PersistentHeap& heap, PersistDomain& dom)
     m_shard_pop_ = reg.counter("nvheap.shard_pop");
     m_leak_reclaim_ = reg.counter("nvheap.leak_reclaim");
     m_oversize_ = reg.counter("nvheap.oversize");
+    m_chunk_reuse_ = reg.counter("nvheap.chunk_reuse");
 
     state_off_ = heap_.root(RootSlot::kAllocator);
     if (state_off_ == 0) {
@@ -120,6 +135,29 @@ NvHeap::NvHeap(PersistentHeap& heap, PersistDomain& dom)
         dom.fence();
         if (heap_.recovered_from_crash())
             recover_leaks(dom);
+        // Seed the per-class occupancy counters from the existing
+        // image so the live/free gauges and the fragmentation ratio
+        // are correct for inherited blocks, not just this run's churn.
+        walk_blocks(heap_, data_begin_, st->bump, heap_.size(), nullptr,
+                    [&](uint64_t, uint64_t size, uint64_t meta) {
+                        const uint64_t s = meta_state(meta);
+                        const size_t cls = class_for_size(size);
+                        const bool exact = cls < kNumClasses
+                            && kClassSizes[cls] == size;
+                        if (exact) {
+                            cls_alloc_[cls].fetch_add(
+                                1, std::memory_order_relaxed);
+                            if (s != kBlockLive)
+                                cls_free_[cls].fetch_add(
+                                    1, std::memory_order_relaxed);
+                        } else if (s == kBlockLive) {
+                            oversize_blocks_.fetch_add(
+                                1, std::memory_order_relaxed);
+                            oversize_bytes_.fetch_add(
+                                size + sizeof(BlockHeader),
+                                std::memory_order_relaxed);
+                        }
+                    });
     }
 
     // ido-stat occupancy gauges.  The bump/end reads take the refill
@@ -150,6 +188,42 @@ NvHeap::NvHeap(PersistentHeap& heap, PersistDomain& dom)
             + m_shard_pop_->load(std::memory_order_relaxed);
         return f > reused ? f - reused : 0;
     });
+    // Per-size-class live/free split, from the same cheap counters the
+    // alloc/free paths already touch (no heap walk on scrape).  "free"
+    // counts blocks of the class sitting in a transient cache or on a
+    // persistent free list, i.e. reusable without growing the arena.
+    for (size_t c = 0; c < kNumClasses; ++c) {
+        const std::string base =
+            "nvheap.class." + std::to_string(kClassSizes[c]);
+        reg.register_gauge(base + ".live", [this, c] {
+            const uint64_t a = cls_alloc_[c].load(std::memory_order_relaxed);
+            const uint64_t f = cls_free_[c].load(std::memory_order_relaxed);
+            return a > f ? a - f : 0;
+        });
+        reg.register_gauge(base + ".free", [this, c] {
+            const uint64_t a = cls_alloc_[c].load(std::memory_order_relaxed);
+            const uint64_t f = cls_free_[c].load(std::memory_order_relaxed);
+            return f > a ? 0 : f; // net frees currently reusable
+        });
+    }
+    // Fragmentation ratio in parts-per-million: the share of the
+    // consumed arena (data_begin..bump) not covered by live payloads
+    // and their headers.  1e6 means an arena of pure dead space; 0
+    // means perfectly packed.  Reported in ppm because gauges are
+    // integral; ido_top renders it as a percentage.
+    reg.register_gauge("heap.fragmentation", [this] {
+        uint64_t used;
+        {
+            std::lock_guard<std::mutex> g(refill_mutex_);
+            used = state()->bump - data_begin_;
+        }
+        if (used == 0)
+            return uint64_t{0};
+        const uint64_t live = live_bytes_estimate();
+        if (live >= used)
+            return uint64_t{0};
+        return (used - live) * 1000000 / used;
+    });
 }
 
 NvHeap::~NvHeap()
@@ -159,6 +233,31 @@ NvHeap::~NvHeap()
     reg.unregister_gauge("nvheap.arena_used_bytes");
     reg.unregister_gauge("nvheap.live_blocks_est");
     reg.unregister_gauge("nvheap.free_pool_blocks_est");
+    for (size_t c = 0; c < kNumClasses; ++c) {
+        const std::string base =
+            "nvheap.class." + std::to_string(kClassSizes[c]);
+        reg.unregister_gauge(base + ".live");
+        reg.unregister_gauge(base + ".free");
+    }
+    reg.unregister_gauge("heap.fragmentation");
+}
+
+uint64_t
+NvHeap::live_bytes_estimate() const
+{
+    uint64_t live = 0;
+    for (size_t c = 0; c < kNumClasses; ++c) {
+        const uint64_t a = cls_alloc_[c].load(std::memory_order_relaxed);
+        const uint64_t f = cls_free_[c].load(std::memory_order_relaxed);
+        if (a > f)
+            live += (a - f) * (kClassSizes[c] + sizeof(BlockHeader));
+    }
+    const uint64_t ob = oversize_bytes_.load(std::memory_order_relaxed);
+    const uint64_t ofb =
+        oversize_freed_bytes_.load(std::memory_order_relaxed);
+    if (ob > ofb)
+        live += ob - ofb;
+    return live;
 }
 
 NvHeap::HeapState*
@@ -230,13 +329,14 @@ NvHeap::set_meta(uint64_t payload_off, uint64_t meta, PersistDomain& dom,
 
 uint64_t
 NvHeap::carve_from_chunk(ThreadCache& tc, size_t payload, uint16_t owner,
-                         PersistDomain& dom)
+                         PersistDomain& dom, TypeId type, bool aligned)
 {
     const uint64_t need = sizeof(BlockHeader) + payload;
     if (tc.chunk_cursor == 0 || tc.chunk_cursor + need > tc.chunk_end)
         return 0;
     const uint64_t block_off = tc.chunk_cursor;
-    BlockHeader hdr{payload, pack_meta(kBlockLive, owner, epoch())};
+    BlockHeader hdr{payload,
+                    pack_meta(kBlockLive, owner, epoch(), type, aligned)};
     auto* hp = heap_.resolve<BlockHeader>(block_off);
     hook();
     dom.store(hp, &hdr, sizeof(hdr));
@@ -253,6 +353,26 @@ NvHeap::refill_chunk(ThreadCache& tc, PersistDomain& dom)
 {
     std::lock_guard<std::mutex> g(refill_mutex_);
     HeapState* st = state();
+    // Retired chunks (emptied by compaction) are reused before the
+    // global bump ever grows -- this is what bounds the heap file's
+    // high-water mark under steady churn.  The unlink is durable
+    // before the chunk is handed out; a crash after the unlink leaks
+    // the chunk until the next GC re-retires it (it walks as empty and
+    // is on no list), the usual leak-not-corruption outcome.
+    const uint64_t freec = dom.load_val(&st->chunk_free);
+    if (freec != 0) {
+        const uint64_t next =
+            dom.load_val(heap_.resolve<uint64_t>(freec + sizeof(BlockHeader)));
+        hook();
+        dom.store_val(&st->chunk_free, next);
+        dom.flush(&st->chunk_free, sizeof(uint64_t));
+        dom.fence();
+        tc.chunk_cursor = freec + sizeof(BlockHeader);
+        tc.chunk_end = freec + kChunkBytes;
+        m_chunk_reuse_->fetch_add(1, std::memory_order_relaxed);
+        trace::emit(trace::EventKind::kArenaRefill, freec, kChunkBytes);
+        return true;
+    }
     const uint64_t bump = dom.load_val(&st->bump);
     if (bump + kChunkBytes > dom.load_val(&st->end))
         return false;
@@ -277,7 +397,8 @@ NvHeap::refill_chunk(ThreadCache& tc, PersistDomain& dom)
 }
 
 uint64_t
-NvHeap::carve_global(size_t payload, uint16_t owner, PersistDomain& dom)
+NvHeap::carve_global(size_t payload, uint16_t owner, PersistDomain& dom,
+                     TypeId type, bool aligned)
 {
     std::lock_guard<std::mutex> g(refill_mutex_);
     HeapState* st = state();
@@ -286,7 +407,8 @@ NvHeap::carve_global(size_t payload, uint16_t owner, PersistDomain& dom)
     if (bump + need > dom.load_val(&st->end))
         return 0;
     auto* hp = heap_.resolve<BlockHeader>(bump);
-    BlockHeader hdr{payload, pack_meta(kBlockLive, owner, epoch())};
+    BlockHeader hdr{payload,
+                    pack_meta(kBlockLive, owner, epoch(), type, aligned)};
     hook();
     dom.store(hp, &hdr, sizeof(hdr));
     dom.flush(hp, sizeof(hdr));
@@ -323,10 +445,11 @@ NvHeap::shard_pop(size_t shard, size_t cls, PersistDomain& dom)
 }
 
 void
-NvHeap::spill_cache(ThreadCache& tc, size_t cls, PersistDomain& dom)
+NvHeap::spill_cache(ThreadCache& tc, size_t cls, PersistDomain& dom,
+                    bool spill_all)
 {
     auto& cache = tc.free_blocks[cls];
-    const size_t spill = cache.size() / 2;
+    const size_t spill = spill_all ? cache.size() : cache.size() / 2;
     if (spill == 0)
         return;
     const size_t shard = home_shard(tc);
@@ -366,7 +489,14 @@ NvHeap::spill_cache(ThreadCache& tc, size_t cls, PersistDomain& dom)
 }
 
 uint64_t
-NvHeap::alloc(size_t size, PersistDomain& dom)
+NvHeap::alloc(size_t size, PersistDomain& dom, TypeId type)
+{
+    return alloc_impl(size, dom, type, /*aligned=*/false);
+}
+
+uint64_t
+NvHeap::alloc_impl(size_t size, PersistDomain& dom, TypeId type,
+                   bool aligned)
 {
     if (size == 0)
         size = 1;
@@ -375,10 +505,14 @@ NvHeap::alloc(size_t size, PersistDomain& dom)
 
     if (cls >= kNumClasses) {
         const size_t payload = (size + 15) & ~size_t{15};
-        const uint64_t off = carve_global(payload, tc.owner_tag, dom);
+        const uint64_t off =
+            carve_global(payload, tc.owner_tag, dom, type, aligned);
         if (off != 0) {
             m_alloc_->fetch_add(1, std::memory_order_relaxed);
             m_oversize_->fetch_add(1, std::memory_order_relaxed);
+            oversize_blocks_.fetch_add(1, std::memory_order_relaxed);
+            oversize_bytes_.fetch_add(payload + sizeof(BlockHeader),
+                                      std::memory_order_relaxed);
             trace::emit(trace::EventKind::kAlloc, off, payload);
         }
         return off;
@@ -399,8 +533,9 @@ NvHeap::alloc(size_t size, PersistDomain& dom)
         off = cache.back();
         cache.pop_back();
         hook();
-        set_meta(off, pack_meta(kBlockLive, tc.owner_tag, epoch()), dom,
-                 /*fence=*/false);
+        set_meta(off,
+                 pack_meta(kBlockLive, tc.owner_tag, epoch(), type, aligned),
+                 dom, /*fence=*/false);
         m_cache_hit_->fetch_add(1, std::memory_order_relaxed);
     }
     // 2. Home-shard free list (cheap racy peek before locking).
@@ -408,15 +543,19 @@ NvHeap::alloc(size_t size, PersistDomain& dom)
         off = shard_pop(home_shard(tc), cls, dom);
         if (off != 0) {
             hook();
-            set_meta(off, pack_meta(kBlockLive, tc.owner_tag, epoch()),
+            set_meta(off,
+                     pack_meta(kBlockLive, tc.owner_tag, epoch(), type,
+                               aligned),
                      dom);
         }
     }
     // 3. Private bump chunk (refilled from the global arena).
     if (off == 0) {
-        off = carve_from_chunk(tc, payload, tc.owner_tag, dom);
+        off = carve_from_chunk(tc, payload, tc.owner_tag, dom, type,
+                               aligned);
         if (off == 0 && refill_chunk(tc, dom))
-            off = carve_from_chunk(tc, payload, tc.owner_tag, dom);
+            off = carve_from_chunk(tc, payload, tc.owner_tag, dom, type,
+                                   aligned);
     }
     // 4. Steal from any shard, then the arena tail, before giving up.
     if (off == 0) {
@@ -424,24 +563,28 @@ NvHeap::alloc(size_t size, PersistDomain& dom)
             off = shard_pop(s, cls, dom);
         if (off != 0) {
             hook();
-            set_meta(off, pack_meta(kBlockLive, tc.owner_tag, epoch()),
+            set_meta(off,
+                     pack_meta(kBlockLive, tc.owner_tag, epoch(), type,
+                               aligned),
                      dom);
         }
     }
     if (off == 0)
-        off = carve_global(payload, tc.owner_tag, dom);
+        off = carve_global(payload, tc.owner_tag, dom, type, aligned);
     if (off != 0) {
         m_alloc_->fetch_add(1, std::memory_order_relaxed);
+        cls_alloc_[cls].fetch_add(1, std::memory_order_relaxed);
         trace::emit(trace::EventKind::kAlloc, off, payload);
     }
     return off;
 }
 
 uint64_t
-NvHeap::alloc_aligned(size_t size, PersistDomain& dom)
+NvHeap::alloc_aligned(size_t size, PersistDomain& dom, TypeId type)
 {
     // Room for the 8-byte tagged back-pointer plus worst-case slack.
-    const uint64_t raw = alloc(size + 8 + 64, dom);
+    const uint64_t raw = alloc_impl(size + 8 + 64, dom, type,
+                                    /*aligned=*/true);
     if (raw == 0)
         return 0;
     const uint64_t aligned = (raw + 8 + 63) & ~uint64_t{63};
@@ -534,6 +677,7 @@ NvHeap::free_block(uint64_t payload_off, PersistDomain& dom)
     m_free_->fetch_add(1, std::memory_order_relaxed);
 
     if (cls < kNumClasses && class_payload(cls) == size) {
+        cls_free_[cls].fetch_add(1, std::memory_order_relaxed);
         auto& cache = tc.free_blocks[cls];
         cache.push_back(payload_off);
         if (cache.size() >= kCacheCap)
@@ -541,6 +685,9 @@ NvHeap::free_block(uint64_t payload_off, PersistDomain& dom)
     } else {
         // Oversize blocks are not recycled (bump-only, as in v1);
         // finalize to FREE so walkers see a settled state.
+        oversize_freed_blocks_.fetch_add(1, std::memory_order_relaxed);
+        oversize_freed_bytes_.fetch_add(size + sizeof(BlockHeader),
+                                        std::memory_order_relaxed);
         hook();
         set_meta(payload_off, pack_meta(kBlockFree, tc.owner_tag, epoch()),
                  dom);
@@ -596,9 +743,7 @@ walk_blocks(PersistentHeap& heap, uint64_t data_begin, uint64_t bump,
             while (b + kHdr <= chunk_end) {
                 const auto* bw = heap.resolve<uint64_t>(b);
                 const uint64_t st = bw[1] & 0xffff;
-                if (st != NvHeap::kBlockLive
-                    && st != NvHeap::kBlockFreeing
-                    && st != NvHeap::kBlockFree)
+                if (!recognized_state(st))
                     break; // unused chunk tail
                 if (bw[0] == 0 || b + kHdr + bw[0] > chunk_end) {
                     if (consistent)
@@ -613,8 +758,7 @@ walk_blocks(PersistentHeap& heap, uint64_t data_begin, uint64_t bump,
             // Oversize (or arena-tail) block carved straight from the
             // global arena.
             const uint64_t st = words[1] & 0xffff;
-            if (st != NvHeap::kBlockLive && st != NvHeap::kBlockFreeing
-                && st != NvHeap::kBlockFree) {
+            if (!recognized_state(st)) {
                 if (consistent)
                     *consistent = false;
                 return;
@@ -673,6 +817,21 @@ NvHeap::check_consistency() const
             }
         }
     }
+    // Retired chunks on the reuse list must still carry their chunk
+    // header (the walk relies on it to skip them as a unit) and the
+    // list must be acyclic.
+    {
+        uint64_t c = st->chunk_free;
+        size_t hops = 0;
+        while (c != 0) {
+            const auto* words = heap_.resolve<uint64_t>(c);
+            if (words[0] != kChunkMagic || words[1] != kChunkBytes)
+                return false;
+            c = *heap_.resolve<uint64_t>(c + sizeof(BlockHeader));
+            if (++hops > heap_.size() / kChunkBytes + 1)
+                return false; // cycle
+        }
+    }
     return true;
 }
 
@@ -718,7 +877,12 @@ NvHeap::recover_leaks(PersistDomain& dom)
                         && kClassSizes[cls] == size;
                     if (!exact)
                         return; // oversize: never relinked (bump-only)
-                    if (s == kBlockFreeing && meta_epoch(meta) < cur_epoch)
+                    // MOVED blocks are compaction carcasses, reclaimed
+                    // only by chunk retirement -- never relinked.
+                    if (s == kBlockMoved)
+                        return;
+                    if (s == kBlockFreeing
+                        && meta_epoch(meta) < epoch_tag(cur_epoch))
                         strays.push_back(payload);
                     else if (s == kBlockFree && !listed.count(payload))
                         strays.push_back(payload);
@@ -728,11 +892,13 @@ NvHeap::recover_leaks(PersistDomain& dom)
     // then head publish fence) -- crashing mid-reclaim just leaves the
     // block a stray for the next reclaim.
     uint64_t reclaimed = 0;
+    uint64_t reclaimed_bytes = 0;
     for (const uint64_t payload : strays) {
         const auto* hdr =
             heap_.resolve<BlockHeader>(payload - sizeof(BlockHeader));
         const size_t cls = class_for_size(hdr->size);
         const size_t shard = reclaimed % kNumShards;
+        reclaimed_bytes += hdr->size + sizeof(BlockHeader);
         uint64_t* head = &st->shards[shard].heads[cls];
         trace::emit(trace::EventKind::kLeakReclaim, payload,
                     meta_state(hdr->meta));
@@ -748,7 +914,66 @@ NvHeap::recover_leaks(PersistDomain& dom)
     }
     if (reclaimed != 0)
         m_leak_reclaim_->fetch_add(reclaimed, std::memory_order_relaxed);
+    reclaim_stats_.blocks += reclaimed;
+    reclaim_stats_.bytes += reclaimed_bytes;
     return reclaimed;
+}
+
+void
+NvHeap::for_each_block(
+    const std::function<void(uint64_t, uint64_t, uint64_t)>& fn) const
+{
+    const HeapState* st = state();
+    walk_blocks(heap_, data_begin_, st->bump, heap_.size(), nullptr,
+                [&](uint64_t payload, uint64_t size, uint64_t meta) {
+                    fn(payload, size, meta);
+                });
+}
+
+TypeId
+NvHeap::block_type(uint64_t payload_off) const
+{
+    // The offset handed out by alloc_aligned points at the *published*
+    // (line-aligned) payload; the back-pointer word right before it
+    // leads to the raw payload whose header carries the meta word.
+    uint64_t raw = payload_off;
+    if (payload_off >= sizeof(uint64_t)) {
+        const uint64_t tag =
+            *heap_.resolve<uint64_t>(payload_off - sizeof(uint64_t));
+        if ((tag & 0xf) == 0x1) {
+            const uint64_t cand = tag & ~uint64_t{0xf};
+            if (cand < payload_off && payload_off - cand <= 8 + 64) {
+                const auto* hdr =
+                    heap_.resolve<BlockHeader>(cand - sizeof(BlockHeader));
+                if (meta_aligned(hdr->meta))
+                    raw = cand;
+            }
+        }
+    }
+    const auto* hdr = heap_.resolve<BlockHeader>(raw - sizeof(BlockHeader));
+    return meta_type(hdr->meta);
+}
+
+void
+NvHeap::flush_transient_caches(PersistDomain& dom)
+{
+    // Push every cached FREEING block onto the durable shard lists so
+    // no transient cache holds an offset into a chunk the GC is about
+    // to relocate or retire.  Chunk cursors are abandoned too: a
+    // cursor into a chunk the GC then retires would otherwise carve
+    // LIVE headers into a zeroed (possibly re-handed-out) chunk.  The
+    // abandoned tail is dead space until its chunk empties and
+    // retires, the same bounded cost a crash already has.
+    std::lock_guard<std::mutex> g(tc_mutex_);
+    for (auto& up : tcs_) {
+        ThreadCache& tc = *up;
+        for (size_t c = 0; c < kNumClasses; ++c) {
+            if (!tc.free_blocks[c].empty())
+                spill_cache(tc, c, dom, /*spill_all=*/true);
+        }
+        tc.chunk_cursor = 0;
+        tc.chunk_end = 0;
+    }
 }
 
 } // namespace ido::nvm

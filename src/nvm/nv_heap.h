@@ -60,12 +60,16 @@
 #include <mutex>
 #include <vector>
 
+#include "common/panic.h"
+
 #include "nvm/persist_domain.h"
 #include "nvm/persistent_heap.h"
+#include "nvm/root_registry.h"
 
 namespace ido::nvm {
 
 class PersistDomain;
+class HeapGc;
 
 class NvHeap
 {
@@ -83,6 +87,8 @@ class NvHeap
     static constexpr uint64_t kBlockLive = 0xa1ce;
     static constexpr uint64_t kBlockFreeing = 0xf4e2; ///< phase 1
     static constexpr uint64_t kBlockFree = 0xf4ee;    ///< phase 2
+    /** Relocated by compaction: the journal maps it to its copy. */
+    static constexpr uint64_t kBlockMoved = 0x30ed;
 
     /** First word of a chunk; cannot collide with a block size. */
     static constexpr uint64_t kChunkMagic = 0xc7a2c7a2c7a2c7a2ull;
@@ -101,15 +107,22 @@ class NvHeap
     /**
      * Allocate size bytes; returns the heap offset of the payload, or
      * 0 if the arena is exhausted.  Payloads are 16-byte aligned.
+     * `type` is stamped into the block header's meta word so the GC
+     * can trace the block from its TypeDescriptor alone; kUntyped
+     * blocks are conservatively kept but never traced through.
      */
-    uint64_t alloc(size_t size, PersistDomain& dom);
+    uint64_t alloc(size_t size, PersistDomain& dom,
+                   TypeId type = TypeId::kUntyped);
 
     /**
      * Allocate with the payload aligned to a cache line (durable
      * tagged back-pointer below the payload, as in v1), for log
-     * records and line-padded nodes.
+     * records and line-padded nodes.  The header carries an aligned
+     * bit so walkers recompute the published payload offset
+     * deterministically.
      */
-    uint64_t alloc_aligned(size_t size, PersistDomain& dom);
+    uint64_t alloc_aligned(size_t size, PersistDomain& dom,
+                           TypeId type = TypeId::kUntyped);
 
     /**
      * Return a block obtained from alloc() or alloc_aligned().
@@ -137,13 +150,18 @@ class NvHeap
      * published as the new root, so a crash at any point leaves the
      * list either without the record or with it fully initialized.
      * Serialized per slot, not globally.  Returns 0 when exhausted.
+     * The slot must be declared kBlockRef in the RootRegistry and the
+     * record is stamped with `type`, so every list this primitive
+     * builds is traceable by the GC from metadata alone.
      */
     template <typename InitFn>
     uint64_t
-    alloc_linked(RootSlot slot, size_t size, PersistDomain& dom,
-                 InitFn&& init)
+    alloc_linked(RootSlot slot, TypeId type, size_t size,
+                 PersistDomain& dom, InitFn&& init)
     {
-        const uint64_t off = alloc_aligned(size, dom);
+        IDO_ASSERT(RootRegistry::describe(slot).kind == RootKind::kBlockRef,
+                   "alloc_linked into a non-reference root slot");
+        const uint64_t off = alloc_aligned(size, dom, type);
         if (off == 0)
             return 0;
         std::lock_guard<std::mutex> g(
@@ -184,8 +202,40 @@ class NvHeap
      */
     uint64_t recover_leaks(PersistDomain& dom);
 
+    /** Cumulative recover_leaks() results since this attach. */
+    struct ReclaimStats
+    {
+        uint64_t blocks = 0;
+        uint64_t bytes = 0;
+    };
+    ReclaimStats reclaim_stats() const { return reclaim_stats_; }
+
     /** Current attach epoch (diagnostics / tests). */
     uint64_t epoch() const;
+
+    /**
+     * Invoke fn(raw_payload_off, size, meta) for every block in the
+     * arena (chunks' packed prefixes plus oversize extents).
+     * Quiescent callers only.  The published payload of an aligned
+     * block (meta_aligned) is (raw + 8 + 63) & ~63.
+     */
+    void for_each_block(
+        const std::function<void(uint64_t, uint64_t, uint64_t)>& fn) const;
+
+    /**
+     * TypeId recorded for the block owning `payload_off` (follows the
+     * aligned back-pointer, so published offsets work).  kUntyped for
+     * blocks allocated before the typed layer or without a type.
+     */
+    TypeId block_type(uint64_t payload_off) const;
+
+    /**
+     * Complete phase 2 of every parked free in every thread cache and
+     * empty the caches.  Quiescent callers only (GC/compaction prep:
+     * after this no transient cache references any block, so retiring
+     * a chunk cannot orphan a parked entry).
+     */
+    void flush_transient_caches(PersistDomain& dom);
 
     /**
      * Test hook fired at every durable protocol step (fence-adjacent
@@ -197,6 +247,7 @@ class NvHeap
     void set_crash_hook(std::function<void()> hook_fn);
 
   private:
+    friend class HeapGc; ///< mark/sweep + compaction (heap_gc.h)
     /** 16-byte header preceding every payload. */
     struct BlockHeader
     {
@@ -215,11 +266,16 @@ class NvHeap
     /** Persistent allocator metadata, stored at root kAllocator. */
     struct HeapState
     {
-        uint64_t magic; ///< kStateMagic (v1 images have an offset here)
-        uint64_t bump;  ///< next unused global arena offset
-        uint64_t end;   ///< arena end offset
-        uint64_t epoch; ///< attach epoch (bumped durably per attach)
-        uint64_t pad0[4];
+        uint64_t magic;      ///< kStateMagic (v1 images have an offset here)
+        uint64_t bump;       ///< next unused global arena offset
+        uint64_t end;        ///< arena end offset
+        uint64_t epoch;      ///< attach epoch (bumped durably per attach)
+        uint64_t chunk_free; ///< head of retired-chunk list (0 = empty;
+                             ///< zero on pre-GC images, so backward
+                             ///< compatible).  Next link of a retired
+                             ///< chunk lives in its first header slot.
+        uint64_t compact_journal; ///< relocation journal block (0 = none)
+        uint64_t pad0[2];
         ShardList shards[kNumShards];
     };
     static_assert(sizeof(HeapState) == 64 + kNumShards * sizeof(ShardList));
@@ -236,11 +292,21 @@ class NvHeap
         std::vector<uint64_t> free_blocks[kNumClasses];
     };
 
+    // Meta word layout: state(16) | owner(16) | type(7) | aligned(1) |
+    // epoch(24).  The type tag and aligned bit live in the block's own
+    // header line (InCLL-style co-location) so the GC can classify and
+    // relocate blocks without touching any mutator-visible line; the
+    // epoch keeps 24 bits, still far beyond any realistic attach count.
+    static constexpr uint64_t kMetaAlignedBit = uint64_t{1} << 39;
+
     static uint64_t
-    pack_meta(uint64_t state, uint16_t owner, uint64_t epoch)
+    pack_meta(uint64_t state, uint16_t owner, uint64_t epoch,
+              TypeId type = TypeId::kUntyped, bool aligned = false)
     {
         return (state & 0xffff) | (uint64_t{owner} << 16)
-               | ((epoch & 0xffffffff) << 32);
+               | ((uint64_t{static_cast<uint8_t>(type)} & 0x7f) << 32)
+               | (aligned ? kMetaAlignedBit : 0)
+               | ((epoch & 0xffffff) << 40);
     }
     static uint64_t meta_state(uint64_t meta) { return meta & 0xffff; }
     static uint16_t
@@ -248,7 +314,20 @@ class NvHeap
     {
         return static_cast<uint16_t>(meta >> 16);
     }
-    static uint64_t meta_epoch(uint64_t meta) { return meta >> 32; }
+    static TypeId
+    meta_type(uint64_t meta)
+    {
+        return static_cast<TypeId>((meta >> 32) & 0x7f);
+    }
+    static bool meta_aligned(uint64_t meta)
+    {
+        return (meta & kMetaAlignedBit) != 0;
+    }
+    static uint64_t meta_epoch(uint64_t meta) { return meta >> 40; }
+
+    /** Epoch truncated to the header field's width, for staleness
+     *  comparisons against meta_epoch(). */
+    static uint64_t epoch_tag(uint64_t epoch) { return epoch & 0xffffff; }
 
     static size_t class_for_size(size_t size);
     static size_t class_payload(size_t cls);
@@ -274,23 +353,31 @@ class NvHeap
     void set_meta(uint64_t payload_off, uint64_t meta, PersistDomain& dom,
                   bool fence = true);
 
+    /** Shared allocation path behind alloc()/alloc_aligned(). */
+    uint64_t alloc_impl(size_t size, PersistDomain& dom, TypeId type,
+                        bool aligned);
+
     /** Carve one block from the thread's chunk; 0 if it doesn't fit. */
     uint64_t carve_from_chunk(ThreadCache& tc, size_t payload,
-                              uint16_t owner, PersistDomain& dom);
+                              uint16_t owner, PersistDomain& dom,
+                              TypeId type, bool aligned);
 
-    /** Refill the thread's chunk from the global arena. */
+    /** Refill the thread's chunk: retired-chunk list first, then the
+     *  global arena bump. */
     bool refill_chunk(ThreadCache& tc, PersistDomain& dom);
 
     /** Pop from one shard's class list; 0 if empty. */
     uint64_t shard_pop(size_t shard, size_t cls, PersistDomain& dom);
 
-    /** Spill half of one transient class cache to the home shard. */
-    void spill_cache(ThreadCache& tc, size_t cls, PersistDomain& dom);
+    /** Spill half (or, for the GC, all) of one transient class cache
+     *  to the home shard. */
+    void spill_cache(ThreadCache& tc, size_t cls, PersistDomain& dom,
+                     bool spill_all = false);
 
     /** Carve an exact-size block from the global arena (oversize and
      *  arena-tail allocations). */
     uint64_t carve_global(size_t payload, uint16_t owner,
-                          PersistDomain& dom);
+                          PersistDomain& dom, TypeId type, bool aligned);
 
     /** Validate a block header before freeing; panics on violation. */
     void validate_for_free(uint64_t payload_off, const BlockHeader* hdr,
@@ -320,6 +407,22 @@ class NvHeap
     std::atomic<uint64_t>* m_shard_pop_;
     std::atomic<uint64_t>* m_leak_reclaim_;
     std::atomic<uint64_t>* m_oversize_;
+    std::atomic<uint64_t>* m_chunk_reuse_;
+
+    // Per-size-class occupancy accounting (transient estimates kept at
+    // alloc/free time; gauges derive live/free splits and the
+    // fragmentation ratio from them without walking the heap).
+    std::atomic<uint64_t> cls_alloc_[kNumClasses];
+    std::atomic<uint64_t> cls_free_[kNumClasses];
+    std::atomic<uint64_t> oversize_blocks_{0};
+    std::atomic<uint64_t> oversize_freed_blocks_{0};
+    std::atomic<uint64_t> oversize_bytes_{0};
+    std::atomic<uint64_t> oversize_freed_bytes_{0};
+
+    ReclaimStats reclaim_stats_; ///< under refill_mutex_ (recover_leaks)
+
+    /** Estimated live payload+header bytes (from the class counters). */
+    uint64_t live_bytes_estimate() const;
 };
 
 } // namespace ido::nvm

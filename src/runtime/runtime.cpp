@@ -16,13 +16,14 @@ Runtime::Runtime(nvm::PersistentHeap& heap, nvm::PersistDomain& dom,
 uint32_t
 Runtime::bump_lock_epoch()
 {
-    uint64_t n = heap_.root(nvm::RootSlot::kLockEpoch);
+    uint64_t n =
+        nvm::RootRegistry::get_scalar(heap_, nvm::RootSlot::kLockEpoch);
     // Tag 0 is reserved: a zero-initialized holder slot must never
     // look current.  (The tag is the low 16 bits of the epoch.)
     do {
         ++n;
     } while ((n & 0xffff) == 0);
-    heap_.set_root(nvm::RootSlot::kLockEpoch, n, dom_);
+    nvm::RootRegistry::set_scalar(heap_, nvm::RootSlot::kLockEpoch, n, dom_);
     const auto epoch = static_cast<uint32_t>(n);
     locks_.set_epoch(epoch);
     return epoch;
@@ -122,12 +123,16 @@ uint64_t
 RuntimeThread::nv_alloc(size_t n)
 {
     crash_tick();
+    // Consume the pending type tag (set by nv_alloc_as); it must not
+    // leak into an unrelated later allocation.
+    const nvm::TypeId type = pending_alloc_type_;
+    pending_alloc_type_ = nvm::TypeId::kUntyped;
     // Line-sized objects get line alignment (false-sharing padding and
     // honest per-line flush accounting); small ones stay compact
     // unless a persist plan's placement directive is in flight.
     const uint64_t off = (force_line_align_ || n >= kCacheLineBytes)
-        ? rt_.allocator().alloc_aligned(n, dom())
-        : rt_.allocator().alloc(n, dom());
+        ? rt_.allocator().alloc_aligned(n, dom(), type)
+        : rt_.allocator().alloc(n, dom(), type);
     if (off == 0)
         panic("nv_alloc: persistent arena exhausted (%zu bytes requested)",
               n);

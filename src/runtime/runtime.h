@@ -71,6 +71,15 @@ struct RuntimeConfig
 
     /** Per-thread Atlas/JUSTDO/Mnemosyne/NVThreads log bytes. */
     size_t log_bytes_per_thread = 1u << 20;
+
+    /**
+     * Run the heap GC in repair mode during recover(): unreachable
+     * LIVE blocks are reclaimed after the log-driven recovery settles.
+     * Off by default -- audit-only -- because reachability is decided
+     * from the typed root registry, and a harness holding block offsets
+     * in transient variables (tests do) would see its data collected.
+     */
+    bool gc_repair_on_recovery = false;
 };
 
 class RuntimeThread;
@@ -195,6 +204,27 @@ class RuntimeThread
      * through the virtual nv_alloc so runtime logging still applies.
      */
     uint64_t nv_alloc_line(size_t n);
+
+    /**
+     * Typed allocation: tag the block's header with its TypeId so the
+     * heap GC can trace it from the root registry's descriptors.  The
+     * tag rides a pending slot consumed by the virtual nv_alloc, so
+     * subclass logging hooks still run (same trick as nv_alloc_line).
+     */
+    uint64_t
+    nv_alloc_as(nvm::TypeId type, size_t n)
+    {
+        pending_alloc_type_ = type;
+        return nv_alloc(n);
+    }
+
+    /** nv_alloc_line with a type tag. */
+    uint64_t
+    nv_alloc_line_as(nvm::TypeId type, size_t n)
+    {
+        pending_alloc_type_ = type;
+        return nv_alloc_line(n);
+    }
 
     /** Free persistent memory; deferred until the FASE commits. */
     virtual void nv_free(uint64_t off);
@@ -329,6 +359,7 @@ class RuntimeThread
     bool in_fase_ = false;
     bool lock_taken_in_region_ = false;
     bool force_line_align_ = false; ///< nv_alloc_line() is in flight
+    nvm::TypeId pending_alloc_type_ = nvm::TypeId::kUntyped;
 
   private:
 

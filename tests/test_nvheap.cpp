@@ -163,7 +163,7 @@ TEST_F(NvHeapFixture, AllocLinkedBuildsList)
     std::vector<uint64_t> offs;
     for (uint64_t i = 1; i <= 5; ++i) {
         const uint64_t off = h.alloc_linked(
-            RootSlot::kUser0, sizeof(Rec), dom,
+            RootSlot::kUser0, TypeId::kTestBlock, sizeof(Rec), dom,
             [&](void* rec, uint64_t prev_head) {
                 Rec init{prev_head, i};
                 dom.store(rec, &init, sizeof(init));
@@ -273,9 +273,17 @@ run_script(NvHeap& h, PersistDomain& dom,
     scratch.clear();
     // Oversize, aligned, and linked allocations.
     keep(h.alloc(6000, dom), 6000);
+    // Oversize free: the bump-only arm (never relinked, settles to a
+    // FREE tombstone) must survive mid-free crashes like every other.
+    {
+        const uint64_t big = h.alloc(5000, dom);
+        ASSERT_NE(big, 0u);
+        h.free_block(big, dom);
+    }
     keep(h.alloc_aligned(200, dom), 200);
     const uint64_t rec = h.alloc_linked(
-        RootSlot::kUser1, 32, dom, [&](void* p, uint64_t prev_head) {
+        RootSlot::kUser1, TypeId::kTestBlock, 32, dom,
+        [&](void* p, uint64_t prev_head) {
             uint64_t words[4] = {prev_head, 0xbeef, 0, 0};
             dom.store(p, words, sizeof(words));
         });
@@ -361,6 +369,85 @@ TEST(NvHeapCrashSweep, EveryFusePointEveryPolicy)
         // script must actually contain fuse points.
         EXPECT_GT(completed_at, 20)
             << "script has suspiciously few protocol steps";
+    }
+}
+
+/**
+ * Double-dirty attach: the leak-reclamation pass itself dies mid-relink
+ * and the *next* attach must converge on whatever it left behind --
+ * half-relinked FREE blocks, unpublished heads, and untouched stale
+ * FREEING strays -- under every crash policy.
+ */
+TEST(NvHeapCrashSweep, DoubleDirtyAttachConverges)
+{
+    constexpr int kStrays = 20;
+    for (const CrashPolicy policy :
+         {CrashPolicy::kDropAll, CrashPolicy::kPersistAll,
+          CrashPolicy::kRandom}) {
+        int completed_at = -1;
+        for (int fuse = 1; fuse < 1000; ++fuse) {
+            PersistentHeap heap({.size = 4u << 20});
+            // Run 1: park kStrays frees in the transient cache and die
+            // without spilling.  The FREEING marks are durable; the
+            // cache is not, so the blocks become epoch-stale strays.
+            {
+                RealDomain dom;
+                NvHeap h1(heap, dom);
+                std::vector<uint64_t> offs;
+                for (int i = 0; i < kStrays; ++i) {
+                    offs.push_back(h1.alloc(64, dom));
+                    ASSERT_NE(offs.back(), 0u);
+                }
+                for (uint64_t off : offs)
+                    h1.free_block(off, dom);
+            }
+            // Run 2: re-attach (the epoch bump makes the strays
+            // reclaimable) and crash partway through the reclamation.
+            bool crashed = false;
+            {
+                ShadowDomain shadow(heap.base(), heap.size(),
+                                    static_cast<uint64_t>(fuse) * 53
+                                        + 3);
+                NvHeap h2(heap, shadow);
+                int steps = 0;
+                h2.set_crash_hook([&] {
+                    if (++steps == fuse)
+                        throw HookCrash{};
+                });
+                try {
+                    h2.recover_leaks(shadow);
+                } catch (const HookCrash&) {
+                    crashed = true;
+                }
+                h2.set_crash_hook(nullptr);
+                if (crashed)
+                    shadow.crash(policy);
+            }
+            if (!crashed) {
+                completed_at = fuse;
+                break;
+            }
+            heap.simulate_fresh_open();
+            // Run 3: a third epoch; reclamation must now converge.
+            RealDomain dom;
+            NvHeap h3(heap, dom);
+            h3.recover_leaks(dom);
+            EXPECT_EQ(h3.recover_leaks(dom), 0u)
+                << "reclamation did not converge (policy "
+                << static_cast<int>(policy) << " fuse " << fuse << ")";
+            EXPECT_TRUE(h3.check_consistency())
+                << "policy " << static_cast<int>(policy) << " fuse "
+                << fuse;
+            EXPECT_EQ(h3.live_blocks(), 0u)
+                << "a freed block came back LIVE (policy "
+                << static_cast<int>(policy) << " fuse " << fuse << ")";
+            if (::testing::Test::HasFailure())
+                return;
+        }
+        // One hook fires per relinked stray, so the interrupted pass
+        // must have swept every block before completing.
+        EXPECT_GT(completed_at, 2)
+            << "reclamation exposed no fuse points";
     }
 }
 

@@ -1,0 +1,350 @@
+/**
+ * @file
+ * ido_heap: offline heap maintenance CLI for NvHeap v2.
+ *
+ * Attaches to an ido heap file and runs the reachability GC against
+ * it.  A dirty heap (crash flag set) is first taken through full iDO
+ * recovery -- resumed FASEs retire their log records, which would
+ * otherwise pin the heap -- unless --no-recover asks for a raw look.
+ *
+ * Subcommands:
+ *   audit    read-only census + leak/dangling report.  Exit 1 when
+ *            any unreachable-live block or dangling link is found.
+ *   gc       audit + reclaim unreachable blocks (HeapGc::repair).
+ *            Exit 1 if reclamation was refused (reachable opaque
+ *            block) or findings remain.
+ *   compact  gc, then relocate live blocks out of sparse chunks and
+ *            retire the emptied chunks onto the reuse list.
+ *   stats    census only, always exit 0 (monitoring-friendly).
+ *   selftest build a throwaway heap in-process, run a churn workload
+ *            through the iDO runtime, and exercise
+ *            audit/repair/compact end to end (CI hook; no --heap).
+ *
+ * Usage:
+ *   ido_heap <audit|gc|compact|stats> --heap=PATH [--heap-bytes=N]
+ *            [--json] [--no-recover]
+ *   ido_heap selftest [--json]
+ *
+ * --json prints the GcStats object as one JSON line (the CI churn
+ * soak archives `ido_heap audit --json` as its artifact); otherwise a
+ * human table plus the capped findings list is printed.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/memcached_mini.h"
+#include "apps/redis_mini.h"
+#include "ido/ido_runtime.h"
+#include "nvm/heap_gc.h"
+#include "nvm/persistent_heap.h"
+#include "nvm/root_registry.h"
+
+using namespace ido;
+
+namespace {
+
+bool
+parse_flag(const char* arg, const char* name, std::string* out)
+{
+    const size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) != 0 || arg[n] != '=')
+        return false;
+    *out = arg + n + 1;
+    return true;
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: ido_heap <audit|gc|compact|stats> --heap=PATH\n"
+                 "                [--heap-bytes=N] [--json] "
+                 "[--no-recover]\n"
+                 "       ido_heap selftest [--json]\n");
+    return 2;
+}
+
+void
+print_human(const char* cmd, const nvm::GcStats& s)
+{
+    std::printf("== ido_heap %s ==\n", cmd);
+    std::printf("%-22s %llu blocks / %llu bytes in %llu chunks\n",
+                "census:",
+                static_cast<unsigned long long>(s.blocks),
+                static_cast<unsigned long long>(s.bytes),
+                static_cast<unsigned long long>(s.chunks));
+    std::printf("%-22s live %llu (%llu B)  free %llu  moved %llu\n",
+                "states:",
+                static_cast<unsigned long long>(s.live_blocks),
+                static_cast<unsigned long long>(s.live_bytes),
+                static_cast<unsigned long long>(s.free_blocks),
+                static_cast<unsigned long long>(s.moved_blocks));
+    std::printf("%-22s leaked %llu (%llu B)  dangling %llu  "
+                "opaque %llu  pinned %llu\n",
+                "findings:",
+                static_cast<unsigned long long>(s.leaked_blocks),
+                static_cast<unsigned long long>(s.leaked_bytes),
+                static_cast<unsigned long long>(s.dangling_links),
+                static_cast<unsigned long long>(s.opaque_live),
+                static_cast<unsigned long long>(s.pinned_blocks));
+    std::printf("%-22s reclaimed %llu (%llu B)  relocated %llu (%llu B)"
+                "  retired %llu chunks  journal-resolved %llu\n",
+                "actions:",
+                static_cast<unsigned long long>(s.reclaimed_blocks),
+                static_cast<unsigned long long>(s.reclaimed_bytes),
+                static_cast<unsigned long long>(s.relocated_blocks),
+                static_cast<unsigned long long>(s.relocated_bytes),
+                static_cast<unsigned long long>(s.chunks_retired),
+                static_cast<unsigned long long>(s.journal_resolved));
+    if (s.repair_refused)
+        std::printf("NOTE: reclamation refused (reachable opaque "
+                    "block)\n");
+    if (s.relocation_refused)
+        std::printf("NOTE: relocation refused (pinned or opaque live "
+                    "blocks); empty chunks still retired\n");
+    for (const std::string& f : s.findings)
+        std::printf("  - %s\n", f.c_str());
+}
+
+void
+report(const char* cmd, const nvm::GcStats& s, bool json)
+{
+    if (json)
+        std::printf("%s\n", s.to_json().c_str());
+    else
+        print_human(cmd, s);
+    std::fflush(stdout);
+}
+
+/**
+ * Exit policy per subcommand.  An audit fails on any leak; gc reports
+ * the leaks it *found* in its stats, so reclaiming them is success and
+ * only a refusal (or a dangling link, which nothing can repair) fails;
+ * compact runs after reclamation and can legitimately refuse
+ * relocation while pins exist, so only dangling links fail it.
+ */
+bool
+clean(const std::string& cmd, const nvm::GcStats& s)
+{
+    if (s.dangling_links != 0)
+        return false;
+    if (cmd == "audit")
+        return s.leaked_blocks == 0;
+    if (cmd == "gc")
+        return !s.repair_refused;
+    return true; // compact
+}
+
+int
+run_file_command(const std::string& cmd, const std::string& heap_path,
+                 uint64_t heap_bytes, bool json, bool no_recover)
+{
+    nvm::PersistentHeap heap(
+        { .path = heap_path, .size = heap_bytes, .reset = false });
+    nvm::RealDomain dom;
+    ido::IdoRuntime rt(heap, dom, rt::RuntimeConfig{});
+    // The heap may hold app structures; their FASEs must be
+    // registered before recovery can resume an interrupted one.
+    apps::MemcachedMini::register_programs();
+    apps::RedisMini::register_programs();
+
+    const bool was_dirty = heap.recovered_from_crash();
+    if (was_dirty && !no_recover)
+        rt.recover();
+    else if (was_dirty)
+        std::fprintf(stderr,
+                     "ido_heap: heap is dirty (crashed) and "
+                     "--no-recover was given; expect pinned log "
+                     "records\n");
+
+    nvm::HeapGc gc(rt.allocator(), dom);
+    nvm::GcStats s;
+    if (cmd == "audit" || cmd == "stats")
+        s = gc.audit();
+    else if (cmd == "gc")
+        s = gc.repair();
+    else // compact (reclaims leaks first so their chunks can empty)
+        s = gc.compact();
+    nvm::HeapGc::publish(s);
+
+    // A recovered-and-swept heap is consistent; record the clean
+    // shutdown so the next attach skips recovery.  A dirty heap we
+    // refused to recover keeps its crash flag.
+    if (!was_dirty || !no_recover)
+        heap.mark_clean(dom);
+
+    report(cmd.c_str(), s, json);
+    if (cmd == "stats")
+        return 0;
+    return clean(cmd, s) ? 0 : 1;
+}
+
+/**
+ * In-process end-to-end exercise on a throwaway heap: churn a
+ * memcached + redis corpus through the iDO runtime, verify the audit
+ * is clean, plant typed leaks and reclaim them, then delete most of
+ * the corpus and compact, checking every surviving key's value
+ * afterwards.  Returns 0 on pass, 1 with a FAIL line on the first
+ * violated expectation.
+ */
+int
+run_selftest(bool json)
+{
+    int failures = 0;
+    const auto expect = [&](bool ok, const char* what) {
+        if (!ok) {
+            std::fprintf(stderr, "FAIL: %s\n", what);
+            ++failures;
+        }
+    };
+
+    nvm::PersistentHeap heap({ .path = "", .size = 16u << 20 });
+    nvm::RealDomain dom;
+    ido::IdoRuntime rt(heap, dom, rt::RuntimeConfig{});
+    apps::MemcachedMini::register_programs();
+    apps::RedisMini::register_programs();
+    // The selftest's leak blocks are typed leaves, so the GC can both
+    // count and reclaim them without tripping the opaque veto.
+    nvm::TypeDescriptor leak_desc;
+    leak_desc.name = "heapcli.leak";
+    nvm::TypeRegistry::instance().register_type(nvm::TypeId::kTestBlock,
+                                                leak_desc);
+
+    std::unique_ptr<rt::RuntimeThread> th = rt.make_thread();
+    const uint64_t mc_root = apps::MemcachedMini::create(*th, 2, 64);
+    nvm::RootRegistry::set_ref(heap, nvm::RootSlot::kAppRoot, mc_root,
+                               dom);
+    const uint64_t rd_root = apps::RedisMini::create(*th, 64);
+    nvm::RootRegistry::set_ref(heap, nvm::RootSlot::kUser0, rd_root,
+                               dom);
+
+    apps::MemcachedMini cache(heap, mc_root);
+    apps::RedisMini store(heap, rd_root);
+    constexpr uint64_t kKeys = 400;
+    for (uint64_t k = 0; k < kKeys; ++k) {
+        cache.set(*th, k, k ^ 0x5a5a, k * 3 + 1);
+        if (k % 2 == 0)
+            store.set(*th, k, k + 1000);
+    }
+    for (uint64_t k = 0; k < kKeys; k += 3)
+        cache.del(*th, k, k ^ 0x5a5a);
+
+    nvm::HeapGc gc(rt.allocator(), dom);
+    nvm::GcStats s = gc.audit();
+    expect(s.leaked_blocks == 0, "clean corpus audits zero leaks");
+    expect(s.dangling_links == 0, "clean corpus has no dangling links");
+    expect(s.live_blocks > kKeys, "corpus blocks are all visible");
+
+    // Plant typed leaks: allocated through the runtime, never rooted.
+    constexpr uint64_t kLeaks = 8;
+    for (uint64_t i = 0; i < kLeaks; ++i)
+        expect(th->nv_alloc_as(nvm::TypeId::kTestBlock, 48 + i * 16)
+                   != 0,
+               "leak allocation succeeds");
+    s = gc.audit();
+    expect(s.leaked_blocks == kLeaks, "audit counts planted leaks");
+
+    s = gc.repair();
+    expect(!s.repair_refused, "typed corpus permits reclamation");
+    expect(s.reclaimed_blocks == kLeaks, "repair reclaims the leaks");
+    s = gc.audit();
+    expect(s.leaked_blocks == 0, "post-repair audit is clean");
+
+    // Empty out most chunks, then compact and re-verify content.
+    for (uint64_t k = 0; k < kKeys; ++k)
+        if (k % 3 != 0 && k % 16 != 1)
+            cache.del(*th, k, k ^ 0x5a5a);
+    for (uint64_t k = 0; k < kKeys; k += 2)
+        if (k % 8 != 2)
+            store.del(*th, k);
+    s = gc.compact();
+    expect(!s.relocation_refused, "quiescent heap permits relocation");
+    expect(s.chunks_retired > 0, "compaction retires emptied chunks");
+    expect(s.leaked_blocks == 0, "compaction census stays clean");
+    // Compaction may relocate the root blocks themselves; transient
+    // handles must be re-resolved from the rewritten root slots (the
+    // quiescence contract every GC caller signs up to).
+    const uint64_t mc_root2 =
+        nvm::RootRegistry::get_ref(heap, nvm::RootSlot::kAppRoot);
+    const uint64_t rd_root2 =
+        nvm::RootRegistry::get_ref(heap, nvm::RootSlot::kUser0);
+    apps::MemcachedMini cache2(heap, mc_root2);
+    apps::RedisMini store2(heap, rd_root2);
+    for (uint64_t k = 0; k < kKeys; ++k) {
+        uint64_t v = 0;
+        const bool hit = cache2.get(*th, k, k ^ 0x5a5a, &v);
+        const bool want = k % 3 != 0 && k % 16 == 1;
+        if (want)
+            expect(hit && v == k * 3 + 1,
+                   "surviving key intact after compaction");
+        else
+            expect(!hit, "deleted key stays deleted after compaction");
+    }
+    for (uint64_t k = 0; k < kKeys; k += 2) {
+        uint64_t v = 0;
+        const bool hit = store2.get(*th, k, &v);
+        if (k % 8 == 2)
+            expect(hit && v == k + 1000,
+                   "surviving redis key intact after compaction");
+        else
+            expect(!hit,
+                   "deleted redis key stays deleted after compaction");
+    }
+    expect(rt.allocator().check_consistency(),
+           "allocator consistent after compaction");
+    const nvm::GcStats after = gc.audit();
+    expect(after.leaked_blocks == 0 && after.dangling_links == 0,
+           "post-compaction audit is clean");
+    expect(apps::MemcachedMini::check_invariants(heap, mc_root2),
+           "memcached invariants hold after compaction");
+    expect(apps::RedisMini::check_invariants(heap, rd_root2),
+           "redis invariants hold after compaction");
+
+    report("selftest", after, json);
+    if (failures == 0)
+        std::printf("selftest PASS\n");
+    else
+        std::printf("selftest FAIL (%d)\n", failures);
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    std::string heap_path;
+    uint64_t heap_bytes = 64u << 20;
+    bool json = false;
+    bool no_recover = false;
+
+    for (int i = 2; i < argc; ++i) {
+        std::string val;
+        if (parse_flag(argv[i], "--heap", &val))
+            heap_path = val;
+        else if (parse_flag(argv[i], "--heap-bytes", &val))
+            heap_bytes = std::strtoull(val.c_str(), nullptr, 10);
+        else if (std::strcmp(argv[i], "--json") == 0)
+            json = true;
+        else if (std::strcmp(argv[i], "--no-recover") == 0)
+            no_recover = true;
+        else
+            return usage();
+    }
+
+    if (cmd == "selftest")
+        return run_selftest(json);
+    if (cmd != "audit" && cmd != "gc" && cmd != "compact"
+        && cmd != "stats")
+        return usage();
+    if (heap_path.empty() || heap_bytes < (1u << 20))
+        return usage();
+    return run_file_command(cmd, heap_path, heap_bytes, json,
+                            no_recover);
+}

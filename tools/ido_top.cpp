@@ -154,6 +154,16 @@ render(const std::map<std::string, double>& cur,
                     get(cur, base + ".p99_ns") / 1e3,
                     get(cur, base + ".p999_ns") / 1e3);
     }
+    // Heap occupancy: live/free split, fragmentation share of the
+    // consumed arena (served in ppm), and what the last GC run saw.
+    std::printf("heap live %.0f blk / free %.0f blk    frag %5.2f%%    "
+                "gc leaks %.0f (%.0f B)  retired %.0f chunks\n",
+                get(cur, "nvheap.live_blocks_est"),
+                get(cur, "nvheap.free_pool_blocks_est"),
+                get(cur, "heap.fragmentation") / 1e4,
+                get(cur, "heap.gc.leaked_blocks"),
+                get(cur, "heap.gc.leaked_bytes"),
+                get(cur, "heap.gc.chunks_retired"));
     std::string depths;
     for (int s = 0; s < 16; ++s) {
         const std::string k =
