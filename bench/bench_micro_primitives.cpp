@@ -19,6 +19,7 @@
 #include "compiler/fase_compiler.h"
 #include "compiler/ir_library.h"
 #include "ds/stack.h"
+#include "fuzz/rr.h"
 #include "ido/ido_runtime.h"
 #include "nvm/heap_gc.h"
 #include "nvm/nv_heap.h"
@@ -368,6 +369,115 @@ run_heap_series()
           [](const nvm::GcStats& s) { return s.relocated_blocks; });
 }
 
+// --------------------------------------------------------------------------
+// Record/replay overhead series (BENCH_fuzz.json)
+// --------------------------------------------------------------------------
+
+/**
+ * Fixed-op shadowed alloc/free churn: every allocator shard acquisition
+ * and every ShadowDomain shard acquisition is an rr sync point, so this
+ * is the worst realistic density of recorded ops.  Returns wall time.
+ */
+struct RrChurnWorld
+{
+    RrChurnWorld()
+        : heap({.size = 256u << 20}),
+          shadow(heap.base(), heap.size(), 1),
+          alloc(heap, shadow)
+    {
+    }
+    nvm::PersistentHeap heap;
+    nvm::ShadowDomain shadow;
+    nvm::NvHeap alloc;
+};
+
+double
+rr_churn(RrChurnWorld& w, uint32_t threads, uint64_t ops_per_thread)
+{
+    nvm::PersistentHeap& heap = w.heap;
+    nvm::ShadowDomain& shadow = w.shadow;
+    nvm::NvHeap& alloc = w.alloc;
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> workers;
+    for (uint32_t t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            fuzz::rr::ThreadScope scope(t); // no-op when rr is off
+            Rng rng(t * 7919 + 13);
+            std::vector<uint64_t> live;
+            live.reserve(128);
+            for (uint64_t i = 0; i < ops_per_thread; ++i) {
+                if (live.size() < 64 || rng.percent(50)) {
+                    const uint64_t off =
+                        alloc.alloc(8 + rng.next_below(248), shadow);
+                    if (off == 0)
+                        continue;
+                    uint64_t stamp = off ^ (uint64_t{t} << 48);
+                    void* p = heap.resolve<void>(off);
+                    shadow.store(p, &stamp, sizeof(stamp));
+                    shadow.flush(p, sizeof(stamp));
+                    shadow.fence();
+                    live.push_back(off);
+                } else {
+                    const size_t idx = rng.next_below(live.size());
+                    alloc.free_block(live[idx], shadow);
+                    live[idx] = live.back();
+                    live.pop_back();
+                }
+            }
+        });
+    }
+    for (auto& w : workers)
+        w.join();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                         - t0)
+        .count();
+}
+
+/**
+ * ido-fuzz recording cost vs the uninstrumented fast path, same fixed
+ * op count at 8 threads.  CI's rr-overhead gate reads the two
+ * BENCH_fuzz.json rows and asserts record time <= 3x off time.
+ */
+void
+run_rr_overhead_series()
+{
+    // Each alloc's fence records all 64 shadow shards, so op counts
+    // are sized to stay within the default per-thread log capacity.
+    constexpr uint32_t kThreads = 8;
+    constexpr uint64_t kOpsPerThread = 8000;
+    constexpr uint64_t kOps = kThreads * kOpsPerThread;
+    std::printf("\n=== rr recording overhead (8-thread shadowed churn, "
+                "%llu ops) ===\n",
+                static_cast<unsigned long long>(kOps));
+
+    double off = 0, rec = 0;
+    {
+        RrChurnWorld w;
+        off = rr_churn(w, kThreads, kOpsPerThread);
+        w.shadow.drain_all();
+    }
+    {
+        // World construction (allocator formatting writes through the
+        // shadow) happens before recording starts: the recorded phase
+        // is exactly the churn, as in the fuzz driver.
+        RrChurnWorld w;
+        fuzz::rr::start_record(1, /*chaos_pct=*/0);
+        rec = rr_churn(w, kThreads, kOpsPerThread);
+        fuzz::rr::stop_record();
+        w.shadow.drain_all();
+    }
+
+    std::printf("%-12s %10llu %14.0f ops/sec\n", "rr_off",
+                static_cast<unsigned long long>(kOps),
+                off > 0 ? double(kOps) / off : 0.0);
+    std::printf("%-12s %10llu %14.0f ops/sec  (%.2fx)\n", "rr_record",
+                static_cast<unsigned long long>(kOps),
+                rec > 0 ? double(kOps) / rec : 0.0,
+                off > 0 ? rec / off : 0.0);
+    bench::emit_json_row("fuzz", "rr_off", kThreads, kOps, off);
+    bench::emit_json_row("fuzz", "rr_record", kThreads, kOps, rec);
+}
+
 void
 BM_ZipfSample(benchmark::State& state)
 {
@@ -412,5 +522,6 @@ main(int argc, char** argv)
     run_alloc_series();
     run_boundary_series();
     run_heap_series();
+    run_rr_overhead_series();
     return 0;
 }

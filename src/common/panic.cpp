@@ -1,5 +1,6 @@
 #include "common/panic.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -16,7 +17,24 @@ vreport(const char* tag, const char* fmt, va_list ap)
     std::fflush(stderr);
 }
 
+std::atomic<PanicHook> g_panic_hook{nullptr};
+
+void
+run_panic_hook()
+{
+    // Exchange so a hook that itself panics cannot recurse.
+    if (PanicHook hook = g_panic_hook.exchange(nullptr,
+                                               std::memory_order_acq_rel))
+        hook();
+}
+
 } // namespace
+
+PanicHook
+set_panic_hook(PanicHook hook)
+{
+    return g_panic_hook.exchange(hook, std::memory_order_acq_rel);
+}
 
 void
 panic(const char* fmt, ...)
@@ -25,6 +43,7 @@ panic(const char* fmt, ...)
     va_start(ap, fmt);
     vreport("panic", fmt, ap);
     va_end(ap);
+    run_panic_hook();
     std::abort();
 }
 
@@ -61,6 +80,7 @@ assert_fail(const char* cond, const char* file, int line, const char* fmt,
     va_end(ap);
     std::fprintf(stderr, "\n");
     std::fflush(stderr);
+    run_panic_hook();
     std::abort();
 }
 

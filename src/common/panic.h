@@ -18,6 +18,16 @@ namespace ido {
 [[noreturn]] void fatal(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 void warn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/**
+ * Best-effort hook invoked (once, after the message is printed, before
+ * abort) on panic()/IDO_ASSERT failure.  The fuzz driver uses it to
+ * drop a replayable .rec artifact from a panicking sample; the hook
+ * must be async-tolerant -- other threads are still running.  Returns
+ * the previous hook.  nullptr disables.
+ */
+using PanicHook = void (*)();
+PanicHook set_panic_hook(PanicHook hook);
+
 namespace detail {
 [[noreturn]] void assert_fail(const char* cond, const char* file, int line,
                               const char* fmt, ...)

@@ -1,8 +1,54 @@
 #include "common/rng.h"
 
+#include <atomic>
+#include <cstdlib>
+
 #include "common/panic.h"
 
 namespace ido {
+
+namespace {
+
+uint64_t
+seed_from_env()
+{
+    if (const char* env = std::getenv("IDO_SEED")) {
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(env, &end, 0);
+        if (end != env && *end == '\0')
+            return v;
+        warn("IDO_SEED=\"%s\" is not a number; using the default seed",
+             env);
+    }
+    return 0x1d0c0ffeeull; // fixed default: runs are reproducible by default
+}
+
+std::atomic<uint64_t> g_global_seed{0};
+std::atomic<bool> g_global_seed_set{false};
+
+} // namespace
+
+uint64_t
+global_seed()
+{
+    if (!g_global_seed_set.load(std::memory_order_acquire))
+        set_global_seed(seed_from_env());
+    return g_global_seed.load(std::memory_order_relaxed);
+}
+
+void
+set_global_seed(uint64_t seed)
+{
+    g_global_seed.store(seed, std::memory_order_relaxed);
+    g_global_seed_set.store(true, std::memory_order_release);
+}
+
+uint64_t
+mix_seed(uint64_t salt)
+{
+    uint64_t sm = global_seed() ^ (salt * 0x9e3779b97f4a7c15ull);
+    return splitmix64(sm);
+}
 
 uint64_t
 splitmix64(uint64_t& state)

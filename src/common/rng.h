@@ -38,4 +38,24 @@ class Rng
 /** SplitMix64 step, used for seeding. */
 uint64_t splitmix64(uint64_t& state);
 
+/**
+ * Process-wide session seed behind every randomized test and bench.
+ * Initialized from the IDO_SEED environment variable (any u64; a fixed
+ * default otherwise) on first use; tests/test_main.cpp prints it at
+ * startup and again in failure messages, so any randomized failure is
+ * re-runnable with `IDO_SEED=<n> ctest ...`.
+ */
+uint64_t global_seed();
+
+/** Override the session seed (test main / fuzz replay). */
+void set_global_seed(uint64_t seed);
+
+/**
+ * Derive a stream seed from the session seed and a local salt (thread
+ * index, test-specific constant...).  Every randomized component seeds
+ * its Rng through this, so IDO_SEED steers the whole process while
+ * streams stay decorrelated.
+ */
+uint64_t mix_seed(uint64_t salt);
+
 } // namespace ido

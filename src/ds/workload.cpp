@@ -10,6 +10,7 @@
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "ds/fase_ids.h"
+#include "fuzz/rr.h"
 #include "ds/hashmap.h"
 #include "ds/ordered_list.h"
 #include "ds/queue.h"
@@ -70,7 +71,7 @@ workload_setup(rt::Runtime& rt, const WorkloadConfig& cfg)
     }
     if (cfg.prefill
         && (cfg.ds == DsKind::kOrderedList || cfg.ds == DsKind::kHashMap)) {
-        Rng rng(cfg.seed ^ 0xfeedfaceull);
+        Rng rng(mix_seed(cfg.seed ^ 0xfeedfaceull));
         for (uint64_t i = 0; i < cfg.key_range / 2; ++i) {
             const uint64_t key = 1 + rng.next_below(cfg.key_range);
             if (cfg.ds == DsKind::kOrderedList) {
@@ -104,7 +105,9 @@ worker_loop(rt::Runtime& rt, uint64_t root, const WorkloadConfig& cfg,
             uint32_t tid, const Stopwatch& clock)
 {
     auto th = rt.make_thread();
-    Rng rng(cfg.seed + 0x1234567 * (tid + 1));
+    // Seeded through the process-wide session seed (IDO_SEED), so any
+    // randomized workload failure is re-runnable from the printed seed.
+    Rng rng(mix_seed(cfg.seed + 0x1234567ull * (tid + 1)));
     uint64_t ops = 0;
     uint64_t scratch = 0;
 
@@ -187,6 +190,8 @@ workload_run(rt::Runtime& rt, uint64_t root_off, const WorkloadConfig& cfg)
         threads.emplace_back([&, t] {
             if (cfg.pin_threads)
                 pin_to_core(t);
+            // Stable logical tid for record/replay (no-op when off).
+            fuzz::rr::ThreadScope rr_scope(t);
             ops[t] = worker_loop(rt, root_off, cfg, t, clock);
         });
     }

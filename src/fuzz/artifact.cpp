@@ -1,0 +1,199 @@
+#include "fuzz/artifact.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/panic.h"
+#include "nvm/persistent_heap.h"
+
+namespace ido::fuzz {
+
+namespace {
+
+constexpr char kMagic[8] = {'I', 'D', 'O', 'R', 'E', 'C', '0', '1'};
+
+// Fixed-width writers: the format must not depend on struct layout.
+void
+put_u32(std::FILE* f, uint32_t v)
+{
+    std::fwrite(&v, sizeof(v), 1, f);
+}
+
+void
+put_u64(std::FILE* f, uint64_t v)
+{
+    std::fwrite(&v, sizeof(v), 1, f);
+}
+
+bool
+get_u32(std::FILE* f, uint32_t* v)
+{
+    return std::fread(v, sizeof(*v), 1, f) == 1;
+}
+
+bool
+get_u64(std::FILE* f, uint64_t* v)
+{
+    return std::fread(v, sizeof(*v), 1, f) == 1;
+}
+
+} // namespace
+
+const char*
+workload_kind_name(WorkloadKind kind)
+{
+    switch (kind) {
+      case WorkloadKind::kDsStack:
+        return "ds_stack";
+      case WorkloadKind::kDsQueue:
+        return "ds_queue";
+      case WorkloadKind::kDsOrderedList:
+        return "ds_orderedlist";
+      case WorkloadKind::kDsHashMap:
+        return "ds_hashmap";
+      case WorkloadKind::kHeapChurn:
+        return "heap_churn";
+      case WorkloadKind::kPendingLine:
+        return "pending_line";
+    }
+    return "?";
+}
+
+const char*
+outcome_name(Outcome outcome)
+{
+    switch (outcome) {
+      case Outcome::kPending:
+        return "pending";
+      case Outcome::kOk:
+        return "ok";
+      case Outcome::kInvariantFail:
+        return "invariant_fail";
+      case Outcome::kDivergence:
+        return "divergence";
+      case Outcome::kLogOverflow:
+        return "log_overflow";
+    }
+    return "?";
+}
+
+uint64_t
+fnv1a64(const void* data, size_t n, uint64_t h)
+{
+    const auto* p = static_cast<const uint8_t*>(data);
+    for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+uint64_t
+hash_heap_image(const nvm::PersistentHeap& heap)
+{
+    const auto* base = static_cast<const uint8_t*>(heap.base());
+    const uint64_t begin = heap.arena_begin();
+    return fnv1a64(base + begin, heap.size() - begin);
+}
+
+bool
+save_recording(const std::string& path, const Recording& rec)
+{
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+        warn("ido-fuzz: cannot write artifact %s", path.c_str());
+        return false;
+    }
+    std::fwrite(kMagic, sizeof(kMagic), 1, f);
+    put_u32(f, static_cast<uint32_t>(rec.fc.workload));
+    put_u32(f, rec.fc.runtime);
+    put_u32(f, rec.fc.threads);
+    put_u64(f, rec.fc.ops_per_thread);
+    put_u32(f, rec.fc.crash_policy);
+    put_u64(f, static_cast<uint64_t>(rec.fc.crash_fuse));
+    put_u32(f, rec.fc.chaos_pct);
+    put_u64(f, rec.fc.seed);
+    put_u64(f, rec.fc.global_seed);
+    put_u32(f, rec.crashed ? 1 : 0);
+    put_u32(f, static_cast<uint32_t>(rec.outcome));
+    put_u64(f, rec.hash_post_crash);
+    put_u64(f, rec.hash_post_recovery);
+    put_u32(f, static_cast<uint32_t>(rec.reason.size()));
+    std::fwrite(rec.reason.data(), 1, rec.reason.size(), f);
+    put_u32(f, static_cast<uint32_t>(rec.logs.size()));
+    for (const auto& log : rec.logs) {
+        put_u64(f, log.size());
+        for (const MemOp& op : log) {
+            put_u64(f, op.key);
+            put_u64(f, op.version);
+        }
+    }
+    const bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    if (!ok)
+        warn("ido-fuzz: short write on artifact %s", path.c_str());
+    return ok;
+}
+
+bool
+load_recording(const std::string& path, Recording* out)
+{
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return false;
+    bool ok = false;
+    char magic[8];
+    uint32_t workload = 0, crashed = 0, outcome = 0, reason_len = 0;
+    uint32_t nlogs = 0;
+    uint64_t fuse = 0;
+    do {
+        if (std::fread(magic, sizeof(magic), 1, f) != 1
+            || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+            break;
+        if (!get_u32(f, &workload) || !get_u32(f, &out->fc.runtime)
+            || !get_u32(f, &out->fc.threads)
+            || !get_u64(f, &out->fc.ops_per_thread)
+            || !get_u32(f, &out->fc.crash_policy) || !get_u64(f, &fuse)
+            || !get_u32(f, &out->fc.chaos_pct) || !get_u64(f, &out->fc.seed)
+            || !get_u64(f, &out->fc.global_seed) || !get_u32(f, &crashed)
+            || !get_u32(f, &outcome) || !get_u64(f, &out->hash_post_crash)
+            || !get_u64(f, &out->hash_post_recovery)
+            || !get_u32(f, &reason_len))
+            break;
+        out->fc.workload = static_cast<WorkloadKind>(workload);
+        out->fc.crash_fuse = static_cast<int64_t>(fuse);
+        out->crashed = crashed != 0;
+        out->outcome = static_cast<Outcome>(outcome);
+        if (reason_len > (1u << 20))
+            break;
+        out->reason.resize(reason_len);
+        if (reason_len != 0
+            && std::fread(out->reason.data(), 1, reason_len, f)
+                   != reason_len)
+            break;
+        if (!get_u32(f, &nlogs) || nlogs > (1u << 16))
+            break;
+        out->logs.assign(nlogs, {});
+        bool logs_ok = true;
+        for (uint32_t i = 0; i < nlogs && logs_ok; ++i) {
+            uint64_t count = 0;
+            if (!get_u64(f, &count) || count > (uint64_t{1} << 28)) {
+                logs_ok = false;
+                break;
+            }
+            out->logs[i].resize(count);
+            for (uint64_t j = 0; j < count; ++j) {
+                if (!get_u64(f, &out->logs[i][j].key)
+                    || !get_u64(f, &out->logs[i][j].version)) {
+                    logs_ok = false;
+                    break;
+                }
+            }
+        }
+        ok = logs_ok;
+    } while (false);
+    std::fclose(f);
+    return ok;
+}
+
+} // namespace ido::fuzz

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The .rec repro artifact: everything a failing fuzz sample needs to be
+ * reproduced bit-for-bit in another process -- the case parameters
+ * (workload, runtime, threads, ops, crash policy, fuse, chaos, seeds),
+ * the recorded per-thread sync-order logs, and the observed outcome
+ * (including heap-image hashes where the workload admits them).
+ *
+ * `ido_fuzz --replay <file>` re-runs the case under rr replay and
+ * checks that the failure reproduces identically; failing samples from
+ * a sweep are saved automatically, and curated ones live as regression
+ * corpus entries under tests/corpus/ (replayed by the replay_corpus
+ * ctest on every build).
+ *
+ * Format (fixed-width little-endian, no padding dependence):
+ *   "IDOREC01" magic, a FuzzCase record, outcome fields, the failure
+ *   reason string, then the per-thread MemOp logs.  The file is written
+ *   in two stages by the driver: once right after recording (so a
+ *   sample that panics during recovery/audit still leaves a usable
+ *   artifact -- a panic hook re-writes it with logs snapshotted
+ *   lock-free), and finalized with the outcome afterwards.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/rr.h"
+
+namespace ido::nvm {
+class PersistentHeap;
+}
+
+namespace ido::fuzz {
+
+/** Workloads the fuzzer samples.  Values are part of the .rec format;
+ *  append only. */
+enum class WorkloadKind : uint32_t
+{
+    kDsStack = 0,
+    kDsQueue = 1,
+    kDsOrderedList = 2,
+    kDsHashMap = 3,
+    kHeapChurn = 4,    ///< direct NvHeap multi-thread alloc/free churn
+    kPendingLine = 5,  ///< scripted ShadowDomain pending-line scenario
+};
+
+const char* workload_kind_name(WorkloadKind kind);
+
+/** What a sample's post-crash recovery + audit concluded.  Values are
+ *  part of the .rec format; append only. */
+enum class Outcome : uint32_t
+{
+    kPending = 0,       ///< not yet finalized (artifact from a panic)
+    kOk = 1,
+    kInvariantFail = 2, ///< structure/allocator/GC audit failed
+    kDivergence = 3,    ///< replay failed to follow the recording
+    kLogOverflow = 4,   ///< recording voided (raise log capacity)
+};
+
+const char* outcome_name(Outcome outcome);
+
+/** One point in the crash-point x interleaving x policy space. */
+struct FuzzCase
+{
+    WorkloadKind workload = WorkloadKind::kDsStack;
+    uint32_t runtime = 0;        ///< rt::RuntimeKind ordinal
+    uint32_t threads = 2;
+    uint64_t ops_per_thread = 256;
+    uint32_t crash_policy = 0;   ///< nvm::CrashPolicy ordinal
+    int64_t crash_fuse = -1;     ///< scheduler arm value; -1 = disarmed
+    uint32_t chaos_pct = 0;      ///< record-side perturbation probability
+    uint64_t seed = 1;           ///< case seed (workload RNG streams)
+    uint64_t global_seed = 0;    ///< session seed active at record time
+};
+
+/** A recorded sample: case + what happened + the schedule that did it. */
+struct Recording
+{
+    FuzzCase fc;
+    bool crashed = false;              ///< the armed fuse fired
+    Outcome outcome = Outcome::kPending;
+    uint64_t hash_post_crash = 0;      ///< 0 = not applicable
+    uint64_t hash_post_recovery = 0;   ///< 0 = not applicable
+    std::string reason;                ///< failure detail ("" if none)
+    std::vector<std::vector<MemOp>> logs;
+};
+
+/** FNV-1a over a byte range (image hashing, log digests). */
+uint64_t fnv1a64(const void* data, size_t n,
+                 uint64_t h = 0xcbf29ce484222325ull);
+
+/** Hash of the heap's persistent image (arena_begin..size), i.e. the
+ *  durable state a crash would leave behind.  Offset-stable: the bytes
+ *  are offsets-not-pointers by construction (see persistent_heap.h),
+ *  with the exception of transient lock-holder slots -- callers only
+ *  compare hashes for workloads that do not take FASE locks. */
+uint64_t hash_heap_image(const nvm::PersistentHeap& heap);
+
+/** Serialize to path.  Returns false (with a warn) on I/O failure. */
+bool save_recording(const std::string& path, const Recording& rec);
+
+/** Deserialize; returns false on missing/corrupt/mismatched file. */
+bool load_recording(const std::string& path, Recording* out);
+
+} // namespace ido::fuzz

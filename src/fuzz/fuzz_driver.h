@@ -1,0 +1,87 @@
+/**
+ * @file
+ * ido-fuzz driver: systematic exploration of the crash-point x
+ * interleaving x CrashPolicy space, one sample at a time.
+ *
+ * A sample is a FuzzCase.  run_case_record() executes it under rr
+ * recording: build a fresh world (anonymous PersistentHeap +
+ * ShadowDomain + runtime), run the workload with seeded schedule
+ * perturbation and (optionally) a CrashScheduler fuse armed at the
+ * chosen opportunity index, then simulate the crash, run the runtime's
+ * recovery, and audit -- allocator consistency walk, HeapGc
+ * reachability census, per-structure invariant checkers.  The result
+ * is a Recording: the case, its outcome, heap-image hashes (for
+ * workloads that admit them), and the per-thread sync-order logs that
+ * make the whole run reproducible.
+ *
+ * run_case_replay() re-executes a Recording under rr replay and
+ * re-audits; a correct implementation reproduces the identical outcome
+ * (same crash, same hashes, same verdict) on every replay, which is
+ * exactly what the replay_corpus regression test asserts 10x per
+ * checked-in artifact.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/artifact.h"
+
+namespace ido::fuzz {
+
+/** Record one sample from scratch.  Never throws; outcome/reason carry
+ *  the verdict. */
+Recording run_case_record(const FuzzCase& fc);
+
+/** Replay a recording and re-audit.  The returned Recording holds the
+ *  *replayed* run's outcome, hashes, and consumed log prefixes; on a
+ *  schedule divergence the outcome is kDivergence. */
+Recording run_case_replay(const Recording& source);
+
+/** True when the replayed run reproduced the source bit-for-bit:
+ *  same crash fate, same outcome, same image hashes, logs fully
+ *  consumed.  `why` (optional) receives the first difference. */
+bool replay_matches(const Recording& source, const Recording& replayed,
+                    std::string* why = nullptr);
+
+bool logs_equal(const std::vector<std::vector<MemOp>>& a,
+                const std::vector<std::vector<MemOp>>& b);
+
+/**
+ * While armed, a panic anywhere in the process (e.g. an allocator
+ * forensics panic during a sample's audit) writes a best-effort .rec
+ * artifact for the in-flight case before aborting, snapshotting the
+ * record logs lock-free if recording is still live.  Disarm after the
+ * sample completes.
+ */
+void arm_panic_artifact(const FuzzCase& fc, const std::string& path);
+void disarm_panic_artifact();
+
+/** The scripted regression scenario encoding the seed's ShadowDomain
+ *  pending-line bug (store . flush . cross-thread same-line store .
+ *  fence . kDropAll crash: the flushed value must survive). */
+Recording record_pending_line_case(uint64_t seed);
+
+struct SweepOptions
+{
+    uint64_t master_seed = 1;
+    uint32_t runs = 50;
+    std::string out_dir = ".";      ///< failing .rec artifacts land here
+    std::vector<uint32_t> runtimes; ///< RuntimeKind ordinals; empty = iDO
+    bool verbose = false;
+};
+
+struct SweepResult
+{
+    uint32_t total = 0;
+    uint32_t crashed = 0;  ///< samples whose armed fuse fired
+    uint32_t failures = 0; ///< samples with outcome != kOk
+    std::vector<std::string> artifacts; ///< saved failing artifacts
+};
+
+/** Seeded sweep over cases derived from master_seed; saves an artifact
+ *  per failing sample. */
+SweepResult fuzz_sweep(const SweepOptions& opts);
+
+} // namespace ido::fuzz

@@ -300,7 +300,10 @@ NvHeap::tcache()
     auto tc = std::make_unique<ThreadCache>();
     ThreadCache* raw = tc.get();
     {
-        std::lock_guard<std::mutex> g(tc_mutex_);
+        // Ordered under record/replay: owner tags are handed out here,
+        // and replayed block headers must carry the recorded tags.
+        fuzz::rr::OrderedGuard g(tc_mutex_,
+                                 fuzz::obj_key(fuzz::ObjKind::kHeapTc));
         tc->owner_tag = next_owner_tag_++;
         tcs_.push_back(std::move(tc));
     }
@@ -351,7 +354,8 @@ NvHeap::carve_from_chunk(ThreadCache& tc, size_t payload, uint16_t owner,
 bool
 NvHeap::refill_chunk(ThreadCache& tc, PersistDomain& dom)
 {
-    std::lock_guard<std::mutex> g(refill_mutex_);
+    fuzz::rr::OrderedGuard g(refill_mutex_,
+                             fuzz::obj_key(fuzz::ObjKind::kHeapRefill));
     HeapState* st = state();
     // Retired chunks (emptied by compaction) are reused before the
     // global bump ever grows -- this is what bounds the heap file's
@@ -400,7 +404,8 @@ uint64_t
 NvHeap::carve_global(size_t payload, uint16_t owner, PersistDomain& dom,
                      TypeId type, bool aligned)
 {
-    std::lock_guard<std::mutex> g(refill_mutex_);
+    fuzz::rr::OrderedGuard g(refill_mutex_,
+                             fuzz::obj_key(fuzz::ObjKind::kHeapRefill));
     HeapState* st = state();
     const uint64_t need = sizeof(BlockHeader) + payload;
     const uint64_t bump = dom.load_val(&st->bump);
@@ -424,10 +429,13 @@ uint64_t
 NvHeap::shard_pop(size_t shard, size_t cls, PersistDomain& dom)
 {
     HeapState* st = state();
-    // Racy peek; re-checked under the shard lock.
-    if (st->shards[shard].heads[cls] == 0)
+    // Racy peek; re-checked under the shard lock.  Under record/replay
+    // the peek is skipped: its outcome depends on unordered timing, and
+    // control flow must only branch on ordered state.
+    if (!fuzz::rr::active() && st->shards[shard].heads[cls] == 0)
         return 0;
-    std::lock_guard<std::mutex> g(shard_mutexes_[shard]);
+    fuzz::rr::OrderedGuard g(shard_mutexes_[shard],
+                             fuzz::obj_key(fuzz::ObjKind::kHeapShard, shard));
     uint64_t* head = &st->shards[shard].heads[cls];
     const uint64_t off = dom.load_val(head);
     if (off == 0)
@@ -454,7 +462,8 @@ NvHeap::spill_cache(ThreadCache& tc, size_t cls, PersistDomain& dom,
         return;
     const size_t shard = home_shard(tc);
     HeapState* st = state();
-    std::lock_guard<std::mutex> g(shard_mutexes_[shard]);
+    fuzz::rr::OrderedGuard g(shard_mutexes_[shard],
+                             fuzz::obj_key(fuzz::ObjKind::kHeapShard, shard));
     uint64_t* head = &st->shards[shard].heads[cls];
     const uint64_t old_head = dom.load_val(head);
 

@@ -61,6 +61,7 @@
 #include <vector>
 
 #include "common/panic.h"
+#include "fuzz/rr.h"
 
 #include "nvm/persist_domain.h"
 #include "nvm/persistent_heap.h"
@@ -164,8 +165,10 @@ class NvHeap
         const uint64_t off = alloc_aligned(size, dom, type);
         if (off == 0)
             return 0;
-        std::lock_guard<std::mutex> g(
-            link_mutexes_[static_cast<size_t>(slot)]);
+        fuzz::rr::OrderedGuard g(
+            link_mutexes_[static_cast<size_t>(slot)],
+            fuzz::obj_key(fuzz::ObjKind::kHeapLink,
+                          static_cast<uint64_t>(slot)));
         const uint64_t prev = heap_.root(slot);
         void* rec = heap_.resolve<void>(off);
         init(rec, prev);

@@ -1,7 +1,14 @@
 #include "nvm/shadow_domain.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <map>
+#include <string>
+
+#include <unistd.h>
 
 #include "common/panic.h"
 #include "stats/persist_stats.h"
@@ -10,7 +17,7 @@
 namespace ido::nvm {
 
 ShadowDomain::ShadowDomain(void* base, size_t size, uint64_t seed)
-    : base_(reinterpret_cast<uintptr_t>(base)), size_(size), crash_rng_(seed)
+    : base_(reinterpret_cast<uintptr_t>(base)), size_(size), crash_seed_(seed)
 {
 }
 
@@ -40,8 +47,9 @@ ShadowDomain::store(void* dst, const void* src, size_t n)
         const size_t off_in_line = cur - lb;
         const size_t chunk =
             std::min(n - done, kCacheLineBytes - off_in_line);
-        Shard& sh = shard_for(lb);
-        std::lock_guard<std::mutex> g(sh.mutex);
+        const size_t si = shard_index(lb);
+        Shard& sh = shards_[si];
+        fuzz::rr::OrderedGuard g(sh.mutex, shard_key(si));
         auto it = sh.lines.find(lb);
         if (it == sh.lines.end()) {
             ShadowLine line;
@@ -87,8 +95,9 @@ ShadowDomain::load(const void* src, void* dst, size_t n)
         const size_t off_in_line = cur - lb;
         const size_t chunk =
             std::min(n - done, kCacheLineBytes - off_in_line);
-        Shard& sh = shard_for(lb);
-        std::lock_guard<std::mutex> g(sh.mutex);
+        const size_t si = shard_index(lb);
+        Shard& sh = shards_[si];
+        fuzz::rr::OrderedGuard g(sh.mutex, shard_key(si));
         auto it = sh.lines.find(lb);
         if (it != sh.lines.end()) {
             std::memcpy(static_cast<uint8_t*>(dst) + done,
@@ -116,8 +125,9 @@ ShadowDomain::flush(const void* addr, size_t n)
         c.flushes += 1;
         if (!in_range(lb, 1))
             continue;
-        Shard& sh = shard_for(lb);
-        std::lock_guard<std::mutex> g(sh.mutex);
+        const size_t si = shard_index(lb);
+        Shard& sh = shards_[si];
+        fuzz::rr::OrderedGuard g(sh.mutex, shard_key(si));
         auto it = sh.lines.find(lb);
         if (it != sh.lines.end()) {
             // If another thread already has a write-back in flight for
@@ -140,8 +150,9 @@ ShadowDomain::fence()
     trace::emit(trace::EventKind::kFence);
     tls_persist_counters().fences += 1;
     const uint32_t tid = self_tid();
-    for (Shard& sh : shards_) {
-        std::lock_guard<std::mutex> g(sh.mutex);
+    for (size_t si = 0; si < kShards; ++si) {
+        Shard& sh = shards_[si];
+        fuzz::rr::OrderedGuard g(sh.mutex, shard_key(si));
         for (auto it = sh.lines.begin(); it != sh.lines.end();) {
             if (it->second.state == LineState::kPending
                 && it->second.owner_tid == tid) {
@@ -199,8 +210,9 @@ ShadowDomain::audit_covered_boundary()
         mine.swap(it->second);
     }
     for (const uintptr_t lb : mine) {
-        Shard& sh = shard_for(lb);
-        std::lock_guard<std::mutex> g(sh.mutex);
+        const size_t si = shard_index(lb);
+        Shard& sh = shards_[si];
+        fuzz::rr::OrderedGuard g(sh.mutex, shard_key(si));
         auto it = sh.lines.find(lb);
         if (it != sh.lines.end()
             && it->second.state == LineState::kDirty) {
@@ -212,6 +224,15 @@ ShadowDomain::audit_covered_boundary()
     }
 }
 
+bool
+ShadowDomain::line_survives_lottery(uintptr_t line_addr) const
+{
+    uint64_t h = crash_seed_;
+    h ^= 0x9e3779b97f4a7c15ull * (crash_round_ + 1);
+    h ^= line_addr - base_; // offset: stable across mmap placements
+    return (splitmix64(h) & 1) != 0;
+}
+
 void
 ShadowDomain::crash(CrashPolicy policy)
 {
@@ -220,9 +241,13 @@ ShadowDomain::crash(CrashPolicy policy)
         std::lock_guard<std::mutex> g(audit_mutex_);
         noted_.clear();
     }
+    CrashCensus census;
+    census.crash_round = crash_round_ + 1; // 1-based: nth crash()
+    std::map<uint32_t, CrashCensus::ThreadLoss> losses;
     for (Shard& sh : shards_) {
         std::lock_guard<std::mutex> g(sh.mutex);
         for (auto& [addr, line] : sh.lines) {
+            census.lines_outstanding += 1;
             bool survives = false;
             switch (policy) {
               case CrashPolicy::kDropAll:
@@ -232,14 +257,81 @@ ShadowDomain::crash(CrashPolicy policy)
                 survives = true;
                 break;
               case CrashPolicy::kRandom:
-                survives = crash_rng_.percent(50);
+                survives = line_survives_lottery(addr);
                 break;
             }
-            if (survives)
+            if (survives) {
                 write_back(addr, line);
+                census.lines_survived += 1;
+            } else {
+                census.lines_lost += 1;
+                CrashCensus::ThreadLoss& tl = losses[line.owner_tid];
+                tl.owner_tid = line.owner_tid;
+                if (line.state == LineState::kDirty)
+                    tl.dirty_lost += 1;
+                else
+                    tl.pending_lost += 1;
+                if (tl.first_addrs.size() < 4)
+                    tl.first_addrs.push_back(addr);
+            }
         }
         sh.lines.clear();
     }
+    for (auto& [tid, tl] : losses) {
+        std::sort(tl.first_addrs.begin(), tl.first_addrs.end());
+        census.threads.push_back(std::move(tl));
+    }
+    crash_round_ += 1;
+    dump_census(census);
+    last_census_ = std::move(census);
+}
+
+void
+ShadowDomain::dump_census(const CrashCensus& census) const
+{
+    const char* dir = std::getenv("IDO_TRACE_DIR");
+    if (dir == nullptr || *dir == '\0')
+        return;
+    // One file per process, overwritten per crash: a dying death test
+    // leaves the census of its final (fatal) crash for the harness to
+    // collect alongside the ring-tracer dump.
+    const std::string path = std::string(dir) + "/shadow_crash_census."
+                             + std::to_string(getpid()) + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return;
+    std::fprintf(f,
+                 "{\n  \"crash_round\": %llu,\n"
+                 "  \"lines_outstanding\": %zu,\n"
+                 "  \"lines_survived\": %zu,\n"
+                 "  \"lines_lost\": %zu,\n  \"threads\": [",
+                 static_cast<unsigned long long>(census.crash_round),
+                 census.lines_outstanding, census.lines_survived,
+                 census.lines_lost);
+    for (size_t i = 0; i < census.threads.size(); ++i) {
+        const CrashCensus::ThreadLoss& tl = census.threads[i];
+        std::fprintf(f,
+                     "%s\n    {\"owner_tid\": %u, \"dirty_lost\": %zu, "
+                     "\"pending_lost\": %zu, \"first_lost_lines\": [",
+                     i > 0 ? "," : "", tl.owner_tid, tl.dirty_lost,
+                     tl.pending_lost);
+        for (size_t j = 0; j < tl.first_addrs.size(); ++j) {
+            std::fprintf(f, "%s\"%#llx (base+%#llx)\"", j > 0 ? ", " : "",
+                         static_cast<unsigned long long>(tl.first_addrs[j]),
+                         static_cast<unsigned long long>(tl.first_addrs[j]
+                                                         - base_));
+        }
+        std::fprintf(f, "]}");
+    }
+    std::fprintf(f, "%s]\n}\n", census.threads.empty() ? "" : "\n  ");
+    std::fclose(f);
+}
+
+CrashCensus
+ShadowDomain::last_crash_census() const
+{
+    std::lock_guard<std::mutex> cg(crash_mutex_);
+    return last_census_;
 }
 
 void

@@ -30,9 +30,11 @@
 #include <mutex>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "common/cacheline.h"
 #include "common/rng.h"
+#include "fuzz/rr.h"
 #include "nvm/persist_domain.h"
 
 namespace ido::nvm {
@@ -43,6 +45,32 @@ enum class CrashPolicy
     kDropAll,     ///< no un-fenced line survives (most adversarial loss)
     kPersistAll,  ///< every dirty line was evicted (most adversarial leak)
     kRandom,      ///< each line independently survives with probability 1/2
+};
+
+/**
+ * What a simulated crash threw away, broken down by the thread that
+ * owned the lost lines -- the forensic answer to "which thread's
+ * unfenced work did this crash destroy?".  Dumped as JSON into
+ * IDO_TRACE_DIR (when set) at every crash() so a failing death test
+ * leaves the census next to the ring-tracer dump.
+ */
+struct CrashCensus
+{
+    struct ThreadLoss
+    {
+        uint32_t owner_tid = 0;
+        size_t dirty_lost = 0;    ///< stored, never flushed
+        size_t pending_lost = 0;  ///< flushed, never fenced
+        /** First few lost line addresses (heap offsets are stable
+         *  across runs; absolute addresses are what a debugger needs). */
+        std::vector<uintptr_t> first_addrs;
+    };
+
+    uint64_t crash_round = 0;     ///< nth crash() on this domain
+    size_t lines_outstanding = 0; ///< dirty+pending at the crash
+    size_t lines_survived = 0;    ///< won the lottery / policy persisted
+    size_t lines_lost = 0;
+    std::vector<ThreadLoss> threads;
 };
 
 class ShadowDomain final : public PersistDomain
@@ -73,6 +101,9 @@ class ShadowDomain final : public PersistDomain
 
     /** Outstanding (not yet durable) line count, for tests. */
     size_t outstanding_lines() const;
+
+    /** Census of the most recent crash() (empty before the first). */
+    CrashCensus last_crash_census() const;
 
     // --- elision audit (ido-verify cross-check) -----------------------
 
@@ -115,9 +146,20 @@ class ShadowDomain final : public PersistDomain
         return a >= base_ && a + n <= base_ + size_;
     }
 
+    size_t shard_index(uintptr_t line_addr) const
+    {
+        return (line_addr / kCacheLineBytes) % kShards;
+    }
+
     Shard& shard_for(uintptr_t line_addr)
     {
-        return shards_[(line_addr / kCacheLineBytes) % kShards];
+        return shards_[shard_index(line_addr)];
+    }
+
+    /** rr sync-object key of a shard (record/replay instrumentation). */
+    static uint64_t shard_key(size_t idx)
+    {
+        return fuzz::obj_key(fuzz::ObjKind::kShadowShard, idx);
     }
 
     /** Copy a shadow line's content into the persistent image. */
@@ -125,11 +167,21 @@ class ShadowDomain final : public PersistDomain
 
     static uint32_t self_tid();
 
+    /** Deterministic crash-time lottery for CrashPolicy::kRandom: a
+     *  pure hash of (seed, crash round, line offset) -- independent of
+     *  map iteration order, mmap placement, and prior draws, so the
+     *  same set of lines survives on every replay of a recording. */
+    bool line_survives_lottery(uintptr_t line_addr) const;
+
+    void dump_census(const CrashCensus& census) const;
+
     uintptr_t base_;
     size_t size_;
     std::array<Shard, kShards> shards_;
-    std::mutex crash_mutex_;
-    Rng crash_rng_;
+    mutable std::mutex crash_mutex_;
+    uint64_t crash_seed_;
+    uint64_t crash_round_ = 0;
+    CrashCensus last_census_;
 
     bool audit_ = false;
     std::mutex audit_mutex_;

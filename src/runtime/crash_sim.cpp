@@ -1,5 +1,31 @@
 #include "runtime/crash_sim.h"
 
-// CrashScheduler is fully inline; this translation unit exists so the
-// header has a home in the library and future out-of-line additions do
-// not churn the build files.
+namespace ido::rt {
+
+void
+CrashScheduler::tick_ordered()
+{
+    // The section's destructor appends/consumes the kTick log entry,
+    // so it runs during SimCrashException unwinding and the fatal
+    // tick itself is part of the recording.  Record mode serializes
+    // the fuse countdown with a process-wide tick lock; replay
+    // serializes it by turn order.  Either way each tick observes a
+    // deterministic fuse value, so the same thread burns the fuse at
+    // the same opportunity on every replay.
+    fuzz::rr::TickSection section;
+    int64_t v = fuse_.load(std::memory_order_relaxed);
+    if (v < 0)
+        return;
+    if (v == 0) {
+        trace::emit(trace::EventKind::kCrashFired, 0);
+        throw SimCrashException{};
+    }
+    v = fuse_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+    if (v <= 0) {
+        fuse_.store(0, std::memory_order_release);
+        trace::emit(trace::EventKind::kCrashFired, 1);
+        throw SimCrashException{};
+    }
+}
+
+} // namespace ido::rt

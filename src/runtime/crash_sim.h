@@ -17,6 +17,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "fuzz/rr.h"
 #include "trace/trace.h"
 
 namespace ido::rt {
@@ -59,6 +60,13 @@ class CrashScheduler
         int64_t v = fuse_.load(std::memory_order_relaxed);
         if (v < 0)
             return;
+        if (fuzz::rr::active()) [[unlikely]] {
+            // Ticks are sync ops under record/replay: totally ordering
+            // them makes the fuse countdown -- and thus the crash
+            // point and the crashing thread -- exactly reproducible.
+            tick_ordered();
+            return;
+        }
         if (v == 0) {
             // Crash already fired; this thread dies at its next
             // opportunity (a0=0 distinguishes it from the burner).
@@ -75,6 +83,10 @@ class CrashScheduler
     }
 
   private:
+    /** tick() under an active rr session: same logic inside a recorded
+     *  rr::TickSection (out of line -- the rr machinery is cold). */
+    void tick_ordered();
+
     std::atomic<int64_t> fuse_;
 };
 

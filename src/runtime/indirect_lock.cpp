@@ -1,13 +1,29 @@
 #include "runtime/indirect_lock.h"
 
 #include "common/panic.h"
+#include "fuzz/rr.h"
 
 namespace ido::rt {
 
 std::atomic<uint32_t> LockTable::g_next_epoch{1};
 
-LockTable::LockTable()
-    : epoch_(g_next_epoch.fetch_add(1, std::memory_order_acq_rel))
+uint32_t
+LockTable::alloc_process_epoch()
+{
+    uint32_t e;
+    do {
+        e = g_next_epoch.fetch_add(1, std::memory_order_acq_rel);
+    } while ((e & 0xffff) == 0); // tag 0 = never-initialized; skip on wrap
+    return e;
+}
+
+void
+LockTable::set_next_process_epoch(uint32_t next)
+{
+    g_next_epoch.store(next, std::memory_order_release);
+}
+
+LockTable::LockTable() : epoch_(alloc_process_epoch())
 {
 }
 
@@ -40,6 +56,13 @@ LockTable::lock_for(uint64_t* holder_slot)
             fresh = &slabs_.back()->cells[slab_used_++].lock;
             ++locks_created_;
         }
+        // Name the lock by its holder slot's heap offset so record and
+        // replay agree on the key across address-space layouts.  The
+        // CAS loser's adopted lock carries the same key (same slot).
+        const auto slot_addr = reinterpret_cast<uintptr_t>(holder_slot);
+        fresh->set_rr_key(fuzz::obj_key(
+            fuzz::ObjKind::kFaseLock,
+            key_base_ != 0 ? slot_addr - key_base_ : slot_addr));
         const uint64_t next =
             (static_cast<uint64_t>(cur_epoch & 0xffff) << kEpochShift)
             | (reinterpret_cast<uint64_t>(fresh) & kPtrMask);
@@ -55,8 +78,7 @@ LockTable::lock_for(uint64_t* holder_slot)
 void
 LockTable::new_epoch()
 {
-    epoch_.store(g_next_epoch.fetch_add(1, std::memory_order_acq_rel),
-                 std::memory_order_release);
+    epoch_.store(alloc_process_epoch(), std::memory_order_release);
 }
 
 void

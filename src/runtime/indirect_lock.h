@@ -72,8 +72,23 @@ class TransientLock
         std::this_thread::yield();
     }
 
+    /** Record/replay sync-object key (kFaseLock, id = holder-slot heap
+     *  offset).  Set once when the lock is installed in a holder slot;
+     *  stable across runs because heap offsets are, which is what lets
+     *  a .rec artifact name this lock in another process. */
+    void set_rr_key(uint64_t key)
+    {
+        rr_key_.store(key, std::memory_order_relaxed);
+    }
+
+    uint64_t rr_key() const
+    {
+        return rr_key_.load(std::memory_order_relaxed);
+    }
+
   private:
     std::atomic<bool> word_{false};
+    std::atomic<uint64_t> rr_key_{0};
 };
 
 /** Transient-lock resolver for persistent lock-holder slots. */
@@ -112,8 +127,31 @@ class LockTable
 
     uint32_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
+    /**
+     * Base address for record/replay lock naming: transient locks get
+     * tagged with the *offset* of their holder slot from this base
+     * (stable across runs), not its absolute address.  Set by the
+     * owning Runtime before any lock resolution.
+     */
+    void set_key_base(const void* base)
+    {
+        key_base_ = reinterpret_cast<uintptr_t>(base);
+    }
+
     /** Number of transient locks created so far (diagnostics). */
     size_t locks_created() const;
+
+    /**
+     * Draw a process-local epoch, skipping any value whose 16-bit tag
+     * is 0 (tag 0 in a holder slot means never-initialized): after
+     * ~65k epochs the counter wraps through tag 0, and handing that
+     * out would make every never-touched slot look current.
+     */
+    static uint32_t alloc_process_epoch();
+
+    /** Test hook: reposition the process-local epoch counter (e.g. to
+     *  just below a 16-bit wrap boundary). */
+    static void set_next_process_epoch(uint32_t next);
 
   private:
     // Holder slot encoding: low 48 bits = lock pointer, high 16 bits =
@@ -143,6 +181,7 @@ class LockTable
     size_t slab_used_ = Slab::kLocksPerSlab; // full: first use allocates
     size_t locks_created_ = 0;
     std::atomic<uint32_t> epoch_;
+    uintptr_t key_base_ = 0;
 };
 
 } // namespace ido::rt

@@ -2,6 +2,7 @@
 
 #include "common/cacheline.h"
 #include "common/panic.h"
+#include "fuzz/rr.h"
 #include "trace/trace.h"
 
 namespace ido::rt {
@@ -10,6 +11,9 @@ Runtime::Runtime(nvm::PersistentHeap& heap, nvm::PersistDomain& dom,
                  const RuntimeConfig& cfg)
     : heap_(heap), dom_(dom), cfg_(cfg), alloc_(heap, dom)
 {
+    // Record/replay names transient locks by their holder slot's heap
+    // offset, which is stable across runs; absolute addresses are not.
+    locks_.set_key_base(heap.base());
     bump_lock_epoch();
 }
 
@@ -186,6 +190,20 @@ RuntimeThread::holds_lock(uint64_t holder_off) const
 void
 RuntimeThread::acquire_transient(TransientLock& l, uint64_t holder_off)
 {
+    const fuzz::RrMode rrm = fuzz::rr::mode();
+    if (rrm == fuzz::RrMode::kReplay) [[unlikely]] {
+        // The log is authoritative: it says this thread acquired this
+        // lock next, so wait for the recorded turn and take it.  No
+        // crashed()-abandon here -- a thread the recording killed has
+        // a shorter log and dies at exhaustion instead.
+        fuzz::rr::pre(l.rr_key());
+        while (!l.try_lock())
+            l.spin_wait();
+        fuzz::rr::post(l.rr_key());
+        return;
+    }
+    if (rrm == fuzz::RrMode::kRecord) [[unlikely]]
+        fuzz::rr::pre(l.rr_key());
     // Always crash-aware: under injection a lock owner may have "died"
     // holding the lock (and the scheduler may be armed concurrently by
     // a watchdog), so every waiter re-checks the crash flag while
@@ -201,6 +219,8 @@ RuntimeThread::acquire_transient(TransientLock& l, uint64_t holder_off)
             throw SimCrashException{};
         l.spin_wait();
     }
+    if (rrm == fuzz::RrMode::kRecord) [[unlikely]]
+        fuzz::rr::post(l.rr_key());
 }
 
 void

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for the record/replay layer and the fuzz driver: replay
+ * fidelity (same schedule, same heap image, twice), deterministic
+ * crash reproduction including the kRandom line lottery, divergence
+ * detection on tampered logs, artifact round-trips, and the
+ * ShadowDomain crash census forensics.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "baselines/runtime_factory.h"
+#include "fuzz/artifact.h"
+#include "fuzz/fuzz_driver.h"
+#include "fuzz/rr.h"
+#include "nvm/persistent_heap.h"
+#include "nvm/shadow_domain.h"
+
+namespace ido::fuzz {
+namespace {
+
+FuzzCase
+churn_case(uint32_t threads, uint64_t ops, int64_t fuse,
+           uint32_t policy, uint64_t seed)
+{
+    FuzzCase fc;
+    fc.workload = WorkloadKind::kHeapChurn;
+    fc.runtime = static_cast<uint32_t>(baselines::RuntimeKind::kIdo);
+    fc.threads = threads;
+    fc.ops_per_thread = ops;
+    fc.crash_policy = policy;
+    fc.crash_fuse = fuse;
+    fc.chaos_pct = 10;
+    fc.seed = seed;
+    return fc;
+}
+
+// Satellite: record seeded 8-thread heap churn, replay twice, and
+// require bit-identical heap images and per-thread sync-op logs.
+TEST(FuzzReplay, EightThreadChurnReplaysIdenticallyTwice)
+{
+    const Recording rec = run_case_record(churn_case(8, 200, -1, 0, 11));
+    ASSERT_EQ(rec.outcome, Outcome::kOk) << rec.reason;
+    ASSERT_FALSE(rec.crashed);
+    ASSERT_NE(rec.hash_post_recovery, 0u);
+
+    const Recording r1 = run_case_replay(rec);
+    const Recording r2 = run_case_replay(rec);
+    std::string why;
+    EXPECT_TRUE(replay_matches(rec, r1, &why)) << why;
+    EXPECT_TRUE(replay_matches(rec, r2, &why)) << why;
+    EXPECT_EQ(r1.hash_post_recovery, rec.hash_post_recovery);
+    EXPECT_EQ(r2.hash_post_recovery, rec.hash_post_recovery);
+    EXPECT_TRUE(logs_equal(r1.logs, r2.logs));
+    EXPECT_TRUE(logs_equal(r1.logs, rec.logs));
+}
+
+// A mid-run crash (with the policy that flips a per-line coin) must
+// still reproduce exactly: same fatal tick, same lottery, same images.
+TEST(FuzzReplay, CrashedChurnWithRandomPolicyReproduces)
+{
+    const Recording rec =
+        run_case_record(churn_case(4, 300, 350, 2 /* kRandom */, 23));
+    ASSERT_EQ(rec.outcome, Outcome::kOk) << rec.reason;
+    ASSERT_TRUE(rec.crashed) << "fuse 350 should fire within 4x300 ops";
+
+    for (int i = 0; i < 2; ++i) {
+        const Recording r = run_case_replay(rec);
+        std::string why;
+        EXPECT_TRUE(replay_matches(rec, r, &why)) << why;
+        EXPECT_EQ(r.hash_post_crash, rec.hash_post_crash);
+    }
+}
+
+TEST(FuzzReplay, DsWorkloadWithCrashReproducesOutcome)
+{
+    FuzzCase fc;
+    fc.workload = WorkloadKind::kDsHashMap;
+    fc.runtime = static_cast<uint32_t>(baselines::RuntimeKind::kIdo);
+    fc.threads = 4;
+    fc.ops_per_thread = 128;
+    fc.crash_policy = 0;
+    fc.crash_fuse = 500;
+    fc.chaos_pct = 15;
+    fc.seed = 31;
+    const Recording rec = run_case_record(fc);
+    ASSERT_EQ(rec.outcome, Outcome::kOk) << rec.reason;
+
+    const Recording r = run_case_replay(rec);
+    std::string why;
+    EXPECT_TRUE(replay_matches(rec, r, &why)) << why;
+}
+
+TEST(FuzzReplay, TamperedLogIsFlaggedAsDivergence)
+{
+    Recording rec = run_case_record(churn_case(2, 64, -1, 0, 5));
+    ASSERT_EQ(rec.outcome, Outcome::kOk) << rec.reason;
+    ASSERT_FALSE(rec.logs.empty());
+    ASSERT_FALSE(rec.logs[0].empty());
+
+    // Corrupt one recorded key: the replaying thread arrives at a
+    // different sync object than the log demands.
+    rec.logs[0][rec.logs[0].size() / 2].key ^= 0x12345;
+    const Recording r = run_case_replay(rec);
+    EXPECT_EQ(r.outcome, Outcome::kDivergence);
+    std::string why;
+    EXPECT_FALSE(replay_matches(rec, r, &why));
+}
+
+TEST(FuzzReplay, PendingLineScenarioRecordsAndReproduces)
+{
+    const Recording rec = record_pending_line_case(9);
+    EXPECT_EQ(rec.outcome, Outcome::kOk) << rec.reason;
+    EXPECT_TRUE(rec.crashed);
+    ASSERT_EQ(rec.logs.size(), 2u);
+
+    const Recording r = run_case_replay(rec);
+    std::string why;
+    EXPECT_TRUE(replay_matches(rec, r, &why)) << why;
+}
+
+TEST(FuzzArtifact, SaveLoadRoundTrip)
+{
+    Recording rec = run_case_record(churn_case(2, 48, 40, 1, 77));
+    rec.reason = "round trip reason";
+    const std::string path = testing::TempDir() + "/rt_test.rec";
+    ASSERT_TRUE(save_recording(path, rec));
+
+    Recording loaded;
+    ASSERT_TRUE(load_recording(path, &loaded));
+    EXPECT_EQ(static_cast<uint32_t>(loaded.fc.workload),
+              static_cast<uint32_t>(rec.fc.workload));
+    EXPECT_EQ(loaded.fc.runtime, rec.fc.runtime);
+    EXPECT_EQ(loaded.fc.threads, rec.fc.threads);
+    EXPECT_EQ(loaded.fc.ops_per_thread, rec.fc.ops_per_thread);
+    EXPECT_EQ(loaded.fc.crash_policy, rec.fc.crash_policy);
+    EXPECT_EQ(loaded.fc.crash_fuse, rec.fc.crash_fuse);
+    EXPECT_EQ(loaded.fc.chaos_pct, rec.fc.chaos_pct);
+    EXPECT_EQ(loaded.fc.seed, rec.fc.seed);
+    EXPECT_EQ(loaded.fc.global_seed, rec.fc.global_seed);
+    EXPECT_EQ(loaded.crashed, rec.crashed);
+    EXPECT_EQ(loaded.outcome, rec.outcome);
+    EXPECT_EQ(loaded.hash_post_crash, rec.hash_post_crash);
+    EXPECT_EQ(loaded.hash_post_recovery, rec.hash_post_recovery);
+    EXPECT_EQ(loaded.reason, rec.reason);
+    EXPECT_TRUE(logs_equal(loaded.logs, rec.logs));
+}
+
+TEST(FuzzArtifact, LoadRejectsGarbage)
+{
+    const std::string path = testing::TempDir() + "/garbage.rec";
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("definitely not a recording", f);
+    std::fclose(f);
+    Recording out;
+    EXPECT_FALSE(load_recording(path, &out));
+    EXPECT_FALSE(load_recording(testing::TempDir() + "/missing.rec", &out));
+}
+
+// Satellite: the crash census accounts for every dropped line, split
+// by state (dirty vs pending) and owner thread.
+TEST(FuzzForensics, CrashCensusCountsDroppedLines)
+{
+    nvm::PersistentHeap heap({.size = 1u << 20});
+    nvm::ShadowDomain shadow(heap.base(), heap.size(), 3);
+    uint64_t v = 42;
+    auto* a = heap.resolve<uint8_t>(64 * 1024);
+    shadow.store(a, &v, sizeof(v));        // dirty
+    shadow.store(a + 64, &v, sizeof(v));   // dirty
+    shadow.store(a + 128, &v, sizeof(v));
+    shadow.flush(a + 128, sizeof(v));      // pending
+    shadow.crash(nvm::CrashPolicy::kDropAll);
+
+    const nvm::CrashCensus census = shadow.last_crash_census();
+    EXPECT_EQ(census.crash_round, 1u);
+    EXPECT_EQ(census.lines_outstanding, 3u);
+    EXPECT_EQ(census.lines_survived, 0u);
+    EXPECT_EQ(census.lines_lost, 3u);
+    ASSERT_EQ(census.threads.size(), 1u);
+    EXPECT_EQ(census.threads[0].dirty_lost, 2u);
+    EXPECT_EQ(census.threads[0].pending_lost, 1u);
+    EXPECT_EQ(census.threads[0].first_addrs.size(), 3u);
+}
+
+TEST(FuzzForensics, CensusUnderPersistAllLosesNothing)
+{
+    nvm::PersistentHeap heap({.size = 1u << 20});
+    nvm::ShadowDomain shadow(heap.base(), heap.size(), 3);
+    uint64_t v = 7;
+    auto* a = heap.resolve<uint8_t>(64 * 1024);
+    shadow.store(a, &v, sizeof(v));
+    shadow.crash(nvm::CrashPolicy::kPersistAll);
+    const nvm::CrashCensus census = shadow.last_crash_census();
+    EXPECT_EQ(census.lines_outstanding, 1u);
+    EXPECT_EQ(census.lines_survived, 1u);
+    EXPECT_EQ(census.lines_lost, 0u);
+    EXPECT_TRUE(census.threads.empty());
+}
+
+// Satellite: the fuzzer's sweep itself (small budget) must come back
+// clean on the current tree -- this doubles as an end-to-end smoke of
+// case derivation, recovery, and auditing.
+TEST(FuzzSweep, SmallSweepPassesClean)
+{
+    SweepOptions opts;
+    opts.master_seed = 2026;
+    opts.runs = 4;
+    opts.out_dir = testing::TempDir();
+    const SweepResult result = fuzz_sweep(opts);
+    EXPECT_EQ(result.total, 4u);
+    EXPECT_EQ(result.failures, 0u);
+    EXPECT_TRUE(result.artifacts.empty());
+}
+
+} // namespace
+} // namespace ido::fuzz

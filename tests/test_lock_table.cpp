@@ -99,6 +99,24 @@ TEST(LockTable, FreshTableOverOldHeapIgnoresStalePointers)
     resolved.unlock();
 }
 
+TEST(LockTable, EpochAllocatorSkipsZeroTagOnWrap)
+{
+    // The holder-slot epoch tag is 16 bits and tag 0 means
+    // "never initialized"; after ~65k epochs the process counter wraps
+    // through values whose low 16 bits are 0.  Handing such an epoch to
+    // a table would make every stale slot in the heap look *current*.
+    LockTable::set_next_process_epoch(0xffffffffu);
+    EXPECT_EQ(LockTable::alloc_process_epoch(), 0xffffffffu);
+    // Wrap: 0x00000000 carries tag 0 and must be skipped.
+    EXPECT_EQ(LockTable::alloc_process_epoch(), 0x00000001u);
+    // Every 0x....0000 value is reserved, not just the first wrap.
+    LockTable::set_next_process_epoch(0x00030000u);
+    EXPECT_EQ(LockTable::alloc_process_epoch(), 0x00030001u);
+    // Park the counter above everything drawn so far so later tests
+    // keep process-unique epochs.
+    LockTable::set_next_process_epoch(0x00040001u);
+}
+
 TEST(LockTable, ConcurrentResolutionSingleWinner)
 {
     nvm::PersistentHeap heap({.size = 1u << 20});

@@ -17,6 +17,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/rng.h"
 #include "stats/metrics.h"
 #include "trace/trace.h"
 #include "trace/trace_export.h"
@@ -72,12 +73,34 @@ class TraceOnFailure : public ::testing::EmptyTestEventListener
     std::string dir_;
 };
 
+/** Every failing test names the session seed, so a randomized failure
+ *  is immediately re-runnable: IDO_SEED=<n> ./test_x --gtest_filter=... */
+class SeedOnFailure : public ::testing::EmptyTestEventListener
+{
+    void
+    OnTestPartResult(const ::testing::TestPartResult& result) override
+    {
+        if (!result.failed())
+            return;
+        std::fprintf(stderr,
+                     "[ido-seed] this run's randomized streams used "
+                     "IDO_SEED=%llu -- set it to reproduce\n",
+                     static_cast<unsigned long long>(ido::global_seed()));
+    }
+};
+
 } // namespace
 
 int
 main(int argc, char** argv)
 {
     ::testing::InitGoogleTest(&argc, argv);
+    // Resolve (env IDO_SEED or the fixed default) and announce the
+    // session seed before any test draws from it.
+    std::printf("[ido-seed] IDO_SEED=%llu\n",
+                static_cast<unsigned long long>(ido::global_seed()));
+    ::testing::UnitTest::GetInstance()->listeners().Append(
+        new SeedOnFailure);
     if (const char* dir = std::getenv("IDO_TRACE_DIR");
         dir != nullptr && *dir != '\0') {
         ido::trace::Tracer::arm();

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * ido-fuzz: systematic crash-point x interleaving fuzzer with
+ * deterministic record/replay.
+ *
+ *   ido_fuzz --runs N [--seed S] [--out DIR] [--runtimes ido,atlas]
+ *       Sweep N seeded samples; every failing sample is saved as a
+ *       .rec artifact under DIR.  Exit 1 if any sample failed.
+ *
+ *   ido_fuzz --replay FILE [--repeat K]
+ *       Re-run a recorded sample K times (default 1) and require each
+ *       replay to reproduce the recording bit-for-bit (same crash,
+ *       same outcome, same image hashes, same sync-op sequence).
+ *       Exit 1 on any mismatch.
+ *
+ *   ido_fuzz --replay-corpus DIR [--repeat K]
+ *       Replay every .rec under DIR; this is the replay_corpus ctest.
+ *
+ *   ido_fuzz --record-case pending_line --out FILE
+ *       Record the scripted pending-line regression scenario into FILE
+ *       (used to regenerate the checked-in corpus entry).
+ */
+#include <dirent.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baselines/runtime_factory.h"
+#include "common/rng.h"
+#include "fuzz/artifact.h"
+#include "fuzz/fuzz_driver.h"
+
+namespace {
+
+using namespace ido;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: ido_fuzz --runs N [--seed S] [--out DIR] [--runtimes a,b]\n"
+        "       ido_fuzz --replay FILE [--repeat K]\n"
+        "       ido_fuzz --replay-corpus DIR [--repeat K]\n"
+        "       ido_fuzz --record-case pending_line --out FILE\n");
+    return 2;
+}
+
+/** One replay round against a loaded recording; prints and returns
+ *  whether it reproduced. */
+bool
+replay_once(const fuzz::Recording& source, const std::string& label,
+            int round)
+{
+    const fuzz::Recording replayed = fuzz::run_case_replay(source);
+    std::string why;
+    if (fuzz::replay_matches(source, replayed, &why)) {
+        std::printf("[ido-fuzz] %s replay %d: reproduced (%s%s)\n",
+                    label.c_str(), round,
+                    fuzz::outcome_name(replayed.outcome),
+                    replayed.crashed ? ", crashed" : "");
+        return true;
+    }
+    std::fprintf(stderr, "[ido-fuzz] %s replay %d: MISMATCH: %s\n",
+                 label.c_str(), round, why.c_str());
+    return false;
+}
+
+int
+cmd_replay_file(const std::string& path, int repeat)
+{
+    fuzz::Recording source;
+    if (!fuzz::load_recording(path, &source)) {
+        std::fprintf(stderr, "[ido-fuzz] cannot load %s\n", path.c_str());
+        return 1;
+    }
+    std::printf(
+        "[ido-fuzz] %s: %s/%u threads=%u seed=%llu recorded=%s%s\n",
+        path.c_str(), fuzz::workload_kind_name(source.fc.workload),
+        source.fc.runtime, source.fc.threads,
+        static_cast<unsigned long long>(source.fc.seed),
+        fuzz::outcome_name(source.outcome),
+        source.crashed ? " (crashed)" : "");
+    int failures = 0;
+    for (int i = 1; i <= repeat; ++i) {
+        if (!replay_once(source, path, i))
+            failures += 1;
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+int
+cmd_replay_corpus(const std::string& dir, int repeat)
+{
+    std::vector<std::string> files;
+    DIR* d = opendir(dir.c_str());
+    if (d == nullptr) {
+        std::fprintf(stderr, "[ido-fuzz] cannot open corpus dir %s\n",
+                     dir.c_str());
+        return 1;
+    }
+    while (dirent* e = readdir(d)) {
+        const std::string name = e->d_name;
+        if (name.size() > 4
+            && name.compare(name.size() - 4, 4, ".rec") == 0)
+            files.push_back(dir + "/" + name);
+    }
+    closedir(d);
+    std::sort(files.begin(), files.end());
+    if (files.empty()) {
+        std::fprintf(stderr, "[ido-fuzz] corpus %s has no .rec files\n",
+                     dir.c_str());
+        return 1;
+    }
+    int rc = 0;
+    for (const std::string& f : files)
+        rc |= cmd_replay_file(f, repeat);
+    return rc;
+}
+
+int
+cmd_sweep(uint64_t seed, uint32_t runs, const std::string& out,
+          const std::string& runtimes_csv, bool verbose)
+{
+    fuzz::SweepOptions opts;
+    opts.master_seed = seed;
+    opts.runs = runs;
+    opts.out_dir = out;
+    opts.verbose = verbose;
+    if (!runtimes_csv.empty()) {
+        size_t pos = 0;
+        while (pos <= runtimes_csv.size()) {
+            const size_t comma = runtimes_csv.find(',', pos);
+            const std::string tok = runtimes_csv.substr(
+                pos, comma == std::string::npos ? std::string::npos
+                                                : comma - pos);
+            if (!tok.empty())
+                opts.runtimes.push_back(static_cast<uint32_t>(
+                    baselines::runtime_kind_from_name(tok)));
+            if (comma == std::string::npos)
+                break;
+            pos = comma + 1;
+        }
+    }
+    const fuzz::SweepResult result = fuzz::fuzz_sweep(opts);
+    std::printf(
+        "[ido-fuzz] sweep done: %u samples, %u crashed, %u failed\n",
+        result.total, result.crashed, result.failures);
+    for (const std::string& a : result.artifacts)
+        std::printf("[ido-fuzz]   artifact: %s\n", a.c_str());
+    return result.failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string replay_file, corpus_dir, out = ".", runtimes_csv;
+    std::string record_case;
+    uint64_t seed = 1;
+    uint32_t runs = 0;
+    int repeat = 1;
+    bool verbose = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto val = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--runs")
+            runs = static_cast<uint32_t>(std::strtoul(val(), nullptr, 0));
+        else if (arg == "--seed")
+            seed = std::strtoull(val(), nullptr, 0);
+        else if (arg == "--out")
+            out = val();
+        else if (arg == "--runtimes")
+            runtimes_csv = val();
+        else if (arg == "--replay")
+            replay_file = val();
+        else if (arg == "--replay-corpus")
+            corpus_dir = val();
+        else if (arg == "--repeat")
+            repeat = std::atoi(val());
+        else if (arg == "--record-case")
+            record_case = val();
+        else if (arg == "--verbose" || arg == "-v")
+            verbose = true;
+        else
+            return usage();
+    }
+    if (repeat < 1)
+        repeat = 1;
+
+    if (!record_case.empty()) {
+        if (record_case != "pending_line") {
+            std::fprintf(stderr, "[ido-fuzz] unknown case %s\n",
+                         record_case.c_str());
+            return 2;
+        }
+        const fuzz::Recording rec = fuzz::record_pending_line_case(seed);
+        if (rec.outcome != fuzz::Outcome::kOk) {
+            std::fprintf(stderr,
+                         "[ido-fuzz] scenario did not pass on current "
+                         "tree (%s: %s) -- not saving\n",
+                         fuzz::outcome_name(rec.outcome),
+                         rec.reason.c_str());
+            return 1;
+        }
+        const std::string path = out + (out.find(".rec") == std::string::npos
+                                            ? "/pending_line.rec"
+                                            : "");
+        if (!fuzz::save_recording(path, rec))
+            return 1;
+        std::printf("[ido-fuzz] recorded %s (%zu log entries)\n",
+                    path.c_str(),
+                    rec.logs.empty() ? size_t{0}
+                                     : rec.logs[0].size() + rec.logs[1].size());
+        return 0;
+    }
+    if (!replay_file.empty())
+        return cmd_replay_file(replay_file, repeat);
+    if (!corpus_dir.empty())
+        return cmd_replay_corpus(corpus_dir, repeat);
+    if (runs > 0)
+        return cmd_sweep(seed, runs, out, runtimes_csv, verbose);
+    return usage();
+}
