@@ -1,0 +1,120 @@
+#include "cluster/cluster_client.h"
+
+#include "common/panic.h"
+
+namespace ido::cluster {
+
+ClusterClient::ClusterClient(std::vector<NodeAddr> nodes,
+                             uint64_t ring_seed, uint32_t vnodes)
+    : nodes_(std::move(nodes)), ring_(ring_seed, vnodes)
+{
+    IDO_ASSERT(!nodes_.empty(), "ClusterClient needs at least one node");
+    for (uint32_t i = 0; i < nodes_.size(); ++i) {
+        ring_.add_node(i);
+        clients_.push_back(std::make_unique<net::MemcClient>());
+    }
+}
+
+bool
+ClusterClient::connect_all(int attempts, int backoff_ms)
+{
+    bool ok = true;
+    for (uint32_t i = 0; i < nodes_.size(); ++i)
+        ok &= reconnect_node(i, attempts, backoff_ms);
+    return ok;
+}
+
+bool
+ClusterClient::reconnect_node(uint32_t node, int attempts, int backoff_ms)
+{
+    IDO_ASSERT(node < clients_.size(), "node id out of range");
+    clients_[node]->close();
+    return clients_[node]->connect_retry(nodes_[node].host,
+                                         nodes_[node].port, attempts,
+                                         backoff_ms);
+}
+
+uint32_t
+ClusterClient::node_for(const std::string& key) const
+{
+    return ring_.owner_of_key(key);
+}
+
+bool
+ClusterClient::set(const std::string& key, uint64_t value)
+{
+    net::MemcClient& c = *clients_[node_for(key)];
+    const bool ok = c.set(key, value);
+    last_error_ = c.last_error();
+    return ok;
+}
+
+bool
+ClusterClient::get(const std::string& key, uint64_t* value)
+{
+    net::MemcClient& c = *clients_[node_for(key)];
+    const bool ok = c.get(key, value);
+    last_error_ = c.last_error();
+    return ok;
+}
+
+bool
+ClusterClient::del(const std::string& key)
+{
+    net::MemcClient& c = *clients_[node_for(key)];
+    const bool ok = c.del(key);
+    last_error_ = c.last_error();
+    return ok;
+}
+
+uint32_t
+ClusterClient::pipeline_set(const std::string& key, uint64_t value)
+{
+    const uint32_t node = node_for(key);
+    clients_[node]->pipeline_set(key, value);
+    return node;
+}
+
+uint32_t
+ClusterClient::pipeline_del(const std::string& key)
+{
+    const uint32_t node = node_for(key);
+    clients_[node]->pipeline_del(key);
+    return node;
+}
+
+uint32_t
+ClusterClient::pipeline_get(const std::string& key)
+{
+    const uint32_t node = node_for(key);
+    clients_[node]->pipeline_get(key);
+    return node;
+}
+
+size_t
+ClusterClient::flush_node(uint32_t node, size_t max_acks)
+{
+    IDO_ASSERT(node < clients_.size(), "node id out of range");
+    const size_t acks = clients_[node]->pipeline_flush(max_acks);
+    last_error_ = clients_[node]->last_error();
+    return acks;
+}
+
+std::vector<size_t>
+ClusterClient::flush_all()
+{
+    std::vector<size_t> acks(nodes_.size(), 0);
+    for (uint32_t i = 0; i < nodes_.size(); ++i)
+        if (clients_[i]->pipeline_pending() != 0)
+            acks[i] = flush_node(i);
+    return acks;
+}
+
+size_t
+ClusterClient::pipeline_pending(uint32_t node) const
+{
+    IDO_ASSERT(node < clients_.size(), "node id out of range");
+    return clients_[node]->pipeline_pending();
+}
+
+} // namespace ido::cluster

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * ClusterClient: client-side key routing over the consistent-hash
+ * ring.  One MemcClient per node; every operation hashes its key
+ * through the shared ring and lands on the owning node's connection.
+ *
+ * Pipelining is per node: pipeline_set/del/get queue on the owner's
+ * connection, and flush_node() drains one node's pipeline, returning
+ * its ack count.  Because each node's replies arrive in that node's
+ * request order, the ack count is a *per-node durable prefix* -- the
+ * exact property the cluster crash harness verifies after SIGKILLing
+ * node subsets (a cluster-wide prefix would be meaningless: nodes
+ * fail independently).
+ *
+ * Failure surfacing rides MemcClient::last_error(): kDisconnected /
+ * kSendFailed mean "that node is down" (reconnect_node and retry),
+ * anything else means the node answered and retrying is pointless.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/hash_ring.h"
+#include "net/memc_client.h"
+
+namespace ido::cluster {
+
+struct NodeAddr
+{
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+};
+
+class ClusterClient
+{
+  public:
+    /**
+     * Node i of `nodes` is ring node id i.  `ring_seed`/`vnodes` must
+     * match every other ring in the cluster (0 = IDO_SEED default).
+     */
+    explicit ClusterClient(std::vector<NodeAddr> nodes,
+                           uint64_t ring_seed = 0,
+                           uint32_t vnodes =
+                               ConsistentHashRing::kDefaultVnodes);
+
+    /** Connect every node (bounded retry each).  False if any failed. */
+    bool connect_all(int attempts = 100, int backoff_ms = 20);
+
+    /** (Re)connect one node -- after a crash + supervisor restart. */
+    bool reconnect_node(uint32_t node, int attempts = 100,
+                        int backoff_ms = 20);
+
+    size_t node_count() const { return nodes_.size(); }
+    const ConsistentHashRing& ring() const { return ring_; }
+    uint32_t node_for(const std::string& key) const;
+
+    /** The routed simple RPCs (MemcClient semantics). */
+    bool set(const std::string& key, uint64_t value);
+    bool get(const std::string& key, uint64_t* value);
+    bool del(const std::string& key);
+
+    /** last_error() of the node that served the most recent RPC. */
+    net::ClientError last_error() const { return last_error_; }
+
+    // --- per-node pipelining -----------------------------------------
+
+    /** Queue on the owner's connection; returns the owning node. */
+    uint32_t pipeline_set(const std::string& key, uint64_t value);
+    uint32_t pipeline_del(const std::string& key);
+    uint32_t pipeline_get(const std::string& key);
+
+    /**
+     * Flush node `node`'s pipeline; the return value is that node's
+     * durable-prefix ack count (MemcClient::pipeline_flush).
+     */
+    size_t flush_node(uint32_t node, size_t max_acks = SIZE_MAX);
+
+    /** Flush every node; out[i] = node i's ack count. */
+    std::vector<size_t> flush_all();
+
+    size_t pipeline_pending(uint32_t node) const;
+
+    /** Direct access (tests: version probes, stats). */
+    net::MemcClient& client(uint32_t node) { return *clients_[node]; }
+    const NodeAddr& addr(uint32_t node) const { return nodes_[node]; }
+
+  private:
+    std::vector<NodeAddr> nodes_;
+    ConsistentHashRing ring_;
+    // unique_ptr: MemcClient is non-movable.
+    std::vector<std::unique_ptr<net::MemcClient>> clients_;
+    net::ClientError last_error_ = net::ClientError::kNone;
+};
+
+} // namespace ido::cluster

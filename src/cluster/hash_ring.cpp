@@ -1,0 +1,105 @@
+#include "cluster/hash_ring.h"
+
+#include <algorithm>
+
+#include "common/panic.h"
+#include "common/rng.h"
+#include "net/memc_protocol.h"
+
+namespace ido::cluster {
+
+namespace {
+
+/// Salt separating the ring's seed stream from every other IDO_SEED
+/// consumer (fuzz sweeps, workload RNGs, ...).
+constexpr uint64_t kRingSeedSalt = 0x7269'6e67'6964'6f01ull; // "ringido"
+
+uint64_t
+hash_mix(uint64_t x)
+{
+    // SplitMix64 finalizer: enough avalanche for point placement.
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+ConsistentHashRing::ConsistentHashRing(uint64_t seed, uint32_t vnodes)
+    : seed_(seed != 0 ? seed : mix_seed(kRingSeedSalt)),
+      vnodes_(vnodes == 0 ? 1 : vnodes)
+{
+}
+
+uint64_t
+ConsistentHashRing::vnode_point(uint32_t node_id, uint32_t vnode) const
+{
+    // Pure function of (seed, node, vnode): identical across processes
+    // and insertion orders.
+    return hash_mix(seed_ ^ hash_mix((uint64_t(node_id) << 32) | vnode));
+}
+
+void
+ConsistentHashRing::add_node(uint32_t node_id)
+{
+    IDO_ASSERT(!has_node(node_id), "ring: node already present");
+    nodes_.insert(std::lower_bound(nodes_.begin(), nodes_.end(), node_id),
+                  node_id);
+    rebuild();
+}
+
+void
+ConsistentHashRing::remove_node(uint32_t node_id)
+{
+    auto it = std::lower_bound(nodes_.begin(), nodes_.end(), node_id);
+    IDO_ASSERT(it != nodes_.end() && *it == node_id,
+               "ring: removing an absent node");
+    nodes_.erase(it);
+    rebuild();
+}
+
+bool
+ConsistentHashRing::has_node(uint32_t node_id) const
+{
+    return std::binary_search(nodes_.begin(), nodes_.end(), node_id);
+}
+
+void
+ConsistentHashRing::rebuild()
+{
+    points_.clear();
+    points_.reserve(nodes_.size() * vnodes_);
+    for (uint32_t n : nodes_)
+        for (uint32_t v = 0; v < vnodes_; ++v)
+            points_.emplace_back(vnode_point(n, v), n);
+    // Tie points (astronomically unlikely) break by node id, which is
+    // still deterministic and insertion-order independent.
+    std::sort(points_.begin(), points_.end());
+}
+
+uint32_t
+ConsistentHashRing::owner_of_point(uint64_t point) const
+{
+    IDO_ASSERT(!points_.empty(), "ring: owner query on an empty ring");
+    auto it = std::upper_bound(points_.begin(), points_.end(),
+                               std::make_pair(point, UINT32_MAX));
+    if (it == points_.end())
+        it = points_.begin(); // wrap around the circle
+    return it->second;
+}
+
+uint32_t
+ConsistentHashRing::owner_of_words(uint64_t key_lo, uint64_t key_hi) const
+{
+    return owner_of_point(hash_mix(key_lo ^ hash_mix(key_hi)));
+}
+
+uint32_t
+ConsistentHashRing::owner_of_key(const std::string& key) const
+{
+    auto [lo, hi] = net::memc_key_words(key);
+    return owner_of_words(lo, hi);
+}
+
+} // namespace ido::cluster

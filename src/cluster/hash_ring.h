@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Consistent-hash ring: the key-placement function of ido-cluster.
+ *
+ * Every layer that needs to know "which node owns key k" -- the
+ * client-side ClusterClient, the ido_router proxy, the supervisor's
+ * harness checks -- shares this ring, so they agree on placement
+ * without talking to each other.  Classic virtual-node construction:
+ * each node contributes `vnodes` points on a 64-bit circle, a key is
+ * owned by the first point clockwise from its hash, and adding or
+ * removing a node only remaps the keys adjacent to that node's points
+ * (expected moved fraction 1/(n+1) on add -- the bound the ring tests
+ * assert).
+ *
+ * Placement is seeded: point positions are a pure hash of
+ * (seed, node id, vnode index), so two processes with the same seed
+ * and node set build bit-identical rings regardless of the order
+ * nodes were added, and IDO_SEED steers the whole cluster's placement
+ * the same way it steers every other randomized component (the
+ * default seed derives from global_seed()).  Keys are hashed through
+ * the same memc_key_words() mapping the server shards use, so a text
+ * key addresses the same node before and after any process restarts.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ido::cluster {
+
+class ConsistentHashRing
+{
+  public:
+    static constexpr uint32_t kDefaultVnodes = 64;
+
+    /**
+     * @param seed   placement seed; 0 derives one from global_seed(),
+     *               so a whole IDO_SEED'd process tree agrees.
+     * @param vnodes points per node (>=1).
+     */
+    explicit ConsistentHashRing(uint64_t seed = 0,
+                                uint32_t vnodes = kDefaultVnodes);
+
+    /** Insert a node (id must not be present). */
+    void add_node(uint32_t node_id);
+
+    /** Remove a node (id must be present). */
+    void remove_node(uint32_t node_id);
+
+    bool has_node(uint32_t node_id) const;
+    size_t node_count() const { return nodes_.size(); }
+    std::vector<uint32_t> nodes() const { return nodes_; }
+    uint64_t seed() const { return seed_; }
+    uint32_t vnodes() const { return vnodes_; }
+
+    /** Owner of a raw 64-bit key point.  Ring must be nonempty. */
+    uint32_t owner_of_point(uint64_t point) const;
+
+    /** Owner of a memcached_mini (key_lo, key_hi) pair. */
+    uint32_t owner_of_words(uint64_t key_lo, uint64_t key_hi) const;
+
+    /** Owner of a text key (hashed via memc_key_words). */
+    uint32_t owner_of_key(const std::string& key) const;
+
+  private:
+    uint64_t vnode_point(uint32_t node_id, uint32_t vnode) const;
+    void rebuild();
+
+    uint64_t seed_;
+    uint32_t vnodes_;
+    std::vector<uint32_t> nodes_; ///< sorted node ids
+    /// Sorted (point, node) pairs -- the circle.
+    std::vector<std::pair<uint64_t, uint32_t>> points_;
+};
+
+} // namespace ido::cluster

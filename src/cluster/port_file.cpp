@@ -1,0 +1,76 @@
+#include "cluster/port_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+namespace ido::cluster {
+
+bool
+write_port_file(const std::string& path, uint16_t port)
+{
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC
+                                           | O_CLOEXEC, 0644);
+    if (fd < 0)
+        return false;
+    char buf[16];
+    const int n = std::snprintf(buf, sizeof buf, "%u\n", port);
+    bool ok = n > 0;
+    for (int off = 0; ok && off < n;) {
+        const ssize_t w = ::write(fd, buf + off, static_cast<size_t>(n - off));
+        if (w < 0) {
+            ok = false;
+            break;
+        }
+        off += static_cast<int>(w);
+    }
+    // The rename only publishes durable bytes: without the fsync a
+    // crash could surface an empty (but fully renamed) file.
+    if (ok)
+        ok = ::fsync(fd) == 0;
+    ::close(fd);
+    if (ok)
+        ok = std::rename(tmp.c_str(), path.c_str()) == 0;
+    if (!ok)
+        ::unlink(tmp.c_str());
+    return ok;
+}
+
+uint16_t
+read_port_file(const std::string& path)
+{
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return 0;
+    unsigned p = 0;
+    char nl = 0;
+    // Require the trailing newline: a value without it could only be
+    // a torn write (write_port_file always emits one).
+    const int got = std::fscanf(f, "%u%c", &p, &nl);
+    std::fclose(f);
+    if (got != 2 || nl != '\n' || p == 0 || p > 65535)
+        return 0;
+    return static_cast<uint16_t>(p);
+}
+
+uint16_t
+wait_port_file(const std::string& path, int timeout_ms, int poll_ms)
+{
+    const auto deadline = std::chrono::steady_clock::now()
+                          + std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+        const uint16_t p = read_port_file(path);
+        if (p != 0)
+            return p;
+        if (std::chrono::steady_clock::now() >= deadline)
+            return 0;
+        std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+    }
+}
+
+} // namespace ido::cluster

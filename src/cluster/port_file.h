@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Atomic port-file handshake shared by every process in a cluster.
+ *
+ * A server advertises its kernel-assigned port by writing a tiny file;
+ * supervisors, routers and test harnesses poll for that file to learn
+ * both "the port" and "the process is ready".  The write must be
+ * atomic -- a poller that opens the file mid-write would read a prefix
+ * of the digits and connect to the wrong port -- so the value goes to
+ * a uniquely named temp file first (pid-suffixed: concurrent writers
+ * to the same path never clobber each other's staging file), is
+ * fsync'd, and is renamed into place.  rename(2) on one filesystem is
+ * atomic, so a reader observes either no file or the complete value.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ido::cluster {
+
+/**
+ * Publish `port` at `path` atomically (tmp + fsync + rename).
+ * @return false on any I/O failure (the temp file is removed).
+ */
+bool write_port_file(const std::string& path, uint16_t port);
+
+/** Parse a published port; 0 when absent, empty, or malformed. */
+uint16_t read_port_file(const std::string& path);
+
+/**
+ * Poll for a valid port file every `poll_ms` until `timeout_ms` has
+ * elapsed.  Returns the port, or 0 on timeout.
+ */
+uint16_t wait_port_file(const std::string& path, int timeout_ms,
+                        int poll_ms = 10);
+
+} // namespace ido::cluster

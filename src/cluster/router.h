@@ -1,0 +1,183 @@
+/**
+ * @file
+ * ido-router: a standalone memcached-protocol proxy that spreads keys
+ * across N ido-serve nodes through the shared consistent-hash ring.
+ *
+ * Clients speak plain memcached to the router and never learn the
+ * topology.  The router reuses the server-side machinery: the same
+ * epoll EventLoop, the same incremental MemcParser per client, and the
+ * same per-connection reorder buffer so replies release strictly in
+ * request order even when a pipeline fans out across nodes.
+ *
+ * Pipelining is preserved per upstream: requests routed to one node
+ * are appended to that node's connection back-to-back without waiting
+ * for replies, so a K-deep client pipeline still reaches the node as
+ * one K-deep batch for the group-persist batcher to amortize.  Each
+ * upstream connection is FIFO (server.h guarantees reply order), so a
+ * deque of pending (conn, seq, op) descriptors is enough to match
+ * replies back to the clients that asked.
+ *
+ * Failure handling -- the recovery-holdback protocol:
+ *  - When an upstream dies, its *in-flight* requests get SERVER_ERROR
+ *    replies (the router cannot know whether the node executed them:
+ *    re-sending could double-apply an un-acked mutation under a
+ *    crash-recovery race, so the client must decide).
+ *  - *New* requests for the dead slice are held in a bounded queue
+ *    while the router reconnects with exponential backoff; once the
+ *    supervisor restarts the node (iDO recovery included), held
+ *    requests replay in arrival order and the clients never saw an
+ *    error -- a node crash shows up as a latency blip.
+ *  - Requests held past `hold_deadline_ms`, or arriving when the hold
+ *    queue is full, fail fast with SERVER_ERROR so a dead-forever node
+ *    degrades only its ring slice instead of wedging every client.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster_client.h" // NodeAddr
+#include "cluster/hash_ring.h"
+#include "net/event_loop.h"
+#include "net/memc_protocol.h"
+
+namespace ido::cluster {
+
+struct RouterConfig
+{
+    std::vector<NodeAddr> nodes;
+    uint16_t port = 0;     ///< listen port (0 = kernel-assigned)
+    uint64_t ring_seed = 0; ///< 0 = derive from IDO_SEED
+    uint32_t vnodes = ConsistentHashRing::kDefaultVnodes;
+    /// Max requests held per down upstream before new ones fail fast.
+    size_t hold_max = 4096;
+    /// A held request older than this fails fast with SERVER_ERROR.
+    uint32_t hold_deadline_ms = 10000;
+    /// Reconnect backoff: initial delay, doubling up to the cap.
+    uint32_t backoff_min_ms = 20;
+    uint32_t backoff_max_ms = 500;
+};
+
+class Router
+{
+  public:
+    explicit Router(const RouterConfig& cfg);
+    ~Router();
+
+    Router(const Router&) = delete;
+    Router& operator=(const Router&) = delete;
+
+    uint16_t port() const { return port_; }
+
+    /** Serve until stop().  Owns the calling thread. */
+    void run();
+
+    /** Ask run() to return (any thread / signal handler). */
+    void stop();
+
+  private:
+    struct Conn
+    {
+        int fd = -1;
+        uint64_t id = 0;
+        net::MemcParser parser;
+        std::string out;
+        uint64_t next_seq = 0;     ///< per-request arrival number
+        uint64_t next_release = 0; ///< next seq allowed to leave
+        std::map<uint64_t, std::string> reorder;
+        uint64_t inflight = 0; ///< requests at upstreams or held
+        bool closing = false;
+        bool want_write = false;
+    };
+
+    /** One request owed a reply by an upstream (FIFO per upstream). */
+    struct PendingOp
+    {
+        uint64_t conn_id = 0;
+        uint64_t seq = 0;
+        net::MemcOp op = net::MemcOp::kError;
+    };
+
+    /** A request parked while its upstream is down. */
+    struct HeldOp
+    {
+        uint64_t conn_id = 0;
+        uint64_t seq = 0;
+        net::MemcOp op = net::MemcOp::kError;
+        std::string wire;        ///< re-serialized request bytes
+        uint64_t deadline_ns = 0;
+    };
+
+    enum class UpState : uint8_t { kDown, kConnecting, kUp };
+
+    struct Upstream
+    {
+        NodeAddr addr;
+        int fd = -1;
+        UpState state = UpState::kDown;
+        std::string out;   ///< bytes not yet written to the node
+        std::string in;    ///< reply bytes not yet matched
+        std::deque<PendingOp> pending; ///< awaiting replies, FIFO
+        std::deque<HeldOp> hold;       ///< parked while down
+        uint32_t backoff_ms = 0;
+        uint64_t next_attempt_ns = 0;
+        bool want_write = false;
+    };
+
+    // client side
+    void on_accept(uint32_t events);
+    void on_conn_event(uint64_t conn_id, uint32_t events);
+    void read_conn(Conn& c);
+    void route_request(Conn& c, net::MemcRequest&& rq);
+    void local_reply(Conn& c, uint64_t seq, std::string data);
+    void deliver(uint64_t conn_id, uint64_t seq, std::string data);
+    void release_ready(Conn& c);
+    void flush_out(Conn& c);
+    void close_conn(Conn& c);
+    std::string stats_reply();
+
+    // upstream side
+    void start_connect(uint32_t node);
+    void on_upstream_event(uint32_t node, uint32_t events);
+    void upstream_established(uint32_t node);
+    void upstream_down(uint32_t node);
+    void flush_upstream(Upstream& u);
+    void read_upstream(uint32_t node);
+    /** Try to peel one complete reply for `op` off the front of buf. */
+    static bool extract_reply(std::string& buf, net::MemcOp op,
+                              std::string* reply);
+    void forward(uint32_t node, uint64_t conn_id, uint64_t seq,
+                 const net::MemcRequest& rq);
+    void replay_held(uint32_t node);
+
+    // timer sweep: reconnect attempts + hold-deadline expiry
+    void on_timer();
+
+    RouterConfig cfg_;
+    ConsistentHashRing ring_;
+    net::EventLoop loop_;
+    int listen_fd_ = -1;
+    int timer_fd_ = -1;
+    uint16_t port_ = 0;
+
+    uint64_t next_conn_id_ = 1;
+    std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
+    std::vector<Upstream> upstreams_;
+
+    // cluster.router.* instruments (stats_reply / admin scrape)
+    std::atomic<uint64_t>* forwarded_ = nullptr;
+    std::atomic<uint64_t>* held_ = nullptr;
+    std::atomic<uint64_t>* replayed_ = nullptr;
+    std::atomic<uint64_t>* expired_ = nullptr;
+    std::atomic<uint64_t>* rejected_ = nullptr;
+    std::atomic<uint64_t>* upstream_errors_ = nullptr;
+    std::atomic<uint64_t>* reconnects_ = nullptr;
+};
+
+} // namespace ido::cluster

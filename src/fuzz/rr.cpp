@@ -522,6 +522,8 @@ obj_kind_name(ObjKind kind)
         return "fase_lock";
       case ObjKind::kScenario:
         return "scenario";
+      case ObjKind::kNetBatch:
+        return "net_batch";
     }
     return "?";
 }

@@ -1,5 +1,8 @@
 #include "net/group_commit.h"
 
+#include <mutex>
+
+#include "fuzz/rr.h"
 #include "runtime/runtime.h"
 #include "stats/metrics.h"
 #include "trace/trace.h"
@@ -26,25 +29,42 @@ GroupCommit::run_batch(const std::vector<ShardJob>& jobs, const Exec& exec,
     batches.fetch_add(1, std::memory_order_relaxed);
     requests.fetch_add(jobs.size(), std::memory_order_relaxed);
 
-    const bool grouped = batch_limit_ > 1;
-    if (grouped) {
-        trace::emit(trace::EventKind::kGroupOpen, shard_index_);
-        th_.begin_persist_group();
+    const auto do_batch = [&] {
+        const bool grouped = batch_limit_ > 1;
+        if (grouped) {
+            trace::emit(trace::EventKind::kGroupOpen, shard_index_);
+            th_.begin_persist_group();
+        }
+        for (const ShardJob& job : jobs) {
+            ShardReply r;
+            r.conn_id = job.conn_id;
+            r.seq = job.seq;
+            r.data = exec(job);
+            out->push_back(std::move(r));
+        }
+        if (grouped) {
+            // Retires every deferred progress-marker fence; only after
+            // this may the replies above reach a client.
+            th_.end_persist_group();
+            trace::emit(trace::EventKind::kGroupClose, shard_index_,
+                        jobs.size());
+        }
+    };
+
+    if (!fuzz::rr::active()) [[likely]] {
+        do_batch();
+        return;
     }
-    for (const ShardJob& job : jobs) {
-        ShardReply r;
-        r.conn_id = job.conn_id;
-        r.seq = job.seq;
-        r.data = exec(job);
-        out->push_back(std::move(r));
-    }
-    if (grouped) {
-        // Retires every deferred progress-marker fence; only after
-        // this may the replies above reach a client.
-        th_.end_persist_group();
-        trace::emit(trace::EventKind::kGroupClose, shard_index_,
-                    jobs.size());
-    }
+    // ido-fuzz: under record/replay the whole batch becomes one
+    // recorded sync op on a single global kNetBatch object, so the
+    // *cross-shard* interleaving of group-commit batches is captured
+    // and replayed bit-for-bit.  A per-shard key would only pin each
+    // shard's own program order, which replay gets for free; the
+    // global turn is what makes a multi-worker schedule deterministic.
+    static std::mutex net_batch_mu;
+    fuzz::rr::OrderedGuard g(net_batch_mu,
+                             fuzz::obj_key(fuzz::ObjKind::kNetBatch));
+    do_batch();
 }
 
 } // namespace ido::net

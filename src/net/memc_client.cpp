@@ -37,7 +37,44 @@ format_set(const std::string& key, uint64_t value)
     return out;
 }
 
+bool
+is_server_error_line(const std::string& line)
+{
+    return line.rfind("SERVER_ERROR", 0) == 0;
+}
+
 } // namespace
+
+const char*
+client_error_name(ClientError e)
+{
+    switch (e) {
+      case ClientError::kNone:
+        return "none";
+      case ClientError::kNotConnected:
+        return "not_connected";
+      case ClientError::kConnectFailed:
+        return "connect_failed";
+      case ClientError::kSendFailed:
+        return "send_failed";
+      case ClientError::kDisconnected:
+        return "disconnected";
+      case ClientError::kTimeout:
+        return "timeout";
+      case ClientError::kProtocol:
+        return "protocol";
+      case ClientError::kServerError:
+        return "server_error";
+    }
+    return "?";
+}
+
+bool
+MemcClient::fail(ClientError e)
+{
+    last_error_ = e;
+    return false;
+}
 
 MemcClient::~MemcClient()
 {
@@ -50,22 +87,23 @@ MemcClient::connect(const std::string& host, uint16_t port)
     close();
     int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (fd < 0)
-        return false;
+        return fail(ClientError::kConnectFailed);
     sockaddr_in addr = {};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port);
     if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
         ::close(fd);
-        return false;
+        return fail(ClientError::kConnectFailed);
     }
     if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
         ::close(fd);
-        return false;
+        return fail(ClientError::kConnectFailed);
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
     fd_ = fd;
     inbuf_.clear();
+    last_error_ = ClientError::kNone;
     return true;
 }
 
@@ -80,7 +118,7 @@ MemcClient::connect_retry(const std::string& host, uint16_t port,
         std::this_thread::sleep_for(std::chrono::milliseconds(delay));
         delay = std::min(delay * 2, backoff_ms * 10);
     }
-    return false;
+    return false; // last_error_ left from the final connect attempt
 }
 
 void
@@ -107,7 +145,7 @@ MemcClient::send_all(const char* data, size_t n)
         }
         if (errno == EINTR)
             continue;
-        return false; // EPIPE/ECONNRESET: server died
+        return fail(ClientError::kSendFailed); // EPIPE/ECONNRESET
     }
     return true;
 }
@@ -127,8 +165,10 @@ MemcClient::read_line(std::string* out)
         }
         struct pollfd pfd = {fd_, POLLIN, 0};
         int pr = ::poll(&pfd, 1, kReadTimeoutMs);
-        if (pr <= 0)
-            return false; // timeout or error
+        if (pr == 0)
+            return fail(ClientError::kTimeout);
+        if (pr < 0)
+            return fail(ClientError::kDisconnected);
         char buf[8192];
         ssize_t n = ::read(fd_, buf, sizeof buf);
         if (n > 0) {
@@ -137,7 +177,7 @@ MemcClient::read_line(std::string* out)
         }
         if (n < 0 && errno == EINTR)
             continue;
-        return false; // EOF or hard error
+        return fail(ClientError::kDisconnected); // EOF or hard error
     }
 }
 
@@ -145,43 +185,57 @@ bool
 MemcClient::set(const std::string& key, uint64_t value)
 {
     if (fd_ < 0)
-        return false;
+        return fail(ClientError::kNotConnected);
     const std::string wire = format_set(key, value);
     if (!send_all(wire.data(), wire.size()))
         return false;
     std::string line;
-    return read_line(&line) && line == "STORED";
+    if (!read_line(&line))
+        return false;
+    if (line == "STORED") {
+        last_error_ = ClientError::kNone;
+        return true;
+    }
+    return fail(is_server_error_line(line) ? ClientError::kServerError
+                                           : ClientError::kProtocol);
 }
 
 bool
 MemcClient::get(const std::string& key, uint64_t* value)
 {
     if (fd_ < 0)
-        return false;
+        return fail(ClientError::kNotConnected);
     const std::string wire = "get " + key + "\r\n";
     if (!send_all(wire.data(), wire.size()))
         return false;
     std::string line;
     if (!read_line(&line))
         return false;
-    if (line == "END")
-        return false; // miss
-    if (line.rfind("VALUE ", 0) != 0)
+    if (line == "END") { // miss: an answer, not a failure
+        last_error_ = ClientError::kNone;
         return false;
+    }
+    if (line.rfind("VALUE ", 0) != 0)
+        return fail(is_server_error_line(line)
+                        ? ClientError::kServerError
+                        : ClientError::kProtocol);
     std::string data;
     if (!read_line(&data))
         return false;
     uint64_t v = 0;
     for (char ch : data) {
         if (ch < '0' || ch > '9')
-            return false;
+            return fail(ClientError::kProtocol);
         v = v * 10 + static_cast<uint64_t>(ch - '0');
     }
     std::string end;
-    if (!read_line(&end) || end != "END")
+    if (!read_line(&end))
         return false;
+    if (end != "END")
+        return fail(ClientError::kProtocol);
     if (value)
         *value = v;
+    last_error_ = ClientError::kNone;
     return true;
 }
 
@@ -189,25 +243,39 @@ bool
 MemcClient::del(const std::string& key)
 {
     if (fd_ < 0)
-        return false;
+        return fail(ClientError::kNotConnected);
     const std::string wire = "delete " + key + "\r\n";
     if (!send_all(wire.data(), wire.size()))
         return false;
     std::string line;
-    return read_line(&line) && line == "DELETED";
+    if (!read_line(&line))
+        return false;
+    if (line == "DELETED") {
+        last_error_ = ClientError::kNone;
+        return true;
+    }
+    if (line == "NOT_FOUND") { // an answer, not a failure
+        last_error_ = ClientError::kNone;
+        return false;
+    }
+    return fail(is_server_error_line(line) ? ClientError::kServerError
+                                           : ClientError::kProtocol);
 }
 
 std::string
 MemcClient::version()
 {
-    if (fd_ < 0)
+    if (fd_ < 0) {
+        fail(ClientError::kNotConnected);
         return std::string();
+    }
     const char wire[] = "version\r\n";
     if (!send_all(wire, sizeof wire - 1))
         return std::string();
     std::string line;
     if (!read_line(&line))
         return std::string();
+    last_error_ = ClientError::kNone;
     return line;
 }
 
@@ -217,7 +285,7 @@ MemcClient::stats(std::map<std::string, std::string>* out)
     if (out)
         out->clear();
     if (fd_ < 0)
-        return false;
+        return fail(ClientError::kNotConnected);
     const char wire[] = "stats\r\n";
     if (!send_all(wire, sizeof wire - 1))
         return false;
@@ -225,13 +293,15 @@ MemcClient::stats(std::map<std::string, std::string>* out)
         std::string line;
         if (!read_line(&line))
             return false;
-        if (line == "END")
+        if (line == "END") {
+            last_error_ = ClientError::kNone;
             return true;
+        }
         if (line.rfind("STAT ", 0) != 0)
-            return false; // protocol error
+            return fail(ClientError::kProtocol);
         const size_t sp = line.find(' ', 5);
         if (sp == std::string::npos)
-            return false;
+            return fail(ClientError::kProtocol);
         if (out)
             (*out)[line.substr(5, sp - 5)] = line.substr(sp + 1);
     }
@@ -251,6 +321,13 @@ MemcClient::pipeline_get(const std::string& key)
     pipeline_kinds_.push_back(1);
 }
 
+void
+MemcClient::pipeline_del(const std::string& key)
+{
+    pipeline_ += "delete " + key + "\r\n";
+    pipeline_kinds_.push_back(2);
+}
+
 size_t
 MemcClient::pipeline_flush(size_t max_acks)
 {
@@ -259,20 +336,34 @@ MemcClient::pipeline_flush(size_t max_acks)
     const size_t expected = std::min(kinds.size(), max_acks);
     if (fd_ < 0) {
         pipeline_.clear();
+        fail(ClientError::kNotConnected);
         return 0;
     }
     const bool sent = send_all(pipeline_.data(), pipeline_.size());
     pipeline_.clear();
+    last_error_ = ClientError::kNone;
     size_t acks = 0;
     // Count acks even after a send failure: the server may have
     // executed (and durably committed) a prefix before dying.
     while (acks < expected) {
         std::string line;
         if (!read_line(&line))
-            break;
+            break; // read_line set kDisconnected/kTimeout
         if (kinds[acks] == 0) {
-            if (line != "STORED")
+            if (line != "STORED") {
+                fail(is_server_error_line(line)
+                         ? ClientError::kServerError
+                         : ClientError::kProtocol);
                 break;
+            }
+        } else if (kinds[acks] == 2) {
+            // delete: either answer is a durable ack of the outcome.
+            if (line != "DELETED" && line != "NOT_FOUND") {
+                fail(is_server_error_line(line)
+                         ? ClientError::kServerError
+                         : ClientError::kProtocol);
+                break;
+            }
         } else {
             // get: zero or one VALUE+data line pair, then END.
             bool ok = true;
@@ -283,12 +374,19 @@ MemcClient::pipeline_flush(size_t max_acks)
                     break;
                 }
             }
-            if (!ok || line != "END")
+            if (!ok)
                 break;
+            if (line != "END") {
+                fail(is_server_error_line(line)
+                         ? ClientError::kServerError
+                         : ClientError::kProtocol);
+                break;
+            }
         }
         ++acks;
     }
-    (void)sent;
+    if (!sent && last_error_ == ClientError::kNone)
+        fail(ClientError::kSendFailed);
     return acks;
 }
 

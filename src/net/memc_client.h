@@ -24,6 +24,28 @@
 
 namespace ido::net {
 
+/**
+ * Why the last MemcClient call returned false.  Failover logic (the
+ * cluster router, ClusterClient, the crash harnesses) needs to
+ * distinguish "the node died" (kDisconnected / kSendFailed: reconnect
+ * and retry elsewhere) from "the node answered but said no"
+ * (kProtocol / kServerError: retrying is useless) -- a plain false
+ * conflates the two.
+ */
+enum class ClientError : uint8_t
+{
+    kNone = 0,       ///< last call succeeded (or benign miss/NOT_FOUND)
+    kNotConnected,   ///< no socket: connect() never succeeded or close()d
+    kConnectFailed,  ///< connect refused / bad address
+    kSendFailed,     ///< EPIPE/ECONNRESET mid-send: peer gone
+    kDisconnected,   ///< EOF mid-reply: peer died with requests in flight
+    kTimeout,        ///< no reply within the read timeout
+    kProtocol,       ///< peer answered something the protocol forbids
+    kServerError,    ///< explicit SERVER_ERROR reply line from the peer
+};
+
+const char* client_error_name(ClientError e);
+
 class MemcClient
 {
   public:
@@ -46,6 +68,13 @@ class MemcClient
 
     bool connected() const { return fd_ >= 0; }
     void close();
+
+    /**
+     * Why the most recent operation failed; kNone after a success.
+     * A get miss and a delete of an absent key return false but leave
+     * kNone -- they are answers, not failures.
+     */
+    ClientError last_error() const { return last_error_; }
 
     // --- simple RPC (one round trip each) -----------------------------
 
@@ -76,6 +105,10 @@ class MemcClient
     /** Queue a get locally; its reply counts as one ack on flush. */
     void pipeline_get(const std::string& key);
 
+    /** Queue a delete; DELETED and NOT_FOUND both ack (idempotent
+     *  replay of a replicated batch must not stall on a re-delete). */
+    void pipeline_del(const std::string& key);
+
     /**
      * Send every queued request, then read replies until all are
      * acknowledged or the connection dies (server killed mid-batch).
@@ -95,11 +128,14 @@ class MemcClient
     bool send_all(const char* data, size_t n);
     /** Read until `out` contains a full line; false on EOF/timeout. */
     bool read_line(std::string* out);
+    bool fail(ClientError e);
 
     int fd_ = -1;
     std::string inbuf_;    ///< bytes read past the last parsed line
     std::string pipeline_; ///< queued wire bytes
-    std::vector<uint8_t> pipeline_kinds_; ///< queued ops (0=set, 1=get)
+    /// Queued ops (0=set, 1=get, 2=delete).
+    std::vector<uint8_t> pipeline_kinds_;
+    ClientError last_error_ = ClientError::kNone;
 };
 
 } // namespace ido::net

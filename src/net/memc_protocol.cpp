@@ -262,6 +262,32 @@ memc_reply_stat(const std::string& key, const std::string& value)
     return "STAT " + key + " " + value + "\r\n";
 }
 
+std::string
+memc_wire_request(const MemcRequest& rq)
+{
+    switch (rq.op) {
+    case MemcOp::kSet: {
+        char data[32];
+        const int dlen = std::snprintf(data, sizeof data, "%" PRIu64,
+                                       rq.value);
+        char head[320];
+        const int hlen =
+            std::snprintf(head, sizeof head, "set %s %u 0 %d\r\n",
+                          rq.key.c_str(), rq.flags, dlen);
+        std::string out(head, static_cast<size_t>(hlen));
+        out.append(data, static_cast<size_t>(dlen));
+        out += "\r\n";
+        return out;
+    }
+    case MemcOp::kGet:
+        return "get " + rq.key + "\r\n";
+    case MemcOp::kDelete:
+        return "delete " + rq.key + "\r\n";
+    default:
+        return std::string(); // not a forwardable data op
+    }
+}
+
 std::pair<uint64_t, uint64_t>
 memc_key_words(const std::string& key)
 {

@@ -91,6 +91,13 @@ std::string memc_reply_stat(const std::string& key,
                             const std::string& value); ///< STAT k v
 
 /**
+ * Re-serialize a parsed data request (set/get/delete) to its exact
+ * wire form.  The cluster router and the replication forwarder use it
+ * to relay a request to an upstream node; other ops return "".
+ */
+std::string memc_wire_request(const MemcRequest& rq);
+
+/**
  * Map a text key onto memcached_mini's (key_lo, key_hi) words.
  * Deterministic across processes (no seed), so a client can address
  * the same item before and after a server restart.

@@ -127,6 +127,9 @@ Server::run()
         sc.index = i;
         sc.batch_limit = cfg_.batch_limit;
         sc.root_off = root_off_;
+        sc.replica_host = cfg_.replica_host;
+        sc.replica_port = cfg_.replica_port;
+        sc.publish_delay_ms = cfg_.publish_delay_ms;
         auto publish = [this](std::vector<ShardReply>&& replies) {
             {
                 std::lock_guard<std::mutex> g(done_mu_);

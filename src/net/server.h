@@ -50,6 +50,25 @@ struct ServerConfig
     uint64_t nbuckets = 256;  ///< hash buckets per shard (power of two)
     bool admin = false;       ///< serve /metrics, /stats.json, /recovery
     uint16_t admin_port = 0;  ///< 0: kernel-assigned; see admin_port()
+
+    /**
+     * Replication (ido-cluster): when replica_port != 0 this server is
+     * a *primary* -- every shard worker forwards its batch's mutations
+     * to the replica (itself a stock ido_serve) after the local
+     * batch-close fence, and releases the batch's replies only once
+     * the replica acknowledged them all.  A client ack then implies
+     * durability on two heaps.
+     */
+    std::string replica_host = "127.0.0.1";
+    uint16_t replica_port = 0; ///< 0: replication off
+
+    /**
+     * Test injection: sleep this long after each batch's fence before
+     * publishing replies.  Lets the replication tests prove acks wait
+     * for the replica (run the *replica* with a publish delay and the
+     * primary's acks must inherit it).
+     */
+    uint32_t publish_delay_ms = 0;
 };
 
 class Server

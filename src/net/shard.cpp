@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <atomic>
 
+#include <chrono>
+#include <thread>
+
 #include "apps/memcached_mini.h"
 #include "common/panic.h"
+#include "net/memc_client.h"
 #include "net/memc_protocol.h"
 #include "runtime/runtime.h"
 #include "stats/metrics.h"
@@ -61,6 +65,13 @@ McShardWorker::stop()
         thread_.join();
 }
 
+bool
+McShardWorker::stopping_now()
+{
+    std::lock_guard<std::mutex> g(mu_);
+    return stopping_;
+}
+
 void
 McShardWorker::thread_main()
 {
@@ -89,6 +100,75 @@ McShardWorker::thread_main()
     const uint64_t slow_ns = stat_slow_threshold_ns();
     uint64_t last_exec_end_ns = 0;
     uint64_t batches_since_fold = 0;
+
+    // Replication (ido-cluster): this worker's private connection to
+    // the replica, plus the cluster.* accounting.  Forwarding happens
+    // after the local batch-close fence and before any reply is
+    // published, so a client ack certifies durability on both heaps.
+    const bool replicate = cfg_.replica_port != 0;
+    MemcClient replica;
+    std::atomic<uint64_t>* const rep_batches =
+        replicate ? reg.counter("cluster.replica.batches") : nullptr;
+    std::atomic<uint64_t>* const rep_requests =
+        replicate ? reg.counter("cluster.replica.requests") : nullptr;
+    std::atomic<uint64_t>* const rep_resends =
+        replicate ? reg.counter("cluster.replica.resends") : nullptr;
+    std::atomic<uint64_t>* const rep_reconnects =
+        replicate ? reg.counter("cluster.replica.reconnects") : nullptr;
+    LatencyRecorder* const lat_replica =
+        replicate ? reg.latency("net.lat.replica_ack") : nullptr;
+
+    /**
+     * Push the batch's mutations to the replica and wait for its
+     * durable acks.  One pipelined flight per batch: K-deep batches
+     * amortize the network round trip exactly like they amortize
+     * fences.  A dead replica blocks the acks (the availability
+     * contract) -- we reconnect with backoff and resend the whole
+     * batch, which is safe at-least-once: a set rewrites the same
+     * value, a re-delete acks NOT_FOUND.  Returns false only when the
+     * worker is stopping and the replica is unreachable; the caller
+     * must then drop the replies unpublished (no client ack).
+     */
+    const auto forward_to_replica =
+        [&](const std::vector<ShardJob>& jobs) -> bool {
+        size_t nmut = 0;
+        for (const ShardJob& j : jobs)
+            if (j.req.op == MemcOp::kSet || j.req.op == MemcOp::kDelete)
+                ++nmut;
+        if (nmut == 0)
+            return true; // read-only batch: no round trip at all
+        const uint64_t t0 = stat_enabled() ? stat_now_ns() : 0;
+        for (;;) {
+            if (!replica.connected()) {
+                if (!replica.connect_retry(cfg_.replica_host,
+                                           cfg_.replica_port,
+                                           /*attempts=*/25,
+                                           /*backoff_ms=*/20)) {
+                    if (stopping_now())
+                        return false;
+                    continue; // keep riding out the replica restart
+                }
+                rep_reconnects->fetch_add(1, std::memory_order_relaxed);
+            }
+            for (const ShardJob& j : jobs) {
+                if (j.req.op == MemcOp::kSet)
+                    replica.pipeline_set(j.req.key, j.req.value);
+                else if (j.req.op == MemcOp::kDelete)
+                    replica.pipeline_del(j.req.key);
+            }
+            if (replica.pipeline_flush() == nmut)
+                break; // every mutation durable on the replica
+            replica.close(); // node down / torn reply: resend all
+            rep_resends->fetch_add(1, std::memory_order_relaxed);
+            if (stopping_now())
+                return false;
+        }
+        if (t0 != 0)
+            lat_replica->record(stat_now_ns() - t0);
+        rep_batches->fetch_add(1, std::memory_order_relaxed);
+        rep_requests->fetch_add(nmut, std::memory_order_relaxed);
+        return true;
+    };
 
     const GroupCommit::Exec exec = [&](const ShardJob& job) -> std::string {
         const MemcRequest& rq = job.req;
@@ -156,6 +236,18 @@ McShardWorker::thread_main()
         replies.clear();
         last_exec_end_ns = 0;
         committer.run_batch(batch, exec, &replies);
+        // Injected publish delay (tests): the fence has retired but
+        // the acks sit on this side of the wire a little longer.
+        if (cfg_.publish_delay_ms != 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(cfg_.publish_delay_ms));
+        // Replicated durable-prefix ack: no reply may be released
+        // before the replica acknowledged the batch's mutations.  The
+        // wait lands in net.lat.publish below, where it belongs -- it
+        // is part of the time a client waits for its durable ack.
+        bool release = true;
+        if (replicate)
+            release = forward_to_replica(batch);
         if (last_exec_end_ns != 0) {
             // run_batch has retired the batch-close fence by now: the
             // gap since the last job's execute end is the group-commit
@@ -194,9 +286,12 @@ McShardWorker::thread_main()
             persist_counters_flush_tls();
             batches_since_fold = 0;
         }
-        // run_batch returned, so the batch-close fence retired: the
-        // replies are safe to release to clients.
-        if (publish_ && !replies.empty())
+        // run_batch returned, so the batch-close fence retired (and,
+        // when replicating, the replica acked): the replies are safe
+        // to release to clients.  release==false happens only during
+        // shutdown with an unreachable replica -- those requests stay
+        // unacknowledged, which the durability model permits.
+        if (release && publish_ && !replies.empty())
             publish_(std::move(replies));
         replies.clear();
     }

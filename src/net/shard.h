@@ -37,6 +37,12 @@ struct ShardConfig
     uint64_t index = 0;       ///< which McShard this worker owns
     uint32_t batch_limit = 1; ///< K: max pipelined requests per batch
     uint64_t root_off = 0;    ///< McRoot heap offset
+    /// Replication target (server.h): port 0 = replication off.  Each
+    /// worker owns its own connection, so forwarding never crosses a
+    /// lock between shards.
+    std::string replica_host = "127.0.0.1";
+    uint16_t replica_port = 0;
+    uint32_t publish_delay_ms = 0; ///< test injection (server.h)
 };
 
 class McShardWorker
@@ -65,6 +71,9 @@ class McShardWorker
 
   private:
     void thread_main();
+    /** Has stop() been requested?  (Replication retry loops poll this
+     *  so a dead replica cannot wedge shutdown forever.) */
+    bool stopping_now();
 
     rt::Runtime& rt_;
     ShardConfig cfg_;

@@ -24,9 +24,12 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/memcached_mini.h"
+#include "common/panic.h"
+#include "fuzz/rr.h"
 #include "ido/ido_runtime.h"
 #include "net/group_commit.h"
 #include "net/memc_protocol.h"
@@ -276,6 +279,113 @@ TEST(GroupCommitFences, K16HalvesFencesVsK1)
     EXPECT_GE(fences_k1, 2 * fences_k16)
         << "K=16 must reduce fences/request by at least 2x (K=1: "
         << fences_k1 << ", K=16: " << fences_k16 << ")";
+}
+
+/**
+ * ido-fuzz integration (kNetBatch): two shard workers batching
+ * concurrently against one heap are a real interleaving -- the order
+ * their batches close in decides the cross-shard durability order.
+ * run_batch takes a recorded turn on the global kNetBatch object, so
+ * a recorded two-worker schedule (chaos-perturbed) must replay with
+ * every thread consuming exactly its recorded log, batch order
+ * included.
+ */
+TEST(GroupCommitRecordReplay, CrossShardBatchOrderReplays)
+{
+    MemcachedMini::register_programs();
+
+    // Replay only reproduces a schedule against byte-identical starting
+    // state, so each rr session gets its own freshly-created heap (the
+    // heap's owner-tag counter is per-instance: reusing the recorded
+    // heap would hand the replay workers different tags, hence
+    // different home-shard mutexes).  Construction and teardown happen
+    // OUTSIDE the rr session; worker threads are created inside it.
+    struct Env {
+        nvm::PersistentHeap heap{{.size = 32u << 20}};
+        nvm::RealDomain dom;
+        rt::RuntimeConfig cfg;
+        IdoRuntime runtime{heap, dom, cfg};
+        uint64_t root = 0;
+        std::vector<std::vector<std::string>> shard_keys{2};
+
+        Env()
+        {
+            auto setup = runtime.make_thread();
+            root = MemcachedMini::create(*setup, /*nshards=*/2, 64);
+            // Pre-split the key pool by owning shard (worker-privacy
+            // contract: worker i only ever touches shard i's keys).
+            // shard_index is a pure hash, so both sessions agree.
+            MemcachedMini cache(heap, root);
+            for (int i = 0;
+                 shard_keys[0].size() < 8 || shard_keys[1].size() < 8; ++i) {
+                IDO_ASSERT(i < 10000, "key split never converged");
+                const std::string k = key_name(i);
+                auto [lo, hi] = net::memc_key_words(k);
+                auto& bucket = shard_keys[cache.shard_index(lo, hi)];
+                if (bucket.size() < 8)
+                    bucket.push_back(k);
+            }
+        }
+    };
+
+    const auto worker = [](Env& env, uint32_t tid) {
+        fuzz::rr::ThreadScope scope(tid);
+        auto th = env.runtime.make_thread();
+        MemcachedMini cache(env.heap, env.root);
+        GroupCommit committer(*th, /*batch_limit=*/4, /*shard_index=*/tid);
+        for (int b = 0; b < 6; ++b) {
+            std::vector<ShardJob> jobs;
+            for (int i = 0; i < 4; ++i) {
+                ShardJob j;
+                j.req.op = MemcOp::kSet;
+                j.req.key = env.shard_keys[tid][static_cast<size_t>(i) % 8];
+                j.req.value = static_cast<uint64_t>(tid * 1000 + b * 10 + i);
+                jobs.push_back(std::move(j));
+            }
+            std::vector<ShardReply> replies;
+            committer.run_batch(
+                jobs,
+                [&](const ShardJob& jj) { return exec_job(cache, *th, jj); },
+                &replies);
+        }
+    };
+    const auto run_both = [&](Env& env) {
+        std::thread t0([&] { worker(env, 0); });
+        std::thread t1([&] { worker(env, 1); });
+        t0.join();
+        t1.join();
+    };
+
+    auto rec_env = std::make_unique<Env>();
+    fuzz::rr::start_record(/*seed=*/20260808, /*chaos_pct=*/30);
+    run_both(*rec_env);
+    const auto logs = fuzz::rr::stop_record();
+    ASSERT_FALSE(fuzz::rr::failed()) << fuzz::rr::failure_reason();
+    rec_env.reset();
+
+    // The instrument is live: each worker's log carries its six
+    // kNetBatch turns (plus whatever heap/lock sync ops it took).
+    ASSERT_GE(logs.size(), 2u);
+    const uint64_t nb_key = fuzz::obj_key(fuzz::ObjKind::kNetBatch);
+    for (uint32_t tid = 0; tid < 2; ++tid) {
+        int batches = 0;
+        for (const fuzz::MemOp& op : logs[tid])
+            if (op.key == nb_key)
+                ++batches;
+        EXPECT_EQ(batches, 6) << "tid " << tid;
+    }
+
+    // Replay the schedule against an identical fresh environment: same
+    // writes, same batch order -- every thread must consume exactly
+    // the log it recorded.
+    auto rep_env = std::make_unique<Env>();
+    fuzz::rr::start_replay(logs, /*recording_crashed=*/false);
+    run_both(*rep_env);
+    const auto consumed = fuzz::rr::stop_replay();
+    ASSERT_FALSE(fuzz::rr::failed()) << fuzz::rr::failure_reason();
+    ASSERT_EQ(consumed.size(), logs.size());
+    for (size_t t = 0; t < logs.size(); ++t)
+        EXPECT_EQ(consumed[t], logs[t]) << "tid " << t;
 }
 
 } // namespace

@@ -211,6 +211,46 @@ TEST(InProcessServer_, AdminEndpointServesMetrics)
     EXPECT_EQ(v, 1u);
 }
 
+// Typed client errors (ido-cluster satellite): failover logic needs to
+// tell "the node died" from "the node answered no"; a benign miss or
+// NOT_FOUND must not look like either.
+TEST(InProcessServer_, TypedClientErrors)
+{
+    using net::ClientError;
+    auto s = std::make_unique<InProcessServer>(/*shards=*/2,
+                                               /*batch_limit=*/4);
+    MemcClient c;
+    // Calls before any connect: kNotConnected.
+    EXPECT_FALSE(c.set("x", 1));
+    EXPECT_EQ(c.last_error(), ClientError::kNotConnected);
+
+    ASSERT_TRUE(c.connect_retry("127.0.0.1", s->server->port(), 50, 10));
+    ASSERT_TRUE(c.set("te", 5));
+    EXPECT_EQ(c.last_error(), ClientError::kNone);
+
+    // Answers, not failures: miss and absent-delete stay kNone.
+    uint64_t v = 0;
+    EXPECT_FALSE(c.get("te-absent", &v));
+    EXPECT_EQ(c.last_error(), ClientError::kNone);
+    EXPECT_FALSE(c.del("te-absent"));
+    EXPECT_EQ(c.last_error(), ClientError::kNone);
+
+    // Tear the server down mid-connection: the next RPC must surface
+    // a disconnect-class error, not a generic false.
+    s.reset();
+    EXPECT_FALSE(c.get("te", &v));
+    EXPECT_TRUE(c.last_error() == ClientError::kDisconnected ||
+                c.last_error() == ClientError::kSendFailed ||
+                c.last_error() == ClientError::kTimeout)
+        << net::client_error_name(c.last_error());
+
+    // A refused connect reports kConnectFailed (one attempt, no retry:
+    // nothing listens on the dead server's port any more).
+    MemcClient c2;
+    EXPECT_FALSE(c2.connect("127.0.0.1", 1));
+    EXPECT_EQ(c2.last_error(), ClientError::kConnectFailed);
+}
+
 // --------------------------------------------------------------------------
 // Kill -9 under load (real process, file-backed heap)
 // --------------------------------------------------------------------------

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * ido-router: standalone consistent-hash proxy over N ido-serve nodes
+ * (cluster/router.h).  Clients speak plain memcached to this process
+ * and never learn the topology.
+ *
+ * Usage:
+ *   ido_router --node=HOST:PORT [--node=HOST:PORT ...]
+ *              [--port=0] [--port-file=PATH]
+ *              [--hold-max=4096] [--hold-deadline-ms=10000]
+ *
+ * Node order matters: node i on the command line is ring node id i,
+ * and every router/ClusterClient sharing a cluster must list the
+ * nodes in the same order (and run under the same IDO_SEED) to agree
+ * on placement.
+ */
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cluster/port_file.h"
+#include "cluster/router.h"
+
+using namespace ido;
+
+namespace {
+
+cluster::Router* g_router = nullptr;
+
+void
+on_signal(int)
+{
+    if (g_router)
+        g_router->stop();
+}
+
+bool
+parse_flag(const char* arg, const char* name, std::string* out)
+{
+    const size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) != 0 || arg[n] != '=')
+        return false;
+    *out = arg + n + 1;
+    return true;
+}
+
+uint64_t
+parse_u64_or_die(const std::string& s, const char* what)
+{
+    char* end = nullptr;
+    const uint64_t v = std::strtoull(s.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+        std::fprintf(stderr, "ido_router: bad %s: '%s'\n", what,
+                     s.c_str());
+        std::exit(2);
+    }
+    return v;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: ido_router --node=HOST:PORT [--node=HOST:PORT ...]\n"
+        "                  [--port=N] [--port-file=PATH]\n"
+        "                  [--hold-max=N] [--hold-deadline-ms=N]\n"
+        "Node order defines ring node ids; every participant must use\n"
+        "the same order and IDO_SEED.\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    cluster::RouterConfig cfg;
+    std::string port_file;
+    uint64_t port = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string val;
+        if (parse_flag(argv[i], "--node", &val)) {
+            const size_t colon = val.rfind(':');
+            if (colon == std::string::npos)
+                return usage();
+            const uint64_t p =
+                parse_u64_or_die(val.substr(colon + 1), "--node port");
+            if (p == 0 || p > 65535)
+                return usage();
+            cfg.nodes.push_back({val.substr(0, colon),
+                                 static_cast<uint16_t>(p)});
+        } else if (parse_flag(argv[i], "--port-file", &val))
+            port_file = val;
+        else if (parse_flag(argv[i], "--port", &val))
+            port = parse_u64_or_die(val, "--port");
+        else if (parse_flag(argv[i], "--hold-max", &val))
+            cfg.hold_max = parse_u64_or_die(val, "--hold-max");
+        else if (parse_flag(argv[i], "--hold-deadline-ms", &val))
+            cfg.hold_deadline_ms = static_cast<uint32_t>(
+                parse_u64_or_die(val, "--hold-deadline-ms"));
+        else
+            return usage();
+    }
+    if (cfg.nodes.empty() || port > 65535)
+        return usage();
+    cfg.port = static_cast<uint16_t>(port);
+
+    cluster::Router router(cfg);
+    g_router = &router;
+    struct sigaction sa = {};
+    sa.sa_handler = on_signal;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+
+    if (!port_file.empty() &&
+        !cluster::write_port_file(port_file, router.port())) {
+        std::fprintf(stderr, "ido_router: cannot write %s\n",
+                     port_file.c_str());
+        return 1;
+    }
+    std::printf("ROUTING 127.0.0.1:%u nodes=%zu\n", router.port(),
+                cfg.nodes.size());
+    std::fflush(stdout);
+
+    router.run();
+    g_router = nullptr;
+    return 0;
+}

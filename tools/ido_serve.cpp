@@ -35,6 +35,7 @@
 #include <string>
 
 #include "apps/memcached_mini.h"
+#include "cluster/port_file.h"
 #include "ido/ido_runtime.h"
 #include "net/server.h"
 #include "nvm/persist_domain.h"
@@ -87,7 +88,13 @@ usage()
         "usage: ido_serve --heap=PATH [--port=N] [--port-file=PATH]\n"
         "                 [--shards=N] [--batch=K] [--buckets=N]\n"
         "                 [--heap-bytes=N] [--reset] [--admin]\n"
-        "                 [--admin-port=N] [--admin-port-file=PATH]\n");
+        "                 [--admin-port=N] [--admin-port-file=PATH]\n"
+        "                 [--replica-of=HOST:PORT]\n"
+        "                 [--publish-delay-ms=N]\n"
+        "--replica-of makes this process a replicated primary: client\n"
+        "acks release only after the replica acknowledged the batch.\n"
+        "--publish-delay-ms delays reply release after the fence (test\n"
+        "injection for the replication ack-ordering proofs).\n");
     return 2;
 }
 
@@ -107,6 +114,8 @@ main(int argc, char** argv)
     uint64_t buckets = 256;
     uint64_t heap_bytes = 64u << 20;
     bool reset = false;
+    std::string replica_of;
+    uint64_t publish_delay_ms = 0;
 
     for (int i = 1; i < argc; ++i) {
         std::string val;
@@ -134,7 +143,25 @@ main(int argc, char** argv)
             heap_bytes = parse_u64_or_die(val, "--heap-bytes");
         else if (std::strcmp(argv[i], "--reset") == 0)
             reset = true;
+        else if (parse_flag(argv[i], "--replica-of", &val))
+            replica_of = val;
+        else if (parse_flag(argv[i], "--publish-delay-ms", &val))
+            publish_delay_ms =
+                parse_u64_or_die(val, "--publish-delay-ms");
         else
+            return usage();
+    }
+    std::string replica_host;
+    uint64_t replica_port = 0;
+    if (!replica_of.empty()) {
+        const size_t colon = replica_of.rfind(':');
+        if (colon == std::string::npos)
+            return usage();
+        replica_host = replica_of.substr(0, colon);
+        replica_port =
+            parse_u64_or_die(replica_of.substr(colon + 1), "--replica-of");
+        if (replica_host.empty() || replica_port == 0 ||
+            replica_port > 65535)
             return usage();
     }
     if (heap_path.empty() || port > 65535 || admin_port > 65535 ||
@@ -180,6 +207,11 @@ main(int argc, char** argv)
     cfg.nbuckets = buckets;
     cfg.admin = admin;
     cfg.admin_port = static_cast<uint16_t>(admin_port);
+    if (replica_port != 0) {
+        cfg.replica_host = replica_host;
+        cfg.replica_port = static_cast<uint16_t>(replica_port);
+    }
+    cfg.publish_delay_ms = static_cast<uint32_t>(publish_delay_ms);
     net::Server server(rt, cfg);
 
     g_server = &server;
@@ -190,28 +222,20 @@ main(int argc, char** argv)
 
     // The readiness handshake: the port file appears only once the
     // socket is bound, so a harness can poll for it then connect.
-    if (!port_file.empty()) {
-        std::FILE* f = std::fopen((port_file + ".tmp").c_str(), "w");
-        if (!f) {
-            std::fprintf(stderr, "ido_serve: cannot write %s\n",
-                         port_file.c_str());
-            return 1;
-        }
-        std::fprintf(f, "%u\n", server.port());
-        std::fclose(f);
-        std::rename((port_file + ".tmp").c_str(), port_file.c_str());
+    // Atomic publication (tmp + fsync + rename, cluster/port_file.h):
+    // the supervisor polls these files and must never observe a
+    // partially written port.
+    if (!port_file.empty() &&
+        !cluster::write_port_file(port_file, server.port())) {
+        std::fprintf(stderr, "ido_serve: cannot write %s\n",
+                     port_file.c_str());
+        return 1;
     }
-    if (!admin_port_file.empty()) {
-        std::FILE* f = std::fopen((admin_port_file + ".tmp").c_str(), "w");
-        if (!f) {
-            std::fprintf(stderr, "ido_serve: cannot write %s\n",
-                         admin_port_file.c_str());
-            return 1;
-        }
-        std::fprintf(f, "%u\n", server.admin_port());
-        std::fclose(f);
-        std::rename((admin_port_file + ".tmp").c_str(),
-                    admin_port_file.c_str());
+    if (!admin_port_file.empty() &&
+        !cluster::write_port_file(admin_port_file, server.admin_port())) {
+        std::fprintf(stderr, "ido_serve: cannot write %s\n",
+                     admin_port_file.c_str());
+        return 1;
     }
     std::printf("LISTENING 127.0.0.1:%u shards=%llu batch=%llu admin=%u\n",
                 server.port(), static_cast<unsigned long long>(shards),

@@ -17,12 +17,18 @@
  * to.
  *
  * Usage:
- *   ido_top --port=N [--host=127.0.0.1] [--interval-ms=1000]
+ *   ido_top --port=N[,N,...] [--host=127.0.0.1] [--interval-ms=1000]
  *           [--frames=0] [--raw]
  *
  * --frames=0 polls forever (^C to quit); --raw dumps the fetched JSON
  * instead of the rendered table (CI smoke uses --frames=2 --raw).
+ *
+ * A comma-separated --port list switches to cluster mode (ido-cluster):
+ * one row per node's admin endpoint plus a TOTAL rollup -- summed
+ * throughput/connections, worst-node p99, and the cluster.* replica
+ * forwarding counters where a node publishes them.
  */
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -178,11 +184,59 @@ render(const std::map<std::string, double>& cur,
     std::fflush(stdout);
 }
 
+/**
+ * Cluster mode: one row per node plus a TOTAL rollup.  Counters sum;
+ * latency percentiles do not, so TOTAL reports the *worst* node p99 --
+ * the number a cluster operator actually pages on.
+ */
+void
+render_cluster(const std::vector<std::map<std::string, double>>& cur,
+               const std::vector<std::map<std::string, double>>& prev,
+               const std::vector<uint16_t>& ports, double dt_s,
+               uint64_t frame)
+{
+    std::printf("--- frame %llu (cluster, %zu nodes) ------------------\n",
+                static_cast<unsigned long long>(frame),
+                ports.size());
+    std::printf("%-10s %12s %10s %7s %12s %12s %12s\n", "node", "req/s",
+                "fences/op", "conns", "get p99(us)", "set p99(us)",
+                "repl batch/s");
+    double tot_rps = 0, tot_conns = 0, tot_rep = 0;
+    double worst_get = 0, worst_set = 0;
+    for (size_t i = 0; i < cur.size(); ++i) {
+        const auto& c = cur[i];
+        const auto& p = prev[i];
+        const double req_delta =
+            get(c, "net.requests") - get(p, "net.requests");
+        const double fence_delta =
+            get(c, "persist.fences") - get(p, "persist.fences");
+        const double rep_delta = get(c, "cluster.replica.batches")
+                                 - get(p, "cluster.replica.batches");
+        const double rps = dt_s > 0 ? req_delta / dt_s : 0.0;
+        const double reps = dt_s > 0 ? rep_delta / dt_s : 0.0;
+        const double g99 = get(c, "net.lat.req.get.p99_ns") / 1e3;
+        const double s99 = get(c, "net.lat.req.set.p99_ns") / 1e3;
+        std::printf(":%-9u %12.0f %10.2f %7.0f %12.1f %12.1f %12.0f\n",
+                    ports[i], rps,
+                    req_delta > 0 ? fence_delta / req_delta : 0.0,
+                    get(c, "net.conns"), g99, s99, reps);
+        tot_rps += rps;
+        tot_conns += get(c, "net.conns");
+        tot_rep += reps;
+        worst_get = std::max(worst_get, g99);
+        worst_set = std::max(worst_set, s99);
+    }
+    std::printf("%-10s %12.0f %10s %7.0f %12.1f %12.1f %12.0f\n",
+                "TOTAL", tot_rps, "-", tot_conns, worst_get, worst_set,
+                tot_rep);
+    std::fflush(stdout);
+}
+
 int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: ido_top --port=N [--host=127.0.0.1]\n"
+                 "usage: ido_top --port=N[,N,...] [--host=127.0.0.1]\n"
                  "               [--interval-ms=1000] [--frames=0] "
                  "[--raw]\n"
                  "(host must be 127.0.0.1; the admin endpoint only "
@@ -195,7 +249,7 @@ usage()
 int
 main(int argc, char** argv)
 {
-    uint64_t port = 0;
+    std::vector<uint16_t> ports;
     uint64_t interval_ms = 1000;
     uint64_t frames = 0;
     bool raw = false;
@@ -203,9 +257,23 @@ main(int argc, char** argv)
 
     for (int i = 1; i < argc; ++i) {
         std::string val;
-        if (parse_flag(argv[i], "--port", &val))
-            port = std::strtoull(val.c_str(), nullptr, 10);
-        else if (parse_flag(argv[i], "--host", &val))
+        if (parse_flag(argv[i], "--port", &val)) {
+            size_t at = 0;
+            while (at <= val.size()) {
+                const size_t comma = val.find(',', at);
+                const std::string tok = val.substr(
+                    at, comma == std::string::npos ? std::string::npos
+                                                   : comma - at);
+                const uint64_t p =
+                    std::strtoull(tok.c_str(), nullptr, 10);
+                if (p == 0 || p > 65535)
+                    return usage();
+                ports.push_back(static_cast<uint16_t>(p));
+                if (comma == std::string::npos)
+                    break;
+                at = comma + 1;
+            }
+        } else if (parse_flag(argv[i], "--host", &val))
             host = val;
         else if (parse_flag(argv[i], "--interval-ms", &val))
             interval_ms = std::strtoull(val.c_str(), nullptr, 10);
@@ -216,35 +284,44 @@ main(int argc, char** argv)
         else
             return usage();
     }
-    if (port == 0 || port > 65535 || host != "127.0.0.1")
+    if (ports.empty() || host != "127.0.0.1")
         return usage();
 
-    std::map<std::string, double> prev;
+    std::vector<std::map<std::string, double>> prev(ports.size());
     auto t_prev = std::chrono::steady_clock::now();
     for (uint64_t frame = 0; frames == 0 || frame < frames; ++frame) {
         if (frame != 0)
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(interval_ms));
-        std::string body;
-        if (!net::admin_http_get(static_cast<uint16_t>(port),
-                                 "/stats.json", &body)) {
-            std::fprintf(stderr,
-                         "ido_top: GET 127.0.0.1:%llu/stats.json "
-                         "failed\n",
-                         static_cast<unsigned long long>(port));
-            return 1;
+        std::vector<std::map<std::string, double>> cur(ports.size());
+        for (size_t n = 0; n < ports.size(); ++n) {
+            std::string body;
+            if (!net::admin_http_get(ports[n], "/stats.json", &body)) {
+                std::fprintf(stderr,
+                             "ido_top: GET 127.0.0.1:%u/stats.json "
+                             "failed\n",
+                             ports[n]);
+                return 1;
+            }
+            if (raw) {
+                std::printf("%s\n", body.c_str());
+                std::fflush(stdout);
+                continue;
+            }
+            scan_numbers(body, &cur[n]);
         }
-        if (raw) {
-            std::printf("%s\n", body.c_str());
-            std::fflush(stdout);
+        if (raw)
             continue;
-        }
-        std::map<std::string, double> cur;
-        scan_numbers(body, &cur);
         const auto t_now = std::chrono::steady_clock::now();
-        const double dt_s =
-            std::chrono::duration<double>(t_now - t_prev).count();
-        render(cur, prev, frame == 0 ? 0.0 : dt_s, frame);
+        const double dt_s = frame == 0
+                                ? 0.0
+                                : std::chrono::duration<double>(
+                                      t_now - t_prev)
+                                      .count();
+        if (ports.size() == 1)
+            render(cur[0], prev[0], dt_s, frame);
+        else
+            render_cluster(cur, prev, ports, dt_s, frame);
         prev.swap(cur);
         t_prev = t_now;
     }
