@@ -38,6 +38,21 @@ write_port_file(const std::string& path, uint16_t port)
         ok = std::rename(tmp.c_str(), path.c_str()) == 0;
     if (!ok)
         ::unlink(tmp.c_str());
+    if (ok) {
+        // Make the rename itself durable: the directory entry lives in
+        // the parent, so a host crash after rename-but-before-dir-sync
+        // could otherwise revert to the old (or no) file.  Best-effort:
+        // a reader that finds nothing just keeps polling.
+        const size_t slash = path.find_last_of('/');
+        const std::string dir =
+            slash == std::string::npos ? "." : path.substr(0, slash + 1);
+        const int dfd =
+            ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+        if (dfd >= 0) {
+            ::fsync(dfd);
+            ::close(dfd);
+        }
+    }
     return ok;
 }
 

@@ -184,13 +184,15 @@ Router::on_conn_event(uint64_t conn_id, uint32_t events)
     if (it == conns_.end())
         return;
     Conn& c = *it->second;
+    if (c.fd < 0) // defunct shell awaiting reap
+        return;
     if (events & (EPOLLHUP | EPOLLERR)) {
         close_conn(c);
         return;
     }
     if (events & EPOLLOUT)
-        flush_out(c);
-    if (events & EPOLLIN)
+        flush_out(c); // may close_conn (write error / drained quit)
+    if ((events & EPOLLIN) && c.fd >= 0)
         read_conn(c);
 }
 
@@ -216,8 +218,13 @@ Router::read_conn(Conn& c)
         return;
     }
     net::MemcRequest rq;
-    while (c.parser.next(&rq))
+    // route_request can close the conn mid-loop (reject path -> deliver
+    // -> flush_out on a reset client); the shell stays valid (deferred
+    // reap) but there is no one left to route for.
+    while (c.fd >= 0 && c.parser.next(&rq))
         route_request(c, std::move(rq));
+    if (c.fd < 0)
+        return;
     if (c.parser.poisoned())
         c.closing = true;
     release_ready(c);
@@ -307,7 +314,7 @@ Router::deliver(uint64_t conn_id, uint64_t seq, std::string data)
     --c.inflight;
     if (c.fd < 0) { // client left while the node was working
         if (c.inflight == 0)
-            conns_.erase(it);
+            defunct_.push_back(c.id); // erased at the timer sweep
         return;
     }
     c.reorder.emplace(seq, std::move(data));
@@ -329,6 +336,8 @@ Router::release_ready(Conn& c)
 void
 Router::flush_out(Conn& c)
 {
+    if (c.fd < 0)
+        return;
     while (!c.out.empty()) {
         ssize_t n = ::write(c.fd, c.out.data(), c.out.size());
         if (n > 0) {
@@ -364,10 +373,22 @@ Router::close_conn(Conn& c)
     ::close(c.fd);
     c.fd = -1;
     c.out.clear();
+    c.reorder.clear();
+    // Never erase here: callers up the stack (read_conn's parse loop,
+    // on_conn_event's flush-then-read sequence, forward's reject path)
+    // still hold a Conn&.  The shell stays until every pending/held op
+    // resolves its inflight count, then reap_defunct() erases it at
+    // the timer sweep where no Conn& is live.
     if (c.inflight == 0)
-        conns_.erase(c.id); // destroys c
-    // else: the shell stays until every pending/held op resolves, so
-    // deliver() has somewhere to account the inflight decrement.
+        defunct_.push_back(c.id);
+}
+
+void
+Router::reap_defunct()
+{
+    for (uint64_t id : defunct_)
+        conns_.erase(id);
+    defunct_.clear();
 }
 
 std::string
@@ -401,7 +422,8 @@ Router::start_connect(uint32_t node)
     addr.sin_family = AF_INET;
     addr.sin_port = htons(u.addr.port);
     if (::inet_pton(AF_INET, u.addr.host.c_str(), &addr.sin_addr) != 1)
-        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        fatal("ido-router: node host '%s' is not a dotted-quad address",
+              u.addr.host.c_str());
     const int rc =
         ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
     if (rc == 0) {
@@ -423,9 +445,14 @@ Router::start_connect(uint32_t node)
             mono_ns() + static_cast<uint64_t>(u.backoff_ms) * 1000000ull;
         return;
     }
-    // Async connect: EPOLLOUT fires when it resolves either way.
+    // Async connect: EPOLLOUT fires when it resolves either way.  While
+    // kConnecting, next_attempt_ns doubles as the connect deadline so
+    // on_timer can reclaim a dial whose SYN vanished.
     u.fd = fd;
     u.state = UpState::kConnecting;
+    u.next_attempt_ns =
+        mono_ns() +
+        static_cast<uint64_t>(cfg_.connect_timeout_ms) * 1000000ull;
     loop_.add(fd, EPOLLOUT, [this, node](uint32_t ev) {
         on_upstream_event(node, ev);
     });
@@ -454,8 +481,8 @@ Router::on_upstream_event(uint32_t node, uint32_t events)
         return;
     }
     if (events & EPOLLOUT)
-        flush_upstream(u);
-    if (events & EPOLLIN)
+        flush_upstream(u); // may call upstream_down (write error)
+    if ((events & EPOLLIN) && u.state == UpState::kUp)
         read_upstream(node);
 }
 
@@ -623,9 +650,15 @@ Router::on_timer()
             expired_->fetch_add(1, std::memory_order_relaxed);
             deliver(h.conn_id, h.seq, unavailable_reply());
         }
+        if (u.state == UpState::kConnecting && u.next_attempt_ns <= now) {
+            // Async connect never resolved (e.g. SYN silently dropped):
+            // without this the upstream wedges in kConnecting forever.
+            upstream_down(i); // sets kDown + backoff; redialed below/next
+        }
         if (u.state == UpState::kDown && u.next_attempt_ns <= now)
             start_connect(i);
     }
+    reap_defunct();
 }
 
 } // namespace ido::cluster

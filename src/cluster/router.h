@@ -62,6 +62,8 @@ struct RouterConfig
     /// Reconnect backoff: initial delay, doubling up to the cap.
     uint32_t backoff_min_ms = 20;
     uint32_t backoff_max_ms = 500;
+    /// An async connect still unresolved after this is treated as down.
+    uint32_t connect_timeout_ms = 1000;
 };
 
 class Router
@@ -140,6 +142,7 @@ class Router
     void release_ready(Conn& c);
     void flush_out(Conn& c);
     void close_conn(Conn& c);
+    void reap_defunct();
     std::string stats_reply();
 
     // upstream side
@@ -168,6 +171,10 @@ class Router
 
     uint64_t next_conn_id_ = 1;
     std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
+    /// Conns closed while stack frames may still reference them; the
+    /// entries are erased from conns_ only at the timer sweep, never
+    /// from inside a call chain holding a Conn& (use-after-free).
+    std::vector<uint64_t> defunct_;
     std::vector<Upstream> upstreams_;
 
     // cluster.router.* instruments (stats_reply / admin scrape)

@@ -125,9 +125,15 @@ McShardWorker::thread_main()
      * fences.  A dead replica blocks the acks (the availability
      * contract) -- we reconnect with backoff and resend the whole
      * batch, which is safe at-least-once: a set rewrites the same
-     * value, a re-delete acks NOT_FOUND.  Returns false only when the
-     * worker is stopping and the replica is unreachable; the caller
-     * must then drop the replies unpublished (no client ack).
+     * value, a re-delete acks NOT_FOUND.  The retry loop is reserved
+     * for transport faults (disconnect/send/timeout); a replica that
+     * stays up and *answers* SERVER_ERROR or garbage is divergence --
+     * resending the identical batch can never succeed, and acking the
+     * client without the replica copy would break the durable-prefix
+     * contract, so that panics instead of wedging the shard.  Returns
+     * false only when the worker is stopping and the replica is
+     * unreachable; the caller must then drop the replies unpublished
+     * (no client ack).
      */
     const auto forward_to_replica =
         [&](const std::vector<ShardJob>& jobs) -> bool {
@@ -158,6 +164,15 @@ McShardWorker::thread_main()
             }
             if (replica.pipeline_flush() == nmut)
                 break; // every mutation durable on the replica
+            const ClientError err = replica.last_error();
+            if (err == ClientError::kServerError
+                || err == ClientError::kProtocol) {
+                panic("replica %s:%u refused a mutation (%s): "
+                      "primary/replica divergence, cannot certify the "
+                      "durable-prefix ack",
+                      cfg_.replica_host.c_str(), cfg_.replica_port,
+                      client_error_name(err));
+            }
             replica.close(); // node down / torn reply: resend all
             rep_resends->fetch_add(1, std::memory_order_relaxed);
             if (stopping_now())

@@ -22,7 +22,10 @@
  */
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <signal.h>
+#include <sys/socket.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -516,6 +519,73 @@ struct RouterThread
     Router router;
     std::thread thread;
 };
+
+TEST(Cluster, RouterSurvivesQuitMidPipeline)
+{
+    // Regression: close_conn used to erase the Conn while read_conn's
+    // parse loop still held a reference to it, so a 'quit' inside a
+    // pipelined burst (or any mid-loop close) was a use-after-free --
+    // the ASAN build catches a reintroduction.  quit/version are
+    // router-local, so the upstream only needs to be connectable: a
+    // listening socket that never accepts is enough (the router's
+    // eager dial completes via the backlog).
+    const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(lfd, 0);
+    sockaddr_in la = {};
+    la.sin_family = AF_INET;
+    la.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&la), sizeof la), 0);
+    ASSERT_EQ(::listen(lfd, 8), 0);
+    socklen_t lalen = sizeof la;
+    ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&la), &lalen),
+              0);
+
+    RouterConfig rcfg;
+    rcfg.nodes = {{"127.0.0.1", ntohs(la.sin_port)}};
+    RouterThread rt(rcfg);
+
+    const auto dial = [&rt]() -> int {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        EXPECT_GE(fd, 0);
+        sockaddr_in a = {};
+        a.sin_family = AF_INET;
+        a.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        a.sin_port = htons(rt.router.port());
+        EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&a), sizeof a),
+                  0);
+        return fd;
+    };
+    const auto read_until_eof = [](int fd) -> std::string {
+        std::string got;
+        char buf[512];
+        for (;;) {
+            const ssize_t n = ::read(fd, buf, sizeof buf);
+            if (n <= 0)
+                break;
+            got.append(buf, static_cast<size_t>(n));
+        }
+        return got;
+    };
+
+    // One burst: a local request, quit, then trailing bytes the router
+    // must drop on the floor instead of routing for a closed client.
+    const int fd = dial();
+    const char burst[] = "version\r\nquit\r\nversion\r\n";
+    ASSERT_EQ(::write(fd, burst, sizeof burst - 1),
+              static_cast<ssize_t>(sizeof burst - 1));
+    const std::string got = read_until_eof(fd); // EOF = conn closed
+    EXPECT_EQ(got.rfind("VERSION", 0), 0u) << got;
+    EXPECT_EQ(got.find("VERSION", 1), std::string::npos)
+        << "request after quit was served: " << got;
+    ::close(fd);
+
+    // The router must still be healthy after the mid-burst close.
+    const int fd2 = dial();
+    ASSERT_EQ(::write(fd2, "quit\r\n", 6), 6);
+    EXPECT_EQ(read_until_eof(fd2), "");
+    ::close(fd2);
+    ::close(lfd);
+}
 
 TEST(Cluster, RouterPipelinesAcrossNodesInOrder)
 {

@@ -5,7 +5,7 @@
  * and never learn the topology.
  *
  * Usage:
- *   ido_router --node=HOST:PORT [--node=HOST:PORT ...]
+ *   ido_router --node=IPV4:PORT [--node=IPV4:PORT ...]
  *              [--port=0] [--port-file=PATH]
  *              [--hold-max=4096] [--hold-deadline-ms=10000]
  *
@@ -65,11 +65,12 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: ido_router --node=HOST:PORT [--node=HOST:PORT ...]\n"
+        "usage: ido_router --node=IPV4:PORT [--node=IPV4:PORT ...]\n"
         "                  [--port=N] [--port-file=PATH]\n"
         "                  [--hold-max=N] [--hold-deadline-ms=N]\n"
-        "Node order defines ring node ids; every participant must use\n"
-        "the same order and IDO_SEED.\n");
+        "Node addresses are dotted-quad IPv4 (no DNS).  Node order\n"
+        "defines ring node ids; every participant must use the same\n"
+        "order and IDO_SEED.\n");
     return 2;
 }
 
